@@ -1,0 +1,93 @@
+//! The numbers printed in the paper, embedded for diffing.
+//!
+//! Every generated table is compared cell-by-cell against these reference
+//! grids in tests and in EXPERIMENTS.md.  The paper prints 2–3 significant
+//! digits, so comparisons use the tolerances of [`crate::tables`].
+
+/// Row labels (`k`) of Tables 1 and 2.
+pub const TABLE12_KS: [usize; 6] = [5, 10, 20, 50, 100, 1000];
+/// Column labels (`D`) of Tables 1 and 2.
+pub const TABLE12_DS: [usize; 5] = [5, 10, 50, 100, 1000];
+
+/// Table 1: `v(k, D)` estimated via classical occupancy `C(kD, D)/k`.
+pub const TABLE1: [[f64; 5]; 6] = [
+    [1.6, 1.7, 2.2, 2.3, 2.7],
+    [1.4, 1.5, 1.8, 1.9, 2.2],
+    [1.3, 1.4, 1.5, 1.6, 1.8],
+    [1.2, 1.2, 1.3, 1.4, 1.5],
+    [1.11, 1.16, 1.22, 1.26, 1.3],
+    [1.04, 1.05, 1.08, 1.08, 1.1],
+];
+
+/// Table 2: `C_SRM/C_DSM` with Table 1's `v`, `B = 1000`.
+pub const TABLE2: [[f64; 5]; 6] = [
+    [0.71, 0.62, 0.51, 0.48, 0.46],
+    [0.72, 0.66, 0.54, 0.50, 0.48],
+    [0.75, 0.68, 0.56, 0.53, 0.49],
+    [0.77, 0.71, 0.59, 0.55, 0.50],
+    [0.78, 0.72, 0.61, 0.57, 0.51],
+    [0.83, 0.77, 0.67, 0.63, 0.56],
+];
+
+/// Row labels (`k`) of Tables 3 and 4.
+pub const TABLE34_KS: [usize; 3] = [5, 10, 50];
+/// Column labels (`D`) of Tables 3 and 4.
+pub const TABLE34_DS: [usize; 3] = [5, 10, 50];
+
+/// Table 3: `v(k, D)` from simulating the SRM merge on average-case input.
+pub const TABLE3: [[f64; 3]; 3] = [
+    [1.0, 1.0, 1.2],
+    [1.00, 1.0, 1.1],
+    [1.00, 1.00, 1.00],
+];
+
+/// Table 4: `C'_SRM/C_DSM` with Table 3's `v`.
+pub const TABLE4: [[f64; 3]; 3] = [
+    [0.56, 0.47, 0.37],
+    [0.61, 0.52, 0.40],
+    [0.71, 0.63, 0.51],
+];
+
+/// Figure 1's instance parameters: `N_b = 12` balls, `C = 5` chains,
+/// `D = 4` bins; depicted maxima 4 (dependent) and 5 (classical).
+pub const FIGURE1: (u64, usize, usize, u64, u64) = (12, 5, 4, 4, 5);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn grids_are_consistent_shapes() {
+        assert_eq!(TABLE1.len(), TABLE12_KS.len());
+        assert_eq!(TABLE2.len(), TABLE12_KS.len());
+        assert!(TABLE1.iter().all(|r| r.len() == TABLE12_DS.len()));
+        assert_eq!(TABLE3.len(), TABLE34_KS.len());
+        assert_eq!(TABLE4.len(), TABLE34_KS.len());
+    }
+
+    #[test]
+    fn monotonicity_claims_of_the_paper_hold_in_its_own_numbers() {
+        // v decreases down each column (larger k), increases along rows
+        // (larger D).
+        #[allow(clippy::needless_range_loop)] // col indexes two parallel tables
+        for col in 0..5 {
+            for row in 1..6 {
+                assert!(TABLE1[row][col] <= TABLE1[row - 1][col]);
+            }
+        }
+        for row in TABLE1.iter() {
+            for col in 1..5 {
+                assert!(row[col] >= row[col - 1]);
+            }
+        }
+        // All ratios favour SRM.
+        assert!(TABLE2.iter().flatten().all(|&x| x < 1.0));
+        assert!(TABLE4.iter().flatten().all(|&x| x < 1.0));
+        // Table 4 (simulation) beats Table 2 (worst-case bound) cell-wise.
+        for (r4, r2) in TABLE4.iter().zip(TABLE2.iter()) {
+            for (a, b) in r4.iter().zip(r2.iter()) {
+                assert!(a < b);
+            }
+        }
+    }
+}

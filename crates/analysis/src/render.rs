@@ -1,0 +1,119 @@
+//! Plain-text rendering of (k × D) grids.
+
+/// A labelled grid of values: rows indexed by `k`, columns by `D`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Grid {
+    /// Row labels.
+    pub ks: Vec<usize>,
+    /// Column labels.
+    pub ds: Vec<usize>,
+    /// `cells[row][col]`.
+    pub cells: Vec<Vec<f64>>,
+}
+
+impl Grid {
+    /// Build a grid by evaluating `f(k, d)` on the cross product.
+    pub fn build(ks: &[usize], ds: &[usize], mut f: impl FnMut(usize, usize) -> f64) -> Self {
+        let cells = ks
+            .iter()
+            .map(|&k| ds.iter().map(|&d| f(k, d)).collect())
+            .collect();
+        Grid {
+            ks: ks.to_vec(),
+            ds: ds.to_vec(),
+            cells,
+        }
+    }
+
+    /// Cell lookup by labels.
+    pub fn get(&self, k: usize, d: usize) -> Option<f64> {
+        let row = self.ks.iter().position(|&x| x == k)?;
+        let col = self.ds.iter().position(|&x| x == d)?;
+        Some(self.cells[row][col])
+    }
+
+    /// Render as a markdown table with `digits` decimal places.
+    pub fn to_markdown(&self, corner: &str, digits: usize) -> String {
+        let mut out = String::new();
+        out.push_str(&format!("| {corner} |"));
+        for d in &self.ds {
+            out.push_str(&format!(" D={d} |"));
+        }
+        out.push('\n');
+        out.push_str("|---|");
+        for _ in &self.ds {
+            out.push_str("---|");
+        }
+        out.push('\n');
+        for (k, row) in self.ks.iter().zip(&self.cells) {
+            out.push_str(&format!("| k={k} |"));
+            for v in row {
+                out.push_str(&format!(" {v:.digits$} |"));
+            }
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Maximum absolute cell difference against a reference grid of the
+    /// same shape.
+    pub fn max_abs_diff(&self, reference: &[&[f64]]) -> f64 {
+        assert_eq!(self.cells.len(), reference.len());
+        self.cells
+            .iter()
+            .zip(reference)
+            .flat_map(|(row, rref)| {
+                assert_eq!(row.len(), rref.len());
+                row.iter().zip(rref.iter()).map(|(a, b)| (a - b).abs())
+            })
+            .fold(0.0, f64::max)
+    }
+
+    /// Maximum relative cell difference against a reference grid.
+    pub fn max_rel_diff(&self, reference: &[&[f64]]) -> f64 {
+        self.cells
+            .iter()
+            .zip(reference)
+            .flat_map(|(row, rref)| {
+                row.iter()
+                    .zip(rref.iter())
+                    .map(|(a, b)| ((a - b) / b).abs())
+            })
+            .fold(0.0, f64::max)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn grid() -> Grid {
+        Grid::build(&[1, 2], &[10, 20], |k, d| (k * d) as f64)
+    }
+
+    #[test]
+    fn build_and_get() {
+        let g = grid();
+        assert_eq!(g.get(2, 10), Some(20.0));
+        assert_eq!(g.get(1, 20), Some(20.0));
+        assert_eq!(g.get(3, 10), None);
+    }
+
+    #[test]
+    fn markdown_has_all_cells() {
+        let md = grid().to_markdown("v", 1);
+        assert!(md.contains("| k=1 | 10.0 | 20.0 |"));
+        assert!(md.contains("| k=2 | 20.0 | 40.0 |"));
+        assert!(md.contains("D=10"));
+    }
+
+    #[test]
+    fn diffs_against_reference() {
+        let g = grid();
+        let exact: [&[f64]; 2] = [&[10.0, 20.0], &[20.0, 40.0]];
+        assert_eq!(g.max_abs_diff(&exact), 0.0);
+        let off: [&[f64]; 2] = [&[10.0, 22.0], &[20.0, 40.0]];
+        assert_eq!(g.max_abs_diff(&off), 2.0);
+        assert!((g.max_rel_diff(&off) - 2.0 / 22.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,65 @@
+//! Micro-benchmarks of the SRM scheduling machinery: the block-level
+//! merge simulator (Table 3's engine) and the record-level merge.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use pdisk::{DiskId, Geometry, MemDiskArray, U64Record};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use srm_core::simulator::{MergeSim, SimInput, SimPlacement};
+use srm_core::{merge_runs, RunWriter};
+
+fn bench_simulator(c: &mut Criterion) {
+    let mut group = c.benchmark_group("merge_simulator");
+    group.sample_size(10);
+    for &(k, d, blocks) in &[(5usize, 5usize, 200u64), (5, 50, 200), (10, 10, 1000)] {
+        let mut rng = SmallRng::seed_from_u64(7);
+        let input = SimInput::average_case(k * d, blocks, 1000, d, SimPlacement::Random, &mut rng);
+        group.throughput(Throughput::Elements(input.total_blocks()));
+        group.bench_with_input(
+            BenchmarkId::new("sim", format!("k{k}_D{d}_L{blocks}")),
+            &input,
+            |bench, input| bench.iter(|| MergeSim::run(input).unwrap().schedule.total_reads()),
+        );
+    }
+    group.finish();
+}
+
+fn bench_record_merge(c: &mut Criterion) {
+    let mut group = c.benchmark_group("record_merge");
+    group.sample_size(10);
+    let d = 4usize;
+    let b = 16usize;
+    let n_runs = 16usize;
+    let run_len = 4000usize;
+    let geom = Geometry::new(d, b, 100_000_000).unwrap();
+    let mut rng = SmallRng::seed_from_u64(8);
+    let runs: Vec<Vec<u64>> = (0..n_runs)
+        .map(|_| {
+            let mut v: Vec<u64> = (0..run_len).map(|_| rng.random()).collect();
+            v.sort_unstable();
+            v
+        })
+        .collect();
+    group.throughput(Throughput::Elements((n_runs * run_len) as u64));
+    group.bench_function("merge_16x4000", |bench| {
+        bench.iter(|| {
+            let mut array: MemDiskArray<U64Record> = MemDiskArray::new(geom);
+            let handles: Vec<_> = runs
+                .iter()
+                .enumerate()
+                .map(|(i, keys)| {
+                    let mut w = RunWriter::new(geom, DiskId((i % d) as u32));
+                    for &k in keys {
+                        w.push(&mut array, U64Record(k)).unwrap();
+                    }
+                    w.finish(&mut array).unwrap()
+                })
+                .collect();
+            merge_runs(&mut array, &handles, DiskId(0)).unwrap().stats.records_out
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_simulator, bench_record_merge);
+criterion_main!(benches);

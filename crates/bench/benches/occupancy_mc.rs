@@ -1,0 +1,68 @@
+//! Micro-benchmarks of the occupancy machinery behind Tables 1–2:
+//! ball-throwing trials, dependent chain throws, and the gamma-walk
+//! order-statistics sampler against its naive `O(L log L)` reference.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use occupancy::{max_occupancy_once, BlockBounds, BlockMinima, DependentProblem};
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+fn bench_classical(c: &mut Criterion) {
+    let mut group = c.benchmark_group("classical_occupancy");
+    for &(k, d) in &[(5usize, 50usize), (50, 50), (100, 1000)] {
+        let balls = (k * d) as u64;
+        group.throughput(Throughput::Elements(balls));
+        group.bench_with_input(
+            BenchmarkId::new("throw", format!("k{k}_D{d}")),
+            &(balls, d),
+            |bench, &(balls, d)| {
+                let mut rng = SmallRng::seed_from_u64(1);
+                bench.iter(|| max_occupancy_once(balls, d, &mut rng))
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_dependent(c: &mut Criterion) {
+    let mut group = c.benchmark_group("dependent_occupancy");
+    for &(chains, len, d) in &[(250usize, 4u64, 50usize), (2500, 10, 50)] {
+        let problem = DependentProblem::uniform_chains(chains, len, d);
+        group.throughput(Throughput::Elements(problem.total_balls()));
+        group.bench_with_input(
+            BenchmarkId::new("throw", format!("c{chains}_l{len}_D{d}")),
+            &problem,
+            |bench, problem| {
+                let mut rng = SmallRng::seed_from_u64(2);
+                bench.iter(|| problem.max_occupancy_once(&mut rng))
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_order_stats(c: &mut Criterion) {
+    let mut group = c.benchmark_group("order_statistics_sampler");
+    // The whole point of the gamma walk: cost independent of B.
+    for &b in &[10u64, 1000u64] {
+        let records = 1000 * b; // 1000 blocks
+        group.bench_with_input(BenchmarkId::new("gamma_walk", b), &b, |bench, &b| {
+            let mut rng = SmallRng::seed_from_u64(3);
+            bench.iter(|| BlockMinima::sample(records, b, &mut rng).minima.len())
+        });
+        group.bench_with_input(BenchmarkId::new("gamma_walk_bounds", b), &b, |bench, &b| {
+            let mut rng = SmallRng::seed_from_u64(3);
+            bench.iter(|| BlockBounds::sample(records, b, &mut rng).blocks())
+        });
+    }
+    // Naive comparison at the small size only (the large one is the
+    // infeasibility the walk exists to avoid).
+    group.bench_function("naive_B10", |bench| {
+        let mut rng = SmallRng::seed_from_u64(3);
+        bench.iter(|| BlockMinima::sample_naive(10_000, 10, &mut rng).minima.len())
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_classical, bench_dependent, bench_order_stats);
+criterion_main!(benches);

@@ -1,0 +1,68 @@
+//! **Experiment X5** — wall-clock throughput: SRM vs DSM full sorts on
+//! the in-memory backend (pure algorithmic cost, I/O counted but free)
+//! and SRM on the real-file backend (actual positioned I/O through the
+//! per-disk worker threads).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use dsm::{write_unsorted_stripes, DsmSorter};
+use pdisk::{FileDiskArray, Geometry, MemDiskArray, U64Record};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use srm_core::sort::write_unsorted_input;
+use srm_core::SrmSorter;
+
+fn keys(n: usize, seed: u64) -> Vec<U64Record> {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    (0..n).map(|_| U64Record(rng.random())).collect()
+}
+
+fn bench_mem_backend(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sort_mem_backend");
+    for &n in &[100_000usize, 400_000] {
+        let geom = Geometry::for_table(2, 4, 64).unwrap(); // M = 4160 records
+        let input_keys = keys(n, 42);
+        group.throughput(Throughput::Elements(n as u64));
+        group.bench_with_input(BenchmarkId::new("srm", n), &n, |bench, _| {
+            bench.iter(|| {
+                let mut a: MemDiskArray<U64Record> = MemDiskArray::new(geom);
+                let input = write_unsorted_input(&mut a, &input_keys).unwrap();
+                let (run, _) = SrmSorter::default().sort(&mut a, &input).unwrap();
+                run.records
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("dsm", n), &n, |bench, _| {
+            bench.iter(|| {
+                let mut a: MemDiskArray<U64Record> = MemDiskArray::new(geom);
+                let input = write_unsorted_stripes(&mut a, &input_keys).unwrap();
+                let (run, _) = DsmSorter::default().sort(&mut a, &input).unwrap();
+                run.records
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_file_backend(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sort_file_backend");
+    group.sample_size(10);
+    let n = 100_000usize;
+    let geom = Geometry::for_table(2, 4, 64).unwrap();
+    let input_keys = keys(n, 43);
+    group.throughput(Throughput::Elements(n as u64));
+    group.bench_function(BenchmarkId::new("srm_files", n), |bench| {
+        bench.iter(|| {
+            let dir = std::env::temp_dir().join(format!("srm-bench-{}", std::process::id()));
+            let mut a: FileDiskArray<U64Record> = FileDiskArray::create(geom, &dir).unwrap();
+            let input = write_unsorted_input(&mut a, &input_keys).unwrap();
+            let (run, _) = SrmSorter::default().sort(&mut a, &input).unwrap();
+            let records = run.records;
+            drop(a);
+            let _ = std::fs::remove_dir_all(&dir);
+            records
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_mem_backend, bench_file_backend);
+criterion_main!(benches);

@@ -1,0 +1,100 @@
+//! **Experiment X6** (extension) — the §3 motivation, quantified: what
+//! striped merging costs *without* randomization on an adversarial input.
+//!
+//! The input is "lockstep": every run's block `i` participates before any
+//! run's block `i+1`, so with all runs laid out from the same start disk
+//! the `R` next-needed blocks always share one disk.  The paper argues
+//! naive merging then degrades by a factor of `D`; SRM's forecast-and-
+//! flush buffering softens that to ≈ `D/3` — still linear in `D` — while
+//! random or staggered placement on the *identical* keys stays near 1.
+//!
+//! ```text
+//! cargo run -p bench --release --bin adversarial [-- --smoke --blocks N --seed N]
+//! ```
+
+use pdisk::{DiskId, Geometry, MemDiskArray, StripedRun, U64Record};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use srm_core::simulator::{MergeSim, SimInput};
+use srm_core::{merge_runs, naive_merge_count, RunWriter};
+
+/// Record-level lockstep run set, all runs starting on one disk.
+fn lockstep_runs(
+    array: &mut MemDiskArray<U64Record>,
+    geom: Geometry,
+    n_runs: usize,
+    len: u64,
+) -> Vec<StripedRun> {
+    (0..n_runs)
+        .map(|j| {
+            let mut w = RunWriter::new(geom, DiskId(0));
+            for i in 0..len {
+                w.push(array, U64Record(i * n_runs as u64 + j as u64)).unwrap();
+            }
+            w.finish(array).unwrap()
+        })
+        .collect()
+}
+
+fn main() {
+    let args = bench::Args::parse();
+    let blocks = args.blocks.unwrap_or(if args.smoke { 100 } else { 500 });
+    let seed = args.seed.unwrap_or(0x7AB1_E0A6);
+    let ds: &[usize] = if args.smoke { &[4, 8] } else { &[4, 8, 16, 32, 64] };
+
+    println!("# Lockstep adversary vs placement policy (R = D runs, L = {blocks} blocks)\n");
+    println!("| D | v same-disk (deterministic) | v staggered (§8) | v random (SRM) | Lemma-6 bound, same-disk |");
+    println!("|---|------------------------------|------------------|----------------|--------------------------|");
+    for &d in ds {
+        let r = d;
+        let same = SimInput::lockstep_adversarial(blocks, d, &vec![0u32; r]);
+        let v_same = MergeSim::run(&same).expect("sim").overhead_v;
+        let bound = same.phase_read_upper_bound() as f64
+            / (same.total_blocks() as f64 / d as f64);
+
+        let stagger: Vec<u32> = (0..r).map(|j| (j * d / r) as u32).collect();
+        let v_stag = MergeSim::run(&SimInput::lockstep_adversarial(blocks, d, &stagger))
+            .expect("sim")
+            .overhead_v;
+
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let random: Vec<u32> = (0..r).map(|_| rng.random_range(0..d as u32)).collect();
+        let v_rand = MergeSim::run(&SimInput::lockstep_adversarial(blocks, d, &random))
+            .expect("sim")
+            .overhead_v;
+
+        println!("| {d} | {v_same:.2} | {v_stag:.2} | {v_rand:.2} | {bound:.2} |");
+    }
+    println!("\nReading the table: the deterministic same-disk column grows");
+    println!("linearly with D (the §3 disaster, softened ~3x by SRM's");
+    println!("prefetch buffers); the stagger defeats *this* adversary by");
+    println!("construction but an adversary who knows the stagger can build");
+    println!("the analogous input against it — only the random column's");
+    println!("guarantee (Theorem 1) holds for every input.");
+
+    // Record-level coda: the *naive* demand-paged merger (no forecasting,
+    // no flushing — §3's strawman) against SRM's full schedule, both at
+    // record granularity on the same same-disk lockstep input.
+    let rds: &[usize] = if args.smoke { &[4] } else { &[4, 8, 16] };
+    let len = if args.smoke { 100 } else { 400 };
+    println!("\n## Record-level: naive demand paging vs SRM (same-disk lockstep, R = D)\n");
+    println!("| D | v naive | v SRM |");
+    println!("|---|---------|-------|");
+    for &d in rds {
+        let geom = Geometry::new(d, 4, 10_000_000).expect("geometry");
+        let mut a: MemDiskArray<U64Record> = MemDiskArray::new(geom);
+        let runs = lockstep_runs(&mut a, geom, d, len);
+        let blocks: u64 = runs.iter().map(|r| r.len_blocks).sum();
+        let naive = naive_merge_count(&mut a, &runs).expect("naive merge");
+        let mut b: MemDiskArray<U64Record> = MemDiskArray::new(geom);
+        let runs = lockstep_runs(&mut b, geom, d, len);
+        let srm = merge_runs(&mut b, &runs, DiskId(0)).expect("srm merge");
+        println!(
+            "| {d} | {:.2} | {:.2} |",
+            naive.overhead_v(d, blocks),
+            srm.stats.schedule.total_reads() as f64 / (blocks as f64 / d as f64)
+        );
+    }
+    println!("\nForecast-and-flush consistently beats demand paging on its");
+    println!("own worst case; randomizing the layout removes the rest.");
+}

@@ -1,0 +1,65 @@
+//! Run every experiment binary in sequence, writing each one's report to
+//! `results/<name>.txt` — the single command that regenerates the data
+//! behind EXPERIMENTS.md.
+//!
+//! ```text
+//! cargo run -p bench --release --bin all_experiments [-- --smoke]
+//! ```
+
+use std::process::Command;
+
+const EXPERIMENTS: &[&str] = &[
+    "table1",
+    "table2",
+    "table3",
+    "table4",
+    "figure1",
+    "bound_tightness",
+    "conjecture",
+    "deterministic",
+    "adversarial",
+    "interleaving",
+    "phases",
+    "end_to_end",
+];
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let out_dir = std::path::Path::new("results");
+    std::fs::create_dir_all(out_dir).expect("create results/");
+    // Experiment binaries live next to this one.
+    let bin_dir = std::env::current_exe()
+        .expect("own path")
+        .parent()
+        .expect("bin dir")
+        .to_path_buf();
+
+    let mut failures = 0;
+    for name in EXPERIMENTS {
+        let start = std::time::Instant::now();
+        let output = Command::new(bin_dir.join(name))
+            .args(&args)
+            .output()
+            .unwrap_or_else(|e| panic!("spawn {name}: {e} (build with `cargo build -p bench --release --bins` first)"));
+        let path = out_dir.join(format!("{name}.txt"));
+        std::fs::write(&path, &output.stdout).expect("write report");
+        if output.status.success() {
+            println!(
+                "ok   {name:<16} {:>7.1?}  -> {}",
+                start.elapsed(),
+                path.display()
+            );
+        } else {
+            failures += 1;
+            println!(
+                "FAIL {name:<16} {:>7.1?}  ({})",
+                start.elapsed(),
+                String::from_utf8_lossy(&output.stderr).lines().next().unwrap_or("?")
+            );
+        }
+    }
+    if failures > 0 {
+        std::process::exit(1);
+    }
+    println!("\nall {} experiments regenerated under results/", EXPERIMENTS.len());
+}

@@ -1,0 +1,58 @@
+//! **Experiment X2** (extension) — the §7.2 conjecture: the expected
+//! maximum of the *dependent* occupancy problem never exceeds the
+//! classical one with the same `N_b` and `D`.
+//!
+//! Sweeps chain-length mixes from all-singletons (classical) to few long
+//! chains and reports both expectations.
+//!
+//! ```text
+//! cargo run -p bench --release --bin conjecture [-- --smoke --trials N --seed N]
+//! ```
+
+use occupancy::DependentProblem;
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+fn main() {
+    let args = bench::Args::parse();
+    let trials = args.trials.unwrap_or(if args.smoke { 5_000 } else { 100_000 });
+    let seed = args.seed.unwrap_or(0x7AB1_E0C2);
+    let mut rng = SmallRng::seed_from_u64(seed);
+
+    println!("# Section 7.2 conjecture: E[dependent max] <= E[classical max]\n");
+    println!("(trials={trials}, seed={seed:#x})\n");
+    println!("| D | N_b | chain mix | E[dependent] | E[classical] | holds |");
+    println!("|---|-----|-----------|--------------|--------------|-------|");
+    let configs: &[(usize, &[u64], &str)] = &[
+        (4, &[4, 3, 2, 2, 1], "figure-1 mix"),
+        (8, &[8; 8], "8 chains of D"),
+        (8, &[4; 16], "16 chains of D/2"),
+        (8, &[2; 32], "32 chains of 2"),
+        (16, &[16, 16, 16, 16, 8, 8, 4, 4, 2, 2, 1, 1, 1, 1], "mixed"),
+        (10, &[25, 25, 25, 25], "chains longer than D"),
+        (32, &[3; 64], "length 3, D=32"),
+    ];
+    let mut all_hold = true;
+    for &(d, chains, label) in configs {
+        let dep = DependentProblem::new(d, chains.to_vec());
+        let n_b = dep.total_balls();
+        let cla = DependentProblem::classical(n_b as usize, d);
+        let e_dep = dep.estimate_max(trials, &mut rng);
+        let e_cla = cla.estimate_max(trials, &mut rng);
+        // "holds" up to Monte-Carlo noise (3 combined standard errors).
+        let holds = e_dep.mean <= e_cla.mean + 3.0 * (e_dep.std_err + e_cla.std_err);
+        all_hold &= holds;
+        println!(
+            "| {d} | {n_b} | {label} | {:.3} ± {:.3} | {:.3} ± {:.3} | {} |",
+            e_dep.mean,
+            1.96 * e_dep.std_err,
+            e_cla.mean,
+            1.96 * e_cla.std_err,
+            if holds { "yes" } else { "NO" }
+        );
+    }
+    println!(
+        "\nConjecture {} across all configurations tested.",
+        if all_hold { "holds" } else { "FAILED" }
+    );
+}

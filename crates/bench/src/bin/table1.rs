@@ -1,0 +1,45 @@
+//! **Experiment T1** — Table 1 of the paper: the read-overhead factor
+//! `v(k, D) = C(kD, D)/k` estimated by classical-occupancy ball-throwing.
+//!
+//! ```text
+//! cargo run -p bench --release --bin table1 [-- --smoke --trials N --seed N]
+//! ```
+
+use analysis::paper;
+
+fn main() {
+    let args = bench::Args::parse();
+    let trials = args.trials.unwrap_or(if args.smoke { 100 } else { 1000 });
+    let seed = args.seed.unwrap_or(0x7AB1_E001);
+    let (ks, ds): (Vec<usize>, Vec<usize>) = if args.smoke {
+        (vec![5, 10, 20, 50], vec![5, 10, 50])
+    } else {
+        (paper::TABLE12_KS.to_vec(), paper::TABLE12_DS.to_vec())
+    };
+    println!("# Table 1: v(k, D) = C(kD, D)/k  (trials={trials}, seed={seed:#x})\n");
+    let grid = analysis::table1(&ks, &ds, trials, seed);
+    let reference: Vec<&[f64]> = paper::TABLE1
+        .iter()
+        .take(ks.len())
+        .map(|r| &r[..ds.len()])
+        .collect();
+    bench::print_comparison("Table 1 — overhead v(k, D)", &grid, &reference, 2);
+
+    // Where kD <= 170 the cell is computable *exactly* (EGF method) —
+    // settling the sampling noise in both our estimate and the paper's.
+    println!("Exact values (no sampling), where kD <= 170:\n");
+    println!("| k | D | exact v(k,D) | this run | paper |");
+    println!("|---|---|--------------|----------|-------|");
+    for (i, &k) in ks.iter().enumerate() {
+        for (j, &d) in ds.iter().enumerate() {
+            if k * d <= 170 {
+                let exact = occupancy::exact_classical_max_egf((k * d) as u32, d) / k as f64;
+                println!(
+                    "| {k} | {d} | {exact:.4} | {:.2} | {} |",
+                    grid.cells[i][j],
+                    paper::TABLE1[i][j]
+                );
+            }
+        }
+    }
+}

@@ -1,0 +1,34 @@
+//! **Experiment T2** — Table 2 of the paper: the ratio `C_SRM/C_DSM`
+//! computed from eq. (40)/(41) with `v` estimated as in Table 1
+//! (`B = 1000`, `M = (2k+4)DB + kD²`).
+//!
+//! ```text
+//! cargo run -p bench --release --bin table2 [-- --smoke --trials N --seed N]
+//! ```
+
+use analysis::paper;
+
+fn main() {
+    let args = bench::Args::parse();
+    let trials = args.trials.unwrap_or(if args.smoke { 100 } else { 1000 });
+    let seed = args.seed.unwrap_or(0x7AB1_E002);
+    let (ks, ds): (Vec<usize>, Vec<usize>) = if args.smoke {
+        (vec![5, 10, 20, 50], vec![5, 10, 50])
+    } else {
+        (paper::TABLE12_KS.to_vec(), paper::TABLE12_DS.to_vec())
+    };
+    println!("# Table 2: C_SRM/C_DSM with worst-case-expected v  (trials={trials}, seed={seed:#x})\n");
+    let v = analysis::table1(&ks, &ds, trials, seed);
+    let grid = analysis::table2(&v);
+    let reference: Vec<&[f64]> = paper::TABLE2
+        .iter()
+        .take(ks.len())
+        .map(|r| &r[..ds.len()])
+        .collect();
+    bench::print_comparison("Table 2 — C_SRM/C_DSM", &grid, &reference, 2);
+    let below_one = grid.cells.iter().flatten().all(|&x| x < 1.0);
+    println!(
+        "SRM beats DSM in every cell: {}",
+        if below_one { "yes" } else { "NO — check" }
+    );
+}

@@ -1,0 +1,38 @@
+//! **Experiment T3** — Table 3 of the paper: the overhead `v(k, D)` from
+//! simulating the SRM merge itself on average-case inputs (`R = kD` runs,
+//! `L = 1000` blocks each, `B = 1000`; the paper's `N' = 1000·kDB`).
+//!
+//! ```text
+//! cargo run -p bench --release --bin table3 [-- --smoke --trials N --blocks N --seed N]
+//! ```
+
+use analysis::paper;
+use analysis::tables::Table3Params;
+use srm_core::simulator::SimPlacement;
+
+fn main() {
+    let args = bench::Args::parse();
+    let params = Table3Params {
+        blocks_per_run: args.blocks.unwrap_or(if args.smoke { 100 } else { 1000 }),
+        b: 1000,
+        trials: args.trials.unwrap_or(if args.smoke { 1 } else { 3 }),
+        seed: args.seed.unwrap_or(0x7AB1_E003),
+        placement: SimPlacement::Random,
+    };
+    let (ks, ds): (Vec<usize>, Vec<usize>) = if args.smoke {
+        (vec![5, 10], vec![5, 10])
+    } else {
+        (paper::TABLE34_KS.to_vec(), paper::TABLE34_DS.to_vec())
+    };
+    println!(
+        "# Table 3: v(k, D) from SRM merge simulation  (L={} blocks/run, trials={}, seed={:#x})\n",
+        params.blocks_per_run, params.trials, params.seed
+    );
+    let grid = analysis::table3(&ks, &ds, params);
+    let reference: Vec<&[f64]> = paper::TABLE3
+        .iter()
+        .take(ks.len())
+        .map(|r| &r[..ds.len()])
+        .collect();
+    bench::print_comparison("Table 3 — simulated overhead v(k, D)", &grid, &reference, 2);
+}

@@ -1,0 +1,39 @@
+//! **Experiment T4** — Table 4 of the paper: `C'_SRM/C_DSM` where the
+//! overhead `v` comes from the Table 3 merge simulation (average case)
+//! rather than the Table 1 occupancy bound (expected worst case).
+//!
+//! ```text
+//! cargo run -p bench --release --bin table4 [-- --smoke --trials N --blocks N --seed N]
+//! ```
+
+use analysis::paper;
+use analysis::tables::Table3Params;
+use srm_core::simulator::SimPlacement;
+
+fn main() {
+    let args = bench::Args::parse();
+    let params = Table3Params {
+        blocks_per_run: args.blocks.unwrap_or(if args.smoke { 100 } else { 1000 }),
+        b: 1000,
+        trials: args.trials.unwrap_or(if args.smoke { 1 } else { 3 }),
+        seed: args.seed.unwrap_or(0x7AB1_E004),
+        placement: SimPlacement::Random,
+    };
+    let (ks, ds): (Vec<usize>, Vec<usize>) = if args.smoke {
+        (vec![5, 10], vec![5, 10])
+    } else {
+        (paper::TABLE34_KS.to_vec(), paper::TABLE34_DS.to_vec())
+    };
+    println!(
+        "# Table 4: C'_SRM/C_DSM with simulated v  (L={} blocks/run, trials={}, seed={:#x})\n",
+        params.blocks_per_run, params.trials, params.seed
+    );
+    let v = analysis::table3(&ks, &ds, params);
+    let grid = analysis::table4(&v);
+    let reference: Vec<&[f64]> = paper::TABLE4
+        .iter()
+        .take(ks.len())
+        .map(|r| &r[..ds.len()])
+        .collect();
+    bench::print_comparison("Table 4 — C'_SRM/C_DSM", &grid, &reference, 2);
+}

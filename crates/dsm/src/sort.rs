@@ -1,0 +1,403 @@
+//! The DSM sorter: memory-load run formation plus striped merge passes.
+
+use crate::logical::{alloc_stripe, read_stripe, write_stripe, LogicalRun};
+use pdisk::{DiskArray, IoStats, PdiskError, Record};
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+/// DSM configuration.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DsmConfig {
+    /// Fraction of `M` sorted per formation run (the paper's convention is
+    /// 1/2, matching SRM's default so comparisons share a formation pass).
+    pub load_fraction: f64,
+}
+
+impl Default for DsmConfig {
+    fn default() -> Self {
+        DsmConfig { load_fraction: 0.5 }
+    }
+}
+
+/// Accounting for a DSM sort.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct DsmReport {
+    /// Records sorted.
+    pub records: u64,
+    /// Merge order `R_DSM = (M/B − 2D)/2D`.
+    pub merge_order: usize,
+    /// Runs after formation.
+    pub runs_formed: usize,
+    /// Merge passes (excluding formation).
+    pub merge_passes: u64,
+    /// Backend I/O delta for the whole sort.
+    pub io: IoStats,
+}
+
+/// Disk-striped mergesort.
+///
+/// # Examples
+///
+/// ```
+/// use dsm::{read_logical_run, write_unsorted_stripes, DsmSorter};
+/// use pdisk::{Geometry, MemDiskArray, U64Record};
+///
+/// let geom = Geometry::new(2, 8, 512)?;
+/// let mut disks: MemDiskArray<U64Record> = MemDiskArray::new(geom);
+/// let records: Vec<U64Record> = (0..1000).rev().map(U64Record).collect();
+/// let input = write_unsorted_stripes(&mut disks, &records)?;
+///
+/// let (sorted, report) = DsmSorter::default().sort(&mut disks, &input)?;
+/// assert_eq!(report.records, 1000);
+/// let output = read_logical_run(&mut disks, &sorted)?;
+/// assert!(output.windows(2).all(|w| w[0].0 <= w[1].0));
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct DsmSorter {
+    config: DsmConfig,
+}
+
+/// Errors are plain [`PdiskError`]s plus configuration strings.
+#[derive(Debug)]
+pub enum DsmError {
+    /// Disk layer failure.
+    Disk(PdiskError),
+    /// Unusable configuration.
+    Config(String),
+}
+
+impl std::fmt::Display for DsmError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DsmError::Disk(e) => write!(f, "disk error: {e}"),
+            DsmError::Config(m) => write!(f, "configuration error: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for DsmError {}
+
+impl From<PdiskError> for DsmError {
+    fn from(e: PdiskError) -> Self {
+        DsmError::Disk(e)
+    }
+}
+
+impl DsmSorter {
+    /// Sorter with the given configuration.
+    pub fn new(config: DsmConfig) -> Self {
+        DsmSorter { config }
+    }
+
+    /// Sort a logical-striped input file; returns the sorted run and the
+    /// accounting.
+    pub fn sort<R: Record, A: DiskArray<R>>(
+        &self,
+        array: &mut A,
+        input: &LogicalRun,
+    ) -> Result<(LogicalRun, DsmReport), DsmError> {
+        let geom = array.geometry();
+        if input.records == 0 {
+            return Err(DsmError::Config("cannot sort an empty input".into()));
+        }
+        if !(self.config.load_fraction > 0.0 && self.config.load_fraction <= 1.0) {
+            return Err(DsmError::Config(format!(
+                "load fraction {} outside (0, 1]",
+                self.config.load_fraction
+            )));
+        }
+        let r_dsm = geom
+            .dsm_merge_order()
+            .map_err(|e| DsmError::Config(e.to_string()))?;
+        let io_before = array.stats();
+
+        // Run formation: sort `load_fraction · M` records at a time.
+        let capacity = ((geom.m as f64 * self.config.load_fraction) as usize).max(geom.b * geom.d);
+        let mut queue: Vec<LogicalRun> = Vec::new();
+        let mut next_in = 0u64; // stripes of the input consumed
+        let mut consumed = 0u64; // records consumed
+        while consumed < input.records {
+            let mut load: Vec<R> = Vec::with_capacity(capacity);
+            // Consume whole stripes to keep every input read full-width;
+            // when load_fraction·M is not stripe-aligned the load runs
+            // slightly over, never under.
+            while load.len() < capacity && consumed < input.records {
+                let n = input.records_in_stripe(next_in, geom.d, geom.b);
+                load.extend(read_stripe(array, input.start_stripe + next_in, n)?);
+                next_in += 1;
+                consumed += n;
+            }
+            load.sort_unstable_by_key(|r| r.key());
+            queue.push(write_run(array, &load)?);
+        }
+        let runs_formed = queue.len();
+
+        // Merge passes.
+        let mut merge_passes = 0u64;
+        while queue.len() > 1 {
+            merge_passes += 1;
+            let mut next: Vec<LogicalRun> = Vec::with_capacity(queue.len().div_ceil(r_dsm));
+            for group in queue.chunks(r_dsm) {
+                if group.len() == 1 {
+                    next.push(group[0].clone());
+                    continue;
+                }
+                next.push(merge_group(array, group)?);
+            }
+            queue = next;
+        }
+        let sorted = queue.pop().expect("one run");
+        debug_assert_eq!(sorted.records, input.records);
+        Ok((
+            sorted,
+            DsmReport {
+                records: input.records,
+                merge_order: r_dsm,
+                runs_formed,
+                merge_passes,
+                io: array.stats().since(&io_before),
+            },
+        ))
+    }
+}
+
+/// Write sorted records as a fresh logical run.
+fn write_run<R: Record, A: DiskArray<R>>(
+    array: &mut A,
+    records: &[R],
+) -> Result<LogicalRun, DsmError> {
+    let geom = array.geometry();
+    let per = LogicalRun::stripe_records(geom.d, geom.b) as usize;
+    let mut start = None;
+    let mut len = 0u64;
+    for chunk in records.chunks(per) {
+        let s = alloc_stripe(array)?;
+        if start.is_none() {
+            start = Some(s);
+        }
+        write_stripe(array, s, chunk)?;
+        len += 1;
+    }
+    Ok(LogicalRun {
+        start_stripe: start.expect("non-empty run"),
+        len_stripes: len,
+        records: records.len() as u64,
+    })
+}
+
+/// Merge one group of runs with a heap over the runs' current records,
+/// reading each run one stripe at a time and writing the output one
+/// stripe at a time — every operation full-width.
+fn merge_group<R: Record, A: DiskArray<R>>(
+    array: &mut A,
+    group: &[LogicalRun],
+) -> Result<LogicalRun, DsmError> {
+    let geom = array.geometry();
+    let per = LogicalRun::stripe_records(geom.d, geom.b) as usize;
+    struct Cursor<R> {
+        buf: Vec<R>,
+        pos: usize,
+        next_stripe: u64,
+    }
+    let mut cursors: Vec<Cursor<R>> = Vec::with_capacity(group.len());
+    let mut heap: BinaryHeap<Reverse<(u64, usize)>> = BinaryHeap::new();
+    for (i, run) in group.iter().enumerate() {
+        let n = run.records_in_stripe(0, geom.d, geom.b);
+        let buf = read_stripe(array, run.start_stripe, n)?;
+        heap.push(Reverse((buf[0].key(), i)));
+        cursors.push(Cursor {
+            buf,
+            pos: 0,
+            next_stripe: 1,
+        });
+    }
+    let total: u64 = group.iter().map(|r| r.records).sum();
+    let mut out: Vec<R> = Vec::with_capacity(per);
+    let mut out_run: Option<LogicalRun> = None;
+    let flush = |array: &mut A, out: &mut Vec<R>, run: &mut Option<LogicalRun>| -> Result<(), DsmError> {
+        let s = alloc_stripe(array)?;
+        write_stripe(array, s, out)?;
+        match run {
+            None => {
+                *run = Some(LogicalRun {
+                    start_stripe: s,
+                    len_stripes: 1,
+                    records: out.len() as u64,
+                })
+            }
+            Some(r) => {
+                debug_assert_eq!(s, r.start_stripe + r.len_stripes);
+                r.len_stripes += 1;
+                r.records += out.len() as u64;
+            }
+        }
+        out.clear();
+        Ok(())
+    };
+
+    while let Some(Reverse((key, i))) = heap.pop() {
+        let cur = &mut cursors[i];
+        let rec = cur.buf[cur.pos];
+        debug_assert_eq!(rec.key(), key);
+        cur.pos += 1;
+        out.push(rec);
+        if out.len() == per {
+            flush(array, &mut out, &mut out_run)?;
+        }
+        if cur.pos == cur.buf.len() {
+            // Refill from the run's next stripe, if any.
+            let run = &group[i];
+            if cur.next_stripe < run.len_stripes {
+                let n = run.records_in_stripe(cur.next_stripe, geom.d, geom.b);
+                cur.buf = read_stripe(array, run.start_stripe + cur.next_stripe, n)?;
+                cur.pos = 0;
+                cur.next_stripe += 1;
+            } else {
+                cur.buf = Vec::new();
+            }
+        }
+        if !cur.buf.is_empty() {
+            heap.push(Reverse((cur.buf[cur.pos].key(), i)));
+        }
+    }
+    if !out.is_empty() {
+        flush(array, &mut out, &mut out_run)?;
+    }
+    let out_run = out_run.expect("non-empty merge output");
+    debug_assert_eq!(out_run.records, total);
+    Ok(out_run)
+}
+
+/// Stage unsorted records as a logical-striped input file for
+/// [`DsmSorter::sort`].
+pub fn write_unsorted_stripes<R: Record, A: DiskArray<R>>(
+    array: &mut A,
+    records: &[R],
+) -> Result<LogicalRun, DsmError> {
+    if records.is_empty() {
+        return Err(DsmError::Config("empty input".into()));
+    }
+    write_run(array, records)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::logical::read_logical_run;
+    use pdisk::{Geometry, MemDiskArray, U64Record};
+    use rand::rngs::SmallRng;
+    use rand::{Rng, SeedableRng};
+
+    fn sort_and_verify(geom: Geometry, keys: &[u64], config: DsmConfig) -> DsmReport {
+        let mut a: MemDiskArray<U64Record> = MemDiskArray::new(geom);
+        let recs: Vec<U64Record> = keys.iter().map(|&k| U64Record(k)).collect();
+        let input = write_unsorted_stripes(&mut a, &recs).unwrap();
+        let (sorted, report) = DsmSorter::new(config).sort(&mut a, &input).unwrap();
+        let got: Vec<u64> = read_logical_run(&mut a, &sorted)
+            .unwrap()
+            .iter()
+            .map(|r| r.0)
+            .collect();
+        let mut expected = keys.to_vec();
+        expected.sort_unstable();
+        assert_eq!(got, expected);
+        report
+    }
+
+    fn random_keys(rng: &mut SmallRng, n: usize) -> Vec<u64> {
+        (0..n).map(|_| rng.random_range(0..1_000_000)).collect()
+    }
+
+    #[test]
+    fn sorts_multi_pass() {
+        let mut rng = SmallRng::seed_from_u64(31);
+        // M/B = 24, D = 2 -> R_DSM = (24 - 4)/4 = 5.
+        let geom = Geometry::new(2, 4, 96).unwrap();
+        let keys = random_keys(&mut rng, 3000);
+        let report = sort_and_verify(geom, &keys, DsmConfig::default());
+        assert_eq!(report.merge_order, 5);
+        assert!(report.merge_passes >= 2);
+        assert_eq!(report.records, 3000);
+    }
+
+    #[test]
+    fn single_load_no_merge() {
+        let geom = Geometry::new(2, 4, 128).unwrap();
+        let keys: Vec<u64> = (0..50).rev().collect();
+        let report = sort_and_verify(geom, &keys, DsmConfig { load_fraction: 1.0 });
+        assert_eq!(report.runs_formed, 1);
+        assert_eq!(report.merge_passes, 0);
+    }
+
+    #[test]
+    fn perfect_parallelism_on_full_stripes() {
+        let mut rng = SmallRng::seed_from_u64(32);
+        let geom = Geometry::new(4, 4, 256).unwrap();
+        // 64 records per load; input of 1024 = 64 stripes exactly.
+        let keys = random_keys(&mut rng, 1024);
+        let report = sort_and_verify(geom, &keys, DsmConfig::default());
+        // All ops (except possibly run-tail writes) move D blocks.
+        assert!(
+            report.io.read_parallelism() > 3.9,
+            "read parallelism {}",
+            report.io.read_parallelism()
+        );
+        assert!(
+            report.io.write_parallelism() > 3.9,
+            "write parallelism {}",
+            report.io.write_parallelism()
+        );
+    }
+
+    #[test]
+    fn io_count_matches_formula_shape() {
+        // Per pass, DSM moves every record once in and once out:
+        // reads/pass ≈ writes/pass ≈ stripes of the file.
+        let mut rng = SmallRng::seed_from_u64(33);
+        let geom = Geometry::new(2, 4, 96).unwrap();
+        let n = 4096u64;
+        let keys = random_keys(&mut rng, n as usize);
+        let report = sort_and_verify(geom, &keys, DsmConfig::default());
+        let stripes = n / 8;
+        let passes = 1 + report.merge_passes; // formation + merges
+        let ideal = passes * stripes;
+        assert!(
+            (report.io.read_ops as i64 - ideal as i64).unsigned_abs() < ideal / 5,
+            "reads {} vs ideal {ideal}",
+            report.io.read_ops
+        );
+        assert!(
+            (report.io.write_ops as i64 - ideal as i64).unsigned_abs() < ideal / 5,
+            "writes {} vs ideal {ideal}",
+            report.io.write_ops
+        );
+    }
+
+    #[test]
+    fn duplicate_and_degenerate_inputs() {
+        let geom = Geometry::new(2, 4, 96).unwrap();
+        sort_and_verify(geom, &vec![9u64; 500], DsmConfig::default());
+        sort_and_verify(geom, &(0..700).collect::<Vec<u64>>(), DsmConfig::default());
+        sort_and_verify(geom, &(0..700).rev().collect::<Vec<u64>>(), DsmConfig::default());
+    }
+
+    #[test]
+    fn empty_input_rejected() {
+        let geom = Geometry::new(2, 4, 96).unwrap();
+        let mut a: MemDiskArray<U64Record> = MemDiskArray::new(geom);
+        assert!(write_unsorted_stripes::<U64Record, _>(&mut a, &[]).is_err());
+    }
+
+    #[test]
+    fn bad_fraction_rejected() {
+        let geom = Geometry::new(2, 4, 96).unwrap();
+        let mut a: MemDiskArray<U64Record> = MemDiskArray::new(geom);
+        let input = write_unsorted_stripes(&mut a, &[U64Record(1)]).unwrap();
+        let sorter = DsmSorter::new(DsmConfig { load_fraction: 0.0 });
+        assert!(matches!(
+            sorter.sort(&mut a, &input),
+            Err(DsmError::Config(_))
+        ));
+    }
+}

@@ -1,0 +1,251 @@
+//! Classical maximum occupancy: `N_b` balls thrown independently and
+//! uniformly into `D` bins.
+//!
+//! Table 1 of the paper estimates `v(k, D) = C(kD, D)/k` — the expected
+//! maximum occupancy of `kD` balls in `D` bins, normalized by the average
+//! load `k` — "by repeated ball-throwing experiments".  This module is that
+//! experiment.
+
+use crate::stats::{Estimate, RunningStats};
+use rand::Rng;
+
+/// Throw `n_balls` balls uniformly into `d` bins once; return the maximum
+/// bin load.
+pub fn max_occupancy_once<RN: Rng + ?Sized>(n_balls: u64, d: usize, rng: &mut RN) -> u64 {
+    debug_assert!(d > 0);
+    let mut bins = vec![0u64; d];
+    for _ in 0..n_balls {
+        bins[rng.random_range(0..d)] += 1;
+    }
+    bins.into_iter().max().unwrap_or(0)
+}
+
+/// Monte-Carlo estimate of the expected maximum occupancy `C(n_balls, d)`.
+pub fn estimate_classical_max<RN: Rng + ?Sized>(
+    n_balls: u64,
+    d: usize,
+    trials: u64,
+    rng: &mut RN,
+) -> Estimate {
+    let mut acc = RunningStats::new();
+    for _ in 0..trials {
+        acc.push(max_occupancy_once(n_balls, d, rng) as f64);
+    }
+    acc.estimate()
+}
+
+/// Table 1's overhead factor: `v(k, D) = C(kD, D) / k`.
+pub fn overhead_v<RN: Rng + ?Sized>(k: u64, d: usize, trials: u64, rng: &mut RN) -> Estimate {
+    estimate_classical_max(k * d as u64, d, trials, rng).scaled(1.0 / k as f64)
+}
+
+/// Exact expected maximum occupancy via exponential generating functions.
+///
+/// `Pr{max ≤ m} = N!·[x^N] (Σ_{i≤m} x^i/i!)^D / D^N`, so
+/// `E[max] = Σ_{m≥0} (1 − Pr{max ≤ m})`.  Polynomial arithmetic in `f64`
+/// with the `N!/D^N` factor applied in log space; exact up to floating
+/// rounding for `n_balls ≤ 170`.
+///
+/// This makes the small-`(k, D)` corner of Table 1 *exactly* computable —
+/// e.g. `v(5,5) = exact_classical_max_egf(25, 5)/5` — instead of
+/// Monte-Carlo estimated.
+pub fn exact_classical_max_egf(n_balls: u32, d: usize) -> f64 {
+    assert!(d >= 1);
+    assert!(n_balls <= 170, "EGF method limited to N <= 170 in f64");
+    let n = n_balls as usize;
+    if n == 0 {
+        return 0.0;
+    }
+    // ln(N!) − N·ln(D)
+    let ln_scale: f64 = (1..=n).map(|k| (k as f64).ln()).sum::<f64>() - n as f64 * (d as f64).ln();
+    // 1/i! for i ≤ N.
+    let mut inv_fact = vec![1.0f64; n + 1];
+    for i in 1..=n {
+        inv_fact[i] = inv_fact[i - 1] / i as f64;
+    }
+    let mut expectation = 0.0;
+    for m in 0..n {
+        // f(x) = Σ_{i≤m} x^i/i!; coefficient N of f^D, truncated at N.
+        let base: Vec<f64> = inv_fact[..=m.min(n)].to_vec();
+        let mut pow = vec![0.0f64; n + 1];
+        pow[0] = 1.0;
+        for _ in 0..d {
+            let mut next = vec![0.0f64; n + 1];
+            for (i, &a) in pow.iter().enumerate() {
+                if a == 0.0 {
+                    continue;
+                }
+                for (j, &b) in base.iter().enumerate() {
+                    if i + j > n {
+                        break;
+                    }
+                    next[i + j] += a * b;
+                }
+            }
+            pow = next;
+        }
+        let p_le_m = if pow[n] <= 0.0 {
+            0.0
+        } else {
+            (pow[n].ln() + ln_scale).exp().clamp(0.0, 1.0)
+        };
+        expectation += 1.0 - p_le_m;
+        if 1.0 - p_le_m < 1e-15 {
+            break;
+        }
+    }
+    expectation
+}
+
+/// Exact expected maximum occupancy by enumeration over all `d^n` outcomes.
+///
+/// Exponential in `n_balls`; intended for validating the Monte-Carlo path
+/// on tiny instances in tests.
+pub fn exact_classical_max(n_balls: u32, d: usize) -> f64 {
+    assert!(
+        (d as f64).powi(n_balls as i32) <= 2e8,
+        "exact enumeration infeasible for {d}^{n_balls} outcomes"
+    );
+    let outcomes = (d as u64).pow(n_balls);
+    let mut total = 0u64;
+    let mut bins = vec![0u32; d];
+    for code in 0..outcomes {
+        bins.iter_mut().for_each(|b| *b = 0);
+        let mut c = code;
+        for _ in 0..n_balls {
+            bins[(c % d as u64) as usize] += 1;
+            c /= d as u64;
+        }
+        total += *bins.iter().max().unwrap() as u64;
+    }
+    total as f64 / outcomes as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn single_bin_gets_everything() {
+        let mut rng = SmallRng::seed_from_u64(1);
+        assert_eq!(max_occupancy_once(17, 1, &mut rng), 17);
+    }
+
+    #[test]
+    fn zero_balls_zero_occupancy() {
+        let mut rng = SmallRng::seed_from_u64(1);
+        assert_eq!(max_occupancy_once(0, 4, &mut rng), 0);
+    }
+
+    #[test]
+    fn max_is_at_least_average_and_at_most_total() {
+        let mut rng = SmallRng::seed_from_u64(2);
+        for _ in 0..50 {
+            let m = max_occupancy_once(40, 8, &mut rng);
+            assert!(m >= 5, "max {m} below average load");
+            assert!(m <= 40);
+        }
+    }
+
+    /// Exact value for 2 balls / 2 bins: max is 2 w.p. 1/2, else 1 -> 1.5.
+    #[test]
+    fn exact_enumeration_two_by_two() {
+        assert!((exact_classical_max(2, 2) - 1.5).abs() < 1e-12);
+    }
+
+    /// Exact value for 3 balls / 3 bins: E[max] = (3*3 + 18*2 + 6*1)/27
+    /// outcomes: all-same 3 ways (max 3), 2+1 split 18 ways (max 2),
+    /// 1+1+1 6 ways (max 1) -> (9 + 36 + 6)/27 = 51/27.
+    #[test]
+    fn exact_enumeration_three_by_three() {
+        assert!((exact_classical_max(3, 3) - 51.0 / 27.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn monte_carlo_agrees_with_exact_small_case() {
+        let mut rng = SmallRng::seed_from_u64(3);
+        let est = estimate_classical_max(3, 3, 60_000, &mut rng);
+        let exact = exact_classical_max(3, 3);
+        assert!(
+            (est.mean - exact).abs() < 6.0 * est.std_err.max(1e-3),
+            "MC {} vs exact {exact}",
+            est.mean
+        );
+    }
+
+    /// EGF path agrees with brute-force enumeration wherever both run.
+    #[test]
+    fn egf_matches_enumeration() {
+        for &(n, d) in &[(2u32, 2usize), (3, 3), (4, 3), (5, 2), (6, 4), (8, 2)] {
+            let egf = exact_classical_max_egf(n, d);
+            let brute = exact_classical_max(n, d);
+            assert!(
+                (egf - brute).abs() < 1e-10,
+                "N={n} D={d}: EGF {egf} vs enumeration {brute}"
+            );
+        }
+    }
+
+    /// Table 1's (k=5, D=5) cell, exactly: v = E[max of 25 balls in 5
+    /// bins]/5.  The exact value is 1.5432…; our Monte Carlo (1.53) agrees,
+    /// while the paper prints 1.6 — i.e. the paper's own estimate carries
+    /// ~0.06 of sampling/rounding slack, which the EGF computation settles.
+    #[test]
+    fn table1_corner_exact() {
+        let v = exact_classical_max_egf(25, 5) / 5.0;
+        assert!((v - 1.5432).abs() < 0.001, "exact v(5,5) = {v}");
+        // And Monte Carlo converges to it.
+        let mut rng = SmallRng::seed_from_u64(8);
+        let mc = estimate_classical_max(25, 5, 60_000, &mut rng);
+        assert!(
+            (mc.mean - exact_classical_max_egf(25, 5)).abs() < 5.0 * mc.std_err,
+            "MC {} vs exact {}",
+            mc.mean,
+            exact_classical_max_egf(25, 5)
+        );
+    }
+
+    #[test]
+    fn egf_monotone_in_balls_and_bins() {
+        assert!(exact_classical_max_egf(30, 5) > exact_classical_max_egf(20, 5));
+        // More bins spread fewer balls per bin but raise the max's
+        // selection pressure: for fixed N the max decreases with D.
+        assert!(exact_classical_max_egf(30, 10) < exact_classical_max_egf(30, 5));
+    }
+
+    #[test]
+    fn egf_edge_cases() {
+        assert_eq!(exact_classical_max_egf(0, 4), 0.0);
+        assert!((exact_classical_max_egf(7, 1) - 7.0).abs() < 1e-9);
+        // One ball: max is exactly 1.
+        assert!((exact_classical_max_egf(1, 9) - 1.0).abs() < 1e-12);
+    }
+
+    /// The headline sanity anchor from Table 1: v(1000, D) ≈ 1 for any D
+    /// (heavy average load concentrates the maximum near the mean).
+    #[test]
+    fn large_k_overhead_approaches_one() {
+        let mut rng = SmallRng::seed_from_u64(4);
+        let v = overhead_v(1000, 5, 30, &mut rng);
+        assert!(v.mean > 1.0 && v.mean < 1.1, "v = {}", v.mean);
+    }
+
+    /// Small k, moderate D: overhead must be clearly above 1 (Table 1 shows
+    /// 1.6–2.7 across its D range for k = 5).
+    #[test]
+    fn small_k_overhead_clearly_above_one() {
+        let mut rng = SmallRng::seed_from_u64(5);
+        let v = overhead_v(5, 50, 200, &mut rng);
+        assert!(v.mean > 1.5, "v = {}", v.mean);
+    }
+
+    #[test]
+    fn overhead_decreases_in_k_for_fixed_d() {
+        let mut rng = SmallRng::seed_from_u64(6);
+        let v5 = overhead_v(5, 10, 400, &mut rng).mean;
+        let v50 = overhead_v(50, 10, 400, &mut rng).mean;
+        assert!(v5 > v50, "v(5,10)={v5} should exceed v(50,10)={v50}");
+    }
+}

@@ -1,0 +1,261 @@
+//! The probability-generating-function machinery of §7.2.
+//!
+//! For a dependent occupancy problem, the occupancy `X` of one fixed bin
+//! has PGF (eq. 6)
+//!
+//! ```text
+//! G_X(z) = Π_{1≤j≤D} (1 − j/D + jz/D)^{n_j}
+//! ```
+//!
+//! after Lemma 9 normalization (`n_j` chains of length `j ≤ D`; a chain
+//! of length `j` covers the bin with probability `j/D`).  The residue /
+//! saddle-point argument of eqs. (7)–(13) turns this into the tail bound
+//!
+//! ```text
+//! Pr{X > m} ≤ G_X(P) / ((P − 1)·P^m)        for any P > 1,   (eq. 18)
+//! ```
+//!
+//! and summing tails gives `E[X_max] ≤ T + D·Σ_{m≥T} Pr{X > m}` (eq. 5).
+//! This module evaluates the *exact* per-chain product (the paper
+//! simplifies it to `(1 + (P−1)/D)^{N_b}` in step 12, which is always ≥
+//! the product), optimizing `P` and `T` numerically — a strictly tighter
+//! finite-size version of Theorem 2's bound.
+
+use crate::dependent::DependentProblem;
+
+/// The PGF of one bin's occupancy for a (normalized) dependent problem.
+#[derive(Debug, Clone)]
+pub struct BinOccupancyPgf {
+    /// `(coverage probability j/D, multiplicity n_j)` per distinct length.
+    factors: Vec<(f64, u64)>,
+    d: usize,
+    n_b: u64,
+}
+
+impl BinOccupancyPgf {
+    /// Build from a problem (normalizing per Lemma 9 first).
+    pub fn new(problem: &DependentProblem) -> Self {
+        let norm = problem.normalized();
+        let d = norm.bins();
+        let mut counts = vec![0u64; d + 1];
+        for &len in norm.chains() {
+            counts[len as usize] += 1;
+        }
+        let factors = counts
+            .iter()
+            .enumerate()
+            .skip(1)
+            .filter(|&(_, &n)| n > 0)
+            .map(|(j, &n)| (j as f64 / d as f64, n))
+            .collect();
+        BinOccupancyPgf {
+            factors,
+            d,
+            n_b: norm.total_balls(),
+        }
+    }
+
+    /// Evaluate `G_X(z)` (for `z ≥ 0`; all coefficients are probabilities).
+    pub fn eval(&self, z: f64) -> f64 {
+        self.factors
+            .iter()
+            .map(|&(p, n)| (1.0 - p + p * z).powf(n as f64))
+            .product()
+    }
+
+    /// `ln G_X(z)`, numerically stable for large problems.
+    pub fn ln_eval(&self, z: f64) -> f64 {
+        self.factors
+            .iter()
+            .map(|&(p, n)| n as f64 * (1.0 - p + p * z).ln())
+            .sum()
+    }
+
+    /// Mean occupancy of the bin: `G'_X(1) = N_b/D`.
+    pub fn mean(&self) -> f64 {
+        self.n_b as f64 / self.d as f64
+    }
+
+    /// Eq. (18) with the exact product, optimized over `P > 1`:
+    /// an upper bound on `Pr{X > m}`.
+    pub fn tail_bound(&self, m: u64) -> f64 {
+        // ln bound(P) = ln G(P) − ln(P−1) − m·ln P; scan + golden refine
+        // over ln(P−1).
+        let ln_bound = |t: f64| -> f64 {
+            let p = 1.0 + t.exp();
+            self.ln_eval(p) - t - m as f64 * p.ln()
+        };
+        let mut best = f64::INFINITY;
+        let mut best_t = 0.0;
+        for i in 0..=160 {
+            let t = -14.0 + 28.0 * i as f64 / 160.0;
+            let v = ln_bound(t);
+            if v < best {
+                best = v;
+                best_t = t;
+            }
+        }
+        let (mut lo, mut hi) = (best_t - 0.25, best_t + 0.25);
+        let phi = (5f64.sqrt() - 1.0) / 2.0;
+        for _ in 0..60 {
+            let m1 = hi - phi * (hi - lo);
+            let m2 = lo + phi * (hi - lo);
+            if ln_bound(m1) <= ln_bound(m2) {
+                hi = m2;
+            } else {
+                lo = m1;
+            }
+        }
+        ln_bound(0.5 * (lo + hi)).min(best).exp().min(1.0)
+    }
+
+    /// Eq. (5) assembled: `E[X_max] ≤ min_T (T + D·Σ_{m≥T} Pr{X > m})`,
+    /// with each tail from [`BinOccupancyPgf::tail_bound`].
+    pub fn expected_max_bound(&self) -> f64 {
+        let mean = self.mean();
+        let mut best = f64::INFINITY;
+        // T below the mean is useless; tails decay geometrically, so a
+        // generous truncation horizon suffices.
+        let t_lo = mean.floor() as u64;
+        let t_hi = (t_lo + 1).max((4.0 * mean) as u64 + 8 * self.d as u64 + 40);
+        for t in t_lo..=t_hi {
+            let mut sum = 0.0;
+            let mut m = t;
+            loop {
+                let tail = self.tail_bound(m);
+                sum += tail;
+                m += 1;
+                if tail < 1e-12 || m > t_hi + 200 {
+                    break;
+                }
+            }
+            let bound = t as f64 + self.d as f64 * sum;
+            if bound < best {
+                best = bound;
+            } else if bound > best + self.d as f64 {
+                // Past the minimum and climbing: stop scanning.
+                break;
+            }
+        }
+        best.min(self.n_b as f64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bounds::upper_bound_expected_max;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    fn problem() -> DependentProblem {
+        DependentProblem::new(8, vec![5, 3, 3, 2, 2, 1, 1, 1, 14])
+    }
+
+    #[test]
+    fn pgf_is_a_probability_distribution() {
+        let g = BinOccupancyPgf::new(&problem());
+        assert!((g.eval(1.0) - 1.0).abs() < 1e-12, "G(1) = 1");
+        // G(0) = Pr(X = 0); the length-14 chain normalizes to a full lap
+        // of length D that covers every bin, so Pr(X = 0) = 0 exactly.
+        assert_eq!(g.eval(0.0), 0.0);
+        let no_laps = BinOccupancyPgf::new(&DependentProblem::new(8, vec![3, 2, 1]));
+        assert!(no_laps.eval(0.0) > 0.0 && no_laps.eval(0.0) < 1.0);
+        // Numeric derivative at 1 equals the mean N_b/D.
+        let h = 1e-6;
+        let deriv = (g.eval(1.0 + h) - g.eval(1.0 - h)) / (2.0 * h);
+        assert!((deriv - g.mean()).abs() < 1e-4, "{deriv} vs {}", g.mean());
+    }
+
+    #[test]
+    fn ln_eval_consistent_with_eval() {
+        let g = BinOccupancyPgf::new(&problem());
+        for z in [0.3, 1.0, 2.5, 7.0] {
+            assert!((g.ln_eval(z) - g.eval(z).ln()).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn tail_bound_dominates_monte_carlo_tails() {
+        let p = problem();
+        let g = BinOccupancyPgf::new(&p);
+        let mut rng = SmallRng::seed_from_u64(3);
+        let trials = 40_000;
+        // Empirical tail of bin 0's occupancy.
+        let mut exceed = [0u64; 24];
+        for _ in 0..trials {
+            let occ = p.throw_once(&mut rng)[0];
+            for (m, slot) in exceed.iter_mut().enumerate() {
+                if occ > m as u64 {
+                    *slot += 1;
+                }
+            }
+        }
+        for (m, &count) in exceed.iter().enumerate() {
+            let emp = count as f64 / trials as f64;
+            let bound = g.tail_bound(m as u64);
+            assert!(
+                bound + 3.0 * (emp / trials as f64).sqrt() + 1e-9 >= emp,
+                "m={m}: bound {bound} below empirical {emp}"
+            );
+        }
+    }
+
+    #[test]
+    fn tail_bound_decays() {
+        let g = BinOccupancyPgf::new(&problem());
+        let mean = g.mean();
+        let near = g.tail_bound(mean as u64 + 2);
+        let far = g.tail_bound(mean as u64 + 12);
+        assert!(far < near);
+        assert!(far < 1e-3, "far tail {far}");
+    }
+
+    #[test]
+    fn expected_max_bound_dominates_simulation() {
+        let p = problem();
+        let g = BinOccupancyPgf::new(&p);
+        let mut rng = SmallRng::seed_from_u64(4);
+        let mc = p.estimate_max(20_000, &mut rng);
+        let bound = g.expected_max_bound();
+        assert!(
+            bound + 1e-9 >= mc.mean - 3.0 * mc.std_err,
+            "PGF bound {bound} below MC {}",
+            mc.mean
+        );
+        // And it is not vacuous.
+        assert!(bound < 3.0 * mc.mean, "PGF bound {bound} vs MC {}", mc.mean);
+    }
+
+    /// The exact product is tighter than the paper's step-12
+    /// simplification, so the PGF bound should (weakly) beat the rho*
+    /// bound built on the simplified form.
+    #[test]
+    fn exact_pgf_tightens_the_simplified_bound() {
+        for (d, chains) in [
+            (8usize, vec![8u64; 8]),          // chains of length D
+            (10, vec![5; 10]),                // half-length chains
+            (6, vec![3, 3, 2, 2, 1, 1]),      // mixed
+        ] {
+            let p = DependentProblem::new(d, chains);
+            let pgf = BinOccupancyPgf::new(&p).expected_max_bound();
+            let simplified = upper_bound_expected_max(p.total_balls(), d);
+            assert!(
+                pgf <= simplified + 0.5,
+                "D={d}: PGF {pgf} vs simplified {simplified}"
+            );
+        }
+    }
+
+    #[test]
+    fn classical_case_matches_binomial_pgf() {
+        // All singleton chains: G(z) = (1 - 1/D + z/D)^{N_b}, the
+        // binomial PGF.
+        let p = DependentProblem::classical(20, 4);
+        let g = BinOccupancyPgf::new(&p);
+        for z in [0.5f64, 1.5, 3.0] {
+            let expected = (1.0 - 0.25 + 0.25 * z).powi(20);
+            assert!((g.eval(z) - expected).abs() < 1e-9);
+        }
+    }
+}

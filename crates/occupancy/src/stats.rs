@@ -1,0 +1,193 @@
+//! Running statistics for Monte-Carlo estimators.
+
+use serde::{Deserialize, Serialize};
+
+/// Welford single-pass accumulator for mean and variance.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct RunningStats {
+    n: u64,
+    mean: f64,
+    m2: f64,
+    min: f64,
+    max: f64,
+}
+
+impl RunningStats {
+    /// Empty accumulator.
+    pub fn new() -> Self {
+        RunningStats {
+            n: 0,
+            mean: 0.0,
+            m2: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
+    }
+
+    /// Fold in one observation.
+    #[inline]
+    pub fn push(&mut self, x: f64) {
+        self.n += 1;
+        let delta = x - self.mean;
+        self.mean += delta / self.n as f64;
+        self.m2 += delta * (x - self.mean);
+        self.min = self.min.min(x);
+        self.max = self.max.max(x);
+    }
+
+    /// Number of observations folded in.
+    pub fn count(&self) -> u64 {
+        self.n
+    }
+
+    /// Sample mean (0 if empty).
+    pub fn mean(&self) -> f64 {
+        if self.n == 0 {
+            0.0
+        } else {
+            self.mean
+        }
+    }
+
+    /// Unbiased sample variance (0 with fewer than two observations).
+    pub fn variance(&self) -> f64 {
+        if self.n < 2 {
+            0.0
+        } else {
+            self.m2 / (self.n - 1) as f64
+        }
+    }
+
+    /// Sample standard deviation.
+    pub fn std_dev(&self) -> f64 {
+        self.variance().sqrt()
+    }
+
+    /// Standard error of the mean.
+    pub fn std_err(&self) -> f64 {
+        if self.n == 0 {
+            0.0
+        } else {
+            self.std_dev() / (self.n as f64).sqrt()
+        }
+    }
+
+    /// Smallest observation seen (`+inf` if empty).
+    pub fn min(&self) -> f64 {
+        self.min
+    }
+
+    /// Largest observation seen (`-inf` if empty).
+    pub fn max(&self) -> f64 {
+        self.max
+    }
+
+    /// Freeze into an [`Estimate`].
+    pub fn estimate(&self) -> Estimate {
+        Estimate {
+            mean: self.mean(),
+            std_err: self.std_err(),
+            trials: self.n,
+        }
+    }
+}
+
+/// A Monte-Carlo point estimate with its uncertainty.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Estimate {
+    /// Sample mean.
+    pub mean: f64,
+    /// Standard error of the mean.
+    pub std_err: f64,
+    /// Number of trials behind the estimate.
+    pub trials: u64,
+}
+
+impl Estimate {
+    /// 95% normal-approximation confidence interval `(lo, hi)`.
+    pub fn ci95(&self) -> (f64, f64) {
+        let half = 1.96 * self.std_err;
+        (self.mean - half, self.mean + half)
+    }
+
+    /// Scale the estimate (and its error) by a constant — e.g. `C(kD,D)/k`.
+    pub fn scaled(&self, factor: f64) -> Estimate {
+        Estimate {
+            mean: self.mean * factor,
+            std_err: self.std_err * factor.abs(),
+            trials: self.trials,
+        }
+    }
+}
+
+impl std::fmt::Display for Estimate {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{:.4} ± {:.4} (n={})", self.mean, 1.96 * self.std_err, self.trials)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mean_and_variance_match_closed_form() {
+        let mut s = RunningStats::new();
+        for x in [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0] {
+            s.push(x);
+        }
+        assert!((s.mean() - 5.0).abs() < 1e-12);
+        // Sample (unbiased) variance of that classic dataset is 32/7.
+        assert!((s.variance() - 32.0 / 7.0).abs() < 1e-12);
+        assert_eq!(s.min(), 2.0);
+        assert_eq!(s.max(), 9.0);
+        assert_eq!(s.count(), 8);
+    }
+
+    #[test]
+    fn empty_and_single_observation_edge_cases() {
+        let s = RunningStats::new();
+        assert_eq!(s.mean(), 0.0);
+        assert_eq!(s.variance(), 0.0);
+        assert_eq!(s.std_err(), 0.0);
+        let mut s = RunningStats::new();
+        s.push(3.5);
+        assert_eq!(s.mean(), 3.5);
+        assert_eq!(s.variance(), 0.0);
+    }
+
+    #[test]
+    fn ci95_brackets_mean_symmetrically() {
+        let e = Estimate {
+            mean: 10.0,
+            std_err: 0.5,
+            trials: 100,
+        };
+        let (lo, hi) = e.ci95();
+        assert!((hi - 10.0 - (10.0 - lo)).abs() < 1e-12);
+        assert!((hi - lo - 2.0 * 1.96 * 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn scaling_propagates_error() {
+        let e = Estimate {
+            mean: 4.0,
+            std_err: 0.2,
+            trials: 7,
+        };
+        let s = e.scaled(0.5);
+        assert_eq!(s.mean, 2.0);
+        assert_eq!(s.std_err, 0.1);
+        assert_eq!(s.trials, 7);
+    }
+
+    #[test]
+    fn display_contains_ci_halfwidth() {
+        let e = Estimate {
+            mean: 1.0,
+            std_err: 1.0,
+            trials: 4,
+        };
+        assert!(e.to_string().contains("1.9600"));
+    }
+}

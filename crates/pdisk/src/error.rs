@@ -1,0 +1,86 @@
+//! Error type shared by all disk backends.
+
+use crate::addr::{BlockAddr, DiskId};
+
+/// Errors produced by the parallel disk model.
+#[derive(Debug)]
+pub enum PdiskError {
+    /// A parallel I/O operation addressed the same disk more than once.
+    ///
+    /// The model allows at most one block per disk per operation; violating
+    /// this is always an algorithmic bug in the caller, never an I/O fault.
+    DuplicateDisk(DiskId),
+    /// A request addressed a disk that does not exist in this array.
+    NoSuchDisk(DiskId),
+    /// A read addressed a block that was never written (or was freed).
+    UnmappedBlock(BlockAddr),
+    /// A block held a different number of records than the geometry's `B`
+    /// where a full block was required.
+    BadBlockSize { expected: usize, got: usize },
+    /// Geometry parameters are unusable (e.g. `D = 0`, or `M` too small for
+    /// any merge order).
+    BadGeometry(String),
+    /// Underlying OS-level I/O failure (file backend only).
+    Io(std::io::Error),
+    /// On-disk data failed to decode (file backend only).
+    Corrupt(String),
+}
+
+impl std::fmt::Display for PdiskError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PdiskError::DuplicateDisk(d) => {
+                write!(f, "parallel I/O touches disk {} more than once", d.0)
+            }
+            PdiskError::NoSuchDisk(d) => write!(f, "disk {} out of range", d.0),
+            PdiskError::UnmappedBlock(a) => {
+                write!(f, "read of unmapped block {a:?}")
+            }
+            PdiskError::BadBlockSize { expected, got } => {
+                write!(f, "block holds {got} records, geometry requires {expected}")
+            }
+            PdiskError::BadGeometry(msg) => write!(f, "bad geometry: {msg}"),
+            PdiskError::Io(e) => write!(f, "I/O error: {e}"),
+            PdiskError::Corrupt(msg) => write!(f, "corrupt on-disk data: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for PdiskError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            PdiskError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for PdiskError {
+    fn from(e: std::io::Error) -> Self {
+        PdiskError::Io(e)
+    }
+}
+
+/// Convenience alias used across the crate.
+pub type Result<T> = std::result::Result<T, PdiskError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = PdiskError::DuplicateDisk(DiskId(3));
+        assert!(e.to_string().contains("disk 3"));
+        let e = PdiskError::BadBlockSize { expected: 8, got: 5 };
+        assert!(e.to_string().contains('8') && e.to_string().contains('5'));
+    }
+
+    #[test]
+    fn io_error_roundtrips_source() {
+        use std::error::Error;
+        let e: PdiskError = std::io::Error::other("boom").into();
+        assert!(e.source().is_some());
+        assert!(e.to_string().contains("boom"));
+    }
+}

@@ -1,0 +1,181 @@
+//! Fault injection: a wrapper backend that fails a chosen operation.
+//!
+//! Real disk arrays fail; a library someone would adopt must surface
+//! those failures as errors, not panics or silent corruption.  This
+//! wrapper turns the `n`-th read and/or write into an I/O error so tests
+//! can drive every consumer through its error path.
+
+use crate::addr::{BlockAddr, DiskId};
+use crate::backend::DiskArray;
+use crate::block::Block;
+use crate::error::{PdiskError, Result};
+use crate::geometry::Geometry;
+use crate::record::Record;
+use crate::stats::IoStats;
+
+/// Which operations to fail, counted from 0 over the wrapper's lifetime.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FaultPlan {
+    /// Fail the read with this ordinal (0-based), if set.
+    pub fail_read: Option<u64>,
+    /// Fail the write with this ordinal (0-based), if set.
+    pub fail_write: Option<u64>,
+}
+
+impl FaultPlan {
+    /// Fail the `n`-th read.
+    pub fn read(n: u64) -> Self {
+        FaultPlan {
+            fail_read: Some(n),
+            fail_write: None,
+        }
+    }
+
+    /// Fail the `n`-th write.
+    pub fn write(n: u64) -> Self {
+        FaultPlan {
+            fail_read: None,
+            fail_write: Some(n),
+        }
+    }
+}
+
+/// A [`DiskArray`] that injects failures per a [`FaultPlan`].
+#[derive(Debug)]
+pub struct FaultyDiskArray<R: Record, A: DiskArray<R>> {
+    inner: A,
+    plan: FaultPlan,
+    reads_seen: u64,
+    writes_seen: u64,
+    _marker: std::marker::PhantomData<R>,
+}
+
+impl<R: Record, A: DiskArray<R>> FaultyDiskArray<R, A> {
+    /// Wrap `inner` with the given plan.
+    pub fn new(inner: A, plan: FaultPlan) -> Self {
+        FaultyDiskArray {
+            inner,
+            plan,
+            reads_seen: 0,
+            writes_seen: 0,
+            _marker: std::marker::PhantomData,
+        }
+    }
+
+    /// Unwrap the inner backend (e.g. to inspect state after a failure).
+    pub fn into_inner(self) -> A {
+        self.inner
+    }
+
+    /// Operations observed so far (reads, writes).
+    pub fn observed(&self) -> (u64, u64) {
+        (self.reads_seen, self.writes_seen)
+    }
+
+    fn injected() -> PdiskError {
+        PdiskError::Io(std::io::Error::other(
+            "injected fault",
+        ))
+    }
+}
+
+impl<R: Record, A: DiskArray<R>> DiskArray<R> for FaultyDiskArray<R, A> {
+    fn geometry(&self) -> Geometry {
+        self.inner.geometry()
+    }
+
+    fn read(&mut self, addrs: &[BlockAddr]) -> Result<Vec<Block<R>>> {
+        if addrs.is_empty() {
+            return self.inner.read(addrs);
+        }
+        let ordinal = self.reads_seen;
+        self.reads_seen += 1;
+        if self.plan.fail_read == Some(ordinal) {
+            return Err(Self::injected());
+        }
+        self.inner.read(addrs)
+    }
+
+    fn write(&mut self, writes: Vec<(BlockAddr, Block<R>)>) -> Result<()> {
+        if writes.is_empty() {
+            return self.inner.write(writes);
+        }
+        let ordinal = self.writes_seen;
+        self.writes_seen += 1;
+        if self.plan.fail_write == Some(ordinal) {
+            return Err(Self::injected());
+        }
+        self.inner.write(writes)
+    }
+
+    fn alloc_contiguous(&mut self, disk: DiskId, count: u64) -> Result<u64> {
+        self.inner.alloc_contiguous(disk, count)
+    }
+
+    fn stats(&self) -> IoStats {
+        self.inner.stats()
+    }
+
+    fn reset_stats(&mut self) {
+        self.inner.reset_stats();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::block::Forecast;
+    use crate::mem::MemDiskArray;
+    use crate::record::U64Record;
+
+    fn setup(plan: FaultPlan) -> FaultyDiskArray<U64Record, MemDiskArray<U64Record>> {
+        let geom = Geometry::new(2, 2, 100).unwrap();
+        let mut inner: MemDiskArray<U64Record> = MemDiskArray::new(geom);
+        let o = inner.alloc_contiguous(DiskId(0), 4).unwrap();
+        for i in 0..4 {
+            inner
+                .write(vec![(
+                    BlockAddr::new(DiskId(0), o + i),
+                    Block::new(vec![U64Record(i)], Forecast::Next(u64::MAX)),
+                )])
+                .unwrap();
+        }
+        inner.reset_stats();
+        FaultyDiskArray::new(inner, plan)
+    }
+
+    #[test]
+    fn fails_exactly_the_planned_read() {
+        let mut a = setup(FaultPlan::read(1));
+        let addr = BlockAddr::new(DiskId(0), 0);
+        assert!(a.read(&[addr]).is_ok()); // read 0
+        assert!(matches!(a.read(&[addr]), Err(PdiskError::Io(_)))); // read 1
+        assert!(a.read(&[addr]).is_ok()); // read 2: back to normal
+        assert_eq!(a.observed().0, 3);
+    }
+
+    #[test]
+    fn fails_exactly_the_planned_write() {
+        let mut a = setup(FaultPlan::write(0));
+        let block = Block::new(vec![U64Record(9)], Forecast::Next(u64::MAX));
+        let addr = BlockAddr::new(DiskId(0), 0);
+        assert!(a.write(vec![(addr, block.clone())]).is_err());
+        assert!(a.write(vec![(addr, block)]).is_ok());
+    }
+
+    #[test]
+    fn injected_failure_charges_no_io() {
+        let mut a = setup(FaultPlan::read(0));
+        let _ = a.read(&[BlockAddr::new(DiskId(0), 0)]);
+        assert_eq!(a.stats().read_ops, 0, "failed op must not be counted");
+    }
+
+    #[test]
+    fn passthrough_without_plan() {
+        let mut a = setup(FaultPlan::default());
+        for _ in 0..5 {
+            assert!(a.read(&[BlockAddr::new(DiskId(0), 0)]).is_ok());
+        }
+        assert_eq!(a.stats().read_ops, 5);
+    }
+}

@@ -1,0 +1,447 @@
+//! Real-file disk array.
+//!
+//! Each simulated disk is one file; the per-disk transfers of a parallel
+//! I/O operation execute concurrently on dedicated worker threads (one per
+//! disk, owning that disk's file handle), so a `D`-wide operation issues `D`
+//! positioned reads/writes in parallel exactly as the model intends.
+//!
+//! On-disk format: fixed-size block slots.  Each slot is
+//!
+//! ```text
+//! [u32 record-count][u32 forecast-kind][8 * max(D,1) bytes forecast keys]
+//! [B * ENCODED_LEN bytes records]
+//! ```
+//!
+//! `forecast-kind` is 0 for [`Forecast::Next`] (one key used) and 1 for
+//! [`Forecast::Initial`] (`D` keys used).  Unused key slots hold
+//! [`crate::block::NO_BLOCK`].
+
+use std::fs::{File, OpenOptions};
+use std::io;
+use std::os::unix::fs::FileExt;
+use std::path::{Path, PathBuf};
+
+use crossbeam::channel::{bounded, unbounded, Sender};
+
+use crate::addr::{BlockAddr, DiskId};
+use crate::backend::DiskArray;
+use crate::block::{Block, Forecast, NO_BLOCK};
+use crate::error::{PdiskError, Result};
+use crate::geometry::Geometry;
+use crate::record::Record;
+use crate::stats::IoStats;
+
+enum Job {
+    Read {
+        offset: u64,
+        len: usize,
+        reply: Sender<io::Result<Vec<u8>>>,
+    },
+    Write {
+        offset: u64,
+        bytes: Vec<u8>,
+        reply: Sender<io::Result<()>>,
+    },
+}
+
+struct Worker {
+    tx: Sender<Job>,
+    handle: Option<std::thread::JoinHandle<()>>,
+}
+
+/// A disk array backed by one file per disk, with per-disk I/O threads.
+pub struct FileDiskArray<R: Record> {
+    geom: Geometry,
+    dir: PathBuf,
+    workers: Vec<Worker>,
+    next_free: Vec<u64>,
+    stats: IoStats,
+    slot_bytes: usize,
+    forecast_keys: usize,
+    _marker: std::marker::PhantomData<R>,
+}
+
+impl<R: Record> FileDiskArray<R> {
+    /// Create (or truncate) `D` disk files under `dir` and start the worker
+    /// threads.
+    pub fn create(geom: Geometry, dir: impl AsRef<Path>) -> Result<Self> {
+        let dir = dir.as_ref().to_path_buf();
+        std::fs::create_dir_all(&dir)?;
+        let forecast_keys = geom.d.max(1);
+        let slot_bytes = 8 + 8 * forecast_keys + geom.b * R::ENCODED_LEN;
+        let mut workers = Vec::with_capacity(geom.d);
+        for d in 0..geom.d {
+            let path = dir.join(format!("disk_{d:04}.bin"));
+            let file = OpenOptions::new()
+                .read(true)
+                .write(true)
+                .create(true)
+                .truncate(true)
+                .open(&path)?;
+            workers.push(Self::spawn_worker(d, file));
+        }
+        Ok(FileDiskArray {
+            geom,
+            dir,
+            workers,
+            next_free: vec![0; geom.d],
+            stats: IoStats::default(),
+            slot_bytes,
+            forecast_keys,
+            _marker: std::marker::PhantomData,
+        })
+    }
+
+    fn spawn_worker(idx: usize, file: File) -> Worker {
+        let (tx, rx) = unbounded::<Job>();
+        let handle = std::thread::Builder::new()
+            .name(format!("pdisk-io-{idx}"))
+            .spawn(move || {
+                while let Ok(job) = rx.recv() {
+                    match job {
+                        Job::Read { offset, len, reply } => {
+                            let mut buf = vec![0u8; len];
+                            let res = file.read_exact_at(&mut buf, offset).map(|()| buf);
+                            let _ = reply.send(res);
+                        }
+                        Job::Write { offset, bytes, reply } => {
+                            let res = file.write_all_at(&bytes, offset);
+                            let _ = reply.send(res);
+                        }
+                    }
+                }
+            })
+            .expect("spawn disk worker");
+        Worker {
+            tx,
+            handle: Some(handle),
+        }
+    }
+
+    /// Directory holding the disk files.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// Bytes a block slot occupies on disk.
+    pub fn slot_bytes(&self) -> usize {
+        self.slot_bytes
+    }
+
+    fn encode_block(&self, block: &Block<R>) -> Result<Vec<u8>> {
+        if block.len() > self.geom.b {
+            return Err(PdiskError::BadBlockSize {
+                expected: self.geom.b,
+                got: block.len(),
+            });
+        }
+        let mut out = vec![0u8; self.slot_bytes];
+        out[..4].copy_from_slice(&(block.len() as u32).to_le_bytes());
+        let (kind, keys): (u32, &[u64]) = match &block.forecast {
+            Forecast::Next(k) => (0, std::slice::from_ref(k)),
+            Forecast::Initial(ks) => (1, ks.as_slice()),
+        };
+        if keys.len() > self.forecast_keys {
+            return Err(PdiskError::Corrupt(format!(
+                "forecast table of {} keys exceeds reserved {}",
+                keys.len(),
+                self.forecast_keys
+            )));
+        }
+        out[4..8].copy_from_slice(&kind.to_le_bytes());
+        let mut off = 8;
+        for i in 0..self.forecast_keys {
+            let k = keys.get(i).copied().unwrap_or(NO_BLOCK);
+            out[off..off + 8].copy_from_slice(&k.to_le_bytes());
+            off += 8;
+        }
+        for rec in &block.records {
+            rec.encode(&mut out[off..off + R::ENCODED_LEN]);
+            off += R::ENCODED_LEN;
+        }
+        Ok(out)
+    }
+
+    fn decode_block(&self, bytes: &[u8]) -> Result<Block<R>> {
+        if bytes.len() != self.slot_bytes {
+            return Err(PdiskError::Corrupt(format!(
+                "slot of {} bytes, expected {}",
+                bytes.len(),
+                self.slot_bytes
+            )));
+        }
+        let n = u32::from_le_bytes(bytes[..4].try_into().unwrap()) as usize;
+        if n > self.geom.b {
+            return Err(PdiskError::Corrupt(format!(
+                "record count {n} exceeds block size {}",
+                self.geom.b
+            )));
+        }
+        let kind = u32::from_le_bytes(bytes[4..8].try_into().unwrap());
+        let mut off = 8;
+        let mut keys = Vec::with_capacity(self.forecast_keys);
+        for _ in 0..self.forecast_keys {
+            keys.push(u64::from_le_bytes(bytes[off..off + 8].try_into().unwrap()));
+            off += 8;
+        }
+        let forecast = match kind {
+            0 => Forecast::Next(keys[0]),
+            1 => Forecast::Initial(keys),
+            k => return Err(PdiskError::Corrupt(format!("unknown forecast kind {k}"))),
+        };
+        let mut records = Vec::with_capacity(n);
+        for _ in 0..n {
+            records.push(R::decode(&bytes[off..off + R::ENCODED_LEN]));
+            off += R::ENCODED_LEN;
+        }
+        Ok(Block { records, forecast })
+    }
+}
+
+impl<R: Record> Drop for FileDiskArray<R> {
+    fn drop(&mut self) {
+        for w in &mut self.workers {
+            // Dropping the sender closes the channel; recv errors end the loop.
+            let (dummy_tx, _) = unbounded();
+            let tx = std::mem::replace(&mut w.tx, dummy_tx);
+            drop(tx);
+            if let Some(h) = w.handle.take() {
+                let _ = h.join();
+            }
+        }
+    }
+}
+
+impl<R: Record> DiskArray<R> for FileDiskArray<R> {
+    fn geometry(&self) -> Geometry {
+        self.geom
+    }
+
+    fn read(&mut self, addrs: &[BlockAddr]) -> Result<Vec<Block<R>>> {
+        if addrs.is_empty() {
+            return Ok(Vec::new());
+        }
+        self.geom.check_parallel_op(addrs.iter().map(|a| a.disk))?;
+        // Fan out: one positioned read per disk, executed concurrently by
+        // the per-disk workers.
+        let mut replies = Vec::with_capacity(addrs.len());
+        for &addr in addrs {
+            if addr.offset >= self.next_free[addr.disk.index()] {
+                return Err(PdiskError::UnmappedBlock(addr));
+            }
+            let (tx, rx) = bounded(1);
+            self.workers[addr.disk.index()]
+                .tx
+                .send(Job::Read {
+                    offset: addr.offset * self.slot_bytes as u64,
+                    len: self.slot_bytes,
+                    reply: tx,
+                })
+                .expect("disk worker alive");
+            replies.push(rx);
+        }
+        let mut out = Vec::with_capacity(addrs.len());
+        for rx in replies {
+            let bytes = rx.recv().expect("disk worker reply")?;
+            out.push(self.decode_block(&bytes)?);
+        }
+        self.stats.record_read(addrs.len());
+        Ok(out)
+    }
+
+    fn write(&mut self, writes: Vec<(BlockAddr, Block<R>)>) -> Result<()> {
+        if writes.is_empty() {
+            return Ok(());
+        }
+        self.geom
+            .check_parallel_op(writes.iter().map(|(a, _)| a.disk))?;
+        let n = writes.len();
+        let mut replies = Vec::with_capacity(n);
+        for (addr, block) in &writes {
+            if addr.offset >= self.next_free[addr.disk.index()] {
+                return Err(PdiskError::UnmappedBlock(*addr));
+            }
+            let bytes = self.encode_block(block)?;
+            let (tx, rx) = bounded(1);
+            self.workers[addr.disk.index()]
+                .tx
+                .send(Job::Write {
+                    offset: addr.offset * self.slot_bytes as u64,
+                    bytes,
+                    reply: tx,
+                })
+                .expect("disk worker alive");
+            replies.push(rx);
+        }
+        for rx in replies {
+            rx.recv().expect("disk worker reply")?;
+        }
+        self.stats.record_write(n);
+        Ok(())
+    }
+
+    fn alloc_contiguous(&mut self, disk: DiskId, count: u64) -> Result<u64> {
+        let slot = self
+            .next_free
+            .get_mut(disk.index())
+            .ok_or(PdiskError::NoSuchDisk(disk))?;
+        let start = *slot;
+        *slot += count;
+        Ok(start)
+    }
+
+    fn stats(&self) -> IoStats {
+        self.stats
+    }
+
+    fn reset_stats(&mut self) {
+        self.stats = IoStats::default();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::record::{KeyPayloadRecord, U64Record};
+
+    fn tmpdir(tag: &str) -> PathBuf {
+        let p = std::env::temp_dir().join(format!("pdisk-test-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&p);
+        p
+    }
+
+    fn blk(keys: &[u64], forecast: Forecast) -> Block<U64Record> {
+        Block::new(keys.iter().map(|&k| U64Record(k)).collect(), forecast)
+    }
+
+    #[test]
+    fn roundtrip_including_forecast_variants() {
+        let g = Geometry::new(3, 4, 1000).unwrap();
+        let dir = tmpdir("roundtrip");
+        let mut a: FileDiskArray<U64Record> = FileDiskArray::create(g, &dir).unwrap();
+        let o0 = a.alloc_contiguous(DiskId(0), 2).unwrap();
+        let o1 = a.alloc_contiguous(DiskId(1), 1).unwrap();
+        let initial = blk(&[1, 5, 9], Forecast::Initial(vec![1, 20, NO_BLOCK]));
+        let next = blk(&[20, 21, 22, 23], Forecast::Next(40));
+        a.write(vec![
+            (BlockAddr::new(DiskId(0), o0), initial.clone()),
+            (BlockAddr::new(DiskId(1), o1), next.clone()),
+        ])
+        .unwrap();
+        let got = a
+            .read(&[BlockAddr::new(DiskId(0), o0), BlockAddr::new(DiskId(1), o1)])
+            .unwrap();
+        assert_eq!(got[0], initial);
+        assert_eq!(got[1], next);
+        assert_eq!(a.stats().read_ops, 1);
+        assert_eq!(a.stats().blocks_read, 2);
+        drop(a);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn payload_records_survive_disk() {
+        let g = Geometry::new(2, 3, 1000).unwrap();
+        let dir = tmpdir("payload");
+        let mut a: FileDiskArray<KeyPayloadRecord<24>> = FileDiskArray::create(g, &dir).unwrap();
+        let o = a.alloc_contiguous(DiskId(1), 1).unwrap();
+        let recs: Vec<_> = (0..3)
+            .map(|k| KeyPayloadRecord::<24>::with_derived_payload(k * 7))
+            .collect();
+        let block = Block::new(recs.clone(), Forecast::Next(99));
+        a.write(vec![(BlockAddr::new(DiskId(1), o), block)]).unwrap();
+        let got = a.read(&[BlockAddr::new(DiskId(1), o)]).unwrap();
+        assert_eq!(got[0].records, recs);
+        drop(a);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn partial_block_preserves_record_count() {
+        let g = Geometry::new(2, 8, 1000).unwrap();
+        let dir = tmpdir("partial");
+        let mut a: FileDiskArray<U64Record> = FileDiskArray::create(g, &dir).unwrap();
+        let o = a.alloc_contiguous(DiskId(0), 1).unwrap();
+        a.write(vec![(BlockAddr::new(DiskId(0), o), blk(&[3, 4], Forecast::Next(NO_BLOCK)))])
+            .unwrap();
+        let got = a.read(&[BlockAddr::new(DiskId(0), o)]).unwrap();
+        assert_eq!(got[0].len(), 2);
+        drop(a);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn unallocated_read_and_write_fail() {
+        let g = Geometry::new(2, 2, 1000).unwrap();
+        let dir = tmpdir("unalloc");
+        let mut a: FileDiskArray<U64Record> = FileDiskArray::create(g, &dir).unwrap();
+        assert!(matches!(
+            a.read(&[BlockAddr::new(DiskId(0), 0)]),
+            Err(PdiskError::UnmappedBlock(_))
+        ));
+        assert!(matches!(
+            a.write(vec![(BlockAddr::new(DiskId(0), 0), blk(&[1], Forecast::Next(0)))]),
+            Err(PdiskError::UnmappedBlock(_))
+        ));
+        drop(a);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn duplicate_disk_rejected_before_any_io() {
+        let g = Geometry::new(2, 2, 1000).unwrap();
+        let dir = tmpdir("dup");
+        let mut a: FileDiskArray<U64Record> = FileDiskArray::create(g, &dir).unwrap();
+        let o = a.alloc_contiguous(DiskId(0), 2).unwrap();
+        let err = a
+            .read(&[BlockAddr::new(DiskId(0), o), BlockAddr::new(DiskId(0), o + 1)])
+            .unwrap_err();
+        assert!(matches!(err, PdiskError::DuplicateDisk(_)));
+        assert_eq!(a.stats().read_ops, 0);
+        drop(a);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn many_blocks_across_disks_stress() {
+        let g = Geometry::new(4, 16, 10_000).unwrap();
+        let dir = tmpdir("stress");
+        let mut a: FileDiskArray<U64Record> = FileDiskArray::create(g, &dir).unwrap();
+        let mut addrs = Vec::new();
+        for d in 0..4u32 {
+            let o = a.alloc_contiguous(DiskId(d), 8).unwrap();
+            for i in 0..8 {
+                addrs.push(BlockAddr::new(DiskId(d), o + i));
+            }
+        }
+        // Write stripes of 4 (one block per disk per op).
+        for stripe in 0..8u64 {
+            let writes: Vec<_> = (0..4u32)
+                .map(|d| {
+                    let keys: Vec<u64> = (0..16).map(|j| stripe * 1000 + d as u64 * 100 + j).collect();
+                    (
+                        BlockAddr::new(DiskId(d), stripe),
+                        blk(&keys, Forecast::Next(NO_BLOCK)),
+                    )
+                })
+                .collect();
+            a.write(writes).unwrap();
+        }
+        assert_eq!(a.stats().write_ops, 8);
+        assert_eq!(a.stats().blocks_written, 32);
+        // Read back a full stripe and check contents.
+        let got = a
+            .read(&[
+                BlockAddr::new(DiskId(0), 5),
+                BlockAddr::new(DiskId(1), 5),
+                BlockAddr::new(DiskId(2), 5),
+                BlockAddr::new(DiskId(3), 5),
+            ])
+            .unwrap();
+        for (d, b) in got.iter().enumerate() {
+            assert_eq!(b.min_key(), 5000 + d as u64 * 100);
+        }
+        drop(a);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

@@ -1,0 +1,55 @@
+//! # pdisk — the Vitter–Shriver parallel disk model
+//!
+//! This crate implements the machine model that the SRM paper (Barve, Grove,
+//! Vitter, SPAA '96) assumes: an internal memory of `M` records, `D`
+//! independent disks, and parallel I/O operations that move **at most one
+//! block of `B` contiguous records per disk** in a single operation.
+//!
+//! The crate provides:
+//!
+//! * [`Geometry`] — the `(D, B, M)` machine description plus the derived
+//!   merge orders for SRM and DSM straight from the paper's formulas;
+//! * [`Record`] — the record abstraction (a `u64` sort key plus a fixed-size
+//!   binary encoding so records can live on real disk files);
+//! * [`Block`] — a block of `B` records plus the *forecasting format*
+//!   metadata of §4 of the paper (implanted future keys);
+//! * [`DiskArray`] — the parallel I/O interface.  Every call to
+//!   [`DiskArray::read`] / [`DiskArray::write`] is **one** parallel I/O
+//!   operation and is counted as such in [`IoStats`];
+//! * [`MemDiskArray`] — the in-memory simulation backend used for exact I/O
+//!   accounting experiments (the paper's own evaluation substrate);
+//! * [`FileDiskArray`] — a real backend storing each simulated disk in its
+//!   own file, executing the per-disk transfers of one parallel operation on
+//!   dedicated worker threads;
+//! * [`StripedRun`] — cyclically striped run layout (block `i` of a run with
+//!   start disk `d_r` lives on disk `(d_r + i) mod D`, §3 of the paper);
+//! * [`timing`] — a seek/rotate/transfer service-time model to convert
+//!   operation counts into estimated wall time on a physical disk array.
+
+pub mod addr;
+pub mod backend;
+pub mod block;
+pub mod cluster;
+pub mod error;
+pub mod faulty;
+pub mod file;
+pub mod geometry;
+pub mod mem;
+pub mod record;
+pub mod stats;
+pub mod striping;
+pub mod timing;
+
+pub use addr::{BlockAddr, DiskId};
+pub use backend::DiskArray;
+pub use block::{Block, Forecast};
+pub use cluster::ClusteredDiskArray;
+pub use error::{PdiskError, Result};
+pub use faulty::{FaultPlan, FaultyDiskArray};
+pub use file::FileDiskArray;
+pub use geometry::Geometry;
+pub use mem::MemDiskArray;
+pub use record::{KeyPayloadRecord, Record, U64Record};
+pub use stats::IoStats;
+pub use striping::StripedRun;
+pub use timing::DiskModel;

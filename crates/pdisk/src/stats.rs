@@ -1,0 +1,163 @@
+//! I/O accounting.
+//!
+//! Every experiment in the paper is stated in terms of counted parallel I/O
+//! operations; [`IoStats`] is the single source of truth for those counts.
+
+use serde::{Deserialize, Serialize};
+
+/// Counters kept by every [`crate::DiskArray`] backend.
+///
+/// One *parallel* read/write operation moves up to `D` blocks (one per
+/// disk); `blocks_read`/`blocks_written` record the actual number moved so
+/// the achieved parallelism `blocks / ops` can be reported.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct IoStats {
+    /// Number of parallel read operations issued.
+    pub read_ops: u64,
+    /// Number of parallel write operations issued.
+    pub write_ops: u64,
+    /// Total blocks transferred by reads.
+    pub blocks_read: u64,
+    /// Total blocks transferred by writes.
+    pub blocks_written: u64,
+}
+
+impl IoStats {
+    /// Record one parallel read moving `blocks` blocks.
+    #[inline]
+    pub fn record_read(&mut self, blocks: usize) {
+        self.read_ops += 1;
+        self.blocks_read += blocks as u64;
+    }
+
+    /// Record one parallel write moving `blocks` blocks.
+    #[inline]
+    pub fn record_write(&mut self, blocks: usize) {
+        self.write_ops += 1;
+        self.blocks_written += blocks as u64;
+    }
+
+    /// Total parallel operations (reads + writes).
+    #[inline]
+    pub fn total_ops(&self) -> u64 {
+        self.read_ops + self.write_ops
+    }
+
+    /// Mean blocks moved per read operation (read parallelism achieved).
+    pub fn read_parallelism(&self) -> f64 {
+        if self.read_ops == 0 {
+            0.0
+        } else {
+            self.blocks_read as f64 / self.read_ops as f64
+        }
+    }
+
+    /// Mean blocks moved per write operation (write parallelism achieved).
+    pub fn write_parallelism(&self) -> f64 {
+        if self.write_ops == 0 {
+            0.0
+        } else {
+            self.blocks_written as f64 / self.write_ops as f64
+        }
+    }
+
+    /// Counter-wise difference `self − earlier`; use to isolate one phase of
+    /// a computation from a shared backend.
+    pub fn since(&self, earlier: &IoStats) -> IoStats {
+        IoStats {
+            read_ops: self.read_ops - earlier.read_ops,
+            write_ops: self.write_ops - earlier.write_ops,
+            blocks_read: self.blocks_read - earlier.blocks_read,
+            blocks_written: self.blocks_written - earlier.blocks_written,
+        }
+    }
+
+    /// Counter-wise sum.
+    pub fn merged(&self, other: &IoStats) -> IoStats {
+        IoStats {
+            read_ops: self.read_ops + other.read_ops,
+            write_ops: self.write_ops + other.write_ops,
+            blocks_read: self.blocks_read + other.blocks_read,
+            blocks_written: self.blocks_written + other.blocks_written,
+        }
+    }
+}
+
+impl std::fmt::Display for IoStats {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "reads={} ({} blocks, {:.2}x par) writes={} ({} blocks, {:.2}x par)",
+            self.read_ops,
+            self.blocks_read,
+            self.read_parallelism(),
+            self.write_ops,
+            self.blocks_written,
+            self.write_parallelism()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate() {
+        let mut s = IoStats::default();
+        s.record_read(4);
+        s.record_read(2);
+        s.record_write(4);
+        assert_eq!(s.read_ops, 2);
+        assert_eq!(s.blocks_read, 6);
+        assert_eq!(s.write_ops, 1);
+        assert_eq!(s.blocks_written, 4);
+        assert_eq!(s.total_ops(), 3);
+    }
+
+    #[test]
+    fn parallelism_ratios() {
+        let mut s = IoStats::default();
+        assert_eq!(s.read_parallelism(), 0.0);
+        s.record_read(4);
+        s.record_read(2);
+        assert!((s.read_parallelism() - 3.0).abs() < 1e-12);
+        s.record_write(5);
+        assert!((s.write_parallelism() - 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn since_isolates_a_phase() {
+        let mut s = IoStats::default();
+        s.record_read(3);
+        let mark = s;
+        s.record_read(1);
+        s.record_write(2);
+        let phase = s.since(&mark);
+        assert_eq!(phase.read_ops, 1);
+        assert_eq!(phase.blocks_read, 1);
+        assert_eq!(phase.write_ops, 1);
+    }
+
+    #[test]
+    fn merged_sums_counters() {
+        let mut a = IoStats::default();
+        a.record_read(2);
+        let mut b = IoStats::default();
+        b.record_write(3);
+        let m = a.merged(&b);
+        assert_eq!(m.read_ops, 1);
+        assert_eq!(m.write_ops, 1);
+        assert_eq!(m.blocks_read, 2);
+        assert_eq!(m.blocks_written, 3);
+    }
+
+    #[test]
+    fn display_mentions_both_directions() {
+        let mut s = IoStats::default();
+        s.record_read(2);
+        s.record_write(2);
+        let text = s.to_string();
+        assert!(text.contains("reads=1") && text.contains("writes=1"));
+    }
+}

@@ -1,0 +1,102 @@
+//! Minimal flag parsing (no external dependency).
+
+use std::collections::HashMap;
+
+/// Parsed `--key value` flags plus boolean switches.
+#[derive(Debug, Default)]
+pub struct Flags {
+    values: HashMap<String, String>,
+    switches: Vec<String>,
+}
+
+impl Flags {
+    /// Parse, treating every `--key` followed by a non-flag token as a
+    /// valued flag and everything else as a switch.
+    pub fn parse(argv: &[String]) -> Result<Self, String> {
+        let mut flags = Flags::default();
+        let mut i = 0;
+        while i < argv.len() {
+            let token = &argv[i];
+            let Some(name) = token.strip_prefix("--") else {
+                return Err(format!("unexpected positional argument `{token}`"));
+            };
+            if i + 1 < argv.len() && !argv[i + 1].starts_with("--") {
+                flags.values.insert(name.to_string(), argv[i + 1].clone());
+                i += 2;
+            } else {
+                flags.switches.push(name.to_string());
+                i += 1;
+            }
+        }
+        Ok(flags)
+    }
+
+    /// Valued flag lookup with parsing.
+    pub fn get<T: std::str::FromStr>(&self, name: &str) -> Result<Option<T>, String>
+    where
+        T::Err: std::fmt::Display,
+    {
+        match self.values.get(name) {
+            None => Ok(None),
+            Some(raw) => raw
+                .parse()
+                .map(Some)
+                .map_err(|e| format!("--{name} {raw}: {e}")),
+        }
+    }
+
+    /// Valued flag with a default.
+    pub fn get_or<T: std::str::FromStr>(&self, name: &str, default: T) -> Result<T, String>
+    where
+        T::Err: std::fmt::Display,
+    {
+        Ok(self.get(name)?.unwrap_or(default))
+    }
+
+    /// Raw string flag.
+    pub fn get_str(&self, name: &str) -> Option<&str> {
+        self.values.get(name).map(String::as_str)
+    }
+
+    /// Boolean switch presence.
+    pub fn has(&self, name: &str) -> bool {
+        self.switches.iter().any(|s| s == name)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(s: &str) -> Flags {
+        let argv: Vec<String> = s.split_whitespace().map(String::from).collect();
+        Flags::parse(&argv).unwrap()
+    }
+
+    #[test]
+    fn values_and_switches() {
+        let f = parse("--records 1000 --verify --algo srm");
+        assert_eq!(f.get::<u64>("records").unwrap(), Some(1000));
+        assert_eq!(f.get_str("algo"), Some("srm"));
+        assert!(f.has("verify"));
+        assert!(!f.has("missing"));
+    }
+
+    #[test]
+    fn defaults() {
+        let f = parse("");
+        assert_eq!(f.get_or("d", 4usize).unwrap(), 4);
+    }
+
+    #[test]
+    fn bad_value_is_an_error() {
+        let f = parse("--records abc");
+        assert!(f.get::<u64>("records").is_err());
+    }
+
+    #[test]
+    fn positional_rejected() {
+        let argv = vec!["stray".to_string()];
+        assert!(Flags::parse(&argv).is_err());
+    }
+}

@@ -1,0 +1,299 @@
+//! Subcommand implementations.
+
+use crate::args::Flags;
+use dsm::{read_logical_run, write_unsorted_stripes, DsmSorter};
+use pdisk::{DiskArray, DiskModel, FileDiskArray, Geometry, MemDiskArray, Record, U64Record};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use srm_core::simulator::{estimate_overhead_v, SimPlacement};
+use srm_core::sort::write_unsorted_input;
+use srm_core::{read_run, Placement, RunFormation, SrmConfig, SrmSorter};
+
+/// Top-level usage text.
+pub const USAGE: &str = "\
+srm — Simple Randomized Mergesort on parallel disks (SPAA '96 reproduction)
+
+USAGE:
+  srm sort [--records N] [--d D] [--b B] [--k K | --m M] [--algo srm|dsm|both]
+           [--backend mem|file] [--dir PATH] [--seed S]
+           [--placement random|staggered] [--formation load|parload|rs]
+           [--threads N] [--keep]
+      Generate N random records, stage them on the simulated disk array,
+      sort, verify, and print the I/O accounting (one parallel operation
+      moves up to one block per disk) plus estimated wall times under a
+      1996-era disk model and an SSD model.
+
+  srm occupancy --k K --d D [--trials N] [--seed S]
+      Estimate Table 1's overhead v(k, D) = C(kD, D)/k by ball-throwing.
+
+  srm simulate --k K --d D [--blocks L] [--trials N] [--seed S]
+           [--placement random|staggered]
+      Estimate Table 3's overhead v(k, D) by simulating the SRM merge of
+      kD runs of L blocks on average-case input.
+
+  srm help
+      This text.
+";
+
+fn fail(msg: impl std::fmt::Display) -> i32 {
+    eprintln!("error: {msg}");
+    2
+}
+
+/// `srm sort`
+pub fn sort(argv: &[String]) -> i32 {
+    let flags = match Flags::parse(argv) {
+        Ok(f) => f,
+        Err(e) => return fail(e),
+    };
+    let inner = || -> Result<(), String> {
+        let records: u64 = flags.get_or("records", 1_000_000)?;
+        let d: usize = flags.get_or("d", 4)?;
+        let b: usize = flags.get_or("b", 64)?;
+        let seed: u64 = flags.get_or("seed", 0xC11_5EED)?;
+        let geom = match flags.get::<usize>("m")? {
+            Some(m) => Geometry::new(d, b, m).map_err(|e| e.to_string())?,
+            None => {
+                let k: usize = flags.get_or("k", 4)?;
+                Geometry::for_table(k, d, b).map_err(|e| e.to_string())?
+            }
+        };
+        let algo = flags.get_str("algo").unwrap_or("both");
+        let backend = flags.get_str("backend").unwrap_or("mem");
+        let placement = match flags.get_str("placement").unwrap_or("random") {
+            "random" => Placement::Random,
+            "staggered" => Placement::Staggered,
+            other => return Err(format!("unknown placement `{other}`")),
+        };
+        let formation = match flags.get_str("formation").unwrap_or("load") {
+            "load" => RunFormation::MemoryLoad { fraction: 0.5 },
+            "parload" => RunFormation::ParallelMemoryLoad {
+                fraction: 0.5,
+                threads: flags.get_or(
+                    "threads",
+                    std::thread::available_parallelism().map_or(4, |p| p.get()),
+                )?,
+            },
+            "rs" => RunFormation::ReplacementSelection,
+            other => return Err(format!("unknown formation `{other}`")),
+        };
+
+        println!(
+            "geometry: D={} disks, B={} records/block, M={} records ({} blocks of memory)",
+            geom.d,
+            geom.b,
+            geom.m,
+            geom.memory_blocks()
+        );
+        if let Ok(budget) = analysis::MemoryBudget::for_geometry(geom) {
+            println!("SRM memory partition (Definition 3): {}", budget.render());
+        }
+        println!("input: {records} random u64 records (seed {seed:#x})\n");
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let data: Vec<U64Record> = (0..records).map(|_| U64Record(rng.random())).collect();
+
+        if algo == "srm" || algo == "both" {
+            let config = SrmConfig {
+                placement,
+                run_formation: formation,
+                seed,
+            };
+            match backend {
+                "mem" => {
+                    let mut array: MemDiskArray<U64Record> = MemDiskArray::new(geom);
+                    run_srm(&mut array, &data, config, geom)?;
+                }
+                "file" => {
+                    let dir = flags
+                        .get_str("dir")
+                        .map(std::path::PathBuf::from)
+                        .unwrap_or_else(|| {
+                            std::env::temp_dir().join(format!("srm-cli-{}", std::process::id()))
+                        });
+                    println!("file backend at {}", dir.display());
+                    let mut array: FileDiskArray<U64Record> =
+                        FileDiskArray::create(geom, &dir).map_err(|e| e.to_string())?;
+                    run_srm(&mut array, &data, config, geom)?;
+                    drop(array);
+                    if !flags.has("keep") {
+                        let _ = std::fs::remove_dir_all(&dir);
+                    } else {
+                        println!("disk files kept at {}", dir.display());
+                    }
+                }
+                other => return Err(format!("unknown backend `{other}`")),
+            }
+        }
+        if algo == "dsm" || algo == "both" {
+            if backend != "mem" {
+                println!("(DSM runs on the in-memory backend)");
+            }
+            let mut array: MemDiskArray<U64Record> = MemDiskArray::new(geom);
+            run_dsm(&mut array, &data, geom)?;
+        }
+        if algo != "srm" && algo != "dsm" && algo != "both" {
+            return Err(format!("unknown algo `{algo}`"));
+        }
+        Ok(())
+    };
+    match inner() {
+        Ok(()) => 0,
+        Err(e) => fail(e),
+    }
+}
+
+fn print_io(label: &str, io: &pdisk::IoStats, geom: Geometry, cpu: std::time::Duration) {
+    println!("  {label}: {io}");
+    for (name, model) in [
+        ("1996 HDD array", DiskModel::hdd_1996()),
+        ("modern SSD array", DiskModel::ssd()),
+    ] {
+        let bytes = geom.b * U64Record::ENCODED_LEN;
+        let t = model.estimate(io, bytes);
+        println!(
+            "    {name}: {:.2}s I/O ({:.1} MB/s); with compute overlapped {:.2}s, serialized {:.2}s",
+            t.as_secs_f64(),
+            model.achieved_bandwidth(io, bytes),
+            model.overlapped_estimate(io, bytes, cpu).as_secs_f64(),
+            model.serial_estimate(io, bytes, cpu).as_secs_f64(),
+        );
+    }
+}
+
+fn run_srm<A: DiskArray<U64Record>>(
+    array: &mut A,
+    data: &[U64Record],
+    config: SrmConfig,
+    geom: Geometry,
+) -> Result<(), String> {
+    let input = write_unsorted_input(array, data).map_err(|e| e.to_string())?;
+    let staged = array.stats();
+    let start = std::time::Instant::now();
+    let (sorted, report) = SrmSorter::new(config)
+        .sort(array, &input)
+        .map_err(|e| e.to_string())?;
+    let elapsed = start.elapsed();
+    verify_sorted(
+        &read_run(array, &sorted).map_err(|e| e.to_string())?,
+        data,
+    )?;
+    println!("SRM: sorted & verified in {elapsed:.2?} (host time)");
+    println!(
+        "  merge order R={}, runs formed={}, merge passes={}, flushes={} ({} blocks)",
+        report.merge_order,
+        report.runs_formed,
+        report.merge_passes,
+        report.schedule.flush_ops,
+        report.schedule.blocks_flushed
+    );
+    let io = array.stats().since(&staged);
+    print_io("I/O (sort only)", &io, geom, elapsed);
+    println!();
+    Ok(())
+}
+
+fn run_dsm(
+    array: &mut MemDiskArray<U64Record>,
+    data: &[U64Record],
+    geom: Geometry,
+) -> Result<(), String> {
+    let input = write_unsorted_stripes(array, data).map_err(|e| e.to_string())?;
+    let staged = array.stats();
+    let start = std::time::Instant::now();
+    let (sorted, report) = DsmSorter::default()
+        .sort(array, &input)
+        .map_err(|e| e.to_string())?;
+    let elapsed = start.elapsed();
+    verify_sorted(
+        &read_logical_run(array, &sorted).map_err(|e| e.to_string())?,
+        data,
+    )?;
+    println!("DSM: sorted & verified in {elapsed:.2?} (host time)");
+    println!(
+        "  merge order R={}, runs formed={}, merge passes={}",
+        report.merge_order, report.runs_formed, report.merge_passes
+    );
+    let io = array.stats().since(&staged);
+    print_io("I/O (sort only)", &io, geom, elapsed);
+    println!();
+    Ok(())
+}
+
+fn verify_sorted(got: &[U64Record], original: &[U64Record]) -> Result<(), String> {
+    if got.len() != original.len() {
+        return Err(format!(
+            "output holds {} records, input had {}",
+            got.len(),
+            original.len()
+        ));
+    }
+    if !got.windows(2).all(|w| w[0].key() <= w[1].key()) {
+        return Err("output is not sorted".into());
+    }
+    let mut expected: Vec<u64> = original.iter().map(|r| r.0).collect();
+    expected.sort_unstable();
+    if got.iter().map(|r| r.0).ne(expected.iter().copied()) {
+        return Err("output is not a permutation of the input".into());
+    }
+    Ok(())
+}
+
+/// `srm occupancy`
+pub fn occupancy(argv: &[String]) -> i32 {
+    let flags = match Flags::parse(argv) {
+        Ok(f) => f,
+        Err(e) => return fail(e),
+    };
+    let inner = || -> Result<(), String> {
+        let k: u64 = flags
+            .get("k")?
+            .ok_or("`srm occupancy` requires --k")?;
+        let d: usize = flags.get("d")?.ok_or("`srm occupancy` requires --d")?;
+        let trials: u64 = flags.get_or("trials", 1000)?;
+        let seed: u64 = flags.get_or("seed", 0xC11_0CC)?;
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let v = ::occupancy::overhead_v(k, d, trials, &mut rng);
+        println!("v({k}, {d}) = C({}, {d})/{k} = {v}", k * d as u64);
+        println!(
+            "analytic rho* upper bound on E[max]/k: {:.4}",
+            ::occupancy::upper_bound_expected_max(k * d as u64, d) / k as f64
+        );
+        Ok(())
+    };
+    match inner() {
+        Ok(()) => 0,
+        Err(e) => fail(e),
+    }
+}
+
+/// `srm simulate`
+pub fn simulate(argv: &[String]) -> i32 {
+    let flags = match Flags::parse(argv) {
+        Ok(f) => f,
+        Err(e) => return fail(e),
+    };
+    let inner = || -> Result<(), String> {
+        let k: usize = flags.get("k")?.ok_or("`srm simulate` requires --k")?;
+        let d: usize = flags.get("d")?.ok_or("`srm simulate` requires --d")?;
+        let blocks: u64 = flags.get_or("blocks", 1000)?;
+        let trials: u64 = flags.get_or("trials", 3)?;
+        let seed: u64 = flags.get_or("seed", 0x000C_1151)?;
+        let placement = match flags.get_str("placement").unwrap_or("random") {
+            "random" => SimPlacement::Random,
+            "staggered" => SimPlacement::Staggered,
+            other => return Err(format!("unknown placement `{other}`")),
+        };
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let v = estimate_overhead_v(k, d, blocks, 1000, placement, trials, &mut rng)
+            .map_err(|e| e.to_string())?;
+        println!(
+            "simulated v({k}, {d}) over {trials} merges of {} runs x {blocks} blocks: {v}",
+            k * d
+        );
+        Ok(())
+    };
+    match inner() {
+        Ok(()) => 0,
+        Err(e) => fail(e),
+    }
+}

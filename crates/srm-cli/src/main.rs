@@ -1,0 +1,34 @@
+//! `srm` — command-line driver for the SRM reproduction.
+//!
+//! Subcommands:
+//!
+//! * `srm sort` — generate records, sort them with SRM and/or DSM on the
+//!   in-memory or real-file backend, verify, and print the I/O accounting
+//!   plus estimated wall times under a disk service-time model;
+//! * `srm occupancy` — quick `v(k, D)` estimate by ball-throwing (Table 1
+//!   cells on demand);
+//! * `srm simulate` — quick `v(k, D)` estimate by simulating the SRM
+//!   merge itself (Table 3 cells on demand).
+//!
+//! Run `srm help` for flags.
+
+mod args;
+mod commands;
+
+fn main() {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let code = match argv.first().map(String::as_str) {
+        Some("sort") => commands::sort(&argv[1..]),
+        Some("occupancy") => commands::occupancy(&argv[1..]),
+        Some("simulate") => commands::simulate(&argv[1..]),
+        Some("help") | Some("--help") | Some("-h") | None => {
+            print!("{}", commands::USAGE);
+            0
+        }
+        Some(other) => {
+            eprintln!("unknown subcommand `{other}`\n\n{}", commands::USAGE);
+            2
+        }
+    };
+    std::process::exit(code);
+}

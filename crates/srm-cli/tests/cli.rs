@@ -1,0 +1,100 @@
+//! End-to-end tests of the `srm` binary via `std::process`.
+
+use std::process::{Command, Output};
+
+fn srm(args: &[&str]) -> Output {
+    Command::new(env!("CARGO_BIN_EXE_srm"))
+        .args(args)
+        .output()
+        .expect("spawn srm binary")
+}
+
+fn stdout(out: &Output) -> String {
+    String::from_utf8_lossy(&out.stdout).into_owned()
+}
+
+#[test]
+fn help_prints_usage() {
+    for args in [&["help"][..], &["--help"][..], &[][..]] {
+        let out = srm(args);
+        assert!(out.status.success());
+        assert!(stdout(&out).contains("USAGE"));
+        assert!(stdout(&out).contains("srm sort"));
+    }
+}
+
+#[test]
+fn unknown_subcommand_fails_with_usage() {
+    let out = srm(&["frobnicate"]);
+    assert_eq!(out.status.code(), Some(2));
+    assert!(String::from_utf8_lossy(&out.stderr).contains("unknown subcommand"));
+}
+
+#[test]
+fn sort_both_algorithms_mem_backend() {
+    let out = srm(&[
+        "sort", "--records", "20000", "--d", "2", "--b", "8", "--k", "2", "--algo", "both",
+        "--seed", "7",
+    ]);
+    assert!(out.status.success(), "stderr: {}", String::from_utf8_lossy(&out.stderr));
+    let text = stdout(&out);
+    assert!(text.contains("SRM: sorted & verified"));
+    assert!(text.contains("DSM: sorted & verified"));
+    assert!(text.contains("merge order"));
+    assert!(text.contains("memory partition"));
+    assert!(text.contains("overlapped"));
+}
+
+#[test]
+fn sort_file_backend_cleans_up() {
+    let dir = std::env::temp_dir().join(format!("srm-cli-test-{}", std::process::id()));
+    let out = srm(&[
+        "sort", "--records", "5000", "--d", "2", "--b", "8", "--k", "2", "--algo", "srm",
+        "--backend", "file", "--dir", dir.to_str().unwrap(),
+    ]);
+    assert!(out.status.success(), "stderr: {}", String::from_utf8_lossy(&out.stderr));
+    assert!(stdout(&out).contains("file backend"));
+    assert!(!dir.exists(), "directory must be removed without --keep");
+}
+
+#[test]
+fn sort_staggered_replacement_selection() {
+    let out = srm(&[
+        "sort", "--records", "8000", "--d", "3", "--b", "8", "--k", "2", "--algo", "srm",
+        "--placement", "staggered", "--formation", "rs",
+    ]);
+    assert!(out.status.success(), "stderr: {}", String::from_utf8_lossy(&out.stderr));
+    assert!(stdout(&out).contains("SRM: sorted & verified"));
+}
+
+#[test]
+fn occupancy_subcommand() {
+    let out = srm(&["occupancy", "--k", "5", "--d", "10", "--trials", "200"]);
+    assert!(out.status.success());
+    let text = stdout(&out);
+    assert!(text.contains("v(5, 10)"));
+    assert!(text.contains("rho*"));
+}
+
+#[test]
+fn occupancy_requires_k_and_d() {
+    let out = srm(&["occupancy", "--d", "10"]);
+    assert_eq!(out.status.code(), Some(2));
+    assert!(String::from_utf8_lossy(&out.stderr).contains("--k"));
+}
+
+#[test]
+fn simulate_subcommand() {
+    let out = srm(&[
+        "simulate", "--k", "2", "--d", "4", "--blocks", "50", "--trials", "1",
+    ]);
+    assert!(out.status.success());
+    assert!(stdout(&out).contains("simulated v(2, 4)"));
+}
+
+#[test]
+fn bad_flag_value_reports_cleanly() {
+    let out = srm(&["sort", "--records", "not-a-number"]);
+    assert_eq!(out.status.code(), Some(2));
+    assert!(String::from_utf8_lossy(&out.stderr).contains("--records"));
+}

@@ -1,0 +1,59 @@
+//! Error type for the SRM crate.
+
+use pdisk::PdiskError;
+
+/// Errors surfaced by SRM's merging and sorting.
+#[derive(Debug)]
+pub enum SrmError {
+    /// Underlying disk-model failure.
+    Disk(PdiskError),
+    /// A configuration cannot support the requested operation (e.g. more
+    /// runs than the merge order, or memory too small for any merge).
+    Config(String),
+    /// An internal invariant failed — by Lemma 1 the schedule can never
+    /// deadlock, so seeing this is a bug, never an input problem.
+    Internal(String),
+}
+
+impl std::fmt::Display for SrmError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SrmError::Disk(e) => write!(f, "disk error: {e}"),
+            SrmError::Config(msg) => write!(f, "configuration error: {msg}"),
+            SrmError::Internal(msg) => write!(f, "internal invariant violated: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for SrmError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            SrmError::Disk(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<PdiskError> for SrmError {
+    fn from(e: PdiskError) -> Self {
+        SrmError::Disk(e)
+    }
+}
+
+/// Convenience alias.
+pub type Result<T> = std::result::Result<T, SrmError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_variants() {
+        assert!(SrmError::Config("too many runs".into())
+            .to_string()
+            .contains("too many runs"));
+        assert!(SrmError::Internal("x".into()).to_string().contains("invariant"));
+        let e: SrmError = PdiskError::NoSuchDisk(pdisk::DiskId(9)).into();
+        assert!(e.to_string().contains("disk"));
+    }
+}

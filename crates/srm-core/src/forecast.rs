@@ -1,0 +1,183 @@
+//! The forecasting data structure (FDS) of §4.
+//!
+//! `D` per-disk tables; table `i` holds, for each run `j` with unread
+//! blocks on disk `i`, the block key of the *smallest block of run `j` on
+//! disk `i`* — the earliest-participating block of that run on that disk
+//! that is not currently in internal memory.  A parallel read fetches, from
+//! each disk, the minimum entry of its table ("the smallest block on disk
+//! `i`").
+//!
+//! Maintenance mirrors §5.3:
+//!
+//! * when a block of run `j` is read from disk `i`, its *implanted* key
+//!   (the smallest key of the run's next block on the same disk, `k_{r,i+D}`)
+//!   replaces the entry — or clears it when the run has no further blocks
+//!   there;
+//! * when blocks of run `j` are *flushed* back to disk `i`, the smallest
+//!   flushed key becomes the entry (flushed blocks always precede the
+//!   current entry in participation order, because they were read earlier
+//!   from the same frontier).
+
+use crate::key::{BlockKey, RunId};
+use pdisk::DiskId;
+use std::collections::{BTreeSet, HashMap};
+
+/// The forecasting data structure: one key table per disk.
+#[derive(Debug, Clone, Default)]
+pub struct ForecastTable {
+    /// Per disk: ordered set of entries, one per run with unread blocks.
+    ordered: Vec<BTreeSet<BlockKey>>,
+    /// Per disk: run → its current entry, for O(1) replacement.
+    current: Vec<HashMap<RunId, BlockKey>>,
+}
+
+impl ForecastTable {
+    /// Empty table for `d` disks.
+    pub fn new(d: usize) -> Self {
+        ForecastTable {
+            ordered: vec![BTreeSet::new(); d],
+            current: vec![HashMap::new(); d],
+        }
+    }
+
+    /// Number of disks.
+    pub fn disks(&self) -> usize {
+        self.ordered.len()
+    }
+
+    /// Set (or clear, with `None`) the entry `H_i[j]` for run `j` on disk
+    /// `i`, replacing any previous entry for that run.
+    pub fn set(&mut self, disk: DiskId, run: RunId, entry: Option<BlockKey>) {
+        let i = disk.index();
+        if let Some(old) = self.current[i].remove(&run) {
+            self.ordered[i].remove(&old);
+        }
+        if let Some(new) = entry {
+            debug_assert_eq!(new.run, run, "entry run mismatch");
+            self.current[i].insert(run, new);
+            self.ordered[i].insert(new);
+        }
+    }
+
+    /// Lower the entry for run `j` on disk `i` to `entry` if it is smaller
+    /// than the current one (or absent).  Used by flushing, where several
+    /// blocks of one run may return to one disk and only the smallest
+    /// should win.
+    pub fn lower_to(&mut self, disk: DiskId, run: RunId, entry: BlockKey) {
+        let i = disk.index();
+        match self.current[i].get(&run) {
+            Some(&old) if old <= entry => {}
+            _ => self.set(disk, run, Some(entry)),
+        }
+    }
+
+    /// The entry for run `j` on disk `i`, if any.
+    pub fn entry(&self, disk: DiskId, run: RunId) -> Option<BlockKey> {
+        self.current[disk.index()].get(&run).copied()
+    }
+
+    /// The smallest block on disk `i` — the block a `ParRead` fetches from
+    /// that disk.
+    pub fn min(&self, disk: DiskId) -> Option<BlockKey> {
+        self.ordered[disk.index()].first().copied()
+    }
+
+    /// The current `S_t`: the smallest block on every disk that has one.
+    pub fn frontier(&self) -> impl Iterator<Item = (DiskId, BlockKey)> + '_ {
+        self.ordered
+            .iter()
+            .enumerate()
+            .filter_map(|(i, set)| set.first().map(|&k| (DiskId(i as u32), k)))
+    }
+
+    /// Smallest key across the whole frontier (`min over S_t`), used for
+    /// `OutRank_t`.
+    pub fn frontier_min(&self) -> Option<BlockKey> {
+        self.ordered.iter().filter_map(|s| s.first()).min().copied()
+    }
+
+    /// True when no disk has any unread block.
+    pub fn is_empty(&self) -> bool {
+        self.ordered.iter().all(|s| s.is_empty())
+    }
+
+    /// Total number of `(disk, run)` entries (diagnostic).
+    pub fn len(&self) -> usize {
+        self.ordered.iter().map(|s| s.len()).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn bk(key: u64, run: RunId, idx: u64) -> BlockKey {
+        BlockKey::new(key, run, idx)
+    }
+
+    #[test]
+    fn set_replaces_previous_entry_for_same_run() {
+        let mut fds = ForecastTable::new(2);
+        fds.set(DiskId(0), 3, Some(bk(10, 3, 0)));
+        fds.set(DiskId(0), 3, Some(bk(50, 3, 2)));
+        assert_eq!(fds.entry(DiskId(0), 3), Some(bk(50, 3, 2)));
+        assert_eq!(fds.min(DiskId(0)), Some(bk(50, 3, 2)));
+        assert_eq!(fds.len(), 1);
+    }
+
+    #[test]
+    fn min_is_per_disk() {
+        let mut fds = ForecastTable::new(2);
+        fds.set(DiskId(0), 0, Some(bk(10, 0, 0)));
+        fds.set(DiskId(0), 1, Some(bk(5, 1, 0)));
+        fds.set(DiskId(1), 2, Some(bk(1, 2, 0)));
+        assert_eq!(fds.min(DiskId(0)), Some(bk(5, 1, 0)));
+        assert_eq!(fds.min(DiskId(1)), Some(bk(1, 2, 0)));
+        assert_eq!(fds.frontier_min(), Some(bk(1, 2, 0)));
+    }
+
+    #[test]
+    fn clearing_last_entry_empties_disk() {
+        let mut fds = ForecastTable::new(1);
+        fds.set(DiskId(0), 0, Some(bk(7, 0, 4)));
+        fds.set(DiskId(0), 0, None);
+        assert!(fds.is_empty());
+        assert_eq!(fds.min(DiskId(0)), None);
+        assert_eq!(fds.entry(DiskId(0), 0), None);
+    }
+
+    #[test]
+    fn lower_to_only_lowers() {
+        let mut fds = ForecastTable::new(1);
+        fds.set(DiskId(0), 5, Some(bk(30, 5, 6)));
+        // A flush of an earlier block lowers the entry…
+        fds.lower_to(DiskId(0), 5, bk(12, 5, 3));
+        assert_eq!(fds.entry(DiskId(0), 5), Some(bk(12, 5, 3)));
+        // …but a larger candidate does not replace it.
+        fds.lower_to(DiskId(0), 5, bk(20, 5, 4));
+        assert_eq!(fds.entry(DiskId(0), 5), Some(bk(12, 5, 3)));
+        // And lowering with no existing entry inserts.
+        fds.lower_to(DiskId(0), 9, bk(99, 9, 0));
+        assert_eq!(fds.entry(DiskId(0), 9), Some(bk(99, 9, 0)));
+    }
+
+    #[test]
+    fn frontier_lists_every_nonempty_disk_once() {
+        let mut fds = ForecastTable::new(3);
+        fds.set(DiskId(0), 0, Some(bk(4, 0, 0)));
+        fds.set(DiskId(2), 1, Some(bk(2, 1, 0)));
+        fds.set(DiskId(2), 2, Some(bk(9, 2, 0)));
+        let f: Vec<_> = fds.frontier().collect();
+        assert_eq!(f, vec![(DiskId(0), bk(4, 0, 0)), (DiskId(2), bk(2, 1, 0))]);
+    }
+
+    #[test]
+    fn entries_for_different_runs_coexist_on_a_disk() {
+        let mut fds = ForecastTable::new(1);
+        for run in 0..10 {
+            fds.set(DiskId(0), run, Some(bk(100 - run as u64, run, 0)));
+        }
+        assert_eq!(fds.len(), 10);
+        assert_eq!(fds.min(DiskId(0)).unwrap().run, 9);
+    }
+}

@@ -1,0 +1,80 @@
+//! Block identity and ordering.
+//!
+//! Everything in SRM's I/O schedule — the forecasting tables, the flush
+//! ranking `Rank_{F_t}`, `OutRank_t` — orders blocks by their smallest key.
+//! The paper assumes distinct keys; we make the order total for arbitrary
+//! inputs by breaking ties on `(run, index)`.
+
+use serde::{Deserialize, Serialize};
+
+/// Identifier of a run within one merge (index into the merge's run list).
+pub type RunId = u32;
+
+/// A block's identity plus its ranking key.
+///
+/// Ordered by `(min key, run, block index)` — the total order used for all
+/// rank computations in the schedule.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct BlockKey {
+    /// Smallest record key in the block (`k_{r,i}`).
+    pub key: u64,
+    /// Which run the block belongs to.
+    pub run: RunId,
+    /// Index of the block within its run.
+    pub idx: u64,
+}
+
+impl BlockKey {
+    /// Construct a block key.
+    #[inline]
+    pub fn new(key: u64, run: RunId, idx: u64) -> Self {
+        BlockKey { key, run, idx }
+    }
+}
+
+/// Order-preserving embedding of a probability key `f ∈ (0, 1)` into `u64`.
+///
+/// Positive IEEE-754 doubles compare the same as their bit patterns, so the
+/// raw bits are a monotone mapping — this lets the block-level simulator
+/// feed `Uniform(0,1)` order statistics through the same `u64`-keyed
+/// machinery the record-level engine uses.
+#[inline]
+pub fn unit_f64_to_key(f: f64) -> u64 {
+    debug_assert!(f > 0.0 && f < 1.0, "key {f} outside (0,1)");
+    f.to_bits()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ordering_is_key_then_run_then_idx() {
+        let a = BlockKey::new(5, 9, 9);
+        let b = BlockKey::new(6, 0, 0);
+        let c = BlockKey::new(6, 1, 0);
+        let d = BlockKey::new(6, 1, 2);
+        assert!(a < b && b < c && c < d);
+    }
+
+    #[test]
+    fn f64_embedding_is_monotone() {
+        let mut prev = unit_f64_to_key(1e-12);
+        for i in 1..1000 {
+            let f = i as f64 / 1000.0;
+            if f <= 0.0 || f >= 1.0 {
+                continue;
+            }
+            let k = unit_f64_to_key(f);
+            assert!(k > prev, "non-monotone at {f}");
+            prev = k;
+        }
+    }
+
+    #[test]
+    fn f64_embedding_distinguishes_close_values() {
+        let a: f64 = 0.5;
+        let b = f64::from_bits(a.to_bits() + 1);
+        assert!(unit_f64_to_key(b) > unit_f64_to_key(a));
+    }
+}

@@ -1,0 +1,224 @@
+//! Tournament selection tree for `R`-way internal merging.
+//!
+//! The paper delegates internal merge processing to the classic selection
+//! tree of Knuth §5.4.1: `R` leaves, each holding the current key of one
+//! run; the root identifies the smallest in `O(1)`, and replacing any
+//! leaf's key costs one leaf-to-root replay, `O(log R)` comparisons.
+//!
+//! This implementation stores the *winner* of every internal match (rather
+//! than the loser), which keeps arbitrary-leaf updates correct — the merge
+//! engines update non-winning leaves while blocks stream in during the
+//! initial load, and replace sentinel keys in place when awaited blocks
+//! arrive.
+//!
+//! Leaves compare by `(key, leaf index)`, so equal keys resolve
+//! deterministically and the merge is stable across runs.
+
+/// A tournament tree over `k` leaves with `u64` keys.
+///
+/// Exhausted runs are parked at [`u64::MAX`]; since ties break on leaf
+/// index the tree stays well-defined even when several runs are exhausted.
+#[derive(Debug, Clone)]
+pub struct LoserTree {
+    k: usize,
+    /// Heap-shaped bracket: leaves at `k .. 2k-1` hold their own index;
+    /// internal nodes `1 .. k-1` hold the winning leaf of their subtree.
+    /// For `k == 1` only `winner[1]` is meaningful.
+    winner: Vec<usize>,
+    keys: Vec<u64>,
+}
+
+impl LoserTree {
+    /// Build a tree over the given initial keys (one per run).
+    ///
+    /// # Panics
+    /// Panics if `keys` is empty.
+    pub fn new(keys: Vec<u64>) -> Self {
+        let k = keys.len();
+        assert!(k > 0, "tournament tree needs at least one leaf");
+        let mut winner = vec![usize::MAX; 2 * k];
+        for (i, slot) in winner.iter_mut().skip(k).enumerate() {
+            *slot = i;
+        }
+        if k == 1 {
+            winner[1] = 0;
+            return LoserTree { k, winner, keys };
+        }
+        for n in (1..k).rev() {
+            let a = winner[2 * n];
+            let b = winner[2 * n + 1];
+            winner[n] = if Self::beats(&keys, a, b) { a } else { b };
+        }
+        LoserTree { k, winner, keys }
+    }
+
+    /// `true` when leaf `a` wins against leaf `b` (smaller `(key, index)`).
+    #[inline]
+    fn beats(keys: &[u64], a: usize, b: usize) -> bool {
+        (keys[a], a) < (keys[b], b)
+    }
+
+    /// Number of leaves.
+    pub fn leaves(&self) -> usize {
+        self.k
+    }
+
+    /// Current overall winner: `(leaf, key)`.
+    #[inline]
+    pub fn peek(&self) -> (usize, u64) {
+        let w = self.winner[1];
+        (w, self.keys[w])
+    }
+
+    /// The key currently registered at `leaf`.
+    #[inline]
+    pub fn key_of(&self, leaf: usize) -> u64 {
+        self.keys[leaf]
+    }
+
+    /// Replace `leaf`'s key and replay its path to the root.  Correct for
+    /// any leaf, whether or not it is the current winner, and for both
+    /// increasing and decreasing key changes.
+    pub fn update(&mut self, leaf: usize, new_key: u64) {
+        debug_assert!(leaf < self.k);
+        self.keys[leaf] = new_key;
+        if self.k == 1 {
+            return;
+        }
+        let mut node = (self.k + leaf) / 2;
+        while node >= 1 {
+            let a = self.winner[2 * node];
+            let b = self.winner[2 * node + 1];
+            self.winner[node] = if Self::beats(&self.keys, a, b) { a } else { b };
+            node /= 2;
+        }
+    }
+
+    /// True when every leaf is parked at `u64::MAX` (all runs exhausted).
+    pub fn all_exhausted(&self) -> bool {
+        self.keys[self.winner[1]] == u64::MAX
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::{Rng, SeedableRng};
+
+    #[test]
+    fn single_leaf() {
+        let mut t = LoserTree::new(vec![42]);
+        assert_eq!(t.peek(), (0, 42));
+        t.update(0, 7);
+        assert_eq!(t.peek(), (0, 7));
+        t.update(0, u64::MAX);
+        assert!(t.all_exhausted());
+    }
+
+    #[test]
+    fn winner_is_global_min_after_build() {
+        let t = LoserTree::new(vec![5, 3, 9, 1, 7]);
+        assert_eq!(t.peek(), (3, 1));
+    }
+
+    #[test]
+    fn ties_resolve_to_lowest_leaf() {
+        let t = LoserTree::new(vec![4, 2, 2, 8]);
+        assert_eq!(t.peek(), (1, 2));
+    }
+
+    /// Full k-way merge through the tree equals a plain sort, across many
+    /// random shapes (including k = 2, odd k, and k not a power of two).
+    #[test]
+    fn merging_matches_sort() {
+        let mut rng = SmallRng::seed_from_u64(123);
+        for &k in &[1usize, 2, 3, 5, 8, 13, 31] {
+            let runs: Vec<Vec<u64>> = (0..k)
+                .map(|_| {
+                    let len = rng.random_range(0..40);
+                    let mut v: Vec<u64> = (0..len).map(|_| rng.random_range(0..500)).collect();
+                    v.sort_unstable();
+                    v
+                })
+                .collect();
+            let mut expected: Vec<u64> = runs.iter().flatten().copied().collect();
+            expected.sort_unstable();
+
+            let mut cursors = vec![0usize; k];
+            let initial: Vec<u64> = runs
+                .iter()
+                .map(|r| r.first().copied().unwrap_or(u64::MAX))
+                .collect();
+            let mut tree = LoserTree::new(initial);
+            let mut out = Vec::with_capacity(expected.len());
+            while !tree.all_exhausted() {
+                let (leaf, key) = tree.peek();
+                out.push(key);
+                cursors[leaf] += 1;
+                let next = runs[leaf].get(cursors[leaf]).copied().unwrap_or(u64::MAX);
+                tree.update(leaf, next);
+            }
+            assert_eq!(out, expected, "k = {k}");
+            for (i, r) in runs.iter().enumerate() {
+                assert_eq!(cursors[i], r.len());
+            }
+        }
+    }
+
+    /// Non-winner leaves must be updatable in both directions — the merge
+    /// engine lowers sentinel keys during the initial load and raises them
+    /// when blocks are consumed.
+    #[test]
+    fn arbitrary_leaf_updates() {
+        let mut t = LoserTree::new(vec![u64::MAX; 5]);
+        // Fill in arbitrary order, peeking as we go.
+        t.update(3, 30);
+        assert_eq!(t.peek(), (3, 30));
+        t.update(1, 50);
+        assert_eq!(t.peek(), (3, 30));
+        t.update(1, 10); // lower a loser below the winner
+        assert_eq!(t.peek(), (1, 10));
+        t.update(3, 5); // lower a loser below again
+        assert_eq!(t.peek(), (3, 5));
+        t.update(3, 60); // raise the winner
+        assert_eq!(t.peek(), (1, 10));
+        t.update(0, 10); // tie: lower leaf wins
+        assert_eq!(t.peek(), (0, 10));
+    }
+
+    #[test]
+    fn repeated_equal_keys() {
+        let mut t = LoserTree::new(vec![1, 1, 1]);
+        assert_eq!(t.peek().0, 0);
+        t.update(0, 1);
+        assert_eq!(t.peek().0, 0);
+        t.update(0, 2);
+        assert_eq!(t.peek().0, 1);
+        t.update(1, 2);
+        assert_eq!(t.peek().0, 2);
+        t.update(2, 2);
+        assert_eq!(t.peek(), (0, 2));
+    }
+
+    #[test]
+    fn stress_against_binary_heap() {
+        use std::cmp::Reverse;
+        use std::collections::BinaryHeap;
+        let mut rng = SmallRng::seed_from_u64(9);
+        for k in [2usize, 3, 16, 17] {
+            let mut keys: Vec<u64> = (0..k).map(|_| rng.random_range(0..1000)).collect();
+            let mut tree = LoserTree::new(keys.clone());
+            for _ in 0..2000 {
+                let heap: BinaryHeap<Reverse<(u64, usize)>> =
+                    keys.iter().enumerate().map(|(i, &v)| Reverse((v, i))).collect();
+                let Reverse((k_min, leaf_min)) = heap.peek().copied().unwrap();
+                assert_eq!(tree.peek(), (leaf_min, k_min), "k = {k}");
+                let leaf = rng.random_range(0..k);
+                let new = rng.random_range(0..1000);
+                keys[leaf] = new;
+                tree.update(leaf, new);
+            }
+        }
+    }
+}

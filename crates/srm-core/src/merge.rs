@@ -1,0 +1,498 @@
+//! The SRM merging procedure (§5): record-level engine.
+//!
+//! Merges `R` cyclically striped, forecast-formatted runs into one output
+//! run, driving the I/O schedule of [`crate::scheduler`] and the internal
+//! loser-tree merge concurrently (in the counting model, "concurrently"
+//! means reads are initiated at every legal opportunity — the earliest
+//! possible time, which is what the dedicated `M_D` buffers exist for —
+//! and the merge consumes records whenever no read can be initiated).
+
+use crate::error::{Result, SrmError};
+use crate::key::{BlockKey, RunId};
+use crate::loser_tree::LoserTree;
+use crate::output::RunWriter;
+use crate::scheduler::{PlannedRead, ScheduleStats, Scheduler};
+use pdisk::block::NO_BLOCK;
+use pdisk::{BlockAddr, DiskArray, DiskId, Forecast, Geometry, Record, StripedRun};
+use std::collections::{HashMap, VecDeque};
+
+/// Statistics for one merge.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct MergeStats {
+    /// Scheduling counters (reads, flushes).
+    pub schedule: ScheduleStats,
+    /// Parallel write operations issued for the output run.
+    pub write_ops: u64,
+    /// Records emitted.
+    pub records_out: u64,
+    /// Number of input runs merged.
+    pub runs_merged: usize,
+}
+
+/// Result of a merge: the output run plus its I/O accounting.
+#[derive(Debug, Clone)]
+pub struct MergeOutcome {
+    /// Layout of the merged output run (forecast-formatted, striped).
+    pub run: StripedRun,
+    /// I/O accounting for this merge.
+    pub stats: MergeStats,
+}
+
+struct RunState<R: Record> {
+    handle: StripedRun,
+    /// Records of the current leading block.
+    leading: Vec<R>,
+    cursor: usize,
+    /// Index of the block that is (or, if `awaiting`, will be) leading.
+    cur_idx: u64,
+    awaiting: bool,
+    exhausted: bool,
+}
+
+/// Merge `runs` into a single run starting on `out_start_disk`.
+///
+/// The scheduler's memory partition is sized for `R = runs.len()`:
+/// `R` leading buffers (`M_L`), `R + D` buffers in `M_R`, `D` in `M_D`, and
+/// `2D` of write buffer inside the [`RunWriter`] — `2R + 4D` blocks total,
+/// matching §5.1.
+///
+/// # Examples
+///
+/// ```
+/// use pdisk::{DiskId, Geometry, MemDiskArray, U64Record};
+/// use srm_core::{merge_runs, read_run, RunWriter};
+///
+/// let geom = Geometry::new(2, 4, 1000)?;
+/// let mut disks: MemDiskArray<U64Record> = MemDiskArray::new(geom);
+///
+/// // Two forecast-formatted striped runs…
+/// let mut handles = Vec::new();
+/// for (start, keys) in [(0u32, [1u64, 3, 5, 7]), (1, [2, 4, 6, 8])] {
+///     let mut w = RunWriter::new(geom, DiskId(start));
+///     for k in keys { w.push(&mut disks, U64Record(k))?; }
+///     handles.push(w.finish(&mut disks)?);
+/// }
+///
+/// // …merged with forecast-and-flush into one sorted run.
+/// let out = merge_runs(&mut disks, &handles, DiskId(0))?;
+/// let merged = read_run(&mut disks, &out.run)?;
+/// assert_eq!(merged.iter().map(|r| r.0).collect::<Vec<_>>(),
+///            vec![1, 2, 3, 4, 5, 6, 7, 8]);
+/// # Ok::<(), srm_core::SrmError>(())
+/// ```
+pub fn merge_runs<R: Record, A: DiskArray<R>>(
+    array: &mut A,
+    runs: &[StripedRun],
+    out_start_disk: DiskId,
+) -> Result<MergeOutcome> {
+    let geom = array.geometry();
+    if runs.is_empty() {
+        return Err(SrmError::Config("merge of zero runs".into()));
+    }
+    for (i, r) in runs.iter().enumerate() {
+        if r.records == 0 || r.len_blocks == 0 {
+            return Err(SrmError::Config(format!("run {i} is empty")));
+        }
+        if r.base_offsets.len() != geom.d {
+            return Err(SrmError::Config(format!(
+                "run {i} laid out for {} disks, array has {}",
+                r.base_offsets.len(),
+                geom.d
+            )));
+        }
+    }
+    let mut merger = Merger {
+        geom,
+        runs: runs
+            .iter()
+            .map(|h| RunState {
+                handle: h.clone(),
+                leading: Vec::new(),
+                cursor: 0,
+                cur_idx: 0,
+                awaiting: false,
+                exhausted: false,
+            })
+            .collect(),
+        sched: Scheduler::new(runs.len(), geom.d),
+        tree: LoserTree::new(vec![u64::MAX; runs.len()]),
+        buffers: HashMap::new(),
+        writer: RunWriter::new(geom, out_start_disk),
+    };
+    merger.initial_load(array)?;
+    merger.run_to_completion(array)
+}
+
+struct Merger<R: Record> {
+    geom: Geometry,
+    runs: Vec<RunState<R>>,
+    sched: Scheduler,
+    tree: LoserTree,
+    /// Contents of blocks in `M_R ∪ M_D`, keyed by `(run, block idx)`.
+    buffers: HashMap<(RunId, u64), (u64, Vec<R>)>,
+    writer: RunWriter<R>,
+}
+
+impl<R: Record> Merger<R> {
+    fn addr_of(&self, key: &BlockKey) -> BlockAddr {
+        self.runs[key.run as usize].handle.addr_of(key.idx)
+    }
+
+    /// §5.5 step 1: load block 0 of every run into `M_L` with parallel
+    /// reads, seeding the forecasting table from the implanted key tables.
+    fn initial_load<A: DiskArray<R>>(&mut self, array: &mut A) -> Result<()> {
+        let d = self.geom.d;
+        let mut per_disk: Vec<VecDeque<RunId>> = vec![VecDeque::new(); d];
+        for (j, st) in self.runs.iter().enumerate() {
+            per_disk[st.handle.disk_of(0).index()].push_back(j as RunId);
+        }
+        loop {
+            let mut batch: Vec<(RunId, BlockAddr)> = Vec::with_capacity(d);
+            for q in per_disk.iter_mut() {
+                if let Some(j) = q.pop_front() {
+                    batch.push((j, self.runs[j as usize].handle.addr_of(0)));
+                }
+            }
+            if batch.is_empty() {
+                break;
+            }
+            let addrs: Vec<BlockAddr> = batch.iter().map(|&(_, a)| a).collect();
+            let blocks = array.read(&addrs)?;
+            self.sched.charge_initial_read(blocks.len());
+            for ((j, _), block) in batch.into_iter().zip(blocks) {
+                let st = &mut self.runs[j as usize];
+                let keys = match &block.forecast {
+                    Forecast::Initial(keys) => keys.clone(),
+                    f => {
+                        return Err(SrmError::Internal(format!(
+                            "run {j} block 0 carries {f:?}, expected Initial table"
+                        )))
+                    }
+                };
+                for (m, &k) in keys.iter().enumerate() {
+                    let idx = m as u64 + 1;
+                    if k != NO_BLOCK && idx < st.handle.len_blocks {
+                        let disk = st.handle.disk_of(idx);
+                        self.sched
+                            .fds_mut()
+                            .set(disk, j, Some(BlockKey::new(k, j, idx)));
+                    }
+                }
+                st.leading = block.records;
+                st.cursor = 0;
+                st.cur_idx = 0;
+                let first = st.leading.first().map(|r| r.key()).unwrap_or(u64::MAX);
+                self.tree.update(j as usize, first);
+            }
+        }
+        Ok(())
+    }
+
+    fn execute_read<A: DiskArray<R>>(&mut self, array: &mut A) -> Result<()> {
+        let runs = &self.runs;
+        let plan: PlannedRead = self.sched.plan_read(|k: &BlockKey| {
+            runs[k.run as usize].handle.disk_of(k.idx)
+        });
+        for key in &plan.flushed {
+            let dropped = self.buffers.remove(&(key.run, key.idx));
+            debug_assert!(dropped.is_some(), "flushed block {key:?} had no buffer");
+        }
+        let addrs: Vec<BlockAddr> = plan.targets.iter().map(|(_, k)| self.addr_of(k)).collect();
+        let blocks = array.read(&addrs)?;
+        for ((disk, key), block) in plan.targets.into_iter().zip(blocks) {
+            debug_assert_eq!(
+                block.records.first().map(|r| r.key()),
+                Some(key.key),
+                "forecast key disagrees with block contents"
+            );
+            let next_idx = key.idx + self.geom.d as u64;
+            let implant = match &block.forecast {
+                Forecast::Next(k) if *k != NO_BLOCK
+                    && next_idx < self.runs[key.run as usize].handle.len_blocks =>
+                {
+                    Some(BlockKey::new(*k, key.run, next_idx))
+                }
+                Forecast::Next(_) => None,
+                f => {
+                    return Err(SrmError::Internal(format!(
+                        "non-initial block {key:?} carries {f:?}"
+                    )))
+                }
+            };
+            let st = &mut self.runs[key.run as usize];
+            let to_leading = st.awaiting && st.cur_idx == key.idx;
+            self.sched.arrive(key, disk, implant, to_leading);
+            if to_leading {
+                st.leading = block.records;
+                st.cursor = 0;
+                st.awaiting = false;
+                let first = st.leading[0].key();
+                self.tree.update(key.run as usize, first);
+            } else {
+                self.buffers.insert((key.run, key.idx), (key.key, block.records));
+            }
+        }
+        Ok(())
+    }
+
+    /// The leading block of `run` has been fully consumed: hand the `M_L`
+    /// buffer over to the run's next block (exchange rules 1–2 of §5.2),
+    /// or mark the run exhausted / awaiting I/O.
+    fn advance_run(&mut self, run: usize) -> Result<()> {
+        let st = &mut self.runs[run];
+        st.cur_idx += 1;
+        st.leading = Vec::new();
+        st.cursor = 0;
+        if st.cur_idx >= st.handle.len_blocks {
+            st.exhausted = true;
+            self.tree.update(run, u64::MAX);
+            return Ok(());
+        }
+        if let Some((min_key, recs)) = self.buffers.remove(&(run as RunId, st.cur_idx)) {
+            let promoted = self
+                .sched
+                .promote_to_leading(BlockKey::new(min_key, run as RunId, st.cur_idx));
+            if !promoted {
+                return Err(SrmError::Internal(format!(
+                    "buffered block (run {run}, idx {}) unknown to scheduler",
+                    st.cur_idx
+                )));
+            }
+            st.leading = recs;
+            let first = st.leading[0].key();
+            self.tree.update(run, first);
+        } else {
+            // On disk: merge past this point is gated by the block's min
+            // key, which is exactly the forecasting entry for its disk.
+            let disk = st.handle.disk_of(st.cur_idx);
+            let entry = self
+                .sched
+                .fds()
+                .entry(disk, run as RunId)
+                .ok_or_else(|| {
+                    SrmError::Internal(format!(
+                        "run {run} awaits block {} but FDS has no entry on {disk}",
+                        st.cur_idx
+                    ))
+                })?;
+            if entry.idx != st.cur_idx {
+                return Err(SrmError::Internal(format!(
+                    "FDS entry for run {run} on {disk} is block {}, expected {}",
+                    entry.idx, st.cur_idx
+                )));
+            }
+            st.awaiting = true;
+            self.tree.update(run, entry.key);
+        }
+        Ok(())
+    }
+
+    fn run_to_completion<A: DiskArray<R>>(mut self, array: &mut A) -> Result<MergeOutcome> {
+        loop {
+            self.sched.drain();
+            if self.sched.can_attempt_read() {
+                self.execute_read(array)?;
+                continue;
+            }
+            if self.tree.all_exhausted() {
+                break;
+            }
+            let (run, key) = self.tree.peek();
+            if self.runs[run].awaiting {
+                // Lemma 1 guarantees the schedule never wedges like this.
+                return Err(SrmError::Internal(format!(
+                    "merge stuck: run {run} awaits block {} (key {key}) with M_D occupied",
+                    self.runs[run].cur_idx
+                )));
+            }
+            let st = &mut self.runs[run];
+            let rec = st.leading[st.cursor];
+            st.cursor += 1;
+            debug_assert_eq!(rec.key(), key, "tree winner key mismatch");
+            self.writer.push(array, rec)?;
+            if st.cursor == st.leading.len() {
+                self.advance_run(run)?;
+            } else {
+                let next_key = st.leading[st.cursor].key();
+                self.tree.update(run, next_key);
+            }
+        }
+        debug_assert!(self.buffers.is_empty(), "leftover buffered blocks");
+        debug_assert!(self.sched.fds().is_empty(), "unread blocks at completion");
+        self.sched.assert_capacities();
+        let records_out = self.writer.records();
+        let runs_merged = self.runs.len();
+        let schedule = self.sched.stats();
+        let writer = self.writer;
+        let run = writer.finish(array)?;
+        Ok(MergeOutcome {
+            stats: MergeStats {
+                schedule,
+                write_ops: run.len_blocks.div_ceil(self.geom.d as u64),
+                records_out,
+                runs_merged,
+            },
+            run,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::output::{read_run, RunWriter};
+    use pdisk::{Geometry, MemDiskArray, U64Record};
+    use rand::rngs::SmallRng;
+    use rand::{Rng, SeedableRng};
+
+    /// Write `keys` (must be sorted) as a forecast-formatted run.
+    fn put_run(
+        array: &mut MemDiskArray<U64Record>,
+        geom: Geometry,
+        start: u32,
+        keys: &[u64],
+    ) -> StripedRun {
+        let mut w = RunWriter::new(geom, DiskId(start));
+        for &k in keys {
+            w.push(array, U64Record(k)).unwrap();
+        }
+        w.finish(array).unwrap()
+    }
+
+    fn random_sorted_runs(
+        rng: &mut SmallRng,
+        n_runs: usize,
+        len_range: std::ops::Range<usize>,
+    ) -> Vec<Vec<u64>> {
+        (0..n_runs)
+            .map(|_| {
+                let len = rng.random_range(len_range.clone()).max(1);
+                let mut v: Vec<u64> = (0..len).map(|_| rng.random_range(0..1_000_000)).collect();
+                v.sort_unstable();
+                v
+            })
+            .collect()
+    }
+
+    fn check_merge(geom: Geometry, run_keys: &[Vec<u64>], seed_starts: &[u32]) -> MergeOutcome {
+        let mut a: MemDiskArray<U64Record> = MemDiskArray::new(geom);
+        let handles: Vec<StripedRun> = run_keys
+            .iter()
+            .zip(seed_starts)
+            .map(|(keys, &s)| put_run(&mut a, geom, s, keys))
+            .collect();
+        a.reset_stats();
+        let out = merge_runs(&mut a, &handles, DiskId(0)).unwrap();
+        let got = read_run(&mut a, &out.run).unwrap();
+        let mut expected: Vec<u64> = run_keys.iter().flatten().copied().collect();
+        expected.sort_unstable();
+        let got_keys: Vec<u64> = got.iter().map(|r| r.0).collect();
+        assert_eq!(got_keys, expected);
+        assert_eq!(out.stats.records_out as usize, expected.len());
+        out
+    }
+
+    #[test]
+    fn merge_two_tiny_runs() {
+        let geom = Geometry::new(2, 2, 1000).unwrap();
+        check_merge(geom, &[vec![1, 3, 5], vec![2, 4, 6, 8]], &[0, 1]);
+    }
+
+    #[test]
+    fn merge_single_run_copies() {
+        let geom = Geometry::new(3, 4, 1000).unwrap();
+        check_merge(geom, &[vec![5, 6, 7, 9, 11, 20, 21]], &[2]);
+    }
+
+    #[test]
+    fn merge_runs_with_duplicate_keys() {
+        let geom = Geometry::new(2, 3, 1000).unwrap();
+        check_merge(
+            geom,
+            &[vec![1, 1, 1, 2, 2], vec![1, 2, 2, 2], vec![1, 1, 2]],
+            &[0, 1, 0],
+        );
+    }
+
+    #[test]
+    fn merge_many_random_shapes() {
+        let mut rng = SmallRng::seed_from_u64(77);
+        for &(d, b, n_runs) in &[(2usize, 4usize, 3usize), (3, 4, 5), (4, 8, 7), (5, 2, 9)] {
+            let geom = Geometry::new(d, b, 1_000_000).unwrap();
+            let runs = random_sorted_runs(&mut rng, n_runs, 1..200);
+            let starts: Vec<u32> = (0..n_runs).map(|_| rng.random_range(0..d as u32)).collect();
+            check_merge(geom, &runs, &starts);
+        }
+    }
+
+    #[test]
+    fn adversarial_same_start_disk_still_correct() {
+        // All runs start on disk 0: worst-case read contention.
+        let mut rng = SmallRng::seed_from_u64(5);
+        let geom = Geometry::new(4, 4, 1_000_000).unwrap();
+        let runs = random_sorted_runs(&mut rng, 8, 40..80);
+        let starts = vec![0u32; 8];
+        let out = check_merge(geom, &runs, &starts);
+        // Identical layout forces read serialization: with every run's
+        // frontier on one disk, reads fetch ~1 block each.
+        assert!(out.stats.schedule.total_reads() > 0);
+    }
+
+    #[test]
+    fn interleaved_runs_exercise_flushing() {
+        // Runs whose records interleave globally (run j holds keys
+        // ≡ j mod n) maximize simultaneous demand; with a small R+D buffer
+        // budget the schedule must flush.
+        let geom = Geometry::new(2, 2, 1_000_000).unwrap();
+        let n_runs = 6;
+        let len = 120u64;
+        let run_keys: Vec<Vec<u64>> = (0..n_runs)
+            .map(|j| (0..len).map(|i| i * n_runs as u64 + j as u64).collect())
+            .collect();
+        let starts: Vec<u32> = (0..n_runs).map(|j| (j % 2) as u32).collect();
+        let out = check_merge(geom, &run_keys, &starts);
+        assert!(
+            out.stats.schedule.total_reads() >= (len * n_runs as u64 / 2) / 2,
+            "reads {}",
+            out.stats.schedule.total_reads()
+        );
+    }
+
+    #[test]
+    fn write_parallelism_is_perfect() {
+        let mut rng = SmallRng::seed_from_u64(11);
+        let geom = Geometry::new(4, 4, 1_000_000).unwrap();
+        let runs = random_sorted_runs(&mut rng, 6, 50..100);
+        let starts: Vec<u32> = (0..6).map(|_| rng.random_range(0..4)).collect();
+        let total: u64 = runs.iter().map(|r| r.len() as u64).sum();
+        let out = check_merge(geom, &runs, &starts);
+        let blocks = total.div_ceil(4);
+        assert_eq!(out.stats.write_ops, blocks.div_ceil(4));
+    }
+
+    #[test]
+    fn reads_at_least_blocks_over_d_and_at_most_blocks() {
+        let mut rng = SmallRng::seed_from_u64(13);
+        let geom = Geometry::new(3, 4, 1_000_000).unwrap();
+        let runs = random_sorted_runs(&mut rng, 9, 30..120);
+        let starts: Vec<u32> = (0..9).map(|_| rng.random_range(0..3)).collect();
+        let total_blocks: u64 = runs.iter().map(|r| (r.len() as u64).div_ceil(4)).sum();
+        let out = check_merge(geom, &runs, &starts);
+        let reads = out.stats.schedule.total_reads();
+        assert!(reads >= total_blocks.div_ceil(3), "reads {reads} too few");
+        assert!(
+            reads <= total_blocks + out.stats.schedule.blocks_flushed,
+            "reads {reads} exceed blocks {total_blocks} + reread allowance"
+        );
+    }
+
+    #[test]
+    fn empty_run_list_rejected() {
+        let geom = Geometry::new(2, 2, 1000).unwrap();
+        let mut a: MemDiskArray<U64Record> = MemDiskArray::new(geom);
+        assert!(matches!(
+            merge_runs(&mut a, &[], DiskId(0)),
+            Err(SrmError::Config(_))
+        ));
+    }
+}

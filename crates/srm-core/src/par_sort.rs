@@ -1,0 +1,120 @@
+//! Multi-threaded internal sorting for run formation.
+//!
+//! The paper's run-formation pass sorts one memory-load at a time; on a
+//! modern multi-core host that internal sort is CPU-bound while the I/O
+//! system idles.  This module provides a fork-join sort built on
+//! `std::thread::scope`: split the load into per-thread chunks,
+//! `sort_unstable` each in parallel, then merge the sorted chunks through
+//! the same tournament tree the external merge uses.
+//!
+//! Determinism: for a fixed `threads` the result is deterministic.  Like
+//! `sort_unstable`, the relative order of *equal keys* is unspecified
+//! (and may differ across `threads` values); all sorters in this
+//! repository order by key only, so sorted output is unaffected.
+
+use crate::loser_tree::LoserTree;
+use pdisk::Record;
+
+/// Sort `records` by key using up to `threads` worker threads.
+///
+/// `threads <= 1` (or small inputs) falls back to a plain
+/// `sort_unstable_by_key`.
+pub fn par_sort_by_key<R: Record>(records: &mut Vec<R>, threads: usize) {
+    const MIN_PARALLEL: usize = 8 * 1024;
+    if threads <= 1 || records.len() < MIN_PARALLEL {
+        records.sort_unstable_by_key(|r| r.key());
+        return;
+    }
+    let n = records.len();
+    let threads = threads.min(n);
+    let chunk = n.div_ceil(threads);
+
+    // Phase 1: sort disjoint chunks in parallel.
+    std::thread::scope(|scope| {
+        for piece in records.chunks_mut(chunk) {
+            scope.spawn(move || piece.sort_unstable_by_key(|r| r.key()));
+        }
+    });
+
+    // Phase 2: k-way merge of the sorted chunks.
+    let mut cursors: Vec<usize> = (0..records.len()).step_by(chunk).collect();
+    let ends: Vec<usize> = cursors
+        .iter()
+        .map(|&start| (start + chunk).min(n))
+        .collect();
+    let initial: Vec<u64> = cursors
+        .iter()
+        .map(|&c| records[c].key())
+        .collect();
+    let mut tree = LoserTree::new(initial);
+    let mut out: Vec<R> = Vec::with_capacity(n);
+    while !tree.all_exhausted() {
+        let (leaf, _) = tree.peek();
+        out.push(records[cursors[leaf]]);
+        cursors[leaf] += 1;
+        let next = if cursors[leaf] < ends[leaf] {
+            records[cursors[leaf]].key()
+        } else {
+            u64::MAX
+        };
+        tree.update(leaf, next);
+    }
+    *records = out;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pdisk::U64Record;
+    use rand::rngs::SmallRng;
+    use rand::{Rng, SeedableRng};
+
+    fn random(n: usize, seed: u64) -> Vec<U64Record> {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        (0..n).map(|_| U64Record(rng.random_range(0..1_000_000))).collect()
+    }
+
+    #[test]
+    fn matches_std_sort_across_thread_counts() {
+        for &n in &[0usize, 1, 100, 8 * 1024, 50_000, 50_001] {
+            let base = random(n, 42);
+            let mut expected = base.clone();
+            expected.sort_unstable_by_key(|r| r.0);
+            for threads in [1usize, 2, 3, 7, 16] {
+                let mut got = base.clone();
+                par_sort_by_key(&mut got, threads);
+                assert_eq!(
+                    got.iter().map(|r| r.0).collect::<Vec<_>>(),
+                    expected.iter().map(|r| r.0).collect::<Vec<_>>(),
+                    "n={n} threads={threads}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn sorted_and_reverse_inputs() {
+        let mut asc: Vec<U64Record> = (0..30_000).map(U64Record).collect();
+        let expected = asc.clone();
+        par_sort_by_key(&mut asc, 4);
+        assert_eq!(asc, expected);
+        let mut desc: Vec<U64Record> = (0..30_000).rev().map(U64Record).collect();
+        par_sort_by_key(&mut desc, 4);
+        assert_eq!(desc, expected);
+    }
+
+    #[test]
+    fn heavy_duplicates() {
+        let mut v: Vec<U64Record> = (0..40_000).map(|i| U64Record(i % 7)).collect();
+        par_sort_by_key(&mut v, 5);
+        assert!(v.windows(2).all(|w| w[0].0 <= w[1].0));
+        assert_eq!(v.len(), 40_000);
+    }
+
+    #[test]
+    fn more_threads_than_records() {
+        let mut v = random(10, 1);
+        par_sort_by_key(&mut v, 64);
+        assert!(v.windows(2).all(|w| w[0].0 <= w[1].0));
+    }
+}

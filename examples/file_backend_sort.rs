@@ -1,0 +1,61 @@
+//! External sorting on *real files*: each simulated disk is a file, and
+//! every parallel I/O operation issues its per-disk transfers concurrently
+//! on dedicated worker threads.
+//!
+//! ```text
+//! cargo run --release --example file_backend_sort
+//! ```
+
+use srm_repro::pdisk::{FileDiskArray, Geometry, KeyPayloadRecord};
+use srm_repro::srm::sort::write_unsorted_input;
+use srm_repro::srm::{read_run, SrmSorter};
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+type Tuple = KeyPayloadRecord<24>; // 8-byte key + 24-byte payload
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let dir = std::env::temp_dir().join(format!("srm-example-{}", std::process::id()));
+    let geom = Geometry::new(4, 128, 32_768)?;
+    println!("creating 4 disk files under {}", dir.display());
+    let mut disks: FileDiskArray<Tuple> = FileDiskArray::create(geom, &dir)?;
+
+    // 400k records of 32 bytes: ~12.8 MB of real file data per pass.
+    let mut rng = SmallRng::seed_from_u64(5);
+    let records: Vec<Tuple> = (0..400_000)
+        .map(|_| Tuple::with_derived_payload(rng.random()))
+        .collect();
+    let input = write_unsorted_input(&mut disks, &records)?;
+
+    let start = std::time::Instant::now();
+    let (sorted, report) = SrmSorter::default().sort(&mut disks, &input)?;
+    println!(
+        "sorted {} records in {:.2?}: {} merge passes, {}",
+        report.records,
+        start.elapsed(),
+        report.merge_passes,
+        report.io
+    );
+
+    // Verify keys AND payloads survived the trip through the files.
+    let output = read_run(&mut disks, &sorted)?;
+    assert!(output.windows(2).all(|w| w[0].key <= w[1].key));
+    assert!(output
+        .iter()
+        .all(|r| *r == Tuple::with_derived_payload(r.key)));
+    println!("verification: sorted, payloads intact ✓");
+
+    for entry in std::fs::read_dir(&dir)? {
+        let entry = entry?;
+        println!(
+            "  {} — {:.1} MB",
+            entry.file_name().to_string_lossy(),
+            entry.metadata()?.len() as f64 / 1e6
+        );
+    }
+    drop(disks);
+    std::fs::remove_dir_all(&dir)?;
+    println!("cleaned up {}", dir.display());
+    Ok(())
+}

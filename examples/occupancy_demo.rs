@@ -1,0 +1,45 @@
+//! The analysis behind SRM, hands-on: dependent vs classical maximum
+//! occupancy (the paper's Figure 1 and §7), plus Theorem 2's bound.
+//!
+//! ```text
+//! cargo run --release --example occupancy_demo
+//! ```
+
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use srm_repro::occupancy::{
+    estimate_classical_max, figure1_instance, upper_bound_expected_max, DependentProblem,
+};
+
+fn main() {
+    let mut rng = SmallRng::seed_from_u64(99);
+
+    // Figure 1's instance: 5 chains of 12 balls over 4 bins.
+    let (problem, starts) = figure1_instance();
+    let occ = problem.throw_at(&starts);
+    println!("Figure 1 dependent instance: chains {:?}", problem.chains());
+    println!("bin loads at the depicted throw: {occ:?} (max = {})", occ.iter().max().unwrap());
+
+    // Why SRM's reads stay parallel: a merge phase needs R blocks whose
+    // disks form a *dependent* occupancy problem — chains land cyclically,
+    // which provably spreads no worse than independent balls.
+    println!("\nE[max occupancy], 100k trials each, N_b = 64 balls, D = 8 bins:");
+    for (label, problem) in [
+        ("64 singleton chains (classical)", DependentProblem::classical(64, 8)),
+        ("16 chains of length 4", DependentProblem::uniform_chains(16, 4, 8)),
+        ("8 chains of length 8 = D", DependentProblem::uniform_chains(8, 8, 8)),
+        ("4 chains of length 16 > D", DependentProblem::uniform_chains(4, 16, 8)),
+    ] {
+        let est = problem.estimate_max(100_000, &mut rng);
+        println!("  {label:<34} {est}");
+    }
+    println!("\nLonger chains => smaller expected maximum: cyclic placement");
+    println!("reduces variance (the §7.2 conjecture, verified empirically).");
+
+    // Theorem 2's bound vs Monte Carlo at a Table 1 cell.
+    let (k, d) = (5u64, 50usize);
+    let mc = estimate_classical_max(k * d as u64, d, 5_000, &mut rng);
+    let bound = upper_bound_expected_max(k * d as u64, d);
+    println!("\nTheorem 2 at (k={k}, D={d}): MC E[max] = {:.2}, rho* bound = {bound:.2}", mc.mean);
+    println!("=> the paper's Table 1 overhead v = E[max]/k = {:.2}", mc.mean / k as f64);
+}

@@ -1,0 +1,16 @@
+//! # srm-repro — facade over the SRM reproduction workspace
+//!
+//! Re-exports the workspace crates so examples and integration tests can
+//! address the whole system through one dependency:
+//!
+//! * [`pdisk`] — the Vitter–Shriver parallel disk model (substrate);
+//! * [`occupancy`] — occupancy theory: Monte Carlo + Theorem 2 bounds;
+//! * [`srm`] — the paper's contribution: forecast-and-flush mergesort;
+//! * [`dsm`] — the disk-striped mergesort baseline;
+//! * [`analysis`] — closed-form I/O counts and the paper's tables.
+
+pub use analysis;
+pub use dsm;
+pub use occupancy;
+pub use pdisk;
+pub use srm_core as srm;

@@ -1,0 +1,137 @@
+//! Property-based tests: for *arbitrary* inputs and geometries, both
+//! sorters emit a sorted permutation of their input, SRM's merge respects
+//! its I/O lower bound, and the order-statistics sampler keeps its
+//! structural invariants.
+
+use dsm::{read_logical_run, write_unsorted_stripes, DsmSorter};
+use pdisk::{Geometry, MemDiskArray, U64Record};
+use proptest::collection::vec;
+use proptest::prelude::*;
+use srm_core::sort::write_unsorted_input;
+use srm_core::{read_run, RunFormation, SrmConfig, SrmSorter};
+
+/// Small but varied machine shapes.
+fn geometries() -> impl Strategy<Value = Geometry> {
+    (1usize..=5, 1usize..=6, 6usize..=40).prop_map(|(d, b, mem_blocks)| {
+        // Enough memory for both sorters: SRM needs
+        // (M/B − 4D)·B ≥ 2(2B + D) for a merge order of at least 2, and
+        // DSM needs M/B ≥ 2D·(R+1) for order ≥ 2.
+        let srm_min = 4 * d + 5 + (2 * d).div_ceil(b);
+        let dsm_min = 2 * d * 3;
+        let blocks = mem_blocks.max(srm_min).max(dsm_min);
+        Geometry::new(d, b, blocks * b).expect("valid geometry")
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn srm_sorts_arbitrary_inputs(
+        geom in geometries(),
+        keys in vec(any::<u64>(), 1..800),
+        seed in any::<u64>(),
+    ) {
+        let mut a: MemDiskArray<U64Record> = MemDiskArray::new(geom);
+        let recs: Vec<U64Record> = keys.iter().map(|&k| U64Record(k)).collect();
+        let input = write_unsorted_input(&mut a, &recs).unwrap();
+        let config = SrmConfig { seed, ..SrmConfig::default() };
+        let (run, report) = SrmSorter::new(config).sort(&mut a, &input).unwrap();
+        let got: Vec<u64> = read_run(&mut a, &run).unwrap().iter().map(|r| r.0).collect();
+        let mut expected = keys.clone();
+        expected.sort_unstable();
+        prop_assert_eq!(got, expected);
+        prop_assert_eq!(report.records as usize, keys.len());
+        // Reads can never beat the one-block-per-disk-per-op bound.
+        let blocks = (keys.len() as u64).div_ceil(geom.b as u64);
+        prop_assert!(report.io.blocks_read <= report.io.read_ops * geom.d as u64);
+        prop_assert!(report.io.blocks_written >= blocks * (1 + report.merge_passes.min(1)) || report.merge_passes == 0);
+    }
+
+    #[test]
+    fn srm_with_replacement_selection_sorts(
+        geom in geometries(),
+        keys in vec(any::<u64>(), 1..500),
+        seed in any::<u64>(),
+    ) {
+        let mut a: MemDiskArray<U64Record> = MemDiskArray::new(geom);
+        let recs: Vec<U64Record> = keys.iter().map(|&k| U64Record(k)).collect();
+        let input = write_unsorted_input(&mut a, &recs).unwrap();
+        let config = SrmConfig {
+            seed,
+            run_formation: RunFormation::ReplacementSelection,
+            ..SrmConfig::default()
+        };
+        let (run, _) = SrmSorter::new(config).sort(&mut a, &input).unwrap();
+        let got: Vec<u64> = read_run(&mut a, &run).unwrap().iter().map(|r| r.0).collect();
+        let mut expected = keys.clone();
+        expected.sort_unstable();
+        prop_assert_eq!(got, expected);
+    }
+
+    #[test]
+    fn dsm_sorts_arbitrary_inputs(
+        geom in geometries(),
+        keys in vec(any::<u64>(), 1..800),
+    ) {
+        let mut a: MemDiskArray<U64Record> = MemDiskArray::new(geom);
+        let recs: Vec<U64Record> = keys.iter().map(|&k| U64Record(k)).collect();
+        let input = write_unsorted_stripes(&mut a, &recs).unwrap();
+        let (run, _) = DsmSorter::default().sort(&mut a, &input).unwrap();
+        let got: Vec<u64> = read_logical_run(&mut a, &run).unwrap().iter().map(|r| r.0).collect();
+        let mut expected = keys.clone();
+        expected.sort_unstable();
+        prop_assert_eq!(got, expected);
+    }
+
+    /// SRM and DSM always agree on the final sequence.
+    #[test]
+    fn sorters_agree(
+        geom in geometries(),
+        keys in vec(any::<u64>(), 1..400),
+    ) {
+        let recs: Vec<U64Record> = keys.iter().map(|&k| U64Record(k)).collect();
+        let mut a: MemDiskArray<U64Record> = MemDiskArray::new(geom);
+        let input = write_unsorted_input(&mut a, &recs).unwrap();
+        let (srm_run, _) = SrmSorter::default().sort(&mut a, &input).unwrap();
+        let srm_out: Vec<u64> = read_run(&mut a, &srm_run).unwrap().iter().map(|r| r.0).collect();
+        let mut b: MemDiskArray<U64Record> = MemDiskArray::new(geom);
+        let input = write_unsorted_stripes(&mut b, &recs).unwrap();
+        let (dsm_run, _) = DsmSorter::default().sort(&mut b, &input).unwrap();
+        let dsm_out: Vec<u64> = read_logical_run(&mut b, &dsm_run).unwrap().iter().map(|r| r.0).collect();
+        prop_assert_eq!(srm_out, dsm_out);
+    }
+
+    /// Order-statistics sampler invariants over arbitrary (records, B).
+    #[test]
+    fn block_bounds_structural_invariants(
+        records in 1u64..5000,
+        block in 1u64..200,
+        seed in any::<u64>(),
+    ) {
+        use rand::SeedableRng;
+        let mut rng = rand::rngs::SmallRng::seed_from_u64(seed);
+        let bb = occupancy::BlockBounds::sample(records, block, &mut rng);
+        prop_assert_eq!(bb.blocks() as u64, records.div_ceil(block));
+        for j in 0..bb.blocks() {
+            prop_assert!(bb.minima[j] <= bb.maxima[j]);
+            prop_assert!(bb.minima[j] > 0.0 && bb.maxima[j] < 1.0);
+            if j + 1 < bb.blocks() {
+                prop_assert!(bb.maxima[j] < bb.minima[j + 1]);
+            }
+        }
+    }
+
+    /// Lemma 9 invariant under arbitrary chain multisets: normalization
+    /// preserves ball count and caps every chain at D.
+    #[test]
+    fn lemma9_normalization_invariants(
+        d in 1usize..20,
+        chains in vec(1u64..100, 1..30),
+    ) {
+        let p = occupancy::DependentProblem::new(d, chains);
+        let n = p.normalized();
+        prop_assert_eq!(n.total_balls(), p.total_balls());
+        prop_assert!(n.chains().iter().all(|&c| c <= d as u64));
+    }
+}
