@@ -1,0 +1,266 @@
+//! Checkpoint manifests for multi-pass DSM sorts.
+//!
+//! Same recovery idea as `srm-core::checkpoint`, for the striped
+//! baseline: after formation and after each merge pass the whole dataset
+//! exists as a set of sorted logical runs, so that set (plus the pass
+//! number) is all a resume needs.  DSM is deterministic — there is no
+//! placement RNG to fast-forward — which makes its manifest even
+//! simpler:
+//!
+//! ```text
+//! dsm-sort-manifest v1
+//! algo dsm
+//! geometry <D> <B> <M>
+//! records <u64>
+//! runs-formed <u64>
+//! pass <completed merge passes>
+//! runs <count>
+//! run <start_stripe> <len_stripes> <records>
+//! ...
+//! checksum <fnv1a64 of all preceding bytes, hex>
+//! ```
+//!
+//! Written atomically (temp file + rename) with an FNV-1a checksum line,
+//! so a torn manifest is detected, never trusted.
+//!
+//! One DSM-specific caveat: resuming requires the array's per-disk bump
+//! allocators to still be in lockstep (see [`crate::logical::alloc_stripe`]).
+//! A sort interrupted *between* the per-disk allocations of one stripe
+//! violates that; the lockstep assertion reports it loudly on resume.
+
+use crate::logical::LogicalRun;
+use crate::sort::DsmError;
+use pdisk::Geometry;
+use std::io::Write;
+use std::path::Path;
+
+/// Manifest format version understood by this build.
+pub const MANIFEST_VERSION: u32 = 1;
+
+const HEADER: &str = "dsm-sort-manifest v1";
+
+/// Snapshot of a DSM sort between passes.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DsmManifest {
+    /// Geometry the sort ran under; resume refuses a mismatch.
+    pub geometry: Geometry,
+    /// Total records being sorted.
+    pub records: u64,
+    /// Runs produced by the formation pass.
+    pub runs_formed: u64,
+    /// Completed merge passes (0 = formation finished).
+    pub pass: u64,
+    /// Surviving runs, in merge-queue order.
+    pub runs: Vec<LogicalRun>,
+}
+
+impl DsmManifest {
+    /// Refuse to resume against a different array or input.
+    pub fn validate(&self, geometry: Geometry, records: u64) -> Result<(), DsmError> {
+        if self.geometry != geometry {
+            return Err(DsmError::Checkpoint(format!(
+                "manifest geometry (D={} B={} M={}) does not match array (D={} B={} M={})",
+                self.geometry.d, self.geometry.b, self.geometry.m, geometry.d, geometry.b, geometry.m
+            )));
+        }
+        if self.records != records {
+            return Err(DsmError::Checkpoint(format!(
+                "manifest records {} does not match input records {records}",
+                self.records
+            )));
+        }
+        if self.runs.is_empty() {
+            return Err(DsmError::Checkpoint("manifest holds no runs".into()));
+        }
+        Ok(())
+    }
+
+    /// Serialize to the manifest text format, checksum line included.
+    pub fn encode(&self) -> String {
+        let mut s = String::new();
+        s.push_str(HEADER);
+        s.push('\n');
+        s.push_str("algo dsm\n");
+        s.push_str(&format!(
+            "geometry {} {} {}\n",
+            self.geometry.d, self.geometry.b, self.geometry.m
+        ));
+        s.push_str(&format!("records {}\n", self.records));
+        s.push_str(&format!("runs-formed {}\n", self.runs_formed));
+        s.push_str(&format!("pass {}\n", self.pass));
+        s.push_str(&format!("runs {}\n", self.runs.len()));
+        for run in &self.runs {
+            s.push_str(&format!(
+                "run {} {} {}\n",
+                run.start_stripe, run.len_stripes, run.records
+            ));
+        }
+        s.push_str(&format!("checksum {:016x}\n", fnv1a64(s.as_bytes())));
+        s
+    }
+
+    /// Parse manifest text, verifying the trailing checksum.
+    pub fn parse(text: &str) -> Result<Self, DsmError> {
+        let bad = |msg: &str| DsmError::Checkpoint(format!("malformed manifest: {msg}"));
+        let body_end = text
+            .rfind("checksum ")
+            .ok_or_else(|| bad("missing checksum line"))?;
+        let stored = text[body_end..]
+            .trim()
+            .strip_prefix("checksum ")
+            .and_then(|h| u64::from_str_radix(h, 16).ok())
+            .ok_or_else(|| bad("unreadable checksum"))?;
+        let computed = fnv1a64(&text.as_bytes()[..body_end]);
+        if stored != computed {
+            return Err(DsmError::Checkpoint(format!(
+                "manifest checksum mismatch: stored {stored:016x}, computed {computed:016x} \
+                 (torn or corrupted manifest)"
+            )));
+        }
+
+        let mut lines = text[..body_end].lines();
+        if lines.next() != Some(HEADER) {
+            return Err(bad("unknown header or version"));
+        }
+        let mut field = |name: &str| -> Result<String, DsmError> {
+            let line = lines.next().ok_or_else(|| bad("truncated"))?;
+            line.strip_prefix(name)
+                .and_then(|rest| rest.strip_prefix(' '))
+                .map(str::to_owned)
+                .ok_or_else(|| bad(&format!("expected `{name}` line, got `{line}`")))
+        };
+        if field("algo")? != "dsm" {
+            return Err(bad("not a dsm manifest"));
+        }
+        let geo: Vec<usize> = parse_ints(&field("geometry")?).map_err(|e| bad(&e))?;
+        if geo.len() != 3 {
+            return Err(bad("geometry needs three fields"));
+        }
+        let geometry = Geometry::new(geo[0], geo[1], geo[2])
+            .map_err(|e| DsmError::Checkpoint(format!("manifest geometry invalid: {e}")))?;
+        let records: u64 = field("records")?.parse().map_err(|_| bad("records"))?;
+        let runs_formed: u64 = field("runs-formed")?.parse().map_err(|_| bad("runs-formed"))?;
+        let pass: u64 = field("pass")?.parse().map_err(|_| bad("pass"))?;
+        let count: usize = field("runs")?.parse().map_err(|_| bad("runs count"))?;
+        let mut runs = Vec::with_capacity(count);
+        for _ in 0..count {
+            let nums: Vec<u64> = parse_ints(&field("run")?).map_err(|e| bad(&e))?;
+            if nums.len() != 3 {
+                return Err(bad("run line needs three fields"));
+            }
+            runs.push(LogicalRun {
+                start_stripe: nums[0],
+                len_stripes: nums[1],
+                records: nums[2],
+            });
+        }
+        if lines.next().is_some() {
+            return Err(bad("trailing data after runs"));
+        }
+        Ok(DsmManifest {
+            geometry,
+            records,
+            runs_formed,
+            pass,
+            runs,
+        })
+    }
+
+    /// Write atomically: temp file, fsync, rename.
+    pub fn save(&self, path: &Path) -> Result<(), DsmError> {
+        let ckpt = |e: std::io::Error| {
+            DsmError::Checkpoint(format!("cannot write manifest {}: {e}", path.display()))
+        };
+        let tmp = path.with_extension("tmp");
+        let mut f = std::fs::File::create(&tmp).map_err(ckpt)?;
+        f.write_all(self.encode().as_bytes()).map_err(ckpt)?;
+        f.sync_all().map_err(ckpt)?;
+        drop(f);
+        std::fs::rename(&tmp, path).map_err(ckpt)?;
+        Ok(())
+    }
+
+    /// Load and parse a manifest file.
+    pub fn load(path: &Path) -> Result<Self, DsmError> {
+        let text = std::fs::read_to_string(path).map_err(|e| {
+            DsmError::Checkpoint(format!("cannot read manifest {}: {e}", path.display()))
+        })?;
+        Self::parse(&text)
+    }
+
+    /// Delete a completed sort's manifest; a missing file is fine.
+    pub fn remove(path: &Path) -> Result<(), DsmError> {
+        match std::fs::remove_file(path) {
+            Ok(()) => Ok(()),
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => Ok(()),
+            Err(e) => Err(DsmError::Checkpoint(format!(
+                "cannot remove manifest {}: {e}",
+                path.display()
+            ))),
+        }
+    }
+}
+
+fn parse_ints<T: std::str::FromStr>(s: &str) -> Result<Vec<T>, String> {
+    s.split_whitespace()
+        .map(|w| w.parse::<T>().map_err(|_| format!("bad integer `{w}`")))
+        .collect()
+}
+
+/// FNV-1a 64-bit, matching the block-level framing check in `pdisk::file`.
+fn fnv1a64(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    h
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> DsmManifest {
+        DsmManifest {
+            geometry: Geometry::new(2, 4, 96).unwrap(),
+            records: 3000,
+            runs_formed: 63,
+            pass: 1,
+            runs: vec![
+                LogicalRun {
+                    start_stripe: 400,
+                    len_stripes: 30,
+                    records: 240,
+                },
+                LogicalRun {
+                    start_stripe: 430,
+                    len_stripes: 20,
+                    records: 160,
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn encode_parse_roundtrips() {
+        let m = sample();
+        assert_eq!(DsmManifest::parse(&m.encode()).unwrap(), m);
+    }
+
+    #[test]
+    fn corruption_and_truncation_detected() {
+        let text = sample().encode();
+        let broken = text.replace("run 400 30 240", "run 401 30 240");
+        assert!(DsmManifest::parse(&broken).is_err());
+        assert!(DsmManifest::parse(&text[..text.len() - 20]).is_err());
+    }
+
+    #[test]
+    fn validate_refuses_mismatches() {
+        let m = sample();
+        m.validate(m.geometry, 3000).unwrap();
+        assert!(m.validate(Geometry::new(4, 4, 96).unwrap(), 3000).is_err());
+        assert!(m.validate(m.geometry, 2999).is_err());
+    }
+}

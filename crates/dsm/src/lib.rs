@@ -18,8 +18,10 @@
 //! the two are compared on identical terms: identical geometry, identical
 //! memory budget, identical counting.
 
+pub mod checkpoint;
 pub mod logical;
 pub mod sort;
 
+pub use checkpoint::DsmManifest;
 pub use logical::{read_logical_run, LogicalRun};
 pub use sort::{write_unsorted_stripes, DsmConfig, DsmError, DsmReport, DsmSorter};

@@ -1,9 +1,11 @@
 //! The DSM sorter: memory-load run formation plus striped merge passes.
 
+use crate::checkpoint::DsmManifest;
 use crate::logical::{alloc_stripe, read_stripe, write_stripe, LogicalRun};
 use pdisk::{DiskArray, IoStats, PdiskError, Record};
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
+use std::path::Path;
 
 /// DSM configuration.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -65,6 +67,8 @@ pub enum DsmError {
     Disk(PdiskError),
     /// Unusable configuration.
     Config(String),
+    /// A checkpoint manifest could not be read, written, or trusted.
+    Checkpoint(String),
 }
 
 impl std::fmt::Display for DsmError {
@@ -72,11 +76,19 @@ impl std::fmt::Display for DsmError {
         match self {
             DsmError::Disk(e) => write!(f, "disk error: {e}"),
             DsmError::Config(m) => write!(f, "configuration error: {m}"),
+            DsmError::Checkpoint(m) => write!(f, "checkpoint error: {m}"),
         }
     }
 }
 
-impl std::error::Error for DsmError {}
+impl std::error::Error for DsmError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            DsmError::Disk(e) => Some(e),
+            _ => None,
+        }
+    }
+}
 
 impl From<PdiskError> for DsmError {
     fn from(e: PdiskError) -> Self {
@@ -97,6 +109,30 @@ impl DsmSorter {
         array: &mut A,
         input: &LogicalRun,
     ) -> Result<(LogicalRun, DsmReport), DsmError> {
+        self.sort_inner(array, input, None)
+    }
+
+    /// Like [`DsmSorter::sort`], but checkpointing to `manifest` after
+    /// formation and after each merge pass, and resuming from it when the
+    /// file exists (geometry and record count are validated first).  The
+    /// manifest is deleted on completion.  DSM is deterministic, so a
+    /// resumed sort redoes only the interrupted pass and produces exactly
+    /// the output an uninterrupted sort would.
+    pub fn sort_checkpointed<R: Record, A: DiskArray<R>>(
+        &self,
+        array: &mut A,
+        input: &LogicalRun,
+        manifest: &Path,
+    ) -> Result<(LogicalRun, DsmReport), DsmError> {
+        self.sort_inner(array, input, Some(manifest))
+    }
+
+    fn sort_inner<R: Record, A: DiskArray<R>>(
+        &self,
+        array: &mut A,
+        input: &LogicalRun,
+        manifest: Option<&Path>,
+    ) -> Result<(LogicalRun, DsmReport), DsmError> {
         let geom = array.geometry();
         if input.records == 0 {
             return Err(DsmError::Config("cannot sort an empty input".into()));
@@ -112,31 +148,48 @@ impl DsmSorter {
             .map_err(|e| DsmError::Config(e.to_string()))?;
         let io_before = array.stats();
 
-        // Run formation: sort `load_fraction · M` records at a time.
-        let capacity = ((geom.m as f64 * self.config.load_fraction) as usize).max(geom.b * geom.d);
-        let mut queue: Vec<LogicalRun> = Vec::new();
-        let mut next_in = 0u64; // stripes of the input consumed
-        let mut consumed = 0u64; // records consumed
-        while consumed < input.records {
-            let mut load: Vec<R> = Vec::with_capacity(capacity);
-            // Consume whole stripes to keep every input read full-width;
-            // when load_fraction·M is not stripe-aligned the load runs
-            // slightly over, never under.
-            while load.len() < capacity && consumed < input.records {
-                let n = input.records_in_stripe(next_in, geom.d, geom.b);
-                load.extend(read_stripe(array, input.start_stripe + next_in, n)?);
-                next_in += 1;
-                consumed += n;
+        let resume = match manifest {
+            Some(path) if path.exists() => Some(DsmManifest::load(path)?),
+            _ => None,
+        };
+        let (mut queue, mut pass, runs_formed) = match resume {
+            Some(m) => {
+                m.validate(geom, input.records)?;
+                (m.runs, m.pass, m.runs_formed as usize)
             }
-            load.sort_unstable_by_key(|r| r.key());
-            queue.push(write_run(array, &load)?);
-        }
-        let runs_formed = queue.len();
+            None => {
+                // Run formation: sort `load_fraction · M` records at a time.
+                let capacity =
+                    ((geom.m as f64 * self.config.load_fraction) as usize).max(geom.b * geom.d);
+                let mut queue: Vec<LogicalRun> = Vec::new();
+                let mut next_in = 0u64; // stripes of the input consumed
+                let mut consumed = 0u64; // records consumed
+                while consumed < input.records {
+                    let mut load: Vec<R> = Vec::with_capacity(capacity);
+                    // Consume whole stripes to keep every input read
+                    // full-width; when load_fraction·M is not
+                    // stripe-aligned the load runs slightly over, never
+                    // under.
+                    while load.len() < capacity && consumed < input.records {
+                        let n = input.records_in_stripe(next_in, geom.d, geom.b);
+                        load.extend(read_stripe(array, input.start_stripe + next_in, n)?);
+                        next_in += 1;
+                        consumed += n;
+                    }
+                    load.sort_unstable_by_key(|r| r.key());
+                    queue.push(write_run(array, &load)?);
+                }
+                let runs_formed = queue.len();
+                if let Some(path) = manifest {
+                    snapshot(path, geom, input, runs_formed, 0, &queue)?;
+                }
+                (queue, 0, runs_formed)
+            }
+        };
 
         // Merge passes.
-        let mut merge_passes = 0u64;
         while queue.len() > 1 {
-            merge_passes += 1;
+            pass += 1;
             let mut next: Vec<LogicalRun> = Vec::with_capacity(queue.len().div_ceil(r_dsm));
             for group in queue.chunks(r_dsm) {
                 if group.len() == 1 {
@@ -146,20 +199,48 @@ impl DsmSorter {
                 next.push(merge_group(array, group)?);
             }
             queue = next;
+            if let Some(path) = manifest {
+                if queue.len() > 1 {
+                    snapshot(path, geom, input, runs_formed, pass, &queue)?;
+                }
+            }
         }
-        let sorted = queue.pop().expect("one run");
+        let sorted = queue
+            .pop()
+            .ok_or_else(|| DsmError::Config("merge queue drained to empty".into()))?;
         debug_assert_eq!(sorted.records, input.records);
+        if let Some(path) = manifest {
+            DsmManifest::remove(path)?;
+        }
         Ok((
             sorted,
             DsmReport {
                 records: input.records,
                 merge_order: r_dsm,
                 runs_formed,
-                merge_passes,
+                merge_passes: pass,
                 io: array.stats().since(&io_before),
             },
         ))
     }
+}
+
+fn snapshot(
+    path: &Path,
+    geometry: pdisk::Geometry,
+    input: &LogicalRun,
+    runs_formed: usize,
+    pass: u64,
+    queue: &[LogicalRun],
+) -> Result<(), DsmError> {
+    DsmManifest {
+        geometry,
+        records: input.records,
+        runs_formed: runs_formed as u64,
+        pass,
+        runs: queue.to_vec(),
+    }
+    .save(path)
 }
 
 /// Write sorted records as a fresh logical run.
@@ -179,8 +260,9 @@ fn write_run<R: Record, A: DiskArray<R>>(
         write_stripe(array, s, chunk)?;
         len += 1;
     }
+    let start_stripe = start.ok_or_else(|| DsmError::Config("cannot write an empty run".into()))?;
     Ok(LogicalRun {
-        start_stripe: start.expect("non-empty run"),
+        start_stripe,
         len_stripes: len,
         records: records.len() as u64,
     })
@@ -264,7 +346,8 @@ fn merge_group<R: Record, A: DiskArray<R>>(
     if !out.is_empty() {
         flush(array, &mut out, &mut out_run)?;
     }
-    let out_run = out_run.expect("non-empty merge output");
+    let out_run =
+        out_run.ok_or_else(|| DsmError::Config("merge produced no output stripes".into()))?;
     debug_assert_eq!(out_run.records, total);
     Ok(out_run)
 }

@@ -2,6 +2,48 @@
 
 use crate::addr::{BlockAddr, DiskId};
 
+/// How long a device fault persists.
+///
+/// The taxonomy follows the usual storage-reliability split: *transient*
+/// faults (bus resets, recoverable read errors, controller timeouts)
+/// succeed when the operation is re-issued, while *permanent* faults
+/// (head crash, dead controller) fail every subsequent operation on the
+/// affected disk.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum FaultKind {
+    /// The fault affects only this attempt; a retry may succeed.
+    Transient,
+    /// The disk is gone; every future operation on it will fail.
+    Permanent,
+}
+
+impl std::fmt::Display for FaultKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FaultKind::Transient => f.write_str("transient"),
+            FaultKind::Permanent => f.write_str("permanent"),
+        }
+    }
+}
+
+/// Which backend operation a fault interrupted.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum FaultOp {
+    Read,
+    Write,
+    Alloc,
+}
+
+impl std::fmt::Display for FaultOp {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FaultOp::Read => f.write_str("read"),
+            FaultOp::Write => f.write_str("write"),
+            FaultOp::Alloc => f.write_str("alloc"),
+        }
+    }
+}
+
 /// Errors produced by the parallel disk model.
 #[derive(Debug)]
 pub enum PdiskError {
@@ -22,8 +64,40 @@ pub enum PdiskError {
     BadGeometry(String),
     /// Underlying OS-level I/O failure (file backend only).
     Io(std::io::Error),
-    /// On-disk data failed to decode (file backend only).
+    /// On-disk data failed to decode or failed its checksum.
     Corrupt(String),
+    /// A device fault, real or injected by [`crate::FaultModel`].
+    Fault {
+        /// Transient (retryable) or permanent (disk is dead).
+        kind: FaultKind,
+        /// The operation that was interrupted.
+        op: FaultOp,
+        /// The disk the fault occurred on, when attributable.
+        disk: Option<DiskId>,
+    },
+    /// A retry policy gave up: every attempt failed with a retryable
+    /// error; `last` is the final attempt's failure (the error source).
+    RetriesExhausted {
+        /// Total attempts made, including the first.
+        attempts: u32,
+        /// Error returned by the final attempt.
+        last: Box<PdiskError>,
+    },
+}
+
+impl PdiskError {
+    /// Whether re-issuing the failed operation could plausibly succeed.
+    ///
+    /// Transient faults, OS-level I/O errors, and checksum mismatches
+    /// (torn reads) are retryable; permanent faults and every logic
+    /// error (bad addressing, bad geometry) are not.
+    pub fn is_retryable(&self) -> bool {
+        match self {
+            PdiskError::Fault { kind, .. } => *kind == FaultKind::Transient,
+            PdiskError::Io(_) | PdiskError::Corrupt(_) => true,
+            _ => false,
+        }
+    }
 }
 
 impl std::fmt::Display for PdiskError {
@@ -42,6 +116,13 @@ impl std::fmt::Display for PdiskError {
             PdiskError::BadGeometry(msg) => write!(f, "bad geometry: {msg}"),
             PdiskError::Io(e) => write!(f, "I/O error: {e}"),
             PdiskError::Corrupt(msg) => write!(f, "corrupt on-disk data: {msg}"),
+            PdiskError::Fault { kind, op, disk } => match disk {
+                Some(d) => write!(f, "{kind} fault on disk {} during {op}", d.0),
+                None => write!(f, "{kind} fault during {op}"),
+            },
+            PdiskError::RetriesExhausted { attempts, last } => {
+                write!(f, "gave up after {attempts} attempts: {last}")
+            }
         }
     }
 }
@@ -50,6 +131,7 @@ impl std::error::Error for PdiskError {
     fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
         match self {
             PdiskError::Io(e) => Some(e),
+            PdiskError::RetriesExhausted { last, .. } => Some(last.as_ref()),
             _ => None,
         }
     }
@@ -82,5 +164,52 @@ mod tests {
         let e: PdiskError = std::io::Error::other("boom").into();
         assert!(e.source().is_some());
         assert!(e.to_string().contains("boom"));
+    }
+
+    #[test]
+    fn fault_display_names_disk_kind_and_op() {
+        let e = PdiskError::Fault {
+            kind: FaultKind::Transient,
+            op: FaultOp::Read,
+            disk: Some(DiskId(2)),
+        };
+        let text = e.to_string();
+        assert!(text.contains("transient") && text.contains("disk 2") && text.contains("read"));
+    }
+
+    #[test]
+    fn retries_exhausted_chains_source() {
+        use std::error::Error;
+        let last = PdiskError::Fault {
+            kind: FaultKind::Transient,
+            op: FaultOp::Write,
+            disk: None,
+        };
+        let e = PdiskError::RetriesExhausted {
+            attempts: 4,
+            last: Box::new(last),
+        };
+        assert!(e.to_string().contains("4 attempts"));
+        let src = e.source().expect("source must be the last attempt");
+        assert!(src.to_string().contains("transient fault during write"));
+    }
+
+    #[test]
+    fn retryability_matches_taxonomy() {
+        let transient = PdiskError::Fault {
+            kind: FaultKind::Transient,
+            op: FaultOp::Read,
+            disk: None,
+        };
+        let permanent = PdiskError::Fault {
+            kind: FaultKind::Permanent,
+            op: FaultOp::Read,
+            disk: None,
+        };
+        assert!(transient.is_retryable());
+        assert!(!permanent.is_retryable());
+        assert!(PdiskError::Io(std::io::Error::other("x")).is_retryable());
+        assert!(PdiskError::Corrupt("torn".into()).is_retryable());
+        assert!(!PdiskError::NoSuchDisk(DiskId(0)).is_retryable());
     }
 }

@@ -1,25 +1,47 @@
-//! Fault injection: a wrapper backend that fails a chosen operation.
+//! Fault injection: a scriptable fault model over any backend.
 //!
 //! Real disk arrays fail; a library someone would adopt must surface
 //! those failures as errors, not panics or silent corruption.  This
-//! wrapper turns the `n`-th read and/or write into an I/O error so tests
-//! can drive every consumer through its error path.
+//! module provides two layers:
+//!
+//! * [`FaultPlan`] — the simple deterministic script ("fail the n-th
+//!   read"), kept for precise error-path tests;
+//! * [`FaultModel`] — the general model: scripted *and* seeded-random
+//!   faults, transient vs. permanent ([`FaultKind`]), per-disk fault
+//!   rates, and detected-corruption faults.  Random faults are driven
+//!   by a dedicated RNG seeded explicitly, so every faulty run is
+//!   reproducible from `(workload seed, fault seed)`.
+//!
+//! Faulted operations charge **no I/O** to the inner backend (the
+//! backend is never invoked), so the inner [`IoStats`] always reflects
+//! logical, successful operations; recovery work is visible separately
+//! through [`crate::retry::RetryingDiskArray`]'s retry counters.
 
 use crate::addr::{BlockAddr, DiskId};
 use crate::backend::DiskArray;
 use crate::block::Block;
-use crate::error::{PdiskError, Result};
+use crate::error::{FaultKind, FaultOp, PdiskError, Result};
 use crate::geometry::Geometry;
 use crate::record::Record;
 use crate::stats::IoStats;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use std::collections::BTreeSet;
 
 /// Which operations to fail, counted from 0 over the wrapper's lifetime.
+///
+/// The plan is the deterministic core of the fault model: each set
+/// ordinal fails exactly once, as a [`FaultKind::Transient`] fault.
+/// Convert into a [`FaultModel`] (via `Into`) to add random faults,
+/// permanent faults, or corruption.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct FaultPlan {
     /// Fail the read with this ordinal (0-based), if set.
     pub fail_read: Option<u64>,
     /// Fail the write with this ordinal (0-based), if set.
     pub fail_write: Option<u64>,
+    /// Fail the allocation with this ordinal (0-based), if set.
+    pub fail_alloc: Option<u64>,
 }
 
 impl FaultPlan {
@@ -27,37 +49,287 @@ impl FaultPlan {
     pub fn read(n: u64) -> Self {
         FaultPlan {
             fail_read: Some(n),
-            fail_write: None,
+            ..FaultPlan::default()
         }
     }
 
     /// Fail the `n`-th write.
     pub fn write(n: u64) -> Self {
         FaultPlan {
-            fail_read: None,
             fail_write: Some(n),
+            ..FaultPlan::default()
         }
+    }
+
+    /// Fail the `n`-th allocation.
+    pub fn alloc(n: u64) -> Self {
+        FaultPlan {
+            fail_alloc: Some(n),
+            ..FaultPlan::default()
+        }
+    }
+
+    /// Also fail the `n`-th read.
+    pub fn and_read(mut self, n: u64) -> Self {
+        self.fail_read = Some(n);
+        self
+    }
+
+    /// Also fail the `n`-th write.
+    pub fn and_write(mut self, n: u64) -> Self {
+        self.fail_write = Some(n);
+        self
+    }
+
+    /// Also fail the `n`-th allocation.
+    pub fn and_alloc(mut self, n: u64) -> Self {
+        self.fail_alloc = Some(n);
+        self
     }
 }
 
-/// A [`DiskArray`] that injects failures per a [`FaultPlan`].
+/// A single scripted fault: fail the `ordinal`-th operation of kind
+/// `op`, once, with the given persistence.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ScriptedFault {
+    pub op: FaultOp,
+    /// 0-based ordinal among operations of this kind.
+    pub ordinal: u64,
+    pub kind: FaultKind,
+}
+
+/// The general fault model: scripted one-shot faults plus seeded-random
+/// transient faults at per-disk rates, plus detected-corruption faults.
+///
+/// Random fault decisions are made per *disk touched* by an operation,
+/// so wider (more parallel) operations are proportionally more exposed
+/// — matching the independent-disks failure assumption of the
+/// Vitter–Shriver model this repo simulates.
+#[derive(Debug, Clone)]
+pub struct FaultModel {
+    scripted: Vec<ScriptedFault>,
+    /// Probability a read op faults transiently, per disk touched.
+    read_rate: f64,
+    /// Probability a write op faults transiently, per disk touched.
+    write_rate: f64,
+    /// Probability a read op reports detected corruption (a torn read
+    /// caught by checksums), per disk touched.  Retryable.
+    corrupt_rate: f64,
+    /// Per-disk multipliers on the random rates; `1.0` when absent, so
+    /// an empty vector means uniform exposure.
+    disk_weights: Vec<f64>,
+    rng: SmallRng,
+    /// Disks that have suffered a permanent fault; every later
+    /// operation touching them fails permanently.
+    dead: BTreeSet<DiskId>,
+}
+
+impl FaultModel {
+    /// A model that never faults.
+    pub fn none() -> Self {
+        Self::random(0)
+    }
+
+    /// A model whose random draws are reproducible from `seed`.
+    /// All rates start at zero; configure with the builder methods.
+    pub fn random(seed: u64) -> Self {
+        FaultModel {
+            scripted: Vec::new(),
+            read_rate: 0.0,
+            write_rate: 0.0,
+            corrupt_rate: 0.0,
+            disk_weights: Vec::new(),
+            rng: SmallRng::seed_from_u64(seed),
+            dead: BTreeSet::new(),
+        }
+    }
+
+    /// Transient-fault probability per disk touched, for reads.
+    pub fn with_read_rate(mut self, rate: f64) -> Self {
+        assert!((0.0..=1.0).contains(&rate), "rate must be a probability");
+        self.read_rate = rate;
+        self
+    }
+
+    /// Transient-fault probability per disk touched, for writes.
+    pub fn with_write_rate(mut self, rate: f64) -> Self {
+        assert!((0.0..=1.0).contains(&rate), "rate must be a probability");
+        self.write_rate = rate;
+        self
+    }
+
+    /// Transient-fault probability per disk touched, both directions.
+    pub fn with_rate(self, rate: f64) -> Self {
+        self.with_read_rate(rate).with_write_rate(rate)
+    }
+
+    /// Detected-corruption probability per disk touched, for reads.
+    pub fn with_corrupt_rate(mut self, rate: f64) -> Self {
+        assert!((0.0..=1.0).contains(&rate), "rate must be a probability");
+        self.corrupt_rate = rate;
+        self
+    }
+
+    /// Per-disk multipliers on the random rates (index = disk id).
+    /// Disks beyond the vector keep weight `1.0`; use e.g.
+    /// `vec![4.0, 1.0, 1.0]` for one flaky disk in three.
+    pub fn with_disk_weights(mut self, weights: Vec<f64>) -> Self {
+        assert!(
+            weights.iter().all(|w| *w >= 0.0),
+            "weights must be non-negative"
+        );
+        self.disk_weights = weights;
+        self
+    }
+
+    /// Add a scripted one-shot fault.
+    pub fn with_scripted(mut self, fault: ScriptedFault) -> Self {
+        self.scripted.push(fault);
+        self
+    }
+
+    /// Script a permanent fault on the `ordinal`-th operation of kind
+    /// `op`: the first disk that operation touches dies.
+    pub fn kill_at(self, op: FaultOp, ordinal: u64) -> Self {
+        self.with_scripted(ScriptedFault {
+            op,
+            ordinal,
+            kind: FaultKind::Permanent,
+        })
+    }
+
+    /// Disks currently marked permanently failed.
+    pub fn dead_disks(&self) -> impl Iterator<Item = DiskId> + '_ {
+        self.dead.iter().copied()
+    }
+
+    fn weight(&self, disk: DiskId) -> f64 {
+        self.disk_weights.get(disk.0 as usize).copied().unwrap_or(1.0)
+    }
+
+    fn rate_for(&self, op: FaultOp) -> f64 {
+        match op {
+            FaultOp::Read => self.read_rate,
+            FaultOp::Write => self.write_rate,
+            FaultOp::Alloc => 0.0,
+        }
+    }
+
+    /// Decide the fate of the `ordinal`-th operation of kind `op`
+    /// touching `disks`.  `Ok(())` lets the operation proceed.
+    fn check(&mut self, op: FaultOp, ordinal: u64, disks: &[DiskId]) -> Result<()> {
+        // A dead disk fails everything addressed to it, forever.
+        if let Some(&disk) = disks.iter().find(|d| self.dead.contains(d)) {
+            return Err(PdiskError::Fault {
+                kind: FaultKind::Permanent,
+                op,
+                disk: Some(disk),
+            });
+        }
+        // Scripted faults fire exactly once each.
+        if let Some(pos) = self
+            .scripted
+            .iter()
+            .position(|s| s.op == op && s.ordinal == ordinal)
+        {
+            let fault = self.scripted.swap_remove(pos);
+            let disk = disks.first().copied();
+            if fault.kind == FaultKind::Permanent {
+                if let Some(d) = disk {
+                    self.dead.insert(d);
+                }
+            }
+            return Err(PdiskError::Fault {
+                kind: fault.kind,
+                op,
+                disk,
+            });
+        }
+        // Random transient faults, one independent trial per disk.
+        let rate = self.rate_for(op);
+        if rate > 0.0 {
+            for &disk in disks {
+                let p = (rate * self.weight(disk)).min(1.0);
+                if p > 0.0 && self.rng.random::<f64>() < p {
+                    return Err(PdiskError::Fault {
+                        kind: FaultKind::Transient,
+                        op,
+                        disk: Some(disk),
+                    });
+                }
+            }
+        }
+        // Detected corruption: the read completes but fails its
+        // checksum.  Retryable — re-reading gets the good copy.
+        if op == FaultOp::Read && self.corrupt_rate > 0.0 {
+            for &disk in disks {
+                let p = (self.corrupt_rate * self.weight(disk)).min(1.0);
+                if p > 0.0 && self.rng.random::<f64>() < p {
+                    return Err(PdiskError::Corrupt(format!(
+                        "injected checksum mismatch on disk {}",
+                        disk.0
+                    )));
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+impl Default for FaultModel {
+    fn default() -> Self {
+        Self::none()
+    }
+}
+
+impl From<FaultPlan> for FaultModel {
+    fn from(plan: FaultPlan) -> Self {
+        let mut model = FaultModel::none();
+        if let Some(n) = plan.fail_read {
+            model.scripted.push(ScriptedFault {
+                op: FaultOp::Read,
+                ordinal: n,
+                kind: FaultKind::Transient,
+            });
+        }
+        if let Some(n) = plan.fail_write {
+            model.scripted.push(ScriptedFault {
+                op: FaultOp::Write,
+                ordinal: n,
+                kind: FaultKind::Transient,
+            });
+        }
+        if let Some(n) = plan.fail_alloc {
+            model.scripted.push(ScriptedFault {
+                op: FaultOp::Alloc,
+                ordinal: n,
+                kind: FaultKind::Transient,
+            });
+        }
+        model
+    }
+}
+
+/// A [`DiskArray`] that injects failures per a [`FaultModel`].
 #[derive(Debug)]
 pub struct FaultyDiskArray<R: Record, A: DiskArray<R>> {
     inner: A,
-    plan: FaultPlan,
+    model: FaultModel,
     reads_seen: u64,
     writes_seen: u64,
+    allocs_seen: u64,
     _marker: std::marker::PhantomData<R>,
 }
 
 impl<R: Record, A: DiskArray<R>> FaultyDiskArray<R, A> {
-    /// Wrap `inner` with the given plan.
-    pub fn new(inner: A, plan: FaultPlan) -> Self {
+    /// Wrap `inner` with the given plan or model.
+    pub fn new(inner: A, model: impl Into<FaultModel>) -> Self {
         FaultyDiskArray {
             inner,
-            plan,
+            model: model.into(),
             reads_seen: 0,
             writes_seen: 0,
+            allocs_seen: 0,
             _marker: std::marker::PhantomData,
         }
     }
@@ -72,10 +344,9 @@ impl<R: Record, A: DiskArray<R>> FaultyDiskArray<R, A> {
         (self.reads_seen, self.writes_seen)
     }
 
-    fn injected() -> PdiskError {
-        PdiskError::Io(std::io::Error::other(
-            "injected fault",
-        ))
+    /// The fault model, e.g. to inspect which disks have died.
+    pub fn model(&self) -> &FaultModel {
+        &self.model
     }
 }
 
@@ -90,9 +361,8 @@ impl<R: Record, A: DiskArray<R>> DiskArray<R> for FaultyDiskArray<R, A> {
         }
         let ordinal = self.reads_seen;
         self.reads_seen += 1;
-        if self.plan.fail_read == Some(ordinal) {
-            return Err(Self::injected());
-        }
+        let disks: Vec<DiskId> = addrs.iter().map(|a| a.disk).collect();
+        self.model.check(FaultOp::Read, ordinal, &disks)?;
         self.inner.read(addrs)
     }
 
@@ -102,13 +372,15 @@ impl<R: Record, A: DiskArray<R>> DiskArray<R> for FaultyDiskArray<R, A> {
         }
         let ordinal = self.writes_seen;
         self.writes_seen += 1;
-        if self.plan.fail_write == Some(ordinal) {
-            return Err(Self::injected());
-        }
+        let disks: Vec<DiskId> = writes.iter().map(|(a, _)| a.disk).collect();
+        self.model.check(FaultOp::Write, ordinal, &disks)?;
         self.inner.write(writes)
     }
 
     fn alloc_contiguous(&mut self, disk: DiskId, count: u64) -> Result<u64> {
+        let ordinal = self.allocs_seen;
+        self.allocs_seen += 1;
+        self.model.check(FaultOp::Alloc, ordinal, &[disk])?;
         self.inner.alloc_contiguous(disk, count)
     }
 
@@ -128,20 +400,24 @@ mod tests {
     use crate::mem::MemDiskArray;
     use crate::record::U64Record;
 
-    fn setup(plan: FaultPlan) -> FaultyDiskArray<U64Record, MemDiskArray<U64Record>> {
+    fn setup(
+        model: impl Into<FaultModel>,
+    ) -> FaultyDiskArray<U64Record, MemDiskArray<U64Record>> {
         let geom = Geometry::new(2, 2, 100).unwrap();
         let mut inner: MemDiskArray<U64Record> = MemDiskArray::new(geom);
-        let o = inner.alloc_contiguous(DiskId(0), 4).unwrap();
-        for i in 0..4 {
-            inner
-                .write(vec![(
-                    BlockAddr::new(DiskId(0), o + i),
-                    Block::new(vec![U64Record(i)], Forecast::Next(u64::MAX)),
-                )])
-                .unwrap();
+        for d in 0..2 {
+            let o = inner.alloc_contiguous(DiskId(d), 4).unwrap();
+            for i in 0..4 {
+                inner
+                    .write(vec![(
+                        BlockAddr::new(DiskId(d), o + i),
+                        Block::new(vec![U64Record(i)], Forecast::Next(u64::MAX)),
+                    )])
+                    .unwrap();
+            }
         }
         inner.reset_stats();
-        FaultyDiskArray::new(inner, plan)
+        FaultyDiskArray::new(inner, model)
     }
 
     #[test]
@@ -149,7 +425,14 @@ mod tests {
         let mut a = setup(FaultPlan::read(1));
         let addr = BlockAddr::new(DiskId(0), 0);
         assert!(a.read(&[addr]).is_ok()); // read 0
-        assert!(matches!(a.read(&[addr]), Err(PdiskError::Io(_)))); // read 1
+        assert!(matches!(
+            a.read(&[addr]),
+            Err(PdiskError::Fault {
+                kind: FaultKind::Transient,
+                op: FaultOp::Read,
+                ..
+            })
+        )); // read 1
         assert!(a.read(&[addr]).is_ok()); // read 2: back to normal
         assert_eq!(a.observed().0, 3);
     }
@@ -160,6 +443,31 @@ mod tests {
         let block = Block::new(vec![U64Record(9)], Forecast::Next(u64::MAX));
         let addr = BlockAddr::new(DiskId(0), 0);
         assert!(a.write(vec![(addr, block.clone())]).is_err());
+        assert!(a.write(vec![(addr, block)]).is_ok());
+    }
+
+    #[test]
+    fn fails_the_planned_alloc() {
+        let mut a = setup(FaultPlan::alloc(0));
+        assert!(matches!(
+            a.alloc_contiguous(DiskId(0), 1),
+            Err(PdiskError::Fault {
+                op: FaultOp::Alloc,
+                ..
+            })
+        ));
+        assert!(a.alloc_contiguous(DiskId(0), 1).is_ok());
+    }
+
+    #[test]
+    fn combined_plan_fires_each_once() {
+        let mut a = setup(FaultPlan::read(0).and_write(1));
+        let addr = BlockAddr::new(DiskId(0), 0);
+        let block = Block::new(vec![U64Record(9)], Forecast::Next(u64::MAX));
+        assert!(a.read(&[addr]).is_err());
+        assert!(a.read(&[addr]).is_ok());
+        assert!(a.write(vec![(addr, block.clone())]).is_ok()); // write 0
+        assert!(a.write(vec![(addr, block.clone())]).is_err()); // write 1
         assert!(a.write(vec![(addr, block)]).is_ok());
     }
 
@@ -177,5 +485,82 @@ mod tests {
             assert!(a.read(&[BlockAddr::new(DiskId(0), 0)]).is_ok());
         }
         assert_eq!(a.stats().read_ops, 5);
+    }
+
+    #[test]
+    fn permanent_fault_kills_the_disk() {
+        let mut a = setup(FaultModel::none().kill_at(FaultOp::Read, 1));
+        let d0 = BlockAddr::new(DiskId(0), 0);
+        let d1 = BlockAddr::new(DiskId(1), 0);
+        assert!(a.read(&[d0]).is_ok());
+        assert!(matches!(
+            a.read(&[d0]),
+            Err(PdiskError::Fault {
+                kind: FaultKind::Permanent,
+                ..
+            })
+        ));
+        // Disk 0 is dead for good; disk 1 still works.
+        for _ in 0..3 {
+            assert!(matches!(
+                a.read(&[d0]),
+                Err(PdiskError::Fault {
+                    kind: FaultKind::Permanent,
+                    ..
+                })
+            ));
+        }
+        assert!(a.read(&[d1]).is_ok());
+        assert_eq!(a.model().dead_disks().collect::<Vec<_>>(), vec![DiskId(0)]);
+        // Writes and allocs on the dead disk fail too.
+        let block = Block::new(vec![U64Record(9)], Forecast::Next(u64::MAX));
+        assert!(a.write(vec![(d0, block)]).is_err());
+        assert!(a.alloc_contiguous(DiskId(0), 1).is_err());
+    }
+
+    #[test]
+    fn random_faults_are_reproducible_and_rate_bounded() {
+        let run = |seed: u64| -> Vec<bool> {
+            let mut a = setup(FaultModel::random(seed).with_read_rate(0.3));
+            (0..200)
+                .map(|_| a.read(&[BlockAddr::new(DiskId(0), 0)]).is_err())
+                .collect()
+        };
+        let a = run(11);
+        let b = run(11);
+        let c = run(12);
+        assert_eq!(a, b, "same fault seed must give the same fault stream");
+        assert_ne!(a, c, "different fault seeds should differ");
+        let faults = a.iter().filter(|&&x| x).count();
+        // 200 trials at p = 0.3: expect ~60, allow wide slack.
+        assert!((20..120).contains(&faults), "got {faults} faults");
+    }
+
+    #[test]
+    fn disk_weights_skew_fault_exposure() {
+        let mut a = setup(
+            FaultModel::random(5)
+                .with_read_rate(0.2)
+                .with_disk_weights(vec![0.0, 5.0]),
+        );
+        let mut failures = [0u32; 2];
+        for _ in 0..200 {
+            for d in 0..2u32 {
+                if a.read(&[BlockAddr::new(DiskId(d), 0)]).is_err() {
+                    failures[d as usize] += 1;
+                }
+            }
+        }
+        assert_eq!(failures[0], 0, "weight 0 disables faults on disk 0");
+        assert!(failures[1] > 50, "weight 5 amplifies disk 1 faults");
+    }
+
+    #[test]
+    fn corruption_faults_surface_as_corrupt() {
+        let mut a = setup(FaultModel::random(9).with_corrupt_rate(1.0));
+        assert!(matches!(
+            a.read(&[BlockAddr::new(DiskId(0), 0)]),
+            Err(PdiskError::Corrupt(_))
+        ));
     }
 }

@@ -24,7 +24,11 @@
 //! * [`StripedRun`] — cyclically striped run layout (block `i` of a run with
 //!   start disk `d_r` lives on disk `(d_r + i) mod D`, §3 of the paper);
 //! * [`timing`] — a seek/rotate/transfer service-time model to convert
-//!   operation counts into estimated wall time on a physical disk array.
+//!   operation counts into estimated wall time on a physical disk array;
+//! * [`faulty`] / [`retry`] — the fault-tolerance layer: a scriptable
+//!   transient/permanent fault model ([`FaultModel`]) and a bounded-retry
+//!   wrapper ([`RetryingDiskArray`]) that absorbs transient faults with
+//!   simulated backoff while counting retries in [`IoStats`].
 
 pub mod addr;
 pub mod backend;
@@ -36,6 +40,7 @@ pub mod file;
 pub mod geometry;
 pub mod mem;
 pub mod record;
+pub mod retry;
 pub mod stats;
 pub mod striping;
 pub mod timing;
@@ -44,12 +49,13 @@ pub use addr::{BlockAddr, DiskId};
 pub use backend::DiskArray;
 pub use block::{Block, Forecast};
 pub use cluster::ClusteredDiskArray;
-pub use error::{PdiskError, Result};
-pub use faulty::{FaultPlan, FaultyDiskArray};
+pub use error::{FaultKind, FaultOp, PdiskError, Result};
+pub use faulty::{FaultModel, FaultPlan, FaultyDiskArray, ScriptedFault};
 pub use file::FileDiskArray;
 pub use geometry::Geometry;
 pub use mem::MemDiskArray;
 pub use record::{KeyPayloadRecord, Record, U64Record};
+pub use retry::{RetryPolicy, RetryingDiskArray};
 pub use stats::IoStats;
 pub use striping::StripedRun;
 pub use timing::DiskModel;

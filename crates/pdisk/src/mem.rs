@@ -45,6 +45,9 @@ pub struct MemDiskArray<R: Record> {
     /// Per-disk `(blocks read, blocks written)` — randomized striping's
     /// load-balance claim is checked against these.
     loads: Vec<(u64, u64)>,
+    /// Addresses marked corrupt by [`MemDiskArray::corrupt_block`];
+    /// reading one fails like a checksum mismatch would on disk.
+    corrupted: std::collections::BTreeSet<BlockAddr>,
 }
 
 impl<R: Record> MemDiskArray<R> {
@@ -55,7 +58,22 @@ impl<R: Record> MemDiskArray<R> {
             disks: (0..geom.d).map(|_| Vec::new()).collect(),
             stats: IoStats::default(),
             loads: vec![(0, 0); geom.d],
+            corrupted: std::collections::BTreeSet::new(),
         }
+    }
+
+    /// Mark a stored block corrupt: subsequent reads of `addr` fail with
+    /// [`PdiskError::Corrupt`], exactly as the file backend reports a
+    /// checksum mismatch.  The simulation counterpart of flipping bytes
+    /// in a disk file — tests use it to drive consumers through the
+    /// corruption path without a real filesystem.  Overwriting the block
+    /// clears the mark (fresh data, fresh checksum).
+    pub fn corrupt_block(&mut self, addr: BlockAddr) -> Result<()> {
+        if self.slot(addr)?.is_none() {
+            return Err(PdiskError::UnmappedBlock(addr));
+        }
+        self.corrupted.insert(addr);
+        Ok(())
     }
 
     /// Per-disk `(blocks read, blocks written)` since construction or the
@@ -99,6 +117,11 @@ impl<R: Record> DiskArray<R> for MemDiskArray<R> {
         self.geom.check_parallel_op(addrs.iter().map(|a| a.disk))?;
         let mut out = Vec::with_capacity(addrs.len());
         for &addr in addrs {
+            if self.corrupted.contains(&addr) {
+                return Err(PdiskError::Corrupt(format!(
+                    "block checksum mismatch at {addr:?} (injected)"
+                )));
+            }
             let block = self
                 .slot(addr)?
                 .as_ref()
@@ -130,6 +153,7 @@ impl<R: Record> DiskArray<R> for MemDiskArray<R> {
             // Validate the slot exists before mutating anything else.
             self.slot(addr)?;
             self.disks[addr.disk.index()][addr.offset as usize] = Some(block);
+            self.corrupted.remove(&addr);
             self.loads[addr.disk.index()].1 += 1;
         }
         self.stats.record_write(n);
@@ -228,6 +252,26 @@ mod tests {
         // Never allocated.
         assert!(matches!(
             a.read(&[BlockAddr::new(DiskId(1), 99)]),
+            Err(PdiskError::UnmappedBlock(_))
+        ));
+    }
+
+    #[test]
+    fn corrupt_block_poisons_reads_until_overwritten() {
+        let mut a: MemDiskArray<U64Record> = MemDiskArray::new(geom());
+        let o = a.alloc_contiguous(DiskId(0), 1).unwrap();
+        let addr = BlockAddr::new(DiskId(0), o);
+        a.write(vec![(addr, blk(&[5, 6]))]).unwrap();
+        a.corrupt_block(addr).unwrap();
+        let err = a.read(&[addr]).unwrap_err();
+        assert!(matches!(err, PdiskError::Corrupt(_)), "got {err:?}");
+        // Rewriting the slot replaces the data — and its "checksum".
+        a.write(vec![(addr, blk(&[7, 8]))]).unwrap();
+        assert_eq!(a.read(&[addr]).unwrap()[0].min_key(), 7);
+        // Corrupting an unwritten slot is a caller bug, not silent.
+        let o2 = a.alloc_contiguous(DiskId(1), 1).unwrap();
+        assert!(matches!(
+            a.corrupt_block(BlockAddr::new(DiskId(1), o2)),
             Err(PdiskError::UnmappedBlock(_))
         ));
     }

@@ -1,0 +1,308 @@
+//! Bounded retry with simulated backoff.
+//!
+//! [`RetryingDiskArray`] wraps any backend and transparently re-issues
+//! operations that fail with a *retryable* error (see
+//! [`PdiskError::is_retryable`]): transient faults, OS-level I/O
+//! errors, and checksum mismatches.  Permanent faults and logic errors
+//! pass straight through.  When every attempt fails, the wrapper
+//! returns [`PdiskError::RetriesExhausted`] carrying the final
+//! attempt's error as its `source()`.
+//!
+//! Backoff is *simulated*: instead of sleeping, the wrapper accrues the
+//! wait it would have performed into [`RetryingDiskArray::total_backoff`],
+//! in the spirit of [`crate::timing`]'s counted-cost model — experiments
+//! stay fast and deterministic while recovery cost remains measurable.
+//! Retry counts are folded into the [`IoStats`] this wrapper reports
+//! (`read_retries` / `write_retries`), leaving the inner backend's
+//! logical operation counts untouched.
+
+use crate::addr::{BlockAddr, DiskId};
+use crate::backend::DiskArray;
+use crate::block::Block;
+use crate::error::{PdiskError, Result};
+use crate::geometry::Geometry;
+use crate::record::Record;
+use crate::stats::IoStats;
+use crate::timing::DiskModel;
+use std::time::Duration;
+
+/// How many times to try, and how long to (virtually) wait in between.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RetryPolicy {
+    /// Total attempts per operation, including the first; at least 1.
+    pub max_attempts: u32,
+    /// Simulated wait before the first retry.
+    pub base_backoff: Duration,
+    /// Factor applied to the wait after each failed retry (exponential
+    /// backoff when `> 1`).
+    pub multiplier: u32,
+}
+
+impl RetryPolicy {
+    /// Up to `max_attempts` tries with exponential backoff from `base`.
+    pub fn new(max_attempts: u32, base: Duration) -> Self {
+        assert!(max_attempts >= 1, "at least one attempt is required");
+        RetryPolicy {
+            max_attempts,
+            base_backoff: base,
+            multiplier: 2,
+        }
+    }
+
+    /// A policy priced from a [`DiskModel`]: the first retry waits one
+    /// block-sized operation time, doubling thereafter.
+    pub fn from_model(max_attempts: u32, model: &DiskModel, block_bytes: usize) -> Self {
+        Self::new(max_attempts, model.op_time(block_bytes))
+    }
+
+    /// Never retry; failures surface unchanged.
+    pub fn none() -> Self {
+        Self::new(1, Duration::ZERO)
+    }
+
+    /// Simulated wait before retry number `retry` (1-based).
+    pub fn backoff_for(&self, retry: u32) -> Duration {
+        debug_assert!(retry >= 1);
+        self.base_backoff * self.multiplier.pow(retry - 1)
+    }
+}
+
+impl Default for RetryPolicy {
+    /// Four attempts, 1 ms base, exponential: absorbs any plausible
+    /// transient-fault rate while keeping give-up latency bounded.
+    fn default() -> Self {
+        Self::new(4, Duration::from_millis(1))
+    }
+}
+
+/// A [`DiskArray`] that absorbs transient faults by retrying.
+#[derive(Debug)]
+pub struct RetryingDiskArray<R: Record, A: DiskArray<R>> {
+    inner: A,
+    policy: RetryPolicy,
+    read_retries: u64,
+    write_retries: u64,
+    total_backoff: Duration,
+    _marker: std::marker::PhantomData<R>,
+}
+
+impl<R: Record, A: DiskArray<R>> RetryingDiskArray<R, A> {
+    /// Wrap `inner` with the given policy.
+    pub fn new(inner: A, policy: RetryPolicy) -> Self {
+        RetryingDiskArray {
+            inner,
+            policy,
+            read_retries: 0,
+            write_retries: 0,
+            total_backoff: Duration::ZERO,
+            _marker: std::marker::PhantomData,
+        }
+    }
+
+    /// Unwrap the inner backend.
+    pub fn into_inner(self) -> A {
+        self.inner
+    }
+
+    /// The inner backend, e.g. to read its unretried stats.
+    pub fn inner(&self) -> &A {
+        &self.inner
+    }
+
+    /// Retries performed so far (reads, writes).
+    pub fn retries(&self) -> (u64, u64) {
+        (self.read_retries, self.write_retries)
+    }
+
+    /// Total simulated backoff wait accrued by all retries.
+    pub fn total_backoff(&self) -> Duration {
+        self.total_backoff
+    }
+
+    /// Run `op` under the retry policy, charging retries to `counter`.
+    fn with_retries<T>(
+        policy: &RetryPolicy,
+        counter: &mut u64,
+        backoff: &mut Duration,
+        mut op: impl FnMut() -> Result<T>,
+    ) -> Result<T> {
+        let mut attempt = 1u32;
+        loop {
+            match op() {
+                Ok(v) => return Ok(v),
+                Err(e) if !e.is_retryable() => return Err(e),
+                Err(e) if attempt >= policy.max_attempts => {
+                    return Err(PdiskError::RetriesExhausted {
+                        attempts: attempt,
+                        last: Box::new(e),
+                    });
+                }
+                Err(_) => {
+                    *counter += 1;
+                    *backoff += policy.backoff_for(attempt);
+                    attempt += 1;
+                }
+            }
+        }
+    }
+}
+
+impl<R: Record, A: DiskArray<R>> DiskArray<R> for RetryingDiskArray<R, A> {
+    fn geometry(&self) -> Geometry {
+        self.inner.geometry()
+    }
+
+    fn read(&mut self, addrs: &[BlockAddr]) -> Result<Vec<Block<R>>> {
+        let inner = &mut self.inner;
+        Self::with_retries(
+            &self.policy,
+            &mut self.read_retries,
+            &mut self.total_backoff,
+            || inner.read(addrs),
+        )
+    }
+
+    fn write(&mut self, writes: Vec<(BlockAddr, Block<R>)>) -> Result<()> {
+        let inner = &mut self.inner;
+        Self::with_retries(
+            &self.policy,
+            &mut self.write_retries,
+            &mut self.total_backoff,
+            || inner.write(writes.clone()),
+        )
+    }
+
+    fn alloc_contiguous(&mut self, disk: DiskId, count: u64) -> Result<u64> {
+        let inner = &mut self.inner;
+        Self::with_retries(
+            &self.policy,
+            &mut self.write_retries,
+            &mut self.total_backoff,
+            || inner.alloc_contiguous(disk, count),
+        )
+    }
+
+    /// Inner (logical) stats plus this wrapper's retry counters.
+    fn stats(&self) -> IoStats {
+        let mut stats = self.inner.stats();
+        stats.read_retries += self.read_retries;
+        stats.write_retries += self.write_retries;
+        stats
+    }
+
+    fn reset_stats(&mut self) {
+        self.read_retries = 0;
+        self.write_retries = 0;
+        self.total_backoff = Duration::ZERO;
+        self.inner.reset_stats();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::block::Forecast;
+    use crate::error::{FaultKind, FaultOp};
+    use crate::faulty::{FaultModel, FaultPlan, FaultyDiskArray};
+    use crate::mem::MemDiskArray;
+    use crate::record::U64Record;
+
+    type Faulty = FaultyDiskArray<U64Record, MemDiskArray<U64Record>>;
+
+    fn faulty(model: impl Into<FaultModel>) -> Faulty {
+        let geom = Geometry::new(2, 2, 100).unwrap();
+        let mut inner: MemDiskArray<U64Record> = MemDiskArray::new(geom);
+        let o = inner.alloc_contiguous(DiskId(0), 4).unwrap();
+        for i in 0..4 {
+            inner
+                .write(vec![(
+                    BlockAddr::new(DiskId(0), o + i),
+                    Block::new(vec![U64Record(i)], Forecast::Next(u64::MAX)),
+                )])
+                .unwrap();
+        }
+        inner.reset_stats();
+        FaultyDiskArray::new(inner, model)
+    }
+
+    #[test]
+    fn absorbs_a_scripted_transient_read_fault() {
+        let mut a = RetryingDiskArray::new(faulty(FaultPlan::read(0)), RetryPolicy::default());
+        let got = a.read(&[BlockAddr::new(DiskId(0), 0)]).unwrap();
+        assert_eq!(got[0].records[0], U64Record(0));
+        assert_eq!(a.retries(), (1, 0));
+        assert!(a.total_backoff() > Duration::ZERO);
+        let stats = a.stats();
+        assert_eq!(stats.read_retries, 1);
+        assert_eq!(stats.read_ops, 1, "only the successful attempt counts");
+    }
+
+    #[test]
+    fn absorbs_write_and_alloc_faults() {
+        let mut a = RetryingDiskArray::new(
+            faulty(FaultPlan::write(0).and_alloc(0)),
+            RetryPolicy::default(),
+        );
+        let o = a.alloc_contiguous(DiskId(1), 1).unwrap();
+        let block = Block::new(vec![U64Record(7)], Forecast::Next(u64::MAX));
+        a.write(vec![(BlockAddr::new(DiskId(1), o), block)]).unwrap();
+        assert_eq!(a.stats().write_retries, 2);
+    }
+
+    #[test]
+    fn permanent_faults_are_not_retried() {
+        let mut a = RetryingDiskArray::new(
+            faulty(FaultModel::none().kill_at(FaultOp::Read, 0)),
+            RetryPolicy::default(),
+        );
+        let err = a.read(&[BlockAddr::new(DiskId(0), 0)]).unwrap_err();
+        assert!(matches!(
+            err,
+            PdiskError::Fault {
+                kind: FaultKind::Permanent,
+                ..
+            }
+        ));
+        assert_eq!(a.retries(), (0, 0), "permanent faults must fail fast");
+    }
+
+    #[test]
+    fn exhaustion_reports_attempts_and_chains_source() {
+        use std::error::Error as _;
+        // 100% transient read faults can never succeed.
+        let mut a = RetryingDiskArray::new(
+            faulty(FaultModel::random(1).with_read_rate(1.0)),
+            RetryPolicy::new(3, Duration::from_millis(1)),
+        );
+        let err = a.read(&[BlockAddr::new(DiskId(0), 0)]).unwrap_err();
+        match &err {
+            PdiskError::RetriesExhausted { attempts, .. } => assert_eq!(*attempts, 3),
+            other => panic!("expected RetriesExhausted, got {other:?}"),
+        }
+        assert!(err.source().unwrap().to_string().contains("transient"));
+        assert_eq!(a.retries(), (2, 0), "two retries after the first attempt");
+    }
+
+    #[test]
+    fn backoff_is_exponential() {
+        let p = RetryPolicy::new(4, Duration::from_millis(2));
+        assert_eq!(p.backoff_for(1), Duration::from_millis(2));
+        assert_eq!(p.backoff_for(2), Duration::from_millis(4));
+        assert_eq!(p.backoff_for(3), Duration::from_millis(8));
+    }
+
+    #[test]
+    fn policy_from_model_prices_one_op() {
+        let m = DiskModel::hdd_1996();
+        let p = RetryPolicy::from_model(5, &m, 1 << 16);
+        assert_eq!(p.base_backoff, m.op_time(1 << 16));
+    }
+
+    #[test]
+    fn logic_errors_pass_straight_through() {
+        let mut a = RetryingDiskArray::new(faulty(FaultPlan::default()), RetryPolicy::default());
+        let err = a.read(&[BlockAddr::new(DiskId(9), 0)]).unwrap_err();
+        assert!(matches!(err, PdiskError::NoSuchDisk(_)));
+        assert_eq!(a.retries(), (0, 0));
+    }
+}

@@ -20,6 +20,14 @@ pub struct IoStats {
     pub blocks_read: u64,
     /// Total blocks transferred by writes.
     pub blocks_written: u64,
+    /// Read operations re-issued after a transient fault.
+    ///
+    /// Retries are accounted separately from `read_ops` so the logical
+    /// I/O schedule (the quantity the paper's bounds speak about) stays
+    /// comparable between faulty and fault-free runs.
+    pub read_retries: u64,
+    /// Write operations re-issued after a transient fault.
+    pub write_retries: u64,
 }
 
 impl IoStats {
@@ -35,6 +43,24 @@ impl IoStats {
     pub fn record_write(&mut self, blocks: usize) {
         self.write_ops += 1;
         self.blocks_written += blocks as u64;
+    }
+
+    /// Record one read retry after a transient fault.
+    #[inline]
+    pub fn record_read_retry(&mut self) {
+        self.read_retries += 1;
+    }
+
+    /// Record one write retry after a transient fault.
+    #[inline]
+    pub fn record_write_retry(&mut self) {
+        self.write_retries += 1;
+    }
+
+    /// Total operations re-issued after transient faults.
+    #[inline]
+    pub fn total_retries(&self) -> u64 {
+        self.read_retries + self.write_retries
     }
 
     /// Total parallel operations (reads + writes).
@@ -69,6 +95,8 @@ impl IoStats {
             write_ops: self.write_ops - earlier.write_ops,
             blocks_read: self.blocks_read - earlier.blocks_read,
             blocks_written: self.blocks_written - earlier.blocks_written,
+            read_retries: self.read_retries - earlier.read_retries,
+            write_retries: self.write_retries - earlier.write_retries,
         }
     }
 
@@ -79,6 +107,8 @@ impl IoStats {
             write_ops: self.write_ops + other.write_ops,
             blocks_read: self.blocks_read + other.blocks_read,
             blocks_written: self.blocks_written + other.blocks_written,
+            read_retries: self.read_retries + other.read_retries,
+            write_retries: self.write_retries + other.write_retries,
         }
     }
 }
@@ -94,7 +124,15 @@ impl std::fmt::Display for IoStats {
             self.write_ops,
             self.blocks_written,
             self.write_parallelism()
-        )
+        )?;
+        if self.total_retries() > 0 {
+            write!(
+                f,
+                " retries={}r/{}w",
+                self.read_retries, self.write_retries
+            )?;
+        }
+        Ok(())
     }
 }
 
@@ -150,6 +188,24 @@ mod tests {
         assert_eq!(m.write_ops, 1);
         assert_eq!(m.blocks_read, 2);
         assert_eq!(m.blocks_written, 3);
+    }
+
+    #[test]
+    fn retries_tracked_separately_from_logical_ops() {
+        let mut s = IoStats::default();
+        s.record_read(4);
+        s.record_read_retry();
+        s.record_read_retry();
+        s.record_write_retry();
+        assert_eq!(s.read_ops, 1, "retries must not inflate logical ops");
+        assert_eq!(s.read_retries, 2);
+        assert_eq!(s.write_retries, 1);
+        assert_eq!(s.total_retries(), 3);
+        assert!(s.to_string().contains("retries=2r/1w"));
+        let mut other = IoStats::default();
+        other.record_write_retry();
+        assert_eq!(s.merged(&other).write_retries, 2);
+        assert_eq!(s.since(&IoStats::default()).read_retries, 2);
     }
 
     #[test]

@@ -70,6 +70,16 @@ impl DiskModel {
         self.op_time(block_bytes) * ops
     }
 
+    /// Estimated wall time including fault-recovery work: every retried
+    /// operation costs one extra random access on top of the logical
+    /// trace priced by [`DiskModel::estimate`].  Backoff waits added by
+    /// a retry policy are *not* included here; see
+    /// [`crate::retry::RetryPolicy::total_backoff`].
+    pub fn estimate_with_retries(&self, stats: &IoStats, block_bytes: usize) -> Duration {
+        let ops = (stats.total_ops() + stats.total_retries()) as u32;
+        self.op_time(block_bytes) * ops
+    }
+
     /// Makespan when internal computation overlaps I/O — the pipelined
     /// execution both SRM and DSM are built for (§5's two concurrent
     /// control flows).  In steady state the slower resource dominates.
@@ -111,6 +121,7 @@ mod tests {
             write_ops: writes,
             blocks_read: reads * blocks_each,
             blocks_written: writes * blocks_each,
+            ..IoStats::default()
         }
     }
 
@@ -141,12 +152,14 @@ mod tests {
             write_ops: 0,
             blocks_read: 100,
             blocks_written: 0,
+            ..IoStats::default()
         };
         let wide = IoStats {
             read_ops: 25,
             write_ops: 0,
             blocks_read: 100,
             blocks_written: 0,
+            ..IoStats::default()
         };
         assert!(m.achieved_bandwidth(&wide, 1 << 16) > m.achieved_bandwidth(&narrow, 1 << 16));
     }

@@ -2,12 +2,16 @@
 
 use crate::args::Flags;
 use dsm::{read_logical_run, write_unsorted_stripes, DsmSorter};
-use pdisk::{DiskArray, DiskModel, FileDiskArray, Geometry, MemDiskArray, Record, U64Record};
+use pdisk::{
+    DiskArray, DiskModel, FaultModel, FaultyDiskArray, FileDiskArray, Geometry, MemDiskArray,
+    Record, RetryPolicy, RetryingDiskArray, U64Record,
+};
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 use srm_core::simulator::{estimate_overhead_v, SimPlacement};
 use srm_core::sort::write_unsorted_input;
 use srm_core::{read_run, Placement, RunFormation, SrmConfig, SrmSorter};
+use std::path::Path;
 
 /// Top-level usage text.
 pub const USAGE: &str = "\
@@ -18,10 +22,19 @@ USAGE:
            [--backend mem|file] [--dir PATH] [--seed S]
            [--placement random|staggered] [--formation load|parload|rs]
            [--threads N] [--keep]
+           [--fault-rate R] [--fault-seed S] [--resume MANIFEST]
       Generate N random records, stage them on the simulated disk array,
       sort, verify, and print the I/O accounting (one parallel operation
       moves up to one block per disk) plus estimated wall times under a
       1996-era disk model and an SSD model.
+
+      --fault-rate R injects transient faults on reads and writes with
+      per-disk probability R (0 <= R < 1, seeded by --fault-seed) and
+      absorbs them with the bounded-retry wrapper; retry counts appear in
+      the I/O line.  --resume MANIFEST checkpoints the sort to MANIFEST
+      after every pass and, when the file already exists, resumes from it
+      (with --backend file the disk files are reopened, not truncated —
+      a killed sort picks up from its last completed pass).
 
   srm occupancy --k K --d D [--trials N] [--seed S]
       Estimate Table 1's overhead v(k, D) = C(kD, D)/k by ball-throwing.
@@ -77,6 +90,12 @@ pub fn sort(argv: &[String]) -> i32 {
             "rs" => RunFormation::ReplacementSelection,
             other => return Err(format!("unknown formation `{other}`")),
         };
+        let fault_rate: f64 = flags.get_or("fault-rate", 0.0)?;
+        if !(0.0..1.0).contains(&fault_rate) {
+            return Err(format!("--fault-rate {fault_rate} outside [0, 1)"));
+        }
+        let fault_seed: u64 = flags.get_or("fault-seed", 0xFA_017)?;
+        let resume = flags.get_str("resume").map(std::path::PathBuf::from);
 
         println!(
             "geometry: D={} disks, B={} records/block, M={} records ({} blocks of memory)",
@@ -100,8 +119,8 @@ pub fn sort(argv: &[String]) -> i32 {
             };
             match backend {
                 "mem" => {
-                    let mut array: MemDiskArray<U64Record> = MemDiskArray::new(geom);
-                    run_srm(&mut array, &data, config, geom)?;
+                    let array: MemDiskArray<U64Record> = MemDiskArray::new(geom);
+                    srm_with_faults(array, &data, config, geom, fault_rate, fault_seed, resume.as_deref())?;
                 }
                 "file" => {
                     let dir = flags
@@ -111,10 +130,16 @@ pub fn sort(argv: &[String]) -> i32 {
                             std::env::temp_dir().join(format!("srm-cli-{}", std::process::id()))
                         });
                     println!("file backend at {}", dir.display());
-                    let mut array: FileDiskArray<U64Record> =
-                        FileDiskArray::create(geom, &dir).map_err(|e| e.to_string())?;
-                    run_srm(&mut array, &data, config, geom)?;
-                    drop(array);
+                    // Resuming from a manifest means the disk files hold
+                    // prior progress: reopen them instead of truncating.
+                    let resuming = resume.as_deref().is_some_and(Path::exists);
+                    let array: FileDiskArray<U64Record> = if resuming {
+                        println!("resuming from {}", resume.as_deref().unwrap().display());
+                        FileDiskArray::open(geom, &dir).map_err(|e| e.to_string())?
+                    } else {
+                        FileDiskArray::create(geom, &dir).map_err(|e| e.to_string())?
+                    };
+                    srm_with_faults(array, &data, config, geom, fault_rate, fault_seed, resume.as_deref())?;
                     if !flags.has("keep") {
                         let _ = std::fs::remove_dir_all(&dir);
                     } else {
@@ -128,8 +153,21 @@ pub fn sort(argv: &[String]) -> i32 {
             if backend != "mem" {
                 println!("(DSM runs on the in-memory backend)");
             }
-            let mut array: MemDiskArray<U64Record> = MemDiskArray::new(geom);
-            run_dsm(&mut array, &data, geom)?;
+            let array: MemDiskArray<U64Record> = MemDiskArray::new(geom);
+            if fault_rate > 0.0 {
+                let policy = RetryPolicy::default();
+                println!(
+                    "fault injection: transient rate {fault_rate} per disk (seed {fault_seed:#x}), up to {} attempts per op",
+                    policy.max_attempts
+                );
+                let faulty =
+                    FaultyDiskArray::new(array, FaultModel::random(fault_seed).with_rate(fault_rate));
+                let mut wrapped = RetryingDiskArray::new(faulty, policy);
+                run_dsm(&mut wrapped, &data, geom)?;
+            } else {
+                let mut array = array;
+                run_dsm(&mut array, &data, geom)?;
+            }
         }
         if algo != "srm" && algo != "dsm" && algo != "both" {
             return Err(format!("unknown algo `{algo}`"));
@@ -160,18 +198,56 @@ fn print_io(label: &str, io: &pdisk::IoStats, geom: Geometry, cpu: std::time::Du
     }
 }
 
+/// Run SRM on `array`, optionally behind the fault-injection + retry
+/// stack (`--fault-rate`) and optionally checkpointed (`--resume`).
+#[allow(clippy::too_many_arguments)]
+fn srm_with_faults<A: DiskArray<U64Record>>(
+    array: A,
+    data: &[U64Record],
+    config: SrmConfig,
+    geom: Geometry,
+    fault_rate: f64,
+    fault_seed: u64,
+    resume: Option<&Path>,
+) -> Result<(), String> {
+    if fault_rate > 0.0 {
+        let policy = RetryPolicy::default();
+        println!(
+            "fault injection: transient rate {fault_rate} per disk (seed {fault_seed:#x}), up to {} attempts per op",
+            policy.max_attempts
+        );
+        let faulty = FaultyDiskArray::new(array, FaultModel::random(fault_seed).with_rate(fault_rate));
+        let mut wrapped = RetryingDiskArray::new(faulty, policy);
+        run_srm(&mut wrapped, data, config, geom, resume)
+    } else {
+        let mut array = array;
+        run_srm(&mut array, data, config, geom, resume)
+    }
+}
+
 fn run_srm<A: DiskArray<U64Record>>(
     array: &mut A,
     data: &[U64Record],
     config: SrmConfig,
     geom: Geometry,
+    resume: Option<&Path>,
 ) -> Result<(), String> {
     let input = write_unsorted_input(array, data).map_err(|e| e.to_string())?;
     let staged = array.stats();
     let start = std::time::Instant::now();
-    let (sorted, report) = SrmSorter::new(config)
-        .sort(array, &input)
-        .map_err(|e| e.to_string())?;
+    let sorter = SrmSorter::new(config);
+    let result = match resume {
+        Some(manifest) => sorter.sort_checkpointed(array, &input, manifest).map_err(|e| match e {
+            // A bad manifest will fail the same way on every rerun — the
+            // only way out is to discard it.
+            srm_core::SrmError::Checkpoint(_) => {
+                format!("{e}; delete {} to start a fresh sort", manifest.display())
+            }
+            _ => format!("{e}; rerun with the same flags to resume from {}", manifest.display()),
+        }),
+        None => sorter.sort(array, &input).map_err(|e| e.to_string()),
+    };
+    let (sorted, report) = result?;
     let elapsed = start.elapsed();
     verify_sorted(
         &read_run(array, &sorted).map_err(|e| e.to_string())?,
@@ -192,8 +268,8 @@ fn run_srm<A: DiskArray<U64Record>>(
     Ok(())
 }
 
-fn run_dsm(
-    array: &mut MemDiskArray<U64Record>,
+fn run_dsm<A: DiskArray<U64Record>>(
+    array: &mut A,
     data: &[U64Record],
     geom: Geometry,
 ) -> Result<(), String> {

@@ -1,0 +1,383 @@
+//! Checkpoint manifests for multi-pass sorts.
+//!
+//! A multi-pass external sort is a natural unit of recovery: run formation
+//! and every merge pass each leave the *entire* dataset on disk as a set
+//! of sorted runs.  [`SortManifest`] records that set — plus everything
+//! needed to replay the remaining passes exactly — so a sort killed
+//! mid-pass can resume from the last completed pass instead of starting
+//! over (see [`crate::SrmSorter::sort_checkpointed`]).
+//!
+//! The manifest is a small versioned text file, written atomically
+//! (temp file + rename) and protected by an FNV-1a checksum line, so a
+//! crash *while writing the manifest itself* leaves either the previous
+//! valid manifest or a detectably torn one — never a silently wrong one:
+//!
+//! ```text
+//! srm-sort-manifest v1
+//! algo srm
+//! geometry <D> <B> <M>
+//! seed <u64>
+//! placement random|staggered
+//! records <u64>
+//! runs-formed <u64>
+//! pass <completed merge passes>
+//! draws <placement draws consumed>
+//! runs <count>
+//! run <start_disk> <len_blocks> <records> <base_offset_0> ... <base_offset_D-1>
+//! ...
+//! checksum <fnv1a64 of all preceding bytes, hex>
+//! ```
+//!
+//! `draws` is the key to determinism: SRM's randomized placement draws one
+//! start disk per run written.  Fast-forwarding a fresh placement RNG by
+//! `draws` before resuming makes the resumed sort draw the *same* start
+//! disks an uninterrupted sort would have — so the recovered output is
+//! identical, not merely sorted.
+
+use crate::error::{Result, SrmError};
+use crate::sort::{Placement, SrmConfig};
+use pdisk::{DiskId, Geometry, StripedRun};
+use std::io::Write;
+use std::path::Path;
+
+/// Manifest format version understood by this build.
+pub const MANIFEST_VERSION: u32 = 1;
+
+const HEADER: &str = "srm-sort-manifest v1";
+
+/// Snapshot of a sort between passes: the surviving runs in merge-queue
+/// order plus the state needed to replay the remaining passes.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SortManifest {
+    /// Disk-array geometry the sort ran under; a resume on a different
+    /// geometry would misinterpret every address, so it is refused.
+    pub geometry: Geometry,
+    /// Seed of the sorter that wrote the manifest.
+    pub seed: u64,
+    /// Start-disk policy of the sorter that wrote the manifest.
+    pub placement: Placement,
+    /// Total records being sorted.
+    pub records: u64,
+    /// Runs produced by the formation pass (for the final report).
+    pub runs_formed: u64,
+    /// Completed merge passes (0 = formation finished, no merges yet).
+    pub pass: u64,
+    /// Placement draws consumed so far; the resuming sorter fast-forwards
+    /// its RNG by this count.
+    pub draws: u64,
+    /// The surviving runs, in merge-queue order.
+    pub runs: Vec<StripedRun>,
+}
+
+impl SortManifest {
+    /// Snapshot a sort's state after a completed pass.
+    pub fn new(
+        config: &SrmConfig,
+        geometry: Geometry,
+        records: u64,
+        runs_formed: u64,
+        pass: u64,
+        draws: u64,
+        runs: Vec<StripedRun>,
+    ) -> Self {
+        SortManifest {
+            geometry,
+            seed: config.seed,
+            placement: config.placement,
+            records,
+            runs_formed,
+            pass,
+            draws,
+            runs,
+        }
+    }
+
+    /// Refuse to resume under a sorter or array that doesn't match the one
+    /// that wrote the manifest — a mismatch would produce wrong output,
+    /// not just different I/O.
+    pub fn validate(&self, config: &SrmConfig, geometry: Geometry, records: u64) -> Result<()> {
+        if self.geometry != geometry {
+            return Err(SrmError::Checkpoint(format!(
+                "manifest geometry (D={} B={} M={}) does not match array (D={} B={} M={})",
+                self.geometry.d, self.geometry.b, self.geometry.m, geometry.d, geometry.b, geometry.m
+            )));
+        }
+        if self.seed != config.seed {
+            return Err(SrmError::Checkpoint(format!(
+                "manifest seed {} does not match sorter seed {}",
+                self.seed, config.seed
+            )));
+        }
+        if self.placement != config.placement {
+            return Err(SrmError::Checkpoint(format!(
+                "manifest placement {:?} does not match sorter placement {:?}",
+                self.placement, config.placement
+            )));
+        }
+        if self.records != records {
+            return Err(SrmError::Checkpoint(format!(
+                "manifest records {} does not match input records {records}",
+                self.records
+            )));
+        }
+        if self.runs.is_empty() {
+            return Err(SrmError::Checkpoint("manifest holds no runs".into()));
+        }
+        Ok(())
+    }
+
+    /// Serialize to the manifest text format, checksum line included.
+    pub fn encode(&self) -> String {
+        let mut s = String::new();
+        s.push_str(HEADER);
+        s.push('\n');
+        s.push_str("algo srm\n");
+        s.push_str(&format!(
+            "geometry {} {} {}\n",
+            self.geometry.d, self.geometry.b, self.geometry.m
+        ));
+        s.push_str(&format!("seed {}\n", self.seed));
+        s.push_str(&format!(
+            "placement {}\n",
+            match self.placement {
+                Placement::Random => "random",
+                Placement::Staggered => "staggered",
+            }
+        ));
+        s.push_str(&format!("records {}\n", self.records));
+        s.push_str(&format!("runs-formed {}\n", self.runs_formed));
+        s.push_str(&format!("pass {}\n", self.pass));
+        s.push_str(&format!("draws {}\n", self.draws));
+        s.push_str(&format!("runs {}\n", self.runs.len()));
+        for run in &self.runs {
+            s.push_str(&format!(
+                "run {} {} {}",
+                run.start_disk.0, run.len_blocks, run.records
+            ));
+            for &o in &run.base_offsets {
+                s.push_str(&format!(" {o}"));
+            }
+            s.push('\n');
+        }
+        s.push_str(&format!("checksum {:016x}\n", fnv1a64(s.as_bytes())));
+        s
+    }
+
+    /// Parse manifest text, verifying the trailing checksum.
+    pub fn parse(text: &str) -> Result<Self> {
+        let bad = |msg: &str| SrmError::Checkpoint(format!("malformed manifest: {msg}"));
+        let body_end = text
+            .rfind("checksum ")
+            .ok_or_else(|| bad("missing checksum line"))?;
+        let stored = text[body_end..]
+            .trim()
+            .strip_prefix("checksum ")
+            .and_then(|h| u64::from_str_radix(h, 16).ok())
+            .ok_or_else(|| bad("unreadable checksum"))?;
+        let computed = fnv1a64(&text.as_bytes()[..body_end]);
+        if stored != computed {
+            return Err(SrmError::Checkpoint(format!(
+                "manifest checksum mismatch: stored {stored:016x}, computed {computed:016x} \
+                 (torn or corrupted manifest)"
+            )));
+        }
+
+        let mut lines = text[..body_end].lines();
+        if lines.next() != Some(HEADER) {
+            return Err(bad("unknown header or version"));
+        }
+        let mut field = |name: &str| -> Result<String> {
+            let line = lines.next().ok_or_else(|| bad("truncated"))?;
+            line.strip_prefix(name)
+                .and_then(|rest| rest.strip_prefix(' '))
+                .map(str::to_owned)
+                .ok_or_else(|| bad(&format!("expected `{name}` line, got `{line}`")))
+        };
+        if field("algo")? != "srm" {
+            return Err(bad("not an srm manifest"));
+        }
+        let geo: Vec<usize> = parse_ints(&field("geometry")?).map_err(|e| bad(&e))?;
+        if geo.len() != 3 {
+            return Err(bad("geometry needs three fields"));
+        }
+        let geometry = Geometry::new(geo[0], geo[1], geo[2])
+            .map_err(|e| SrmError::Checkpoint(format!("manifest geometry invalid: {e}")))?;
+        let seed: u64 = field("seed")?.parse().map_err(|_| bad("seed"))?;
+        let placement = match field("placement")?.as_str() {
+            "random" => Placement::Random,
+            "staggered" => Placement::Staggered,
+            other => return Err(bad(&format!("unknown placement `{other}`"))),
+        };
+        let records: u64 = field("records")?.parse().map_err(|_| bad("records"))?;
+        let runs_formed: u64 = field("runs-formed")?.parse().map_err(|_| bad("runs-formed"))?;
+        let pass: u64 = field("pass")?.parse().map_err(|_| bad("pass"))?;
+        let draws: u64 = field("draws")?.parse().map_err(|_| bad("draws"))?;
+        let count: usize = field("runs")?.parse().map_err(|_| bad("runs count"))?;
+        let mut runs = Vec::with_capacity(count);
+        for _ in 0..count {
+            let nums: Vec<u64> = parse_ints(&field("run")?).map_err(|e| bad(&e))?;
+            if nums.len() != 3 + geometry.d {
+                return Err(bad("run line has wrong field count for geometry"));
+            }
+            runs.push(StripedRun {
+                start_disk: DiskId(u32::try_from(nums[0]).map_err(|_| bad("start disk"))?),
+                len_blocks: nums[1],
+                records: nums[2],
+                base_offsets: nums[3..].to_vec(),
+            });
+        }
+        if lines.next().is_some() {
+            return Err(bad("trailing data after runs"));
+        }
+        Ok(SortManifest {
+            geometry,
+            seed,
+            placement,
+            records,
+            runs_formed,
+            pass,
+            draws,
+            runs,
+        })
+    }
+
+    /// Write atomically: serialize to `<path>.tmp`, fsync, rename over
+    /// `path`.  A crash at any point leaves either the old manifest or a
+    /// complete new one.
+    pub fn save(&self, path: &Path) -> Result<()> {
+        let ckpt = |e: std::io::Error| {
+            SrmError::Checkpoint(format!("cannot write manifest {}: {e}", path.display()))
+        };
+        let tmp = path.with_extension("tmp");
+        let mut f = std::fs::File::create(&tmp).map_err(ckpt)?;
+        f.write_all(self.encode().as_bytes()).map_err(ckpt)?;
+        f.sync_all().map_err(ckpt)?;
+        drop(f);
+        std::fs::rename(&tmp, path).map_err(ckpt)?;
+        Ok(())
+    }
+
+    /// Load and parse a manifest file.
+    pub fn load(path: &Path) -> Result<Self> {
+        let text = std::fs::read_to_string(path).map_err(|e| {
+            SrmError::Checkpoint(format!("cannot read manifest {}: {e}", path.display()))
+        })?;
+        Self::parse(&text)
+    }
+
+    /// Delete a completed sort's manifest; a missing file is fine (the
+    /// sort may never have checkpointed).
+    pub fn remove(path: &Path) -> Result<()> {
+        match std::fs::remove_file(path) {
+            Ok(()) => Ok(()),
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => Ok(()),
+            Err(e) => Err(SrmError::Checkpoint(format!(
+                "cannot remove manifest {}: {e}",
+                path.display()
+            ))),
+        }
+    }
+}
+
+fn parse_ints<T: std::str::FromStr>(s: &str) -> std::result::Result<Vec<T>, String> {
+    s.split_whitespace()
+        .map(|w| w.parse::<T>().map_err(|_| format!("bad integer `{w}`")))
+        .collect()
+}
+
+/// FNV-1a 64-bit — the same framing integrity check the file backend uses
+/// per block (`pdisk::file`), here applied to the whole manifest.
+fn fnv1a64(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    h
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> SortManifest {
+        let geometry = Geometry::new(3, 4, 96).unwrap();
+        SortManifest::new(
+            &SrmConfig::default(),
+            geometry,
+            1000,
+            21,
+            2,
+            25,
+            vec![
+                StripedRun {
+                    start_disk: DiskId(1),
+                    len_blocks: 130,
+                    records: 520,
+                    base_offsets: vec![10, 20, 30],
+                },
+                StripedRun {
+                    start_disk: DiskId(0),
+                    len_blocks: 120,
+                    records: 480,
+                    base_offsets: vec![55, 66, 77],
+                },
+            ],
+        )
+    }
+
+    #[test]
+    fn encode_parse_roundtrips() {
+        let m = sample();
+        let parsed = SortManifest::parse(&m.encode()).unwrap();
+        assert_eq!(parsed, m);
+    }
+
+    #[test]
+    fn corruption_is_detected() {
+        let text = sample().encode();
+        // Flip one digit in a run line.
+        let broken = text.replace("run 1 130 520", "run 1 131 520");
+        let err = SortManifest::parse(&broken).unwrap_err();
+        assert!(err.to_string().contains("checksum mismatch"), "{err}");
+        // Truncation loses the checksum line entirely.
+        let truncated = &text[..text.len() / 2];
+        assert!(SortManifest::parse(truncated).is_err());
+    }
+
+    #[test]
+    fn save_load_roundtrips_and_remove_is_idempotent() {
+        let dir = std::env::temp_dir().join(format!("srm-manifest-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("sort.manifest");
+        let m = sample();
+        m.save(&path).unwrap();
+        assert_eq!(SortManifest::load(&path).unwrap(), m);
+        SortManifest::remove(&path).unwrap();
+        SortManifest::remove(&path).unwrap(); // second remove: no error
+        assert!(SortManifest::load(&path).is_err());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn validate_refuses_mismatches() {
+        let m = sample();
+        let cfg = SrmConfig::default();
+        let geom = m.geometry;
+        m.validate(&cfg, geom, 1000).unwrap();
+        // Wrong geometry.
+        let other = Geometry::new(2, 4, 96).unwrap();
+        assert!(m.validate(&cfg, other, 1000).is_err());
+        // Wrong seed.
+        let reseeded = SrmConfig { seed: 7, ..cfg };
+        assert!(m.validate(&reseeded, geom, 1000).is_err());
+        // Wrong placement.
+        let staggered = SrmConfig {
+            placement: Placement::Staggered,
+            ..cfg
+        };
+        assert!(m.validate(&staggered, geom, 1000).is_err());
+        // Wrong record count.
+        assert!(m.validate(&cfg, geom, 999).is_err());
+    }
+}

@@ -10,6 +10,10 @@ pub enum SrmError {
     /// A configuration cannot support the requested operation (e.g. more
     /// runs than the merge order, or memory too small for any merge).
     Config(String),
+    /// A checkpoint manifest could not be read, written, or trusted
+    /// (torn file, checksum mismatch, or written by an incompatible
+    /// sorter/geometry).  See [`crate::checkpoint`].
+    Checkpoint(String),
     /// An internal invariant failed — by Lemma 1 the schedule can never
     /// deadlock, so seeing this is a bug, never an input problem.
     Internal(String),
@@ -20,6 +24,7 @@ impl std::fmt::Display for SrmError {
         match self {
             SrmError::Disk(e) => write!(f, "disk error: {e}"),
             SrmError::Config(msg) => write!(f, "configuration error: {msg}"),
+            SrmError::Checkpoint(msg) => write!(f, "checkpoint error: {msg}"),
             SrmError::Internal(msg) => write!(f, "internal invariant violated: {msg}"),
         }
     }

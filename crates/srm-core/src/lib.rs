@@ -29,10 +29,14 @@
 //!   selection (§2.1);
 //! * [`sort`] — the multi-pass mergesort driver, randomized or
 //!   deterministic-staggered placement (§3, §8);
+//! * [`checkpoint`] — pass-granular checkpoint manifests so an
+//!   interrupted multi-pass sort resumes from its last completed pass
+//!   with byte-identical output;
 //! * [`simulator`] — block-granularity re-implementation of the exact same
 //!   schedule, used to reproduce Table 3 at paper scale (§9.3);
 //! * [`error`] — error types.
 
+pub mod checkpoint;
 pub mod error;
 pub mod forecast;
 pub mod key;
@@ -46,6 +50,7 @@ pub mod scheduler;
 pub mod simulator;
 pub mod sort;
 
+pub use checkpoint::SortManifest;
 pub use error::{Result, SrmError};
 pub use key::{BlockKey, RunId};
 pub use merge::{merge_runs, MergeOutcome, MergeStats};

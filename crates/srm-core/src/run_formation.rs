@@ -198,8 +198,12 @@ fn replacement_selection<R: Record, A: DiskArray<R>>(
                 Some(&Reverse((e, _, _))) if e == epoch => {}
                 _ => break, // heap empty or only next-epoch records left
             }
-            let Reverse((_, key, id)) = heap.pop().expect("peeked");
-            let rec = payloads.remove(&id).expect("payload");
+            let Reverse((_, key, id)) = heap
+                .pop()
+                .ok_or_else(|| SrmError::Internal("selection heap drained mid-run".into()))?;
+            let rec = payloads
+                .remove(&id)
+                .ok_or_else(|| SrmError::Internal(format!("no payload for heap entry {id}")))?;
             debug_assert_eq!(rec.key(), key);
             writer.push(array, rec)?;
             // Admit one replacement record; freeze it for the next run if

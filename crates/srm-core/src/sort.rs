@@ -11,6 +11,7 @@
 //!   disks cycle deterministically, trading the worst-case guarantee for
 //!   zero randomness (comparable performance on random inputs).
 
+use crate::checkpoint::SortManifest;
 use crate::error::{Result, SrmError};
 use crate::merge::{merge_runs, MergeStats};
 use crate::run_formation::{form_runs, RunFormation};
@@ -18,6 +19,7 @@ use crate::scheduler::ScheduleStats;
 use pdisk::{Block, DiskArray, DiskId, Forecast, IoStats, Record, StripedRun};
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
+use std::path::Path;
 
 /// How each run's start disk `d_r` is chosen.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -81,6 +83,49 @@ impl SortReport {
     }
 }
 
+/// Start-disk source: the sort's only randomness, factored out so a
+/// resumed sort can fast-forward to exactly where an interrupted one
+/// left off (every run written draws exactly once).
+struct Placer {
+    placement: Placement,
+    rng: SmallRng,
+    stagger: u32,
+    d: u32,
+    draws: u64,
+}
+
+impl Placer {
+    fn new(placement: Placement, seed: u64, d: u32) -> Self {
+        Placer {
+            placement,
+            rng: SmallRng::seed_from_u64(seed),
+            stagger: 0,
+            d,
+            draws: 0,
+        }
+    }
+
+    fn next(&mut self) -> DiskId {
+        self.draws += 1;
+        match self.placement {
+            Placement::Random => DiskId(self.rng.random_range(0..self.d)),
+            Placement::Staggered => {
+                let disk = DiskId(self.stagger % self.d);
+                self.stagger += 1;
+                disk
+            }
+        }
+    }
+
+    /// Consume `n` draws so the next one matches what an uninterrupted
+    /// sort would draw after `n` runs.
+    fn fast_forward(&mut self, n: u64) {
+        for _ in 0..n {
+            self.next();
+        }
+    }
+}
+
 /// The SRM external sorter.
 ///
 /// # Examples
@@ -126,29 +171,75 @@ impl SrmSorter {
         array: &mut A,
         input: &StripedRun,
     ) -> Result<(StripedRun, SortReport)> {
+        self.sort_inner(array, input, None)
+    }
+
+    /// Like [`SrmSorter::sort`], but checkpointing progress to `manifest`
+    /// after run formation and after every completed merge pass, and
+    /// **resuming** from `manifest` when the file already exists.
+    ///
+    /// A sort killed mid-pass loses only the interrupted pass: rerunning
+    /// the same sorter against the same array (or a
+    /// [`pdisk::FileDiskArray`] reopened with
+    /// [`pdisk::FileDiskArray::open`]) skips formation and every
+    /// completed pass, fast-forwards the placement RNG by the manifest's
+    /// draw count, and redoes the interrupted pass — producing the same
+    /// record sequence an uninterrupted sort would.  Blocks written by
+    /// the interrupted pass are abandoned (the space is not reclaimed;
+    /// the substrate is append-only within a sort).
+    ///
+    /// The manifest is deleted on successful completion.  In the returned
+    /// report, `merge_passes` and `runs_formed` cover the *whole logical
+    /// sort* (including passes done before a resume), while `io`,
+    /// `merges`, and `schedule` cover only the work this call performed.
+    ///
+    /// Resuming validates that geometry, seed, placement, and record
+    /// count match the manifest; any mismatch is an
+    /// [`SrmError::Checkpoint`], since silently continuing would corrupt
+    /// the output.
+    pub fn sort_checkpointed<R: Record, A: DiskArray<R>>(
+        &self,
+        array: &mut A,
+        input: &StripedRun,
+        manifest: &Path,
+    ) -> Result<(StripedRun, SortReport)> {
+        self.sort_inner(array, input, Some(manifest))
+    }
+
+    fn sort_inner<R: Record, A: DiskArray<R>>(
+        &self,
+        array: &mut A,
+        input: &StripedRun,
+        manifest: Option<&Path>,
+    ) -> Result<(StripedRun, SortReport)> {
         let geom = array.geometry();
         if input.records == 0 {
             return Err(SrmError::Config("cannot sort an empty input".into()));
         }
         let r_max = geom.srm_merge_order()?;
         let io_before = array.stats();
-        let mut rng = SmallRng::seed_from_u64(self.config.seed);
-        let mut stagger = 0u32;
-        let placement = self.config.placement;
-        let d = geom.d as u32;
-        let mut place = move || -> DiskId {
-            match placement {
-                Placement::Random => DiskId(rng.random_range(0..d)),
-                Placement::Staggered => {
-                    let disk = DiskId(stagger % d);
-                    stagger += 1;
-                    disk
+        let mut placer = Placer::new(self.config.placement, self.config.seed, geom.d as u32);
+
+        let resume = match manifest {
+            Some(path) if path.exists() => Some(SortManifest::load(path)?),
+            _ => None,
+        };
+        let (mut queue, mut pass, runs_formed) = match resume {
+            Some(m) => {
+                m.validate(&self.config, geom, input.records)?;
+                placer.fast_forward(m.draws);
+                (m.runs, m.pass, m.runs_formed as usize)
+            }
+            None => {
+                let queue =
+                    form_runs(array, input, self.config.run_formation, || placer.next())?;
+                let runs_formed = queue.len();
+                if let Some(path) = manifest {
+                    self.snapshot(path, geom, input, runs_formed, 0, &placer, &queue)?;
                 }
+                (queue, 0, runs_formed)
             }
         };
-
-        let mut queue = form_runs(array, input, self.config.run_formation, &mut place)?;
-        let runs_formed = queue.len();
         let mut report = SortReport {
             records: input.records,
             merge_order: r_max,
@@ -157,7 +248,7 @@ impl SrmSorter {
         };
 
         while queue.len() > 1 {
-            report.merge_passes += 1;
+            pass += 1;
             let mut next = Vec::with_capacity(queue.len().div_ceil(r_max));
             for group in queue.chunks(r_max) {
                 if group.len() == 1 {
@@ -166,17 +257,51 @@ impl SrmSorter {
                     next.push(group[0].clone());
                     continue;
                 }
-                let out = merge_runs(array, group, place())?;
+                let out = merge_runs(array, group, placer.next())?;
                 report.merges += 1;
                 accumulate(&mut report.schedule, &out.stats);
                 next.push(out.run);
             }
             queue = next;
+            if let Some(path) = manifest {
+                if queue.len() > 1 {
+                    self.snapshot(path, geom, input, runs_formed, pass, &placer, &queue)?;
+                }
+            }
         }
-        let sorted = queue.pop().expect("at least one run");
+        report.merge_passes = pass;
+        let sorted = queue
+            .pop()
+            .ok_or_else(|| SrmError::Internal("merge queue drained to empty".into()))?;
         debug_assert_eq!(sorted.records, input.records);
+        if let Some(path) = manifest {
+            SortManifest::remove(path)?;
+        }
         report.io = array.stats().since(&io_before);
         Ok((sorted, report))
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn snapshot(
+        &self,
+        path: &Path,
+        geom: pdisk::Geometry,
+        input: &StripedRun,
+        runs_formed: usize,
+        pass: u64,
+        placer: &Placer,
+        queue: &[StripedRun],
+    ) -> Result<()> {
+        SortManifest::new(
+            &self.config,
+            geom,
+            input.records,
+            runs_formed as u64,
+            pass,
+            placer.draws,
+            queue.to_vec(),
+        )
+        .save(path)
     }
 }
 

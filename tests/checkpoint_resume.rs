@@ -1,0 +1,219 @@
+//! Kill-and-resume end-to-end tests: a multi-pass sort interrupted by a
+//! permanent disk fault at *any* point must, when rerun against the same
+//! array with the same manifest path, complete and produce output
+//! **byte-identical** to an uninterrupted sort — same record sequence,
+//! same encoded bytes — because the resumed placement RNG is
+//! fast-forwarded to exactly where the interrupted sort left off.
+
+use dsm::{read_logical_run, write_unsorted_stripes, DsmSorter};
+use pdisk::{
+    DiskArray, FaultModel, FaultOp, FileDiskArray, Geometry, MemDiskArray, Record, U64Record,
+};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use srm_core::sort::write_unsorted_input;
+use srm_core::{read_run, SrmSorter};
+use std::path::PathBuf;
+
+fn random_records(n: u64, seed: u64) -> Vec<U64Record> {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    (0..n).map(|_| U64Record(rng.random())).collect()
+}
+
+fn encode_all(records: &[U64Record]) -> Vec<u8> {
+    let mut out = vec![0u8; records.len() * U64Record::ENCODED_LEN];
+    for (rec, chunk) in records.iter().zip(out.chunks_mut(U64Record::ENCODED_LEN)) {
+        rec.encode(chunk);
+    }
+    out
+}
+
+fn unique_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("srm-ckpt-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+/// A geometry giving three merge passes over 3000 records, so kills can
+/// land in formation, pass 1, pass 2, and pass 3.
+fn geom() -> Geometry {
+    Geometry::new(2, 4, 96).unwrap()
+}
+
+/// Uninterrupted SRM baseline: output bytes plus total sort read/write ops
+/// (used to aim the kill points across the whole schedule).
+fn srm_baseline(data: &[U64Record]) -> (Vec<u8>, u64, u64) {
+    let mut a: MemDiskArray<U64Record> = MemDiskArray::new(geom());
+    let input = write_unsorted_input(&mut a, data).unwrap();
+    a.reset_stats();
+    let (run, report) = SrmSorter::default().sort(&mut a, &input).unwrap();
+    assert!(report.merge_passes >= 3, "need a genuinely multi-pass sort");
+    // Capture the op counts before the verification read below inflates
+    // them — kill points must land inside the sort itself.
+    let (reads, writes) = (a.stats().read_ops, a.stats().write_ops);
+    let out = read_run(&mut a, &run).unwrap();
+    (encode_all(&out), reads, writes)
+}
+
+#[test]
+fn srm_killed_at_any_point_resumes_byte_identical() {
+    let data = random_records(3000, 71);
+    let (want, reads, writes) = srm_baseline(&data);
+    let dir = unique_dir("srm-mem");
+
+    // Read-ordinal kill points: formation's first read, mid-schedule
+    // probes, and the very last read.  Write kills land after the
+    // staging writes (input staging happens before the sort).
+    let staging_writes = 3000u64.div_ceil(4).div_ceil(2);
+    let kills: Vec<(FaultOp, u64)> = [0, reads / 5, reads / 2, 4 * reads / 5, reads - 1]
+        .iter()
+        .map(|&n| (FaultOp::Read, n))
+        .chain([0, writes / 2, writes - 1].iter().map(|&n| (FaultOp::Write, staging_writes + n)))
+        .collect();
+
+    for (i, &(op, ordinal)) in kills.iter().enumerate() {
+        let manifest = dir.join(format!("kill-{i}.manifest"));
+        let inner: MemDiskArray<U64Record> = MemDiskArray::new(geom());
+        let mut a = pdisk::FaultyDiskArray::new(inner, FaultModel::none().kill_at(op, ordinal));
+        let input = write_unsorted_input(&mut a, &data).unwrap();
+
+        let killed = SrmSorter::default().sort_checkpointed(&mut a, &input, &manifest);
+        assert!(killed.is_err(), "kill at {op} op {ordinal} must abort the sort");
+
+        // "Reboot": same data on disk, fault gone, same sorter + manifest.
+        let mut recovered = a.into_inner();
+        let (run, report) = SrmSorter::default()
+            .sort_checkpointed(&mut recovered, &input, &manifest)
+            .unwrap_or_else(|e| panic!("resume after kill at {op} op {ordinal} failed: {e}"));
+        let out = read_run(&mut recovered, &run).unwrap();
+        assert_eq!(
+            encode_all(&out),
+            want,
+            "kill at {op} op {ordinal}: resumed output differs from uninterrupted sort"
+        );
+        assert_eq!(report.records, 3000);
+        assert_eq!(report.merge_passes, 3, "whole-sort pass count survives resume");
+        assert!(!manifest.exists(), "manifest must be deleted on completion");
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// The real recovery story: a sort on the file backend dies (process and
+/// all), the disk files are reopened with `FileDiskArray::open`, and the
+/// resumed sort finishes byte-identically.
+#[test]
+fn srm_file_backend_survives_process_death() {
+    let data = random_records(3000, 72);
+    let (want, reads, _) = srm_baseline(&data);
+    let dir = unique_dir("srm-file");
+    let disks = dir.join("disks");
+    let manifest = dir.join("sort.manifest");
+
+    // First "process": stage input, then die from a permanent disk fault
+    // midway through the merge schedule.
+    let input = {
+        let files: FileDiskArray<U64Record> = FileDiskArray::create(geom(), &disks).unwrap();
+        let mut a =
+            pdisk::FaultyDiskArray::new(files, FaultModel::none().kill_at(FaultOp::Read, reads / 2));
+        let input = write_unsorted_input(&mut a, &data).unwrap();
+        assert!(SrmSorter::default()
+            .sort_checkpointed(&mut a, &input, &manifest)
+            .is_err());
+        assert!(manifest.exists(), "a mid-merge kill leaves a manifest behind");
+        input
+        // Array dropped here: worker threads shut down, files closed.
+    };
+
+    // Second "process": reopen the same files, resume from the manifest.
+    let mut files = FileDiskArray::<U64Record>::open(geom(), &disks).unwrap();
+    let (run, _) = SrmSorter::default()
+        .sort_checkpointed(&mut files, &input, &manifest)
+        .unwrap();
+    let out = read_run(&mut files, &run).unwrap();
+    assert_eq!(encode_all(&out), want, "cross-process resume must be byte-identical");
+    assert!(!manifest.exists());
+    drop(files);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn dsm_killed_mid_pass_resumes_byte_identical() {
+    let data = random_records(3000, 73);
+
+    // Uninterrupted baseline.
+    let mut clean: MemDiskArray<U64Record> = MemDiskArray::new(geom());
+    let input = write_unsorted_stripes(&mut clean, &data).unwrap();
+    clean.reset_stats();
+    let (run, report) = DsmSorter::default().sort(&mut clean, &input).unwrap();
+    assert!(report.merge_passes >= 2);
+    let reads = clean.stats().read_ops; // before the verification read
+    let want = encode_all(&read_logical_run(&mut clean, &run).unwrap());
+
+    let dir = unique_dir("dsm-mem");
+    for (i, ordinal) in [reads / 3, 2 * reads / 3, reads - 1].into_iter().enumerate() {
+        let manifest = dir.join(format!("kill-{i}.manifest"));
+        let inner: MemDiskArray<U64Record> = MemDiskArray::new(geom());
+        let mut a =
+            pdisk::FaultyDiskArray::new(inner, FaultModel::none().kill_at(FaultOp::Read, ordinal));
+        let input = write_unsorted_stripes(&mut a, &data).unwrap();
+        assert!(DsmSorter::default()
+            .sort_checkpointed(&mut a, &input, &manifest)
+            .is_err());
+
+        let mut recovered = a.into_inner();
+        let (run, report) = DsmSorter::default()
+            .sort_checkpointed(&mut recovered, &input, &manifest)
+            .unwrap();
+        let out = read_logical_run(&mut recovered, &run).unwrap();
+        assert_eq!(encode_all(&out), want, "kill at read op {ordinal}");
+        assert_eq!(report.records, 3000);
+        assert!(!manifest.exists());
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// Resume refuses a manifest that doesn't match the sorter or input —
+/// each mismatch is a checkpoint error, not silent corruption.
+#[test]
+fn resume_rejects_incompatible_manifests() {
+    let data = random_records(3000, 74);
+    let dir = unique_dir("srm-reject");
+    let manifest = dir.join("sort.manifest");
+
+    // Produce a real manifest by killing a checkpointed sort mid-merge.
+    let (_, reads, _) = srm_baseline(&data);
+    let inner: MemDiskArray<U64Record> = MemDiskArray::new(geom());
+    let mut a = pdisk::FaultyDiskArray::new(
+        inner,
+        FaultModel::none().kill_at(FaultOp::Read, reads / 2),
+    );
+    let input = write_unsorted_input(&mut a, &data).unwrap();
+    assert!(SrmSorter::default()
+        .sort_checkpointed(&mut a, &input, &manifest)
+        .is_err());
+    assert!(manifest.exists(), "mid-merge kill must leave a manifest");
+    let mut recovered = a.into_inner();
+
+    // Wrong seed.
+    let reseeded = SrmSorter::new(srm_core::SrmConfig {
+        seed: 0xBAD_5EED,
+        ..srm_core::SrmConfig::default()
+    });
+    match reseeded.sort_checkpointed(&mut recovered, &input, &manifest) {
+        Err(srm_core::SrmError::Checkpoint(msg)) => assert!(msg.contains("seed"), "{msg}"),
+        other => panic!("wrong seed must be refused, got {other:?}"),
+    }
+
+    // Corrupted manifest file.
+    let text = std::fs::read_to_string(&manifest).unwrap();
+    assert!(text.contains("records 3000"));
+    std::fs::write(&manifest, text.replace("records 3000", "records 3001")).unwrap();
+    match SrmSorter::default().sort_checkpointed(&mut recovered, &input, &manifest) {
+        Err(srm_core::SrmError::Checkpoint(msg)) => {
+            assert!(msg.contains("checksum mismatch"), "{msg}")
+        }
+        other => panic!("torn manifest must be refused, got {other:?}"),
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}

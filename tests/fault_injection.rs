@@ -2,12 +2,15 @@
 //! consumer (both sorters, the merge, run formation) must return an error
 //! — no panic, no hang, no silent truncation.
 
-use dsm::{write_unsorted_stripes, DsmSorter};
-use pdisk::{DiskArray, FaultPlan, FaultyDiskArray, Geometry, MemDiskArray, U64Record};
+use dsm::{write_unsorted_stripes, DsmError, DsmSorter};
+use pdisk::{
+    DiskArray, FaultModel, FaultOp, FaultPlan, FaultyDiskArray, Geometry, MemDiskArray,
+    PdiskError, RetryPolicy, RetryingDiskArray, U64Record,
+};
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 use srm_core::sort::write_unsorted_input;
-use srm_core::{SrmError, SrmSorter};
+use srm_core::{read_run, SrmError, SrmSorter};
 
 fn records(n: u64, seed: u64) -> Vec<U64Record> {
     let mut rng = SmallRng::seed_from_u64(seed);
@@ -78,6 +81,101 @@ fn dsm_surfaces_failures() {
             }
         }
     }
+}
+
+#[test]
+fn combined_read_and_write_plan_surfaces_first_hit() {
+    // One plan arming both a read and a write fault: whichever the
+    // schedule reaches first aborts the sort; nothing panics.
+    let data = records(800, 7);
+    let (reads, writes) = clean_srm_ops(&data);
+    let staging = 800u64.div_ceil(4).div_ceil(2);
+    let plan = FaultPlan::read(reads / 3).and_write(staging + writes / 3);
+    let inner: MemDiskArray<U64Record> = MemDiskArray::new(geom());
+    let mut a = FaultyDiskArray::new(inner, plan);
+    let input = write_unsorted_input(&mut a, &data).unwrap();
+    let result = SrmSorter::default().sort(&mut a, &input);
+    assert!(matches!(result, Err(SrmError::Disk(_))));
+}
+
+#[test]
+fn dsm_run_formation_write_fault_surfaces() {
+    // Aim a write fault inside DSM's run-formation write path: staging
+    // takes ceil(600/8) = 75 write ops, so op 80 lands in formation.
+    let data = records(600, 8);
+    let inner: MemDiskArray<U64Record> = MemDiskArray::new(geom());
+    let mut a = FaultyDiskArray::new(inner, FaultPlan::write(80));
+    let input = write_unsorted_stripes(&mut a, &data).unwrap();
+    let result = DsmSorter::default().sort(&mut a, &input);
+    assert!(
+        matches!(result, Err(DsmError::Disk(_))),
+        "formation write fault must surface, got {result:?}"
+    );
+}
+
+#[test]
+fn alloc_fault_is_surfaced_not_panicked() {
+    // Regression: a fault during alloc_contiguous (which backs every run
+    // allocation) must propagate as an error through both sorters.
+    let data = records(500, 9);
+    for ordinal in [0, 5, 50] {
+        let inner: MemDiskArray<U64Record> = MemDiskArray::new(geom());
+        let mut a = FaultyDiskArray::new(inner, FaultPlan::alloc(ordinal));
+        match write_unsorted_input(&mut a, &data) {
+            Err(SrmError::Disk(_)) => continue, // staging's own alloc hit it
+            Err(other) => panic!("unexpected error class: {other:?}"),
+            Ok(input) => {
+                let result = SrmSorter::default().sort(&mut a, &input);
+                assert!(
+                    matches!(result, Err(SrmError::Disk(_))),
+                    "alloc fault at ordinal {ordinal} must surface as an error"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn permanent_fault_kills_disk_for_all_later_ops() {
+    // After a permanent fault, every subsequent op touching that disk
+    // fails — a retry wrapper cannot resurrect it.
+    let data = records(400, 10);
+    let inner: MemDiskArray<U64Record> = MemDiskArray::new(geom());
+    let faulty = FaultyDiskArray::new(inner, FaultModel::none().kill_at(FaultOp::Read, 4));
+    let mut a = RetryingDiskArray::new(faulty, RetryPolicy::default());
+    let input = write_unsorted_input(&mut a, &data).unwrap();
+    let result = SrmSorter::default().sort(&mut a, &input);
+    assert!(matches!(result, Err(SrmError::Disk(PdiskError::Fault { .. }))));
+    assert_eq!(a.retries(), (0, 0), "permanent faults must not be retried");
+}
+
+#[test]
+fn transient_faults_fully_absorbed_by_retry_wrapper() {
+    // A 5% transient fault rate on both reads and writes: with the retry
+    // wrapper the sort succeeds, output is correct, and the retries show
+    // up in IoStats without polluting the logical op counts.
+    let data = records(800, 11);
+    let mut clean: MemDiskArray<U64Record> = MemDiskArray::new(geom());
+    let input = write_unsorted_input(&mut clean, &data).unwrap();
+    clean.reset_stats();
+    let (clean_run, _) = SrmSorter::default().sort(&mut clean, &input).unwrap();
+    let clean_reads = clean.stats().read_ops; // before the verification read
+    let want = read_run(&mut clean, &clean_run).unwrap();
+
+    let inner: MemDiskArray<U64Record> = MemDiskArray::new(geom());
+    let faulty = FaultyDiskArray::new(inner, FaultModel::random(0xFA01).with_rate(0.05));
+    let mut a = RetryingDiskArray::new(faulty, RetryPolicy::default());
+    let input = write_unsorted_input(&mut a, &data).unwrap();
+    a.reset_stats();
+    let (run, _) = SrmSorter::default().sort(&mut a, &input).unwrap();
+    let stats = a.stats();
+    assert!(stats.total_retries() > 0, "5% fault rate must trigger retries");
+    // Logical op counts (successful schedule ops, retries excluded) are
+    // unchanged by the fault model: `read_ops` counts only what the
+    // schedule asked for, `read_retries` accounts for the recovery work.
+    assert_eq!(stats.read_ops, clean_reads, "transient faults must not change the schedule");
+    let got = read_run(&mut a, &run).unwrap();
+    assert_eq!(got, want, "faulty-but-retried sort must match the clean sort");
 }
 
 #[test]

@@ -26,18 +26,19 @@ fn golden_sort_counts() {
     assert_eq!(report.runs_formed, 63);
     assert_eq!(report.merge_passes, 3);
     assert_eq!(report.merges, 14);
-    // Pinned counts (derived from this implementation at a fixed seed).
+    // Pinned counts (derived from this implementation at a fixed seed,
+    // under the vendored SplitMix64 `SmallRng` — see vendor/README.md).
     // Note the physics in the numbers: 3000 records = 750 blocks; four
     // writes of the file (formation + 3 merge passes) at perfect
     // parallelism = 1500 write ops / 3000 blocks; merge reads at D = 2
-    // with zero flushes = 1145 ops for 2250 blocks.
+    // with zero flushes = 1155 ops for 2250 blocks.
     let io = report.io;
     assert_eq!(
         (io.read_ops, io.write_ops, io.blocks_read, io.blocks_written),
-        (1520, 1500, 3000, 3000),
+        (1530, 1500, 3000, 3000),
         "I/O trace changed: {io:?}"
     );
-    assert_eq!(report.schedule.total_reads(), 1145, "{:?}", report.schedule);
+    assert_eq!(report.schedule.total_reads(), 1155, "{:?}", report.schedule);
     assert_eq!(report.schedule.blocks_flushed, 0);
 }
 
@@ -54,7 +55,8 @@ fn golden_simulator_counts() {
             stats.schedule.flush_ops,
             stats.schedule.blocks_read,
         ),
-        (7, 398, 2, 2002),
+        // Derived under the vendored SplitMix64 SmallRng (vendor/README.md).
+        (8, 400, 3, 2007),
         "simulated schedule changed: {:?}",
         stats.schedule
     );

@@ -4,7 +4,10 @@
 //! structural invariants.
 
 use dsm::{read_logical_run, write_unsorted_stripes, DsmSorter};
-use pdisk::{Geometry, MemDiskArray, U64Record};
+use pdisk::{
+    DiskArray, FaultModel, FaultyDiskArray, Geometry, MemDiskArray, RetryPolicy,
+    RetryingDiskArray, U64Record,
+};
 use proptest::collection::vec;
 use proptest::prelude::*;
 use srm_core::sort::write_unsorted_input;
@@ -100,6 +103,47 @@ proptest! {
         let (dsm_run, _) = DsmSorter::default().sort(&mut b, &input).unwrap();
         let dsm_out: Vec<u64> = read_logical_run(&mut b, &dsm_run).unwrap().iter().map(|r| r.0).collect();
         prop_assert_eq!(srm_out, dsm_out);
+    }
+
+    /// Fault tolerance as a property: under arbitrary transient-fault
+    /// rates up to 10% (with enough retry budget), SRM's output equals
+    /// the no-fault output and the *logical* read count — successful
+    /// schedule operations, retries excluded — is unchanged.  Retries
+    /// are visible but strictly additive.
+    #[test]
+    fn transient_faults_never_change_output_or_schedule(
+        keys in vec(any::<u64>(), 50..600),
+        rate in 0u32..=100,          // per-mille-of-10%: 0.0 ..= 0.10
+        fault_seed in any::<u64>(),
+    ) {
+        let rate = f64::from(rate) / 1000.0;
+        let geom = Geometry::new(2, 4, 96).unwrap();
+        let recs: Vec<U64Record> = keys.iter().map(|&k| U64Record(k)).collect();
+
+        // No-fault reference.
+        let mut clean: MemDiskArray<U64Record> = MemDiskArray::new(geom);
+        let input = write_unsorted_input(&mut clean, &recs).unwrap();
+        clean.reset_stats();
+        let (run, _) = SrmSorter::default().sort(&mut clean, &input).unwrap();
+        let clean_reads = clean.stats().read_ops;
+        let want = read_run(&mut clean, &run).unwrap();
+
+        // Same sort under random transient faults + bounded retry.  At
+        // 10% per-disk fault probability, 10 attempts make an
+        // all-attempts-fail run vanishingly unlikely (1e-10 per op).
+        let inner: MemDiskArray<U64Record> = MemDiskArray::new(geom);
+        let faulty = FaultyDiskArray::new(inner, FaultModel::random(fault_seed).with_rate(rate));
+        let mut a = RetryingDiskArray::new(faulty, RetryPolicy::new(10, std::time::Duration::from_millis(1)));
+        let input = write_unsorted_input(&mut a, &recs).unwrap();
+        a.reset_stats();
+        let (run, _) = SrmSorter::default().sort(&mut a, &input).unwrap();
+        let stats = a.stats();
+        prop_assert_eq!(stats.read_ops, clean_reads, "logical reads changed under faults");
+        let got = read_run(&mut a, &run).unwrap();
+        prop_assert_eq!(got, want);
+        if rate == 0.0 {
+            prop_assert_eq!(stats.total_retries(), 0);
+        }
     }
 
     /// Order-statistics sampler invariants over arbitrary (records, B).

@@ -1,0 +1,143 @@
+//! Offline stand-in for the `criterion` crate (see `vendor/README.md`).
+//!
+//! Provides the API surface the `bench` crate uses so benchmark
+//! targets compile and link, but performs **no measurement**: bench
+//! closures are accepted and dropped, so running a bench binary is an
+//! instant no-op.  Use the `bench` crate's `src/bin` experiment
+//! drivers for real paper measurements in this environment.
+
+use std::fmt;
+use std::hint;
+
+pub fn black_box<T>(value: T) -> T {
+    hint::black_box(value)
+}
+
+#[derive(Clone, Debug)]
+pub struct BenchmarkId {
+    pub function: String,
+    pub parameter: String,
+}
+
+impl BenchmarkId {
+    pub fn new(function: impl fmt::Display, parameter: impl fmt::Display) -> Self {
+        BenchmarkId {
+            function: function.to_string(),
+            parameter: parameter.to_string(),
+        }
+    }
+
+    pub fn from_parameter(parameter: impl fmt::Display) -> Self {
+        BenchmarkId {
+            function: String::new(),
+            parameter: parameter.to_string(),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(name: &str) -> Self {
+        BenchmarkId {
+            function: name.to_string(),
+            parameter: String::new(),
+        }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(name: String) -> Self {
+        BenchmarkId {
+            function: name,
+            parameter: String::new(),
+        }
+    }
+}
+
+#[derive(Clone, Copy, Debug)]
+pub enum Throughput {
+    Elements(u64),
+    Bytes(u64),
+}
+
+pub struct Bencher {
+    _private: (),
+}
+
+impl Bencher {
+    pub fn iter<O, R: FnMut() -> O>(&mut self, _routine: R) {}
+}
+
+#[derive(Default)]
+pub struct Criterion {
+    _private: (),
+}
+
+impl Criterion {
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup {
+        BenchmarkGroup { _name: name.into() }
+    }
+
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, _f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let _ = id.into();
+        self
+    }
+}
+
+pub struct BenchmarkGroup {
+    _name: String,
+}
+
+impl BenchmarkGroup {
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    pub fn throughput(&mut self, _throughput: Throughput) -> &mut Self {
+        self
+    }
+
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, _f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let _ = id.into();
+        self
+    }
+
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        _input: &I,
+        _f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let _ = id.into();
+        self
+    }
+
+    pub fn finish(self) {}
+}
+
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}

@@ -1,0 +1,12 @@
+//! Offline stand-in for the `serde` crate (see `vendor/README.md`).
+//!
+//! The workspace only *derives* `Serialize`/`Deserialize` on plain data
+//! types so they stay serialization-ready; nothing currently routes
+//! through a serde serializer.  The traits here are therefore empty
+//! markers, and `serde_derive` emits empty impls for them.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+pub trait Serialize {}
+
+pub trait Deserialize<'de>: Sized {}

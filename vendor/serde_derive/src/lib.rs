@@ -1,0 +1,41 @@
+//! Offline stand-in for `serde_derive` (see `vendor/README.md`).
+//!
+//! Emits empty `impl serde::Serialize` / `impl serde::Deserialize`
+//! blocks — the stub `serde` traits carry no methods.  Handles structs
+//! and enums, with or without generics-free bodies; generic types are
+//! not supported (and none in this workspace derive serde generically).
+
+use proc_macro::{TokenStream, TokenTree};
+
+/// Extract the type name: the identifier following `struct` or `enum`.
+fn type_name(input: &TokenStream) -> String {
+    let mut saw_keyword = false;
+    for tt in input.clone() {
+        if let TokenTree::Ident(id) = tt {
+            let s = id.to_string();
+            if saw_keyword {
+                return s;
+            }
+            if s == "struct" || s == "enum" || s == "union" {
+                saw_keyword = true;
+            }
+        }
+    }
+    panic!("serde_derive stub: could not find a struct/enum name in input");
+}
+
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let name = type_name(&input);
+    format!("impl ::serde::Serialize for {name} {{}}")
+        .parse()
+        .expect("serde_derive stub: generated impl must parse")
+}
+
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let name = type_name(&input);
+    format!("impl<'de> ::serde::Deserialize<'de> for {name} {{}}")
+        .parse()
+        .expect("serde_derive stub: generated impl must parse")
+}
