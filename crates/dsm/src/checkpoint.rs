@@ -14,11 +14,18 @@
 //! records <u64>
 //! runs-formed <u64>
 //! pass <completed merge passes>
+//! parity <stripe_disks>            (optional: array ran under parity)
+//! dead <disk_id> ...               (optional: disks dead at snapshot time)
 //! runs <count>
 //! run <start_stripe> <len_stripes> <records>
 //! ...
 //! checksum <fnv1a64 of all preceding bytes, hex>
 //! ```
+//!
+//! The optional `parity` / `dead` lines mirror the SRM manifest: they pin
+//! the redundancy geometry the snapshot was taken under, so a degraded
+//! array can only be resumed by an array that knows the same disks are
+//! dead (see [`DsmManifest::validate_redundancy`]).
 //!
 //! Written atomically (temp file + rename) with an FNV-1a checksum line,
 //! so a torn manifest is detected, never trusted.
@@ -30,7 +37,7 @@
 
 use crate::logical::LogicalRun;
 use crate::sort::DsmError;
-use pdisk::Geometry;
+use pdisk::{DiskId, Geometry, RedundancyInfo};
 use std::io::Write;
 use std::path::Path;
 
@@ -50,6 +57,8 @@ pub struct DsmManifest {
     pub runs_formed: u64,
     /// Completed merge passes (0 = formation finished).
     pub pass: u64,
+    /// Redundancy geometry at snapshot time (`None` for a plain array).
+    pub redundancy: Option<RedundancyInfo>,
     /// Surviving runs, in merge-queue order.
     pub runs: Vec<LogicalRun>,
 }
@@ -75,6 +84,38 @@ impl DsmManifest {
         Ok(())
     }
 
+    /// Refuse to resume on an array whose redundancy state doesn't cover
+    /// the manifest's — same contract as the SRM manifest: stripe widths
+    /// must match and every manifest-dead disk must already be dead on
+    /// the array (its degraded-mode writes exist only as parity).
+    pub fn validate_redundancy(&self, current: Option<&RedundancyInfo>) -> Result<(), DsmError> {
+        match (&self.redundancy, current) {
+            (None, None) => Ok(()),
+            (Some(_), None) => Err(DsmError::Checkpoint(
+                "manifest was written under parity redundancy but the array has none".into(),
+            )),
+            (None, Some(_)) => Err(DsmError::Checkpoint(
+                "manifest was written on a plain array but the array has parity redundancy"
+                    .into(),
+            )),
+            (Some(want), Some(have)) => {
+                if want.stripe_disks != have.stripe_disks {
+                    return Err(DsmError::Checkpoint(format!(
+                        "manifest parity stripe width {} does not match array stripe width {}",
+                        want.stripe_disks, have.stripe_disks
+                    )));
+                }
+                if let Some(d) = want.dead.iter().find(|d| !have.dead.contains(d)) {
+                    return Err(DsmError::Checkpoint(format!(
+                        "manifest records disk {} dead but the array treats it as live",
+                        d.0
+                    )));
+                }
+                Ok(())
+            }
+        }
+    }
+
     /// Serialize to the manifest text format, checksum line included.
     pub fn encode(&self) -> String {
         let mut s = String::new();
@@ -88,6 +129,16 @@ impl DsmManifest {
         s.push_str(&format!("records {}\n", self.records));
         s.push_str(&format!("runs-formed {}\n", self.runs_formed));
         s.push_str(&format!("pass {}\n", self.pass));
+        if let Some(red) = &self.redundancy {
+            s.push_str(&format!("parity {}\n", red.stripe_disks));
+            if !red.dead.is_empty() {
+                s.push_str("dead");
+                for d in &red.dead {
+                    s.push_str(&format!(" {}", d.0));
+                }
+                s.push('\n');
+            }
+        }
         s.push_str(&format!("runs {}\n", self.runs.len()));
         for run in &self.runs {
             s.push_str(&format!(
@@ -118,33 +169,51 @@ impl DsmManifest {
             )));
         }
 
-        let mut lines = text[..body_end].lines();
+        let mut lines = text[..body_end].lines().peekable();
         if lines.next() != Some(HEADER) {
             return Err(bad("unknown header or version"));
         }
-        let mut field = |name: &str| -> Result<String, DsmError> {
-            let line = lines.next().ok_or_else(|| bad("truncated"))?;
-            line.strip_prefix(name)
-                .and_then(|rest| rest.strip_prefix(' '))
-                .map(str::to_owned)
-                .ok_or_else(|| bad(&format!("expected `{name}` line, got `{line}`")))
-        };
-        if field("algo")? != "dsm" {
+        if take_field(&mut lines, "algo")? != "dsm" {
             return Err(bad("not a dsm manifest"));
         }
-        let geo: Vec<usize> = parse_ints(&field("geometry")?).map_err(|e| bad(&e))?;
+        let geo: Vec<usize> = parse_ints(&take_field(&mut lines, "geometry")?).map_err(|e| bad(&e))?;
         if geo.len() != 3 {
             return Err(bad("geometry needs three fields"));
         }
         let geometry = Geometry::new(geo[0], geo[1], geo[2])
             .map_err(|e| DsmError::Checkpoint(format!("manifest geometry invalid: {e}")))?;
-        let records: u64 = field("records")?.parse().map_err(|_| bad("records"))?;
-        let runs_formed: u64 = field("runs-formed")?.parse().map_err(|_| bad("runs-formed"))?;
-        let pass: u64 = field("pass")?.parse().map_err(|_| bad("pass"))?;
-        let count: usize = field("runs")?.parse().map_err(|_| bad("runs count"))?;
-        let mut runs = Vec::with_capacity(count);
+        let records: u64 = take_field(&mut lines, "records")?
+            .parse()
+            .map_err(|_| bad("records"))?;
+        let runs_formed: u64 = take_field(&mut lines, "runs-formed")?
+            .parse()
+            .map_err(|_| bad("runs-formed"))?;
+        let pass: u64 = take_field(&mut lines, "pass")?.parse().map_err(|_| bad("pass"))?;
+        let mut redundancy = None;
+        if lines.peek().is_some_and(|l| l.starts_with("parity ")) {
+            let stripe_disks: usize = take_field(&mut lines, "parity")?
+                .parse()
+                .map_err(|_| bad("parity stripe width"))?;
+            if stripe_disks != geometry.d {
+                return Err(bad("parity stripe width does not match geometry"));
+            }
+            let mut dead = Vec::new();
+            if lines.peek().is_some_and(|l| l.starts_with("dead ")) {
+                let ids: Vec<u32> = parse_ints(&take_field(&mut lines, "dead")?).map_err(|e| bad(&e))?;
+                if ids.iter().any(|&i| i as usize >= geometry.d) {
+                    return Err(bad("dead disk id out of range for geometry"));
+                }
+                dead = ids.into_iter().map(DiskId).collect();
+            }
+            redundancy = Some(RedundancyInfo { stripe_disks, dead });
+        }
+        let count: usize = take_field(&mut lines, "runs")?
+            .parse()
+            .map_err(|_| bad("runs count"))?;
+        // `count` comes from an untrusted file; cap the reserve.
+        let mut runs = Vec::with_capacity(count.min(1024));
         for _ in 0..count {
-            let nums: Vec<u64> = parse_ints(&field("run")?).map_err(|e| bad(&e))?;
+            let nums: Vec<u64> = parse_ints(&take_field(&mut lines, "run")?).map_err(|e| bad(&e))?;
             if nums.len() != 3 {
                 return Err(bad("run line needs three fields"));
             }
@@ -162,6 +231,7 @@ impl DsmManifest {
             records,
             runs_formed,
             pass,
+            redundancy,
             runs,
         })
     }
@@ -201,6 +271,25 @@ impl DsmManifest {
     }
 }
 
+/// Consume the next manifest line, which must be `<name> <value>`, and
+/// return the value.
+fn take_field<'a, I: Iterator<Item = &'a str>>(
+    lines: &mut std::iter::Peekable<I>,
+    name: &str,
+) -> Result<String, DsmError> {
+    let line = lines
+        .next()
+        .ok_or_else(|| DsmError::Checkpoint("malformed manifest: truncated".into()))?;
+    line.strip_prefix(name)
+        .and_then(|rest| rest.strip_prefix(' '))
+        .map(str::to_owned)
+        .ok_or_else(|| {
+            DsmError::Checkpoint(format!(
+                "malformed manifest: expected `{name}` line, got `{line}`"
+            ))
+        })
+}
+
 fn parse_ints<T: std::str::FromStr>(s: &str) -> Result<Vec<T>, String> {
     s.split_whitespace()
         .map(|w| w.parse::<T>().map_err(|_| format!("bad integer `{w}`")))
@@ -227,6 +316,7 @@ mod tests {
             records: 3000,
             runs_formed: 63,
             pass: 1,
+            redundancy: None,
             runs: vec![
                 LogicalRun {
                     start_stripe: 400,
@@ -262,5 +352,32 @@ mod tests {
         m.validate(m.geometry, 3000).unwrap();
         assert!(m.validate(Geometry::new(4, 4, 96).unwrap(), 3000).is_err());
         assert!(m.validate(m.geometry, 2999).is_err());
+    }
+
+    #[test]
+    fn redundancy_lines_roundtrip_and_validate() {
+        let mut m = sample();
+        m.redundancy = Some(RedundancyInfo {
+            stripe_disks: 2,
+            dead: vec![DiskId(0)],
+        });
+        let text = m.encode();
+        assert!(text.contains("parity 2\n") && text.contains("dead 0\n"), "{text}");
+        assert_eq!(DsmManifest::parse(&text).unwrap(), m);
+        // Plain manifests stay byte-identical to the old wire format.
+        assert!(!sample().encode().contains("parity"));
+        // Validation: resuming array must know the dead disk.
+        assert!(m.validate_redundancy(None).is_err());
+        let healthy = RedundancyInfo {
+            stripe_disks: 2,
+            dead: vec![],
+        };
+        assert!(m.validate_redundancy(Some(&healthy)).is_err());
+        let degraded = RedundancyInfo {
+            stripe_disks: 2,
+            dead: vec![DiskId(0)],
+        };
+        m.validate_redundancy(Some(&degraded)).unwrap();
+        assert!(sample().validate_redundancy(Some(&degraded)).is_err());
     }
 }

@@ -60,6 +60,10 @@ pub struct DsmSorter {
     config: DsmConfig,
 }
 
+/// Pass-boundary callback threaded through `sort_inner`; see
+/// [`DsmSorter::sort_observed`].
+type PassObserver<'a, A> = &'a mut dyn FnMut(u64, &mut A) -> Result<(), DsmError>;
+
 /// Errors are plain [`PdiskError`]s plus configuration strings.
 #[derive(Debug)]
 pub enum DsmError {
@@ -109,7 +113,7 @@ impl DsmSorter {
         array: &mut A,
         input: &LogicalRun,
     ) -> Result<(LogicalRun, DsmReport), DsmError> {
-        self.sort_inner(array, input, None)
+        self.sort_inner(array, input, None, None)
     }
 
     /// Like [`DsmSorter::sort`], but checkpointing to `manifest` after
@@ -124,7 +128,23 @@ impl DsmSorter {
         input: &LogicalRun,
         manifest: &Path,
     ) -> Result<(LogicalRun, DsmReport), DsmError> {
-        self.sort_inner(array, input, Some(manifest))
+        self.sort_inner(array, input, Some(manifest), None)
+    }
+
+    /// Like [`DsmSorter::sort_checkpointed`] (pass `manifest: None` for an
+    /// unsnapshotted sort), but calling `observer` after run formation
+    /// (`pass` = 0) and after each merge pass completed by this call,
+    /// before the snapshot is taken.  The observer may mutate the array —
+    /// the CLI's `--kill-disk` drill injects a permanent disk failure
+    /// here.  Pass boundaries completed before a resume are not replayed.
+    pub fn sort_observed<R: Record, A: DiskArray<R>>(
+        &self,
+        array: &mut A,
+        input: &LogicalRun,
+        manifest: Option<&Path>,
+        mut observer: impl FnMut(u64, &mut A) -> Result<(), DsmError>,
+    ) -> Result<(LogicalRun, DsmReport), DsmError> {
+        self.sort_inner(array, input, manifest, Some(&mut observer))
     }
 
     fn sort_inner<R: Record, A: DiskArray<R>>(
@@ -132,6 +152,7 @@ impl DsmSorter {
         array: &mut A,
         input: &LogicalRun,
         manifest: Option<&Path>,
+        mut observer: Option<PassObserver<'_, A>>,
     ) -> Result<(LogicalRun, DsmReport), DsmError> {
         let geom = array.geometry();
         if input.records == 0 {
@@ -155,6 +176,7 @@ impl DsmSorter {
         let (mut queue, mut pass, runs_formed) = match resume {
             Some(m) => {
                 m.validate(geom, input.records)?;
+                m.validate_redundancy(array.redundancy().as_ref())?;
                 (m.runs, m.pass, m.runs_formed as usize)
             }
             None => {
@@ -180,8 +202,11 @@ impl DsmSorter {
                     queue.push(write_run(array, &load)?);
                 }
                 let runs_formed = queue.len();
+                if let Some(obs) = observer.as_deref_mut() {
+                    obs(0, array)?;
+                }
                 if let Some(path) = manifest {
-                    snapshot(path, geom, input, runs_formed, 0, &queue)?;
+                    snapshot(path, geom, input, runs_formed, 0, array.redundancy(), &queue)?;
                 }
                 (queue, 0, runs_formed)
             }
@@ -199,9 +224,12 @@ impl DsmSorter {
                 next.push(merge_group(array, group)?);
             }
             queue = next;
+            if let Some(obs) = observer.as_deref_mut() {
+                obs(pass, array)?;
+            }
             if let Some(path) = manifest {
                 if queue.len() > 1 {
-                    snapshot(path, geom, input, runs_formed, pass, &queue)?;
+                    snapshot(path, geom, input, runs_formed, pass, array.redundancy(), &queue)?;
                 }
             }
         }
@@ -231,6 +259,7 @@ fn snapshot(
     input: &LogicalRun,
     runs_formed: usize,
     pass: u64,
+    redundancy: Option<pdisk::RedundancyInfo>,
     queue: &[LogicalRun],
 ) -> Result<(), DsmError> {
     DsmManifest {
@@ -238,6 +267,7 @@ fn snapshot(
         records: input.records,
         runs_formed: runs_formed as u64,
         pass,
+        redundancy,
         runs: queue.to_vec(),
     }
     .save(path)

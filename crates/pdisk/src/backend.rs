@@ -8,6 +8,18 @@ use crate::record::Record;
 use crate::stats::IoStats;
 use crate::striping::StripedRun;
 
+/// What a redundancy layer (e.g. [`crate::parity::ParityDiskArray`])
+/// reports about itself: checkpoint manifests record this so a resumed
+/// sort can refuse to run against an array with less protection than the
+/// one that wrote the manifest.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RedundancyInfo {
+    /// Disks participating in each parity stripe (the array's `D`).
+    pub stripe_disks: usize,
+    /// Disks currently dead, whose blocks are served by reconstruction.
+    pub dead: Vec<DiskId>,
+}
+
 /// An array of `D` independent disks addressed in blocks.
 ///
 /// The two transfer methods each model **one** parallel I/O operation of the
@@ -38,6 +50,13 @@ pub trait DiskArray<R: Record> {
     /// Zero the I/O counters (e.g. to exclude setup cost from a
     /// measurement).
     fn reset_stats(&mut self);
+
+    /// Redundancy provided by this array, when any layer of the stack
+    /// provides one.  Plain backends return `None`; wrappers forward to
+    /// their inner array so the answer survives stacking.
+    fn redundancy(&self) -> Option<RedundancyInfo> {
+        None
+    }
 
     /// Reserve space for a run of `len_blocks` blocks (holding `records`
     /// records) striped cyclically from `start_disk` (§3's layout).

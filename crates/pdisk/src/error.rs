@@ -75,6 +75,11 @@ pub enum PdiskError {
         /// The disk the fault occurred on, when attributable.
         disk: Option<DiskId>,
     },
+    /// Data loss the redundancy layer cannot repair: more simultaneous
+    /// failures than the parity scheme tolerates (e.g. a second disk died,
+    /// or parity for the stripe was lost with its disk).  Never retryable —
+    /// the missing data cannot be reconstructed from what survives.
+    Unrecoverable(String),
     /// A retry policy gave up: every attempt failed with a retryable
     /// error; `last` is the final attempt's failure (the error source).
     RetriesExhausted {
@@ -116,6 +121,7 @@ impl std::fmt::Display for PdiskError {
             PdiskError::BadGeometry(msg) => write!(f, "bad geometry: {msg}"),
             PdiskError::Io(e) => write!(f, "I/O error: {e}"),
             PdiskError::Corrupt(msg) => write!(f, "corrupt on-disk data: {msg}"),
+            PdiskError::Unrecoverable(msg) => write!(f, "unrecoverable data loss: {msg}"),
             PdiskError::Fault { kind, op, disk } => match disk {
                 Some(d) => write!(f, "{kind} fault on disk {} during {op}", d.0),
                 None => write!(f, "{kind} fault during {op}"),
@@ -211,5 +217,13 @@ mod tests {
         assert!(PdiskError::Io(std::io::Error::other("x")).is_retryable());
         assert!(PdiskError::Corrupt("torn".into()).is_retryable());
         assert!(!PdiskError::NoSuchDisk(DiskId(0)).is_retryable());
+        assert!(!PdiskError::Unrecoverable("two disks down".into()).is_retryable());
+    }
+
+    #[test]
+    fn unrecoverable_display_carries_context() {
+        let e = PdiskError::Unrecoverable("stripe 7 lost disks 0 and 2".into());
+        assert!(e.to_string().contains("unrecoverable"));
+        assert!(e.to_string().contains("stripe 7"));
     }
 }

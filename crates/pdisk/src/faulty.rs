@@ -203,6 +203,20 @@ impl FaultModel {
         self.dead.iter().copied()
     }
 
+    /// Administratively kill `disk` now: every later operation touching
+    /// it fails permanently.  Used by tests and the CLI's `--kill-disk`
+    /// to model a mid-sort head crash at an exact point.
+    pub fn kill_disk(&mut self, disk: DiskId) {
+        self.dead.insert(disk);
+    }
+
+    /// A spare has been attached in place of `disk`: the slot works
+    /// again.  Models the swap that precedes an online rebuild; returns
+    /// whether the disk was actually dead.
+    pub fn attach_spare(&mut self, disk: DiskId) -> bool {
+        self.dead.remove(&disk)
+    }
+
     fn weight(&self, disk: DiskId) -> f64 {
         self.disk_weights.get(disk.0 as usize).copied().unwrap_or(1.0)
     }
@@ -348,6 +362,12 @@ impl<R: Record, A: DiskArray<R>> FaultyDiskArray<R, A> {
     pub fn model(&self) -> &FaultModel {
         &self.model
     }
+
+    /// Mutable access to the fault model, e.g. to kill a disk at an
+    /// exact point in a sort or to attach a spare before a rebuild.
+    pub fn model_mut(&mut self) -> &mut FaultModel {
+        &mut self.model
+    }
 }
 
 impl<R: Record, A: DiskArray<R>> DiskArray<R> for FaultyDiskArray<R, A> {
@@ -390,6 +410,10 @@ impl<R: Record, A: DiskArray<R>> DiskArray<R> for FaultyDiskArray<R, A> {
 
     fn reset_stats(&mut self) {
         self.inner.reset_stats();
+    }
+
+    fn redundancy(&self) -> Option<crate::backend::RedundancyInfo> {
+        self.inner.redundancy()
     }
 }
 
@@ -516,6 +540,25 @@ mod tests {
         let block = Block::new(vec![U64Record(9)], Forecast::Next(u64::MAX));
         assert!(a.write(vec![(d0, block)]).is_err());
         assert!(a.alloc_contiguous(DiskId(0), 1).is_err());
+    }
+
+    #[test]
+    fn kill_disk_and_attach_spare_round_trip() {
+        let mut a = setup(FaultModel::none());
+        let d0 = BlockAddr::new(DiskId(0), 0);
+        assert!(a.read(&[d0]).is_ok());
+        a.model_mut().kill_disk(DiskId(0));
+        assert!(matches!(
+            a.read(&[d0]),
+            Err(PdiskError::Fault {
+                kind: FaultKind::Permanent,
+                disk: Some(DiskId(0)),
+                ..
+            })
+        ));
+        assert!(a.model_mut().attach_spare(DiskId(0)), "disk 0 was dead");
+        assert!(!a.model_mut().attach_spare(DiskId(0)), "already revived");
+        assert!(a.read(&[d0]).is_ok(), "spare serves the slot again");
     }
 
     #[test]

@@ -52,6 +52,14 @@ fn fnv1a64(bytes: &[u8]) -> u64 {
     h
 }
 
+/// Whether the slot at `index` passes its leading checksum.
+fn slot_checksum_ok(file: &File, slot_bytes: usize, index: u64) -> io::Result<bool> {
+    let mut buf = vec![0u8; slot_bytes];
+    file.read_exact_at(&mut buf, index * slot_bytes as u64)?;
+    let stored = u64::from_le_bytes(buf[..CHECKSUM_BYTES].try_into().unwrap());
+    Ok(stored == fnv1a64(&buf[CHECKSUM_BYTES..]))
+}
+
 /// The channel to a per-disk worker broke: the thread is gone.
 fn worker_gone() -> PdiskError {
     PdiskError::Io(io::Error::other("disk worker thread terminated"))
@@ -99,6 +107,13 @@ impl<R: Record> FileDiskArray<R> {
     /// the highest slot present in each disk file.  This is the
     /// substrate for checkpoint/resume — a resumed sort reopens the
     /// array and continues from its manifest.
+    ///
+    /// A crash mid-write can leave one *torn* slot at a file's tail
+    /// (partial, or full-length with a failing checksum).  The reopen
+    /// detects it via the slot checksum and truncates back to the last
+    /// whole slot — but only after verifying the preceding slot, so a
+    /// reopen under the wrong geometry still fails with
+    /// [`PdiskError::Corrupt`] instead of shearing real data.
     pub fn open(geom: Geometry, dir: impl AsRef<Path>) -> Result<Self> {
         Self::build(geom, dir, false)
     }
@@ -119,15 +134,47 @@ impl<R: Record> FileDiskArray<R> {
                 .truncate(truncate)
                 .open(&path)?;
             if !truncate {
+                // Recover the allocator from the file, tolerating exactly
+                // one torn slot at the tail (a crash mid-write; the
+                // per-disk worker serializes writes, so at most the last
+                // slot can be torn).  Verify *before* truncating: the slot
+                // preceding the torn tail must pass its checksum, so a
+                // reopen under the wrong geometry — where every slot
+                // boundary is misaligned — is refused rather than having
+                // real data sheared off.
                 let len = file.metadata()?.len();
-                if len % slot_bytes as u64 != 0 {
-                    return Err(PdiskError::Corrupt(format!(
-                        "disk file {} is {len} bytes, not a multiple of the \
-                         {slot_bytes}-byte slot size (wrong geometry or record type?)",
+                let sb = slot_bytes as u64;
+                let (whole, rem) = (len / sb, len % sb);
+                let refuse = |what: &str| {
+                    Err(PdiskError::Corrupt(format!(
+                        "disk file {} is {len} bytes with {what} and no \
+                         checksum-valid {slot_bytes}-byte slot before it \
+                         (wrong geometry or record type?)",
                         path.display()
-                    )));
+                    )))
+                };
+                let keep = if rem != 0 {
+                    // Partially written trailing slot.
+                    if whole >= 1 && slot_checksum_ok(&file, slot_bytes, whole - 1)? {
+                        whole
+                    } else {
+                        return refuse("a partial trailing slot");
+                    }
+                } else if whole == 0 || slot_checksum_ok(&file, slot_bytes, whole - 1)? {
+                    whole
+                } else {
+                    // Full-length trailing slot that fails its checksum: a
+                    // torn write that reached the slot boundary.
+                    if whole >= 2 && slot_checksum_ok(&file, slot_bytes, whole - 2)? {
+                        whole - 1
+                    } else {
+                        return refuse("a corrupt trailing slot");
+                    }
+                };
+                if keep * sb != len {
+                    file.set_len(keep * sb)?;
                 }
-                *free = len / slot_bytes as u64;
+                *free = keep;
             }
             workers.push(Self::spawn_worker(d, file));
         }
@@ -524,6 +571,87 @@ mod tests {
         let next = a.alloc_contiguous(DiskId(0), 1).unwrap();
         assert!(next >= o0 + 2, "reopen must not reuse written slots");
         drop(a);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn open_truncates_a_torn_trailing_slot() {
+        let g = Geometry::new(2, 3, 1000).unwrap();
+        let dir = tmpdir("torn");
+        let block = blk(&[1, 2, 3], Forecast::Next(9));
+        let slot;
+        {
+            let mut a: FileDiskArray<U64Record> = FileDiskArray::create(g, &dir).unwrap();
+            slot = a.slot_bytes() as u64;
+            let o = a.alloc_contiguous(DiskId(0), 2).unwrap();
+            a.write(vec![(BlockAddr::new(DiskId(0), o), block.clone())])
+                .unwrap();
+            a.write(vec![(BlockAddr::new(DiskId(0), o + 1), block.clone())])
+                .unwrap();
+        }
+        // Simulate a crash mid-write of slot 2: append half a slot.
+        let path = dir.join("disk_0000.bin");
+        let mut bytes = std::fs::read(&path).unwrap();
+        assert_eq!(bytes.len() as u64, 2 * slot);
+        bytes.extend(vec![0xAAu8; slot as usize / 2]);
+        std::fs::write(&path, &bytes).unwrap();
+        let mut a: FileDiskArray<U64Record> = FileDiskArray::open(g, &dir).unwrap();
+        // The torn tail is gone; the two whole slots survive.
+        assert_eq!(std::fs::metadata(&path).unwrap().len(), 2 * slot);
+        let got = a
+            .read(&[BlockAddr::new(DiskId(0), 0)])
+            .unwrap();
+        assert_eq!(got[0], block);
+        // Allocation resumes at the recovered high-water mark: the torn
+        // slot's space is reused, not silently accepted as data.
+        assert_eq!(a.alloc_contiguous(DiskId(0), 1).unwrap(), 2);
+        drop(a);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn open_truncates_a_full_length_garbage_tail_slot() {
+        let g = Geometry::new(2, 3, 1000).unwrap();
+        let dir = tmpdir("torn-full");
+        let block = blk(&[4, 5, 6], Forecast::Next(9));
+        let slot;
+        {
+            let mut a: FileDiskArray<U64Record> = FileDiskArray::create(g, &dir).unwrap();
+            slot = a.slot_bytes() as u64;
+            let o = a.alloc_contiguous(DiskId(0), 1).unwrap();
+            a.write(vec![(BlockAddr::new(DiskId(0), o), block.clone())])
+                .unwrap();
+        }
+        // A torn write that reached the slot boundary: full length, bad
+        // checksum.  Before the fix this was silently accepted and the
+        // allocator handed out slot 2.
+        let path = dir.join("disk_0000.bin");
+        let mut bytes = std::fs::read(&path).unwrap();
+        bytes.extend(vec![0x55u8; slot as usize]);
+        std::fs::write(&path, &bytes).unwrap();
+        let mut a: FileDiskArray<U64Record> = FileDiskArray::open(g, &dir).unwrap();
+        assert_eq!(std::fs::metadata(&path).unwrap().len(), slot);
+        assert_eq!(a.read(&[BlockAddr::new(DiskId(0), 0)]).unwrap()[0], block);
+        assert_eq!(a.alloc_contiguous(DiskId(0), 1).unwrap(), 1);
+        drop(a);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn open_refuses_torn_tail_without_a_verified_anchor() {
+        // A lone partial slot has no preceding whole slot to verify
+        // against; recovery must refuse rather than guess.
+        let g = Geometry::new(2, 3, 1000).unwrap();
+        let dir = tmpdir("torn-anchor");
+        {
+            let _a: FileDiskArray<U64Record> = FileDiskArray::create(g, &dir).unwrap();
+        }
+        std::fs::write(dir.join("disk_0000.bin"), vec![0xAA; 10]).unwrap();
+        let err = match FileDiskArray::<U64Record>::open(g, &dir) {
+            Ok(_) => panic!("unanchored torn tail must be refused"),
+            Err(e) => e,
+        };
+        assert!(matches!(err, PdiskError::Corrupt(_)), "got {err:?}");
         let _ = std::fs::remove_dir_all(&dir);
     }
 

@@ -28,7 +28,16 @@
 //! * [`faulty`] / [`retry`] — the fault-tolerance layer: a scriptable
 //!   transient/permanent fault model ([`FaultModel`]) and a bounded-retry
 //!   wrapper ([`RetryingDiskArray`]) that absorbs transient faults with
-//!   simulated backoff while counting retries in [`IoStats`].
+//!   simulated backoff while counting retries in [`IoStats`];
+//! * [`parity`] — single-disk-failure tolerance: [`ParityDiskArray`] adds
+//!   RAID-5-style rotating parity over any backend, serves a dead disk's
+//!   blocks by reconstruction (degraded mode), rebuilds onto a spare
+//!   online, and hedges straggler reads via [`ArrayTiming`].
+//!
+//! Stack order for a fully protected array, bottom to top:
+//! `RetryingDiskArray(ParityDiskArray(FaultyDiskArray(backend)))` — the
+//! parity layer absorbs *permanent* faults from below; *transient* faults
+//! pass through it to the retry layer above.
 
 pub mod addr;
 pub mod backend;
@@ -39,6 +48,7 @@ pub mod faulty;
 pub mod file;
 pub mod geometry;
 pub mod mem;
+pub mod parity;
 pub mod record;
 pub mod retry;
 pub mod stats;
@@ -46,7 +56,7 @@ pub mod striping;
 pub mod timing;
 
 pub use addr::{BlockAddr, DiskId};
-pub use backend::DiskArray;
+pub use backend::{DiskArray, RedundancyInfo};
 pub use block::{Block, Forecast};
 pub use cluster::ClusteredDiskArray;
 pub use error::{FaultKind, FaultOp, PdiskError, Result};
@@ -54,8 +64,9 @@ pub use faulty::{FaultModel, FaultPlan, FaultyDiskArray, ScriptedFault};
 pub use file::FileDiskArray;
 pub use geometry::Geometry;
 pub use mem::MemDiskArray;
+pub use parity::ParityDiskArray;
 pub use record::{KeyPayloadRecord, Record, U64Record};
-pub use retry::{RetryPolicy, RetryingDiskArray};
+pub use retry::{RetryCounters, RetryPolicy, RetryingDiskArray};
 pub use stats::IoStats;
 pub use striping::StripedRun;
-pub use timing::DiskModel;
+pub use timing::{ArrayTiming, DiskModel};

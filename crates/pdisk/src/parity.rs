@@ -1,0 +1,1174 @@
+//! RAID-5-style rotating parity over any [`DiskArray`].
+//!
+//! [`ParityDiskArray`] groups the blocks at one physical offset across
+//! all `D` disks into a *stripe*.  Each stripe reserves the slot on disk
+//! `s mod D` for parity (the XOR of the stripe's data frames), rotating
+//! the parity disk per stripe index so no disk becomes a write
+//! bottleneck.  Callers keep addressing a plain `D`-disk array: the
+//! wrapper remaps each disk's logical slots past that disk's reserved
+//! parity slots, so the *operation structure* — which disks a parallel
+//! op touches, and how many ops a sort issues — is identical to the
+//! unprotected array.  The price is capacity, `D/(D-1)`, not extra
+//! parallel I/Os on the healthy path.
+//!
+//! When a disk suffers a [`FaultKind::Permanent`] fault (or is killed
+//! administratively via [`ParityDiskArray::fail_disk`]), the wrapper
+//! enters *degraded mode*: reads addressed to the dead disk are served
+//! by XOR-reconstructing the block from the stripe's surviving members
+//! (one extra parallel read), and writes destined for it exist only
+//! through the parity update.  Both are counted separately in
+//! [`IoStats`] (`reconstructed_reads` / `parity_writes`) so the logical
+//! schedule stays comparable to a failure-free run.  A second
+//! simultaneous death is [`PdiskError::Unrecoverable`].
+//!
+//! [`ParityDiskArray::rebuild`] re-materializes a dead disk onto an
+//! attached spare while the array stays usable, and
+//! [`ParityDiskArray::set_hedging`] lets a *straggler* disk (per
+//! [`ArrayTiming`]) be bypassed: once it is a configured latency
+//! multiple slower than the fastest disk, its reads use the
+//! reconstruction path instead of waiting (`hedged_reads`).
+//!
+//! Parity frames live in the wrapper (write-back, at the reserved slot's
+//! identity), optionally persisted write-through to a sidecar file via
+//! [`ParityDiskArray::with_store`] so a checkpointed sort can resume
+//! against a degraded array.
+
+use std::collections::{BTreeMap, BTreeSet};
+use std::fs::{File, OpenOptions};
+use std::os::unix::fs::FileExt;
+use std::path::Path;
+
+use crate::addr::{BlockAddr, DiskId};
+use crate::backend::{DiskArray, RedundancyInfo};
+use crate::block::{Block, Forecast, NO_BLOCK};
+use crate::error::{FaultKind, PdiskError, Result};
+use crate::geometry::Geometry;
+use crate::record::Record;
+use crate::stats::IoStats;
+use crate::timing::ArrayTiming;
+
+/// Physical offset of logical slot `lo` on disk `d` in a `dd`-disk
+/// array: every group of `dd` physical slots donates the one at
+/// `offset ≡ d (mod dd)` to parity, so data slots skip it.
+fn phys_of(d: usize, lo: u64, dd: u64) -> u64 {
+    let k = lo / (dd - 1);
+    let r = lo % (dd - 1);
+    k * dd + r + u64::from(r >= d as u64)
+}
+
+/// Logical slot stored at physical offset `po` on disk `d`, or `None`
+/// if `po` is the disk's reserved parity slot for stripe `po`.
+fn logical_of(d: usize, po: u64, dd: u64) -> Option<u64> {
+    let k = po / dd;
+    let r_phys = po % dd;
+    if r_phys == d as u64 {
+        return None;
+    }
+    let r = if r_phys > d as u64 { r_phys - 1 } else { r_phys };
+    Some(k * (dd - 1) + r)
+}
+
+fn xor_into(dst: &mut [u8], src: &[u8]) {
+    debug_assert_eq!(dst.len(), src.len());
+    for (a, b) in dst.iter_mut().zip(src) {
+        *a ^= b;
+    }
+}
+
+/// FNV-1a, 64-bit, for the sidecar store's slot checksums.
+fn fnv1a64(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    h
+}
+
+/// Mask bit marking a stripe whose parity died with its disk.
+const PARITY_LOST_BIT: u64 = 1 << 63;
+
+/// One stripe's redundancy state.
+#[derive(Debug, Clone, PartialEq, Eq)]
+struct Stripe {
+    /// XOR of every written data frame in the stripe.
+    parity: Vec<u8>,
+    /// Bit `d` set ⇒ disk `d`'s data slot in this stripe holds a block.
+    written: u64,
+    /// The stripe's parity disk died; the stripe is unprotected until a
+    /// rebuild recomputes it.
+    parity_lost: bool,
+}
+
+impl Stripe {
+    fn empty(frame_len: usize, parity_lost: bool) -> Self {
+        Stripe {
+            parity: vec![0u8; frame_len],
+            written: 0,
+            parity_lost,
+        }
+    }
+}
+
+/// Write-through persistence for stripe state: one fixed slot per
+/// stripe index, `[u64 checksum][u64 mask][parity frame]`.  All-zero
+/// slots are holes (stripe never touched).
+struct ParityStore {
+    file: File,
+    slot_len: usize,
+}
+
+impl std::fmt::Debug for ParityStore {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ParityStore").field("slot_len", &self.slot_len).finish()
+    }
+}
+
+impl ParityStore {
+    fn open(path: &Path, frame_len: usize) -> Result<(Self, BTreeMap<u64, Stripe>)> {
+        let slot_len = 8 + 8 + frame_len;
+        let file = OpenOptions::new()
+            .read(true)
+            .write(true)
+            .create(true)
+            .truncate(false)
+            .open(path)?;
+        let len = file.metadata()?.len();
+        if len % slot_len as u64 != 0 {
+            return Err(PdiskError::Corrupt(format!(
+                "parity store {} is {len} bytes, not a multiple of the \
+                 {slot_len}-byte stripe slot (wrong geometry or record type?)",
+                path.display()
+            )));
+        }
+        let mut stripes = BTreeMap::new();
+        let mut buf = vec![0u8; slot_len];
+        for s in 0..len / slot_len as u64 {
+            file.read_exact_at(&mut buf, s * slot_len as u64)?;
+            if buf.iter().all(|&b| b == 0) {
+                continue; // hole: stripe never touched
+            }
+            let stored = u64::from_le_bytes(buf[..8].try_into().unwrap());
+            if stored != fnv1a64(&buf[8..]) {
+                return Err(PdiskError::Corrupt(format!(
+                    "parity store slot {s} fails its checksum"
+                )));
+            }
+            let mask = u64::from_le_bytes(buf[8..16].try_into().unwrap());
+            stripes.insert(
+                s,
+                Stripe {
+                    parity: buf[16..].to_vec(),
+                    written: mask & !PARITY_LOST_BIT,
+                    parity_lost: mask & PARITY_LOST_BIT != 0,
+                },
+            );
+        }
+        Ok((ParityStore { file, slot_len }, stripes))
+    }
+
+    fn save(&self, s: u64, stripe: &Stripe) -> Result<()> {
+        let mut buf = vec![0u8; self.slot_len];
+        let mask = stripe.written | if stripe.parity_lost { PARITY_LOST_BIT } else { 0 };
+        buf[8..16].copy_from_slice(&mask.to_le_bytes());
+        buf[16..].copy_from_slice(&stripe.parity);
+        let checksum = fnv1a64(&buf[8..]);
+        buf[..8].copy_from_slice(&checksum.to_le_bytes());
+        self.file.write_all_at(&buf, s * self.slot_len as u64)?;
+        Ok(())
+    }
+}
+
+/// A [`DiskArray`] with single-disk-failure tolerance via rotating
+/// parity.  See the module docs for the layout and degraded-mode
+/// semantics.  Stack order matters: place this *above* the fault
+/// injection layer (so it observes permanent faults) and *below*
+/// [`crate::RetryingDiskArray`] (so transient faults still retry).
+#[derive(Debug)]
+pub struct ParityDiskArray<R: Record, A: DiskArray<R>> {
+    inner: A,
+    geom: Geometry,
+    forecast_keys: usize,
+    frame_len: usize,
+    /// Per-disk logical allocation watermark (what callers see).
+    logical_free: Vec<u64>,
+    /// Per-disk physical extent the logical watermark maps into.
+    phys_free: Vec<u64>,
+    /// Per-disk physical extent actually allocated from `inner` (lags
+    /// `phys_free` while a disk is dead; re-synced by rebuild).
+    inner_free: Vec<u64>,
+    stripes: BTreeMap<u64, Stripe>,
+    dead: BTreeSet<DiskId>,
+    hedge: Option<(ArrayTiming, f64)>,
+    reconstructed_reads: u64,
+    parity_writes: u64,
+    hedged_reads: u64,
+    store: Option<ParityStore>,
+    _marker: std::marker::PhantomData<R>,
+}
+
+impl<R: Record, A: DiskArray<R>> ParityDiskArray<R, A> {
+    /// Wrap `inner`.  Rotating parity needs at least two disks (with
+    /// one, losing it loses everything and no parity can help).
+    pub fn new(inner: A) -> Result<Self> {
+        let geom = inner.geometry();
+        if geom.d < 2 {
+            return Err(PdiskError::BadGeometry(
+                "rotating parity needs at least 2 disks".into(),
+            ));
+        }
+        let forecast_keys = geom.d.max(1);
+        let frame_len = 8 + 8 * forecast_keys + geom.b * R::ENCODED_LEN;
+        Ok(ParityDiskArray {
+            inner,
+            geom,
+            forecast_keys,
+            frame_len,
+            logical_free: vec![0; geom.d],
+            phys_free: vec![0; geom.d],
+            inner_free: vec![0; geom.d],
+            stripes: BTreeMap::new(),
+            dead: BTreeSet::new(),
+            hedge: None,
+            reconstructed_reads: 0,
+            parity_writes: 0,
+            hedged_reads: 0,
+            store: None,
+            _marker: std::marker::PhantomData,
+        })
+    }
+
+    /// Attach (or reopen) a sidecar parity store at `path`.  Existing
+    /// stripe state is loaded and the allocator watermarks recovered
+    /// from the written-block masks, which is what lets a checkpointed
+    /// sort resume against a reopened, possibly degraded array.
+    pub fn with_store(mut self, path: impl AsRef<Path>) -> Result<Self> {
+        let (store, stripes) = ParityStore::open(path.as_ref(), self.frame_len)?;
+        for (s, stripe) in &stripes {
+            if stripe.parity.len() != self.frame_len {
+                return Err(PdiskError::Corrupt(format!(
+                    "parity store stripe {s} has a {}-byte frame, expected {}",
+                    stripe.parity.len(),
+                    self.frame_len
+                )));
+            }
+            let dd = self.geom.d as u64;
+            for d in 0..self.geom.d {
+                if stripe.written & (1 << d) != 0 {
+                    let lo = logical_of(d, *s, dd).ok_or_else(|| {
+                        PdiskError::Corrupt(format!(
+                            "parity store stripe {s} claims data on its parity disk {d}"
+                        ))
+                    })?;
+                    self.logical_free[d] = self.logical_free[d].max(lo + 1);
+                    self.inner_free[d] = self.inner_free[d].max(s + 1);
+                }
+            }
+        }
+        for d in 0..self.geom.d {
+            if self.logical_free[d] > 0 {
+                self.phys_free[d] = phys_of(d, self.logical_free[d] - 1, self.geom.d as u64) + 1;
+            }
+        }
+        self.stripes = stripes;
+        self.store = Some(store);
+        Ok(self)
+    }
+
+    /// Enable straggler hedging: a read addressed to a disk that
+    /// `timing` reports at least `after ×` slower than the array's
+    /// fastest disk is served by parity reconstruction instead of
+    /// waiting on the slow disk, whenever the stripe permits it.
+    pub fn set_hedging(&mut self, timing: ArrayTiming, after: f64) {
+        assert!(after > 0.0, "hedge threshold must be positive");
+        self.hedge = Some((timing, after));
+    }
+
+    /// The wrapped array.
+    pub fn inner(&self) -> &A {
+        &self.inner
+    }
+
+    /// Mutable access to the wrapped array (e.g. the fault layer, to
+    /// attach a spare before [`Self::rebuild`]).
+    pub fn inner_mut(&mut self) -> &mut A {
+        &mut self.inner
+    }
+
+    /// Unwrap.
+    pub fn into_inner(self) -> A {
+        self.inner
+    }
+
+    /// Disks currently served by reconstruction.
+    pub fn dead_disks(&self) -> impl Iterator<Item = DiskId> + '_ {
+        self.dead.iter().copied()
+    }
+
+    /// Administratively kill `disk` (models a head crash discovered out
+    /// of band; the CLI's `--kill-disk` lands here).  Idempotent for an
+    /// already-dead disk; a *second* distinct death is
+    /// [`PdiskError::Unrecoverable`].
+    pub fn fail_disk(&mut self, disk: DiskId) -> Result<()> {
+        if disk.index() >= self.geom.d {
+            return Err(PdiskError::NoSuchDisk(disk));
+        }
+        self.mark_dead(disk)
+    }
+
+    fn mark_dead(&mut self, disk: DiskId) -> Result<()> {
+        if self.dead.contains(&disk) {
+            return Ok(());
+        }
+        if let Some(&other) = self.dead.iter().next() {
+            return Err(PdiskError::Unrecoverable(format!(
+                "disk {} died while disk {} is already dead; rotating parity \
+                 tolerates one failure at a time",
+                disk.0, other.0
+            )));
+        }
+        self.dead.insert(disk);
+        // Parity stored on the dead disk is gone with it.
+        let dd = self.geom.d as u64;
+        let lost: Vec<u64> = self
+            .stripes
+            .iter()
+            .filter(|(s, st)| **s % dd == disk.0 as u64 && !st.parity_lost)
+            .map(|(s, _)| *s)
+            .collect();
+        for s in lost {
+            self.stripes.get_mut(&s).unwrap().parity_lost = true;
+            self.save_stripe(s)?;
+        }
+        Ok(())
+    }
+
+    fn save_stripe(&self, s: u64) -> Result<()> {
+        if let Some(store) = &self.store {
+            store.save(s, &self.stripes[&s])?;
+        }
+        Ok(())
+    }
+
+    /// Frame encoding mirrors [`crate::FileDiskArray`]'s slot payload
+    /// (record count, forecast kind + keys, record bytes) so parity XOR
+    /// is defined over a fixed-length, total representation.
+    fn encode_frame(&self, block: &Block<R>) -> Result<Vec<u8>> {
+        if block.len() > self.geom.b {
+            return Err(PdiskError::BadBlockSize {
+                expected: self.geom.b,
+                got: block.len(),
+            });
+        }
+        let mut out = vec![0u8; self.frame_len];
+        out[..4].copy_from_slice(&(block.len() as u32).to_le_bytes());
+        let (kind, keys): (u32, &[u64]) = match &block.forecast {
+            Forecast::Next(k) => (0, std::slice::from_ref(k)),
+            Forecast::Initial(ks) => (1, ks.as_slice()),
+        };
+        if keys.len() > self.forecast_keys {
+            return Err(PdiskError::Corrupt(format!(
+                "forecast table of {} keys exceeds reserved {}",
+                keys.len(),
+                self.forecast_keys
+            )));
+        }
+        out[4..8].copy_from_slice(&kind.to_le_bytes());
+        let mut off = 8;
+        for i in 0..self.forecast_keys {
+            let k = keys.get(i).copied().unwrap_or(NO_BLOCK);
+            out[off..off + 8].copy_from_slice(&k.to_le_bytes());
+            off += 8;
+        }
+        for rec in &block.records {
+            rec.encode(&mut out[off..off + R::ENCODED_LEN]);
+            off += R::ENCODED_LEN;
+        }
+        Ok(out)
+    }
+
+    fn decode_frame(&self, bytes: &[u8]) -> Result<Block<R>> {
+        let n = u32::from_le_bytes(bytes[..4].try_into().unwrap()) as usize;
+        if n > self.geom.b {
+            return Err(PdiskError::Corrupt(format!(
+                "reconstructed record count {n} exceeds block size {}",
+                self.geom.b
+            )));
+        }
+        let kind = u32::from_le_bytes(bytes[4..8].try_into().unwrap());
+        let mut off = 8;
+        let mut keys = Vec::with_capacity(self.forecast_keys);
+        for _ in 0..self.forecast_keys {
+            keys.push(u64::from_le_bytes(bytes[off..off + 8].try_into().unwrap()));
+            off += 8;
+        }
+        let forecast = match kind {
+            0 => Forecast::Next(keys[0]),
+            1 => Forecast::Initial(keys),
+            k => {
+                return Err(PdiskError::Corrupt(format!(
+                    "reconstructed forecast kind {k} is unknown"
+                )))
+            }
+        };
+        let mut records = Vec::with_capacity(n);
+        for _ in 0..n {
+            records.push(R::decode(&bytes[off..off + R::ENCODED_LEN]));
+            off += R::ENCODED_LEN;
+        }
+        Ok(Block { records, forecast })
+    }
+
+    /// Raw frame of stripe `s`'s block on `target`, reconstructed as
+    /// parity XOR the stripe's other written data frames (one extra
+    /// parallel read when any survive; for `D = 2` the parity alone is
+    /// the mirror).
+    fn reconstruct_frame(&mut self, s: u64, target: DiskId) -> Result<Vec<u8>> {
+        let stripe = self.stripes.get(&s).cloned().ok_or_else(|| {
+            PdiskError::Unrecoverable(format!("stripe {s} has no parity state"))
+        })?;
+        if stripe.parity_lost {
+            return Err(PdiskError::Unrecoverable(format!(
+                "stripe {s}: block on disk {} needs parity, but the stripe's \
+                 parity died with disk {}",
+                target.0,
+                s % self.geom.d as u64
+            )));
+        }
+        let dd = self.geom.d as u64;
+        let mut sibs = Vec::new();
+        for d in 0..self.geom.d {
+            let did = DiskId(d as u32);
+            if did == target || d as u64 == s % dd || stripe.written & (1 << d) == 0 {
+                continue;
+            }
+            if self.dead.contains(&did) {
+                return Err(PdiskError::Unrecoverable(format!(
+                    "stripe {s}: sibling disk {d} is also dead"
+                )));
+            }
+            sibs.push(BlockAddr::new(did, s));
+        }
+        let mut frame = stripe.parity;
+        if !sibs.is_empty() {
+            let blocks = match self.inner.read(&sibs) {
+                Ok(b) => b,
+                Err(PdiskError::Fault {
+                    kind: FaultKind::Permanent,
+                    disk: Some(dd2),
+                    ..
+                }) => {
+                    self.mark_dead(dd2)?;
+                    return Err(PdiskError::Unrecoverable(format!(
+                        "stripe {s}: sibling disk {} died during reconstruction",
+                        dd2.0
+                    )));
+                }
+                Err(e) => return Err(e),
+            };
+            for b in blocks {
+                let sib_frame = self.encode_frame(&b)?;
+                xor_into(&mut frame, &sib_frame);
+            }
+        }
+        Ok(frame)
+    }
+
+    /// Whether a read of physical slot `pa` on a *live* disk should be
+    /// hedged through reconstruction instead.
+    fn should_hedge(&self, pa: &BlockAddr) -> bool {
+        let Some((timing, after)) = &self.hedge else {
+            return false;
+        };
+        if !timing.is_straggler(pa.disk, *after) {
+            return false;
+        }
+        let Some(st) = self.stripes.get(&pa.offset) else {
+            return false;
+        };
+        if st.parity_lost || st.written & (1 << pa.disk.index()) == 0 {
+            return false;
+        }
+        // Every written sibling must be live, else the hedge would fail.
+        let dd = self.geom.d as u64;
+        (0..self.geom.d).all(|d| {
+            let did = DiskId(d as u32);
+            did == pa.disk
+                || d as u64 == pa.offset % dd
+                || st.written & (1 << d) == 0
+                || !self.dead.contains(&did)
+        })
+    }
+
+    /// Re-materialize dead `disk` onto an attached spare while the
+    /// array stays online: re-sync the spare's allocation, rewrite
+    /// every lost data block from parity, recompute parity stripes that
+    /// died with the disk, then return the disk to service.  The layer
+    /// below must already serve the disk again (e.g.
+    /// [`crate::FaultModel::attach_spare`]); otherwise this fails with
+    /// the underlying fault and the array stays degraded.
+    pub fn rebuild(&mut self, disk: DiskId) -> Result<()> {
+        let i = disk.index();
+        if i >= self.geom.d {
+            return Err(PdiskError::NoSuchDisk(disk));
+        }
+        if !self.dead.contains(&disk) {
+            return Ok(());
+        }
+        // Allocation skipped while dead is granted now, so the spare's
+        // watermark covers every slot the logical space maps into.
+        if self.phys_free[i] > self.inner_free[i] {
+            let count = self.phys_free[i] - self.inner_free[i];
+            self.inner.alloc_contiguous(disk, count)?;
+            self.inner_free[i] = self.phys_free[i];
+        }
+        let dd = self.geom.d as u64;
+        // Rewrite the disk's data blocks from the surviving stripes.
+        let data_stripes: Vec<u64> = self
+            .stripes
+            .iter()
+            .filter(|(_, st)| st.written & (1 << i) != 0)
+            .map(|(s, _)| *s)
+            .collect();
+        for s in data_stripes {
+            let frame = self.reconstruct_frame(s, disk)?;
+            let block = self.decode_frame(&frame)?;
+            self.reconstructed_reads += 1;
+            self.inner.write(vec![(BlockAddr::new(disk, s), block)])?;
+        }
+        // Recompute parity that died with the disk (stripes s ≡ i mod D).
+        let lost: Vec<u64> = self
+            .stripes
+            .iter()
+            .filter(|(_, st)| st.parity_lost)
+            .map(|(s, _)| *s)
+            .collect();
+        for s in lost {
+            debug_assert_eq!(s % dd, i as u64, "only the dead disk's parity is lost");
+            let written = self.stripes[&s].written;
+            let mut members = Vec::new();
+            for d in 0..self.geom.d {
+                if d != i && written & (1 << d) != 0 {
+                    members.push(BlockAddr::new(DiskId(d as u32), s));
+                }
+            }
+            let mut parity = vec![0u8; self.frame_len];
+            if !members.is_empty() {
+                for b in self.inner.read(&members)? {
+                    let f = self.encode_frame(&b)?;
+                    xor_into(&mut parity, &f);
+                }
+            }
+            let st = self.stripes.get_mut(&s).unwrap();
+            st.parity = parity;
+            st.parity_lost = false;
+            self.parity_writes += 1;
+            self.save_stripe(s)?;
+        }
+        self.dead.remove(&disk);
+        Ok(())
+    }
+}
+
+impl<R: Record, A: DiskArray<R>> DiskArray<R> for ParityDiskArray<R, A> {
+    fn geometry(&self) -> Geometry {
+        self.geom
+    }
+
+    fn read(&mut self, addrs: &[BlockAddr]) -> Result<Vec<Block<R>>> {
+        if addrs.is_empty() {
+            return self.inner.read(addrs);
+        }
+        self.geom.check_parallel_op(addrs.iter().map(|a| a.disk))?;
+        let dd = self.geom.d as u64;
+        let mut direct: Vec<(usize, BlockAddr)> = Vec::new();
+        let mut recon: Vec<(usize, BlockAddr, bool)> = Vec::new();
+        for (i, a) in addrs.iter().enumerate() {
+            if a.disk.index() >= self.geom.d {
+                return Err(PdiskError::NoSuchDisk(a.disk));
+            }
+            if a.offset >= self.logical_free[a.disk.index()] {
+                return Err(PdiskError::UnmappedBlock(*a));
+            }
+            let pa = BlockAddr::new(a.disk, phys_of(a.disk.index(), a.offset, dd));
+            if self.dead.contains(&a.disk) {
+                recon.push((i, pa, false));
+            } else if self.should_hedge(&pa) {
+                recon.push((i, pa, true));
+            } else {
+                direct.push((i, pa));
+            }
+        }
+        let mut out: Vec<Option<Block<R>>> = Vec::new();
+        out.resize_with(addrs.len(), || None);
+        // Direct reads, absorbing a mid-read permanent fault by moving
+        // the newly dead disk's block onto the reconstruction path.
+        loop {
+            let req: Vec<BlockAddr> = direct.iter().map(|(_, a)| *a).collect();
+            match self.inner.read(&req) {
+                Ok(blocks) => {
+                    for ((i, _), b) in direct.iter().zip(blocks) {
+                        out[*i] = Some(b);
+                    }
+                    break;
+                }
+                Err(PdiskError::Fault {
+                    kind: FaultKind::Permanent,
+                    disk: Some(dead),
+                    ..
+                }) => {
+                    self.mark_dead(dead)?;
+                    let (lost, live): (Vec<_>, Vec<_>) =
+                        direct.into_iter().partition(|(_, a)| a.disk == dead);
+                    direct = live;
+                    for (i, a) in lost {
+                        recon.push((i, a, false));
+                    }
+                }
+                Err(e) => return Err(e),
+            }
+        }
+        for (i, pa, hedged) in recon {
+            let logical = addrs[i];
+            if self
+                .stripes
+                .get(&pa.offset)
+                .is_none_or(|st| st.written & (1 << pa.disk.index()) == 0)
+            {
+                if hedged {
+                    // Should not happen (hedging checks the bit), but a
+                    // direct read is always a safe fallback.
+                    out[i] = Some(self.inner.read(&[pa])?.remove(0));
+                    continue;
+                }
+                return Err(PdiskError::UnmappedBlock(logical));
+            }
+            let frame = self.reconstruct_frame(pa.offset, pa.disk)?;
+            let block = self.decode_frame(&frame).map_err(|e| {
+                PdiskError::Unrecoverable(format!(
+                    "reconstruction of block {logical:?} decoded to garbage: {e}"
+                ))
+            })?;
+            self.reconstructed_reads += 1;
+            if hedged {
+                self.hedged_reads += 1;
+            }
+            out[i] = Some(block);
+        }
+        Ok(out.into_iter().map(Option::unwrap).collect())
+    }
+
+    fn write(&mut self, writes: Vec<(BlockAddr, Block<R>)>) -> Result<()> {
+        if writes.is_empty() {
+            return self.inner.write(writes);
+        }
+        self.geom
+            .check_parallel_op(writes.iter().map(|(a, _)| a.disk))?;
+        let dd = self.geom.d as u64;
+        // Map, encode, and fetch old frames (overwrites only) *before*
+        // touching the inner array, so a transient failure anywhere
+        // leaves no partial parity state and the op replays cleanly
+        // under a retry policy.
+        let mut pas = Vec::with_capacity(writes.len());
+        let mut new_frames = Vec::with_capacity(writes.len());
+        for (a, b) in &writes {
+            if a.disk.index() >= self.geom.d {
+                return Err(PdiskError::NoSuchDisk(a.disk));
+            }
+            if a.offset >= self.logical_free[a.disk.index()] {
+                return Err(PdiskError::UnmappedBlock(*a));
+            }
+            pas.push(BlockAddr::new(a.disk, phys_of(a.disk.index(), a.offset, dd)));
+            new_frames.push(self.encode_frame(b)?);
+        }
+        let written_bit = |this: &Self, pa: &BlockAddr| {
+            this.stripes
+                .get(&pa.offset)
+                .is_some_and(|st| st.written & (1 << pa.disk.index()) != 0)
+        };
+        let mut old_frames: Vec<Option<Vec<u8>>> = vec![None; writes.len()];
+        let overwrites: Vec<(usize, BlockAddr)> = pas
+            .iter()
+            .enumerate()
+            .filter(|(_, pa)| written_bit(self, pa) && !self.dead.contains(&pa.disk))
+            .map(|(i, pa)| (i, *pa))
+            .collect();
+        if !overwrites.is_empty() {
+            let req: Vec<BlockAddr> = overwrites.iter().map(|(_, a)| *a).collect();
+            let blocks = self.inner.read(&req)?;
+            for ((i, _), b) in overwrites.iter().zip(blocks) {
+                old_frames[*i] = Some(self.encode_frame(&b)?);
+            }
+        }
+        for (i, pa) in pas.iter().enumerate() {
+            if self.dead.contains(&pa.disk) && written_bit(self, pa) {
+                let f = self.reconstruct_frame(pa.offset, pa.disk)?;
+                self.reconstructed_reads += 1;
+                old_frames[i] = Some(f);
+            }
+        }
+        // Inner write of the live targets, absorbing a mid-write
+        // permanent fault: the newly dead disk's block then survives
+        // only through parity, like any degraded write.
+        let mut live: Vec<usize> = (0..writes.len())
+            .filter(|&i| !self.dead.contains(&pas[i].disk))
+            .collect();
+        loop {
+            let req: Vec<(BlockAddr, Block<R>)> = live
+                .iter()
+                .map(|&i| (pas[i], writes[i].1.clone()))
+                .collect();
+            match self.inner.write(req) {
+                Ok(()) => break,
+                Err(PdiskError::Fault {
+                    kind: FaultKind::Permanent,
+                    disk: Some(dead),
+                    ..
+                }) => {
+                    self.mark_dead(dead)?;
+                    live.retain(|&i| pas[i].disk != dead);
+                }
+                Err(e) => return Err(e),
+            }
+        }
+        // All durable effects succeeded; commit parity exactly once.
+        let mut touched: BTreeSet<u64> = BTreeSet::new();
+        for (i, pa) in pas.iter().enumerate() {
+            let parity_disk_dead = self.dead.contains(&DiskId((pa.offset % dd) as u32));
+            if self.dead.contains(&pa.disk) && parity_disk_dead {
+                return Err(PdiskError::Unrecoverable(format!(
+                    "write to dead disk {} in stripe {} whose parity is also lost",
+                    pa.disk.0, pa.offset
+                )));
+            }
+            let frame_len = self.frame_len;
+            let st = self
+                .stripes
+                .entry(pa.offset)
+                .or_insert_with(|| Stripe::empty(frame_len, parity_disk_dead));
+            if !st.parity_lost {
+                if let Some(old) = &old_frames[i] {
+                    xor_into(&mut st.parity, old);
+                }
+                xor_into(&mut st.parity, &new_frames[i]);
+                touched.insert(pa.offset);
+            }
+            st.written |= 1 << pa.disk.index();
+            self.save_stripe(pa.offset)?;
+        }
+        self.parity_writes += touched.len() as u64;
+        Ok(())
+    }
+
+    fn alloc_contiguous(&mut self, disk: DiskId, count: u64) -> Result<u64> {
+        let i = disk.index();
+        if i >= self.geom.d {
+            return Err(PdiskError::NoSuchDisk(disk));
+        }
+        let dd = self.geom.d as u64;
+        let start = self.logical_free[i];
+        let new_logical = start + count;
+        let phys_needed = if new_logical == 0 {
+            0
+        } else {
+            phys_of(i, new_logical - 1, dd) + 1
+        };
+        // Grow the inner allocation first: a failure here (e.g. an
+        // injected alloc fault) must leave the logical watermark
+        // untouched so a retried alloc returns the same offset.
+        if !self.dead.contains(&disk) && phys_needed > self.inner_free[i] {
+            let req = phys_needed - self.inner_free[i];
+            let got = self.inner.alloc_contiguous(disk, req)?;
+            // After a resume the inner watermark may already be ahead of
+            // ours; all that matters is that it now covers phys_needed.
+            self.inner_free[i] = (got + req).max(phys_needed);
+        }
+        self.logical_free[i] = new_logical;
+        self.phys_free[i] = self.phys_free[i].max(phys_needed);
+        Ok(start)
+    }
+
+    /// Inner stats plus this layer's degraded-mode counters.  Sibling
+    /// reads issued for reconstruction are charged on the inner array
+    /// as ordinary parallel reads (they are real I/O); the blocks they
+    /// *serve* are visible here as `reconstructed_reads`.
+    fn stats(&self) -> IoStats {
+        let mut s = self.inner.stats();
+        s.reconstructed_reads += self.reconstructed_reads;
+        s.parity_writes += self.parity_writes;
+        s.hedged_reads += self.hedged_reads;
+        s
+    }
+
+    fn reset_stats(&mut self) {
+        self.reconstructed_reads = 0;
+        self.parity_writes = 0;
+        self.hedged_reads = 0;
+        self.inner.reset_stats();
+    }
+
+    fn redundancy(&self) -> Option<RedundancyInfo> {
+        Some(RedundancyInfo {
+            stripe_disks: self.geom.d,
+            dead: self.dead.iter().copied().collect(),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::faulty::{FaultModel, FaultyDiskArray};
+    use crate::file::FileDiskArray;
+    use crate::mem::MemDiskArray;
+    use crate::record::U64Record;
+    use crate::timing::DiskModel;
+    use std::path::PathBuf;
+
+    type Mem = MemDiskArray<U64Record>;
+    type Faulty = FaultyDiskArray<U64Record, Mem>;
+    type Parity = ParityDiskArray<U64Record, Faulty>;
+
+    fn tmpdir(tag: &str) -> PathBuf {
+        let p = std::env::temp_dir().join(format!("pdisk-parity-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&p);
+        std::fs::create_dir_all(&p).unwrap();
+        p
+    }
+
+    fn blk(keys: &[u64]) -> Block<U64Record> {
+        Block::new(keys.iter().map(|&k| U64Record(k)).collect(), Forecast::Next(NO_BLOCK))
+    }
+
+    /// A parity array over `d` disks with `slots` logical blocks written
+    /// per disk; block (d, o) holds keys d*1000+o*10 .. +B.
+    fn seeded(d: usize, slots: u64) -> Parity {
+        let geom = Geometry::new(d, 4, 1000).unwrap();
+        let inner = FaultyDiskArray::new(MemDiskArray::new(geom), FaultModel::none());
+        let mut a = ParityDiskArray::new(inner).unwrap();
+        for disk in 0..d {
+            let o = a.alloc_contiguous(DiskId(disk as u32), slots).unwrap();
+            assert_eq!(o, 0);
+        }
+        for slot in 0..slots {
+            let writes: Vec<_> = (0..d)
+                .map(|disk| {
+                    let base = disk as u64 * 1000 + slot * 10;
+                    (
+                        BlockAddr::new(DiskId(disk as u32), slot),
+                        blk(&[base, base + 1, base + 2, base + 3]),
+                    )
+                })
+                .collect();
+            a.write(writes).unwrap();
+        }
+        a
+    }
+
+    fn expected(disk: usize, slot: u64) -> Block<U64Record> {
+        let base = disk as u64 * 1000 + slot * 10;
+        blk(&[base, base + 1, base + 2, base + 3])
+    }
+
+    #[test]
+    fn mapping_is_a_bijection_that_avoids_parity_slots() {
+        for d_total in 2..6usize {
+            let dd = d_total as u64;
+            for disk in 0..d_total {
+                let mut seen = std::collections::BTreeSet::new();
+                for lo in 0..60u64 {
+                    let po = phys_of(disk, lo, dd);
+                    assert_ne!(po % dd, disk as u64, "data slot on its parity stripe");
+                    assert_eq!(logical_of(disk, po, dd), Some(lo), "inverse mismatch");
+                    assert!(seen.insert(po), "physical slot reused");
+                }
+                // The reserved slots are exactly those the inverse rejects.
+                for po in 0..60u64 {
+                    if po % dd == disk as u64 {
+                        assert_eq!(logical_of(disk, po, dd), None);
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn parity_needs_two_disks() {
+        let geom = Geometry::new(1, 4, 1000).unwrap();
+        let inner: Mem = MemDiskArray::new(geom);
+        assert!(matches!(
+            ParityDiskArray::new(inner),
+            Err(PdiskError::BadGeometry(_))
+        ));
+    }
+
+    #[test]
+    fn healthy_path_preserves_op_structure() {
+        let d = 3;
+        let a = seeded(d, 4);
+        // Reference: the same workload on a bare array.
+        let geom = Geometry::new(d, 4, 1000).unwrap();
+        let mut bare: Mem = MemDiskArray::new(geom);
+        for disk in 0..d {
+            bare.alloc_contiguous(DiskId(disk as u32), 4).unwrap();
+        }
+        for slot in 0..4u64 {
+            let writes: Vec<_> = (0..d)
+                .map(|disk| (BlockAddr::new(DiskId(disk as u32), slot), expected(disk, slot)))
+                .collect();
+            bare.write(writes).unwrap();
+        }
+        let (ps, bs) = (a.stats(), bare.stats());
+        assert_eq!(ps.write_ops, bs.write_ops, "same parallel write count");
+        assert_eq!(ps.blocks_written, bs.blocks_written, "same blocks moved");
+        assert_eq!(ps.read_ops, bs.read_ops);
+        // The remap shifts each disk's slots differently, so one
+        // parallel op's blocks straddle two adjacent stripes: 2 parity
+        // updates per op here, never more than stripes touched.
+        assert_eq!(ps.parity_writes, 8, "one parity update per stripe per op");
+        assert_eq!(ps.reconstructed_reads, 0);
+    }
+
+    #[test]
+    fn healthy_reads_round_trip() {
+        let mut a = seeded(3, 4);
+        for slot in 0..4u64 {
+            let addrs: Vec<_> = (0..3)
+                .map(|disk| BlockAddr::new(DiskId(disk as u32), slot))
+                .collect();
+            let got = a.read(&addrs).unwrap();
+            for (disk, b) in got.iter().enumerate() {
+                assert_eq!(*b, expected(disk, slot));
+            }
+        }
+    }
+
+    #[test]
+    fn administrative_kill_reconstructs_every_block() {
+        let mut a = seeded(4, 5);
+        a.fail_disk(DiskId(2)).unwrap();
+        for slot in 0..5u64 {
+            let got = a.read(&[BlockAddr::new(DiskId(2), slot)]).unwrap();
+            assert_eq!(got[0], expected(2, slot), "slot {slot}");
+        }
+        let s = a.stats();
+        assert_eq!(s.reconstructed_reads, 5);
+        assert_eq!(s.hedged_reads, 0);
+        assert_eq!(
+            a.redundancy(),
+            Some(RedundancyInfo {
+                stripe_disks: 4,
+                dead: vec![DiskId(2)],
+            })
+        );
+    }
+
+    #[test]
+    fn mid_read_death_is_absorbed_within_the_op() {
+        let mut a = seeded(3, 4);
+        // The fault layer below kills disk 1; the parity layer must
+        // catch the permanent fault mid-op and still return all blocks.
+        a.inner_mut().model_mut().kill_disk(DiskId(1));
+        let addrs: Vec<_> = (0..3).map(|d| BlockAddr::new(DiskId(d), 2)).collect();
+        let got = a.read(&addrs).unwrap();
+        for (disk, b) in got.iter().enumerate() {
+            assert_eq!(*b, expected(disk, 2));
+        }
+        assert!(a.stats().reconstructed_reads >= 1);
+        assert_eq!(a.dead_disks().collect::<Vec<_>>(), vec![DiskId(1)]);
+    }
+
+    #[test]
+    fn degraded_writes_survive_via_parity() {
+        let mut a = seeded(3, 2);
+        a.fail_disk(DiskId(0)).unwrap();
+        // Extend disk 0's run while it is dead: the block exists only
+        // through parity, and reads it back reconstructed.
+        let o = a.alloc_contiguous(DiskId(0), 1).unwrap();
+        assert_eq!(o, 2);
+        a.write(vec![(BlockAddr::new(DiskId(0), o), blk(&[7, 8, 9]))])
+            .unwrap();
+        let got = a.read(&[BlockAddr::new(DiskId(0), o)]).unwrap();
+        assert_eq!(got[0], blk(&[7, 8, 9]));
+        assert!(a.stats().reconstructed_reads >= 1);
+    }
+
+    #[test]
+    fn mid_write_death_is_absorbed_within_the_op() {
+        let geom = Geometry::new(3, 4, 1000).unwrap();
+        let inner = FaultyDiskArray::new(
+            MemDiskArray::new(geom),
+            FaultModel::none().kill_at(crate::error::FaultOp::Write, 1),
+        );
+        let mut a = ParityDiskArray::new(inner).unwrap();
+        for d in 0..3 {
+            a.alloc_contiguous(DiskId(d), 2).unwrap();
+        }
+        let stripe_writes = |slot: u64| -> Vec<_> {
+            (0..3)
+                .map(|d| (BlockAddr::new(DiskId(d), slot), expected(d as usize, slot)))
+                .collect()
+        };
+        a.write(stripe_writes(0)).unwrap(); // write 0: clean
+        a.write(stripe_writes(1)).unwrap(); // write 1: disk 0 dies mid-op
+        assert_eq!(a.dead_disks().collect::<Vec<_>>(), vec![DiskId(0)]);
+        // Every block of both stripes is still readable.
+        for slot in 0..2u64 {
+            let got = a
+                .read(&(0..3).map(|d| BlockAddr::new(DiskId(d), slot)).collect::<Vec<_>>())
+                .unwrap();
+            for (disk, b) in got.iter().enumerate() {
+                assert_eq!(*b, expected(disk, slot), "slot {slot} disk {disk}");
+            }
+        }
+    }
+
+    #[test]
+    fn two_disk_mirror_reconstructs_from_parity_alone() {
+        let mut a = seeded(2, 3);
+        a.fail_disk(DiskId(1)).unwrap();
+        let before = a.stats().read_ops;
+        for slot in 0..3u64 {
+            let got = a.read(&[BlockAddr::new(DiskId(1), slot)]).unwrap();
+            assert_eq!(got[0], expected(1, slot));
+        }
+        // D = 2: no sibling reads needed; parity is the mirror copy.
+        assert_eq!(a.stats().read_ops, before, "no inner reads for D=2 rebuilds");
+        assert_eq!(a.stats().reconstructed_reads, 3);
+    }
+
+    #[test]
+    fn second_death_is_unrecoverable() {
+        let mut a = seeded(3, 2);
+        a.fail_disk(DiskId(0)).unwrap();
+        a.fail_disk(DiskId(0)).unwrap(); // idempotent
+        let err = a.fail_disk(DiskId(1)).unwrap_err();
+        assert!(matches!(err, PdiskError::Unrecoverable(_)), "got {err:?}");
+    }
+
+    #[test]
+    fn dead_disk_unwritten_slot_reads_as_unmapped() {
+        let mut a = seeded(3, 2);
+        let o = a.alloc_contiguous(DiskId(0), 1).unwrap();
+        a.fail_disk(DiskId(0)).unwrap();
+        let err = a.read(&[BlockAddr::new(DiskId(0), o)]).unwrap_err();
+        assert!(matches!(err, PdiskError::UnmappedBlock(_)), "got {err:?}");
+    }
+
+    #[test]
+    fn rebuild_restores_direct_service() {
+        let mut a = seeded(4, 4);
+        a.fail_disk(DiskId(3)).unwrap();
+        // Degraded write extends the dead disk's space.
+        let o = a.alloc_contiguous(DiskId(3), 1).unwrap();
+        a.write(vec![(BlockAddr::new(DiskId(3), o), blk(&[42]))]).unwrap();
+        // Attach a spare below, then rebuild online.
+        assert!(!a.inner_mut().model_mut().attach_spare(DiskId(3)));
+        a.rebuild(DiskId(3)).unwrap();
+        assert!(a.dead_disks().next().is_none());
+        assert_eq!(a.redundancy().unwrap().dead, Vec::<DiskId>::new());
+        // Reads are direct again: reconstructed count stays flat.
+        let after_rebuild = a.stats().reconstructed_reads;
+        for slot in 0..4u64 {
+            let got = a.read(&[BlockAddr::new(DiskId(3), slot)]).unwrap();
+            assert_eq!(got[0], expected(3, slot));
+        }
+        assert_eq!(a.read(&[BlockAddr::new(DiskId(3), o)]).unwrap()[0], blk(&[42]));
+        assert_eq!(a.stats().reconstructed_reads, after_rebuild);
+        // The array tolerates a fresh (different) failure after rebuild.
+        a.fail_disk(DiskId(0)).unwrap();
+        assert_eq!(a.read(&[BlockAddr::new(DiskId(0), 1)]).unwrap()[0], expected(0, 1));
+    }
+
+    #[test]
+    fn hedged_reads_bypass_a_straggler() {
+        let mut a = seeded(3, 3);
+        let timing = ArrayTiming::uniform(DiskModel::hdd_1996(), 3)
+            .with_slowdown(DiskId(1), 8.0);
+        a.set_hedging(timing, 4.0);
+        let got = a.read(&[BlockAddr::new(DiskId(1), 1)]).unwrap();
+        assert_eq!(got[0], expected(1, 1));
+        let s = a.stats();
+        assert_eq!(s.hedged_reads, 1);
+        assert_eq!(s.reconstructed_reads, 1);
+        // A fast disk is never hedged.
+        let got = a.read(&[BlockAddr::new(DiskId(0), 1)]).unwrap();
+        assert_eq!(got[0], expected(0, 1));
+        assert_eq!(a.stats().hedged_reads, 1);
+    }
+
+    #[test]
+    fn store_persists_parity_across_reopen_and_serves_degraded_resume() {
+        let dir = tmpdir("store");
+        let geom = Geometry::new(3, 4, 1000).unwrap();
+        let store_path = dir.join("parity.bin");
+        {
+            let inner: FileDiskArray<U64Record> =
+                FileDiskArray::create(geom, dir.join("disks")).unwrap();
+            let mut a = ParityDiskArray::new(inner)
+                .unwrap()
+                .with_store(&store_path)
+                .unwrap();
+            for d in 0..3 {
+                a.alloc_contiguous(DiskId(d), 2).unwrap();
+            }
+            for slot in 0..2u64 {
+                let writes: Vec<_> = (0..3)
+                    .map(|d| (BlockAddr::new(DiskId(d), slot), expected(d as usize, slot)))
+                    .collect();
+                a.write(writes).unwrap();
+            }
+        }
+        // Reopen: watermarks recover from the store, old data reads
+        // back, and a disk that died in the meantime is reconstructed
+        // from the persisted parity.
+        let inner: FileDiskArray<U64Record> =
+            FileDiskArray::open(geom, dir.join("disks")).unwrap();
+        let mut a = ParityDiskArray::new(inner)
+            .unwrap()
+            .with_store(&store_path)
+            .unwrap();
+        a.fail_disk(DiskId(2)).unwrap();
+        for slot in 0..2u64 {
+            let addrs: Vec<_> = (0..3).map(|d| BlockAddr::new(DiskId(d), slot)).collect();
+            let got = a.read(&addrs).unwrap();
+            for (disk, b) in got.iter().enumerate() {
+                assert_eq!(*b, expected(disk, slot), "slot {slot} disk {disk}");
+            }
+        }
+        assert_eq!(a.stats().reconstructed_reads, 2);
+        // New allocations continue past the recovered watermark.
+        assert_eq!(a.alloc_contiguous(DiskId(0), 1).unwrap(), 2);
+        drop(a);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn corrupt_store_is_refused() {
+        let dir = tmpdir("store-corrupt");
+        let geom = Geometry::new(2, 4, 1000).unwrap();
+        let store_path = dir.join("parity.bin");
+        {
+            let inner: Mem = MemDiskArray::new(geom);
+            let mut a = ParityDiskArray::new(inner)
+                .unwrap()
+                .with_store(&store_path)
+                .unwrap();
+            a.alloc_contiguous(DiskId(0), 1).unwrap();
+            a.write(vec![(BlockAddr::new(DiskId(0), 0), blk(&[1, 2]))])
+                .unwrap();
+        }
+        let mut bytes = std::fs::read(&store_path).unwrap();
+        let at = bytes.len() / 2;
+        bytes[at] ^= 0x10;
+        std::fs::write(&store_path, &bytes).unwrap();
+        let inner: Mem = MemDiskArray::new(geom);
+        let err = ParityDiskArray::new(inner)
+            .unwrap()
+            .with_store(&store_path)
+            .map(|_| ())
+            .unwrap_err();
+        assert!(matches!(err, PdiskError::Corrupt(_)), "got {err:?}");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

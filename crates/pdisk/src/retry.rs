@@ -12,9 +12,12 @@
 //! wait it would have performed into [`RetryingDiskArray::total_backoff`],
 //! in the spirit of [`crate::timing`]'s counted-cost model — experiments
 //! stay fast and deterministic while recovery cost remains measurable.
-//! Retry counts are folded into the [`IoStats`] this wrapper reports
-//! (`read_retries` / `write_retries`), leaving the inner backend's
-//! logical operation counts untouched.
+//! Retry counts are folded into the [`IoStats`] this wrapper reports,
+//! per operation kind (`read_retries` / `write_retries` /
+//! `alloc_retries`, and the matching `*_exhausted` give-up counters),
+//! leaving the inner backend's logical operation counts untouched.
+//! The schedule itself lives in one place — [`RetryPolicy::run`] — so
+//! it cannot drift between operation kinds.
 
 use crate::addr::{BlockAddr, DiskId};
 use crate::backend::DiskArray;
@@ -65,6 +68,51 @@ impl RetryPolicy {
         debug_assert!(retry >= 1);
         self.base_backoff * self.multiplier.pow(retry - 1)
     }
+
+    /// Run `op` to completion under this policy, charging `counters`.
+    ///
+    /// This is the *single* implementation of the retry/backoff schedule:
+    /// every call site (reads, writes, allocations) goes through here, so
+    /// the schedule is deterministic and jitterless by construction and
+    /// cannot drift between operation kinds.  Non-retryable errors pass
+    /// through on the first attempt; exhaustion returns
+    /// [`PdiskError::RetriesExhausted`] and bumps `counters.exhausted`.
+    pub fn run<T>(
+        &self,
+        counters: &mut RetryCounters,
+        mut op: impl FnMut() -> Result<T>,
+    ) -> Result<T> {
+        let mut attempt = 1u32;
+        loop {
+            match op() {
+                Ok(v) => return Ok(v),
+                Err(e) if !e.is_retryable() => return Err(e),
+                Err(e) if attempt >= self.max_attempts => {
+                    counters.exhausted += 1;
+                    return Err(PdiskError::RetriesExhausted {
+                        attempts: attempt,
+                        last: Box::new(e),
+                    });
+                }
+                Err(_) => {
+                    counters.attempted += 1;
+                    counters.backoff += self.backoff_for(attempt);
+                    attempt += 1;
+                }
+            }
+        }
+    }
+}
+
+/// Retry accounting for one [`FaultOp`](crate::FaultOp) kind.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RetryCounters {
+    /// Attempts re-issued after a retryable failure.
+    pub attempted: u64,
+    /// Operations that failed every attempt.
+    pub exhausted: u64,
+    /// Simulated backoff accrued by the re-issues.
+    pub backoff: Duration,
 }
 
 impl Default for RetryPolicy {
@@ -80,9 +128,9 @@ impl Default for RetryPolicy {
 pub struct RetryingDiskArray<R: Record, A: DiskArray<R>> {
     inner: A,
     policy: RetryPolicy,
-    read_retries: u64,
-    write_retries: u64,
-    total_backoff: Duration,
+    reads: RetryCounters,
+    writes: RetryCounters,
+    allocs: RetryCounters,
     _marker: std::marker::PhantomData<R>,
 }
 
@@ -92,9 +140,9 @@ impl<R: Record, A: DiskArray<R>> RetryingDiskArray<R, A> {
         RetryingDiskArray {
             inner,
             policy,
-            read_retries: 0,
-            write_retries: 0,
-            total_backoff: Duration::ZERO,
+            reads: RetryCounters::default(),
+            writes: RetryCounters::default(),
+            allocs: RetryCounters::default(),
             _marker: std::marker::PhantomData,
         }
     }
@@ -109,41 +157,27 @@ impl<R: Record, A: DiskArray<R>> RetryingDiskArray<R, A> {
         &self.inner
     }
 
-    /// Retries performed so far (reads, writes).
+    /// Mutable access to the inner backend, e.g. to administratively
+    /// fail or rebuild a disk in a wrapped redundancy layer.
+    pub fn inner_mut(&mut self) -> &mut A {
+        &mut self.inner
+    }
+
+    /// Retries performed so far (reads, writes).  Allocation retries are
+    /// reported separately by [`Self::counters`].
     pub fn retries(&self) -> (u64, u64) {
-        (self.read_retries, self.write_retries)
+        (self.reads.attempted, self.writes.attempted)
+    }
+
+    /// Per-operation retry accounting, in [`FaultOp`](crate::FaultOp)
+    /// order: reads, writes, allocations.
+    pub fn counters(&self) -> (RetryCounters, RetryCounters, RetryCounters) {
+        (self.reads, self.writes, self.allocs)
     }
 
     /// Total simulated backoff wait accrued by all retries.
     pub fn total_backoff(&self) -> Duration {
-        self.total_backoff
-    }
-
-    /// Run `op` under the retry policy, charging retries to `counter`.
-    fn with_retries<T>(
-        policy: &RetryPolicy,
-        counter: &mut u64,
-        backoff: &mut Duration,
-        mut op: impl FnMut() -> Result<T>,
-    ) -> Result<T> {
-        let mut attempt = 1u32;
-        loop {
-            match op() {
-                Ok(v) => return Ok(v),
-                Err(e) if !e.is_retryable() => return Err(e),
-                Err(e) if attempt >= policy.max_attempts => {
-                    return Err(PdiskError::RetriesExhausted {
-                        attempts: attempt,
-                        last: Box::new(e),
-                    });
-                }
-                Err(_) => {
-                    *counter += 1;
-                    *backoff += policy.backoff_for(attempt);
-                    attempt += 1;
-                }
-            }
-        }
+        self.reads.backoff + self.writes.backoff + self.allocs.backoff
     }
 }
 
@@ -154,47 +188,42 @@ impl<R: Record, A: DiskArray<R>> DiskArray<R> for RetryingDiskArray<R, A> {
 
     fn read(&mut self, addrs: &[BlockAddr]) -> Result<Vec<Block<R>>> {
         let inner = &mut self.inner;
-        Self::with_retries(
-            &self.policy,
-            &mut self.read_retries,
-            &mut self.total_backoff,
-            || inner.read(addrs),
-        )
+        self.policy.run(&mut self.reads, || inner.read(addrs))
     }
 
     fn write(&mut self, writes: Vec<(BlockAddr, Block<R>)>) -> Result<()> {
         let inner = &mut self.inner;
-        Self::with_retries(
-            &self.policy,
-            &mut self.write_retries,
-            &mut self.total_backoff,
-            || inner.write(writes.clone()),
-        )
+        self.policy
+            .run(&mut self.writes, || inner.write(writes.clone()))
     }
 
     fn alloc_contiguous(&mut self, disk: DiskId, count: u64) -> Result<u64> {
         let inner = &mut self.inner;
-        Self::with_retries(
-            &self.policy,
-            &mut self.write_retries,
-            &mut self.total_backoff,
-            || inner.alloc_contiguous(disk, count),
-        )
+        self.policy
+            .run(&mut self.allocs, || inner.alloc_contiguous(disk, count))
     }
 
     /// Inner (logical) stats plus this wrapper's retry counters.
     fn stats(&self) -> IoStats {
         let mut stats = self.inner.stats();
-        stats.read_retries += self.read_retries;
-        stats.write_retries += self.write_retries;
+        stats.read_retries += self.reads.attempted;
+        stats.write_retries += self.writes.attempted;
+        stats.alloc_retries += self.allocs.attempted;
+        stats.read_exhausted += self.reads.exhausted;
+        stats.write_exhausted += self.writes.exhausted;
+        stats.alloc_exhausted += self.allocs.exhausted;
         stats
     }
 
     fn reset_stats(&mut self) {
-        self.read_retries = 0;
-        self.write_retries = 0;
-        self.total_backoff = Duration::ZERO;
+        self.reads = RetryCounters::default();
+        self.writes = RetryCounters::default();
+        self.allocs = RetryCounters::default();
         self.inner.reset_stats();
+    }
+
+    fn redundancy(&self) -> Option<crate::backend::RedundancyInfo> {
+        self.inner.redundancy()
     }
 }
 
@@ -246,7 +275,12 @@ mod tests {
         let o = a.alloc_contiguous(DiskId(1), 1).unwrap();
         let block = Block::new(vec![U64Record(7)], Forecast::Next(u64::MAX));
         a.write(vec![(BlockAddr::new(DiskId(1), o), block)]).unwrap();
-        assert_eq!(a.stats().write_retries, 2);
+        let stats = a.stats();
+        assert_eq!(stats.write_retries, 1, "write retry charged to writes");
+        assert_eq!(stats.alloc_retries, 1, "alloc retry charged to allocs");
+        let (r, w, al) = a.counters();
+        assert_eq!((r.attempted, w.attempted, al.attempted), (0, 1, 1));
+        assert!(al.backoff > Duration::ZERO);
     }
 
     #[test]
@@ -281,6 +315,50 @@ mod tests {
         }
         assert!(err.source().unwrap().to_string().contains("transient"));
         assert_eq!(a.retries(), (2, 0), "two retries after the first attempt");
+        let stats = a.stats();
+        assert_eq!(stats.read_exhausted, 1, "give-up must be counted");
+        assert_eq!(stats.write_exhausted, 0);
+    }
+
+    #[test]
+    fn policy_run_is_the_single_backoff_implementation() {
+        // Deterministic, jitterless: two identical runs accrue identical
+        // backoff, and the schedule matches backoff_for exactly.
+        let p = RetryPolicy::new(3, Duration::from_millis(5));
+        let run_once = || {
+            let mut c = RetryCounters::default();
+            let mut failures = 2;
+            let r = p.run(&mut c, || {
+                if failures > 0 {
+                    failures -= 1;
+                    Err(PdiskError::Fault {
+                        kind: FaultKind::Transient,
+                        op: FaultOp::Read,
+                        disk: None,
+                    })
+                } else {
+                    Ok(())
+                }
+            });
+            (r.is_ok(), c)
+        };
+        let (ok1, c1) = run_once();
+        let (ok2, c2) = run_once();
+        assert!(ok1 && ok2);
+        assert_eq!(c1, c2, "schedule must be deterministic");
+        assert_eq!(c1.attempted, 2);
+        assert_eq!(c1.exhausted, 0);
+        assert_eq!(c1.backoff, p.backoff_for(1) + p.backoff_for(2));
+    }
+
+    #[test]
+    fn reset_stats_clears_retry_accounting() {
+        let mut a = RetryingDiskArray::new(faulty(FaultPlan::read(0)), RetryPolicy::default());
+        a.read(&[BlockAddr::new(DiskId(0), 0)]).unwrap();
+        assert_eq!(a.stats().read_retries, 1);
+        a.reset_stats();
+        assert_eq!(a.stats().read_retries, 0);
+        assert_eq!(a.total_backoff(), Duration::ZERO);
     }
 
     #[test]

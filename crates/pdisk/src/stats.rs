@@ -28,6 +28,50 @@ pub struct IoStats {
     pub read_retries: u64,
     /// Write operations re-issued after a transient fault.
     pub write_retries: u64,
+    /// Allocation requests re-issued after a transient fault.
+    ///
+    /// Kept apart from `write_retries` so per-[`crate::FaultOp`] exposure
+    /// is visible (allocations used to be folded into the write counter).
+    pub alloc_retries: u64,
+    /// Read operations that failed every attempt under a retry policy.
+    pub read_exhausted: u64,
+    /// Write operations that failed every attempt under a retry policy.
+    pub write_exhausted: u64,
+    /// Allocations that failed every attempt under a retry policy.
+    pub alloc_exhausted: u64,
+    /// Blocks served by parity reconstruction instead of a direct read
+    /// (dead disk, or a straggler hedged via the reconstruction path).
+    ///
+    /// Counted separately from `read_ops` so the healthy-path golden
+    /// counts are untouched by the redundancy layer.
+    pub reconstructed_reads: u64,
+    /// Parity blocks written (or updated) by the redundancy layer.
+    pub parity_writes: u64,
+    /// Reconstructions triggered by straggler hedging rather than disk
+    /// death (also included in `reconstructed_reads`).
+    pub hedged_reads: u64,
+}
+
+/// Apply `op` to every counter pair; exhaustive field list in one place so
+/// adding a counter without updating `since`/`merged` is impossible.
+macro_rules! fieldwise {
+    ($a:expr, $b:expr, $op:tt) => {
+        IoStats {
+            read_ops: $a.read_ops $op $b.read_ops,
+            write_ops: $a.write_ops $op $b.write_ops,
+            blocks_read: $a.blocks_read $op $b.blocks_read,
+            blocks_written: $a.blocks_written $op $b.blocks_written,
+            read_retries: $a.read_retries $op $b.read_retries,
+            write_retries: $a.write_retries $op $b.write_retries,
+            alloc_retries: $a.alloc_retries $op $b.alloc_retries,
+            read_exhausted: $a.read_exhausted $op $b.read_exhausted,
+            write_exhausted: $a.write_exhausted $op $b.write_exhausted,
+            alloc_exhausted: $a.alloc_exhausted $op $b.alloc_exhausted,
+            reconstructed_reads: $a.reconstructed_reads $op $b.reconstructed_reads,
+            parity_writes: $a.parity_writes $op $b.parity_writes,
+            hedged_reads: $a.hedged_reads $op $b.hedged_reads,
+        }
+    };
 }
 
 impl IoStats {
@@ -57,10 +101,28 @@ impl IoStats {
         self.write_retries += 1;
     }
 
+    /// Record one block served by parity reconstruction.
+    #[inline]
+    pub fn record_reconstructed_read(&mut self) {
+        self.reconstructed_reads += 1;
+    }
+
+    /// Record one parity block written or updated.
+    #[inline]
+    pub fn record_parity_write(&mut self) {
+        self.parity_writes += 1;
+    }
+
     /// Total operations re-issued after transient faults.
     #[inline]
     pub fn total_retries(&self) -> u64 {
-        self.read_retries + self.write_retries
+        self.read_retries + self.write_retries + self.alloc_retries
+    }
+
+    /// Total operations that failed every retry attempt.
+    #[inline]
+    pub fn total_exhausted(&self) -> u64 {
+        self.read_exhausted + self.write_exhausted + self.alloc_exhausted
     }
 
     /// Total parallel operations (reads + writes).
@@ -90,26 +152,12 @@ impl IoStats {
     /// Counter-wise difference `self − earlier`; use to isolate one phase of
     /// a computation from a shared backend.
     pub fn since(&self, earlier: &IoStats) -> IoStats {
-        IoStats {
-            read_ops: self.read_ops - earlier.read_ops,
-            write_ops: self.write_ops - earlier.write_ops,
-            blocks_read: self.blocks_read - earlier.blocks_read,
-            blocks_written: self.blocks_written - earlier.blocks_written,
-            read_retries: self.read_retries - earlier.read_retries,
-            write_retries: self.write_retries - earlier.write_retries,
-        }
+        fieldwise!(self, earlier, -)
     }
 
     /// Counter-wise sum.
     pub fn merged(&self, other: &IoStats) -> IoStats {
-        IoStats {
-            read_ops: self.read_ops + other.read_ops,
-            write_ops: self.write_ops + other.write_ops,
-            blocks_read: self.blocks_read + other.blocks_read,
-            blocks_written: self.blocks_written + other.blocks_written,
-            read_retries: self.read_retries + other.read_retries,
-            write_retries: self.write_retries + other.write_retries,
-        }
+        fieldwise!(self, other, +)
     }
 }
 
@@ -131,6 +179,26 @@ impl std::fmt::Display for IoStats {
                 " retries={}r/{}w",
                 self.read_retries, self.write_retries
             )?;
+            if self.alloc_retries > 0 {
+                write!(f, "/{}a", self.alloc_retries)?;
+            }
+        }
+        if self.total_exhausted() > 0 {
+            write!(
+                f,
+                " exhausted={}r/{}w/{}a",
+                self.read_exhausted, self.write_exhausted, self.alloc_exhausted
+            )?;
+        }
+        if self.reconstructed_reads > 0 || self.parity_writes > 0 {
+            write!(
+                f,
+                " reconstructed={} parity-writes={}",
+                self.reconstructed_reads, self.parity_writes
+            )?;
+            if self.hedged_reads > 0 {
+                write!(f, " hedged={}", self.hedged_reads)?;
+            }
         }
         Ok(())
     }
@@ -206,6 +274,52 @@ mod tests {
         other.record_write_retry();
         assert_eq!(s.merged(&other).write_retries, 2);
         assert_eq!(s.since(&IoStats::default()).read_retries, 2);
+    }
+
+    #[test]
+    fn per_op_retry_counters_are_distinct() {
+        let s = IoStats {
+            read_retries: 2,
+            write_retries: 1,
+            alloc_retries: 3,
+            alloc_exhausted: 1,
+            ..Default::default()
+        };
+        assert_eq!(s.total_retries(), 6);
+        assert_eq!(s.total_exhausted(), 1);
+        let text = s.to_string();
+        assert!(text.contains("retries=2r/1w/3a"), "{text}");
+        assert!(text.contains("exhausted=0r/0w/1a"), "{text}");
+        let m = s.merged(&s);
+        assert_eq!(m.alloc_retries, 6);
+        assert_eq!(m.alloc_exhausted, 2);
+        assert_eq!(m.since(&s), s);
+    }
+
+    #[test]
+    fn parity_counters_are_separate_from_logical_ops() {
+        let mut s = IoStats::default();
+        s.record_read(4);
+        s.record_reconstructed_read();
+        s.record_parity_write();
+        s.record_parity_write();
+        s.hedged_reads = 1;
+        assert_eq!(s.read_ops, 1, "reconstruction must not inflate read ops");
+        assert_eq!(s.write_ops, 0, "parity updates must not inflate write ops");
+        assert_eq!(s.reconstructed_reads, 1);
+        assert_eq!(s.parity_writes, 2);
+        let text = s.to_string();
+        assert!(text.contains("reconstructed=1 parity-writes=2 hedged=1"), "{text}");
+        assert_eq!(s.merged(&s).parity_writes, 4);
+        assert_eq!(s.since(&IoStats::default()).reconstructed_reads, 1);
+    }
+
+    #[test]
+    fn healthy_display_omits_degraded_counters() {
+        let mut s = IoStats::default();
+        s.record_read(2);
+        let text = s.to_string();
+        assert!(!text.contains("reconstructed") && !text.contains("exhausted"));
     }
 
     #[test]

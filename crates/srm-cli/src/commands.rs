@@ -3,8 +3,8 @@
 use crate::args::Flags;
 use dsm::{read_logical_run, write_unsorted_stripes, DsmSorter};
 use pdisk::{
-    DiskArray, DiskModel, FaultModel, FaultyDiskArray, FileDiskArray, Geometry, MemDiskArray,
-    Record, RetryPolicy, RetryingDiskArray, U64Record,
+    ArrayTiming, DiskArray, DiskId, DiskModel, FaultModel, FaultyDiskArray, FileDiskArray,
+    Geometry, MemDiskArray, ParityDiskArray, Record, RetryPolicy, RetryingDiskArray, U64Record,
 };
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
@@ -23,6 +23,8 @@ USAGE:
            [--placement random|staggered] [--formation load|parload|rs]
            [--threads N] [--keep]
            [--fault-rate R] [--fault-seed S] [--resume MANIFEST]
+           [--parity] [--kill-disk D@PASS] [--slow-disk D:F[,D:F...]]
+           [--hedge-after MULT]
       Generate N random records, stage them on the simulated disk array,
       sort, verify, and print the I/O accounting (one parallel operation
       moves up to one block per disk) plus estimated wall times under a
@@ -35,6 +37,21 @@ USAGE:
       after every pass and, when the file already exists, resumes from it
       (with --backend file the disk files are reopened, not truncated —
       a killed sort picks up from its last completed pass).
+
+      --parity adds rotating-parity redundancy (RAID-5 style): the array
+      survives one permanent disk death, serving the dead disk's blocks by
+      reconstruction from the surviving disks (reconstruction reads and
+      parity writes are counted separately so the logical schedule stays
+      comparable).  --kill-disk D@PASS is the failure drill: disk D dies
+      permanently right after pass PASS (0 = run formation) and the sort
+      completes degraded, byte-identical to the failure-free run.
+      --slow-disk D:F marks disk D as F times slower than nominal;
+      --hedge-after MULT (default 4) reads around any disk at least
+      MULT times slower than the fastest via parity reconstruction
+      instead of waiting for it.  Checkpoint manifests record the parity
+      geometry and dead-disk set, so --resume works from a degraded
+      array.  --kill-disk, --slow-disk, and --hedge-after require
+      --parity.
 
   srm occupancy --k K --d D [--trials N] [--seed S]
       Estimate Table 1's overhead v(k, D) = C(kD, D)/k by ball-throwing.
@@ -97,6 +114,35 @@ pub fn sort(argv: &[String]) -> i32 {
         let fault_seed: u64 = flags.get_or("fault-seed", 0xFA_017)?;
         let resume = flags.get_str("resume").map(std::path::PathBuf::from);
 
+        let parity = flags.has("parity");
+        let kill = flags.get_str("kill-disk").map(parse_kill_spec).transpose()?;
+        let slow = flags
+            .get_str("slow-disk")
+            .map(parse_slow_spec)
+            .transpose()?
+            .unwrap_or_default();
+        let hedge_after: f64 = flags.get_or("hedge-after", 4.0)?;
+        if !parity && (kill.is_some() || !slow.is_empty() || flags.get_str("hedge-after").is_some())
+        {
+            return Err("--kill-disk, --slow-disk, and --hedge-after require --parity".into());
+        }
+        if parity && geom.d < 2 {
+            return Err("--parity needs at least 2 disks".into());
+        }
+        if hedge_after <= 0.0 {
+            return Err(format!("--hedge-after {hedge_after} must be positive"));
+        }
+        for disk in kill.iter().map(|&(d, _)| d).chain(slow.iter().map(|&(d, _)| d)) {
+            if disk as usize >= geom.d {
+                return Err(format!("disk {disk} out of range for D={}", geom.d));
+            }
+        }
+        let popts = parity.then_some(ParityOpts {
+            kill,
+            slow,
+            hedge_after,
+        });
+
         println!(
             "geometry: D={} disks, B={} records/block, M={} records ({} blocks of memory)",
             geom.d,
@@ -120,7 +166,17 @@ pub fn sort(argv: &[String]) -> i32 {
             match backend {
                 "mem" => {
                     let array: MemDiskArray<U64Record> = MemDiskArray::new(geom);
-                    srm_with_faults(array, &data, config, geom, fault_rate, fault_seed, resume.as_deref())?;
+                    srm_with_faults(
+                        array,
+                        &data,
+                        config,
+                        geom,
+                        fault_rate,
+                        fault_seed,
+                        resume.as_deref(),
+                        popts.as_ref(),
+                        None,
+                    )?;
                 }
                 "file" => {
                     let dir = flags
@@ -139,7 +195,20 @@ pub fn sort(argv: &[String]) -> i32 {
                     } else {
                         FileDiskArray::create(geom, &dir).map_err(|e| e.to_string())?
                     };
-                    srm_with_faults(array, &data, config, geom, fault_rate, fault_seed, resume.as_deref())?;
+                    // Parity frames persist next to the disk files so a
+                    // degraded sort can be resumed after a crash.
+                    let store = popts.as_ref().map(|_| dir.join("parity.store"));
+                    srm_with_faults(
+                        array,
+                        &data,
+                        config,
+                        geom,
+                        fault_rate,
+                        fault_seed,
+                        resume.as_deref(),
+                        popts.as_ref(),
+                        store.as_deref(),
+                    )?;
                     if !flags.has("keep") {
                         let _ = std::fs::remove_dir_all(&dir);
                     } else {
@@ -154,20 +223,7 @@ pub fn sort(argv: &[String]) -> i32 {
                 println!("(DSM runs on the in-memory backend)");
             }
             let array: MemDiskArray<U64Record> = MemDiskArray::new(geom);
-            if fault_rate > 0.0 {
-                let policy = RetryPolicy::default();
-                println!(
-                    "fault injection: transient rate {fault_rate} per disk (seed {fault_seed:#x}), up to {} attempts per op",
-                    policy.max_attempts
-                );
-                let faulty =
-                    FaultyDiskArray::new(array, FaultModel::random(fault_seed).with_rate(fault_rate));
-                let mut wrapped = RetryingDiskArray::new(faulty, policy);
-                run_dsm(&mut wrapped, &data, geom)?;
-            } else {
-                let mut array = array;
-                run_dsm(&mut array, &data, geom)?;
-            }
+            dsm_with_faults(array, &data, geom, fault_rate, fault_seed, popts.as_ref())?;
         }
         if algo != "srm" && algo != "dsm" && algo != "both" {
             return Err(format!("unknown algo `{algo}`"));
@@ -198,8 +254,99 @@ fn print_io(label: &str, io: &pdisk::IoStats, geom: Geometry, cpu: std::time::Du
     }
 }
 
+/// Redundancy drill options parsed from `--parity` and friends.
+#[derive(Debug, Clone)]
+struct ParityOpts {
+    /// `--kill-disk D@PASS`: disk D dies permanently right after PASS.
+    kill: Option<(u32, u64)>,
+    /// `--slow-disk D:F`: per-disk slowdown factors.
+    slow: Vec<(u32, f64)>,
+    /// `--hedge-after MULT`: hedge reads off disks this much slower than
+    /// the fastest.
+    hedge_after: f64,
+}
+
+fn parse_kill_spec(s: &str) -> Result<(u32, u64), String> {
+    let (d, pass) = s
+        .split_once('@')
+        .ok_or_else(|| format!("--kill-disk {s}: expected D@PASS"))?;
+    Ok((
+        d.parse().map_err(|_| format!("--kill-disk {s}: bad disk id"))?,
+        pass.parse()
+            .map_err(|_| format!("--kill-disk {s}: bad pass number"))?,
+    ))
+}
+
+fn parse_slow_spec(s: &str) -> Result<Vec<(u32, f64)>, String> {
+    s.split(',')
+        .map(|part| {
+            let (d, f) = part
+                .split_once(':')
+                .ok_or_else(|| format!("--slow-disk {part}: expected D:FACTOR"))?;
+            let disk: u32 = d.parse().map_err(|_| format!("--slow-disk {part}: bad disk id"))?;
+            let factor: f64 = f.parse().map_err(|_| format!("--slow-disk {part}: bad factor"))?;
+            if factor < 1.0 {
+                return Err(format!("--slow-disk {part}: factor must be >= 1"));
+            }
+            Ok((disk, factor))
+        })
+        .collect()
+}
+
+/// The fully protected stack, bottom to top: scriptable faults, rotating
+/// parity, bounded retry (see `pdisk` docs for why this order).
+type ProtectedStack<A> =
+    RetryingDiskArray<U64Record, ParityDiskArray<U64Record, FaultyDiskArray<U64Record, A>>>;
+
+/// Pass-boundary callback handed down to the sorter (the `--kill-disk`
+/// injection point).
+type SrmObserver<'a, A> = Option<Box<dyn FnMut(u64, &mut A) -> srm_core::Result<()> + 'a>>;
+type DsmObserver<'a, A> = Option<Box<dyn FnMut(u64, &mut A) -> Result<(), dsm::DsmError> + 'a>>;
+
+/// Build the parity layer for either sorter: wrap `array` in fault
+/// injection + rotating parity, attach the sidecar store, configure
+/// hedging, and re-mark any disks a resumed manifest recorded as dead.
+fn build_parity_stack<A: DiskArray<U64Record>>(
+    array: A,
+    geom: Geometry,
+    fault_rate: f64,
+    fault_seed: u64,
+    opts: &ParityOpts,
+    store: Option<&Path>,
+    dead_from_manifest: &[DiskId],
+) -> Result<ProtectedStack<A>, String> {
+    println!(
+        "parity: rotating parity over {} disks ({} of every {} blocks usable); survives one disk death",
+        geom.d,
+        geom.d - 1,
+        geom.d
+    );
+    let faulty = FaultyDiskArray::new(array, FaultModel::random(fault_seed).with_rate(fault_rate));
+    let mut pa = ParityDiskArray::new(faulty).map_err(|e| e.to_string())?;
+    if let Some(path) = store {
+        pa = pa.with_store(path).map_err(|e| e.to_string())?;
+    }
+    if !opts.slow.is_empty() {
+        let mut timing = ArrayTiming::uniform(DiskModel::hdd_modern(), geom.d);
+        for &(disk, f) in &opts.slow {
+            println!(
+                "straggler: disk {disk} at {f}x nominal service time (hedging reads past {}x the fastest)",
+                opts.hedge_after
+            );
+            timing = timing.with_slowdown(DiskId(disk), f);
+        }
+        pa.set_hedging(timing, opts.hedge_after);
+    }
+    for &dd in dead_from_manifest {
+        println!("manifest records disk {} dead; resuming degraded", dd.0);
+        pa.fail_disk(dd).map_err(|e| e.to_string())?;
+    }
+    Ok(RetryingDiskArray::new(pa, RetryPolicy::default()))
+}
+
 /// Run SRM on `array`, optionally behind the fault-injection + retry
-/// stack (`--fault-rate`) and optionally checkpointed (`--resume`).
+/// stack (`--fault-rate`), the rotating-parity layer (`--parity`), and
+/// checkpointing (`--resume`).
 #[allow(clippy::too_many_arguments)]
 fn srm_with_faults<A: DiskArray<U64Record>>(
     array: A,
@@ -209,19 +356,53 @@ fn srm_with_faults<A: DiskArray<U64Record>>(
     fault_rate: f64,
     fault_seed: u64,
     resume: Option<&Path>,
+    parity: Option<&ParityOpts>,
+    store: Option<&Path>,
 ) -> Result<(), String> {
+    let policy = RetryPolicy::default();
     if fault_rate > 0.0 {
-        let policy = RetryPolicy::default();
         println!(
             "fault injection: transient rate {fault_rate} per disk (seed {fault_seed:#x}), up to {} attempts per op",
             policy.max_attempts
         );
-        let faulty = FaultyDiskArray::new(array, FaultModel::random(fault_seed).with_rate(fault_rate));
-        let mut wrapped = RetryingDiskArray::new(faulty, policy);
-        run_srm(&mut wrapped, data, config, geom, resume)
-    } else {
-        let mut array = array;
-        run_srm(&mut array, data, config, geom, resume)
+    }
+    match parity {
+        Some(p) => {
+            // A degraded resume must re-mark the manifest's dead disks
+            // *before* the sorter validates redundancy.
+            let mut dead = Vec::new();
+            if let Some(path) = resume {
+                if path.exists() {
+                    let m = srm_core::SortManifest::load(path).map_err(|e| e.to_string())?;
+                    if let Some(red) = &m.redundancy {
+                        dead = red.dead.clone();
+                    }
+                }
+            }
+            let mut wrapped =
+                build_parity_stack(array, geom, fault_rate, fault_seed, p, store, &dead)?;
+            let kill = p.kill;
+            let observer: SrmObserver<'_, ProtectedStack<A>> = Some(Box::new(move |pass, a| {
+                if let Some((disk, at)) = kill {
+                    if pass == at {
+                        println!("drill: disk {disk} dies permanently after pass {pass}");
+                        a.inner_mut().fail_disk(DiskId(disk))?;
+                    }
+                }
+                Ok(())
+            }));
+            run_srm(&mut wrapped, data, config, geom, resume, observer)
+        }
+        None if fault_rate > 0.0 => {
+            let faulty =
+                FaultyDiskArray::new(array, FaultModel::random(fault_seed).with_rate(fault_rate));
+            let mut wrapped = RetryingDiskArray::new(faulty, policy);
+            run_srm(&mut wrapped, data, config, geom, resume, None)
+        }
+        None => {
+            let mut array = array;
+            run_srm(&mut array, data, config, geom, resume, None)
+        }
     }
 }
 
@@ -231,22 +412,29 @@ fn run_srm<A: DiskArray<U64Record>>(
     config: SrmConfig,
     geom: Geometry,
     resume: Option<&Path>,
+    observer: SrmObserver<'_, A>,
 ) -> Result<(), String> {
     let input = write_unsorted_input(array, data).map_err(|e| e.to_string())?;
     let staged = array.stats();
     let start = std::time::Instant::now();
     let sorter = SrmSorter::new(config);
-    let result = match resume {
-        Some(manifest) => sorter.sort_checkpointed(array, &input, manifest).map_err(|e| match e {
+    let mut obs = observer;
+    let result = sorter
+        .sort_observed(array, &input, resume, |pass, a| match obs.as_deref_mut() {
+            Some(f) => f(pass, a),
+            None => Ok(()),
+        })
+        .map_err(|e| match (&e, resume) {
             // A bad manifest will fail the same way on every rerun — the
             // only way out is to discard it.
-            srm_core::SrmError::Checkpoint(_) => {
-                format!("{e}; delete {} to start a fresh sort", manifest.display())
+            (srm_core::SrmError::Checkpoint(_), Some(m)) => {
+                format!("{e}; delete {} to start a fresh sort", m.display())
             }
-            _ => format!("{e}; rerun with the same flags to resume from {}", manifest.display()),
-        }),
-        None => sorter.sort(array, &input).map_err(|e| e.to_string()),
-    };
+            (_, Some(m)) => {
+                format!("{e}; rerun with the same flags to resume from {}", m.display())
+            }
+            _ => e.to_string(),
+        });
     let (sorted, report) = result?;
     let elapsed = start.elapsed();
     verify_sorted(
@@ -262,22 +450,80 @@ fn run_srm<A: DiskArray<U64Record>>(
         report.schedule.flush_ops,
         report.schedule.blocks_flushed
     );
+    if let Some(red) = array.redundancy() {
+        if !red.dead.is_empty() {
+            let ids: Vec<u32> = red.dead.iter().map(|d| d.0).collect();
+            println!(
+                "  degraded: completed with disk(s) {ids:?} dead; output identical to the failure-free run"
+            );
+        }
+    }
     let io = array.stats().since(&staged);
     print_io("I/O (sort only)", &io, geom, elapsed);
     println!();
     Ok(())
 }
 
+/// Run DSM on `array`, optionally behind the same protective stack as SRM.
+fn dsm_with_faults<A: DiskArray<U64Record>>(
+    array: A,
+    data: &[U64Record],
+    geom: Geometry,
+    fault_rate: f64,
+    fault_seed: u64,
+    parity: Option<&ParityOpts>,
+) -> Result<(), String> {
+    let policy = RetryPolicy::default();
+    if fault_rate > 0.0 {
+        println!(
+            "fault injection: transient rate {fault_rate} per disk (seed {fault_seed:#x}), up to {} attempts per op",
+            policy.max_attempts
+        );
+    }
+    match parity {
+        Some(p) => {
+            let mut wrapped =
+                build_parity_stack(array, geom, fault_rate, fault_seed, p, None, &[])?;
+            let kill = p.kill;
+            let observer: DsmObserver<'_, ProtectedStack<A>> = Some(Box::new(move |pass, a| {
+                if let Some((disk, at)) = kill {
+                    if pass == at {
+                        println!("drill: disk {disk} dies permanently after pass {pass}");
+                        a.inner_mut().fail_disk(DiskId(disk))?;
+                    }
+                }
+                Ok(())
+            }));
+            run_dsm(&mut wrapped, data, geom, observer)
+        }
+        None if fault_rate > 0.0 => {
+            let faulty =
+                FaultyDiskArray::new(array, FaultModel::random(fault_seed).with_rate(fault_rate));
+            let mut wrapped = RetryingDiskArray::new(faulty, policy);
+            run_dsm(&mut wrapped, data, geom, None)
+        }
+        None => {
+            let mut array = array;
+            run_dsm(&mut array, data, geom, None)
+        }
+    }
+}
+
 fn run_dsm<A: DiskArray<U64Record>>(
     array: &mut A,
     data: &[U64Record],
     geom: Geometry,
+    observer: DsmObserver<'_, A>,
 ) -> Result<(), String> {
     let input = write_unsorted_stripes(array, data).map_err(|e| e.to_string())?;
     let staged = array.stats();
     let start = std::time::Instant::now();
+    let mut obs = observer;
     let (sorted, report) = DsmSorter::default()
-        .sort(array, &input)
+        .sort_observed(array, &input, None, |pass, a| match obs.as_deref_mut() {
+            Some(f) => f(pass, a),
+            None => Ok(()),
+        })
         .map_err(|e| e.to_string())?;
     let elapsed = start.elapsed();
     verify_sorted(
@@ -289,6 +535,14 @@ fn run_dsm<A: DiskArray<U64Record>>(
         "  merge order R={}, runs formed={}, merge passes={}",
         report.merge_order, report.runs_formed, report.merge_passes
     );
+    if let Some(red) = array.redundancy() {
+        if !red.dead.is_empty() {
+            let ids: Vec<u32> = red.dead.iter().map(|d| d.0).collect();
+            println!(
+                "  degraded: completed with disk(s) {ids:?} dead; output identical to the failure-free run"
+            );
+        }
+    }
     let io = array.stats().since(&staged);
     print_io("I/O (sort only)", &io, geom, elapsed);
     println!();

@@ -22,6 +22,8 @@
 //! runs-formed <u64>
 //! pass <completed merge passes>
 //! draws <placement draws consumed>
+//! parity <stripe_disks>            (optional: array ran under parity)
+//! dead <disk_id> ...               (optional: disks dead at snapshot time)
 //! runs <count>
 //! run <start_disk> <len_blocks> <records> <base_offset_0> ... <base_offset_D-1>
 //! ...
@@ -33,10 +35,18 @@
 //! `draws` before resuming makes the resumed sort draw the *same* start
 //! disks an uninterrupted sort would have — so the recovered output is
 //! identical, not merely sorted.
+//!
+//! The optional `parity` / `dead` lines record the redundancy geometry the
+//! snapshot was taken under ([`pdisk::RedundancyInfo`]).  A manifest written
+//! under parity addresses blocks through the rotating-parity remap, and a
+//! disk listed `dead` holds data that exists *only* as parity — so resuming
+//! such a manifest on a plain array (or without re-marking the dead disks)
+//! would read garbage.  [`SortManifest::validate_redundancy`] refuses those
+//! mismatches.
 
 use crate::error::{Result, SrmError};
 use crate::sort::{Placement, SrmConfig};
-use pdisk::{DiskId, Geometry, StripedRun};
+use pdisk::{DiskId, Geometry, RedundancyInfo, StripedRun};
 use std::io::Write;
 use std::path::Path;
 
@@ -65,12 +75,17 @@ pub struct SortManifest {
     /// Placement draws consumed so far; the resuming sorter fast-forwards
     /// its RNG by this count.
     pub draws: u64,
+    /// Redundancy geometry the snapshot was taken under: `None` for a plain
+    /// array, `Some` when the array carried rotating parity (with the set
+    /// of disks already dead at snapshot time).
+    pub redundancy: Option<RedundancyInfo>,
     /// The surviving runs, in merge-queue order.
     pub runs: Vec<StripedRun>,
 }
 
 impl SortManifest {
     /// Snapshot a sort's state after a completed pass.
+    #[allow(clippy::too_many_arguments)]
     pub fn new(
         config: &SrmConfig,
         geometry: Geometry,
@@ -78,6 +93,7 @@ impl SortManifest {
         runs_formed: u64,
         pass: u64,
         draws: u64,
+        redundancy: Option<RedundancyInfo>,
         runs: Vec<StripedRun>,
     ) -> Self {
         SortManifest {
@@ -88,6 +104,7 @@ impl SortManifest {
             runs_formed,
             pass,
             draws,
+            redundancy,
             runs,
         }
     }
@@ -126,6 +143,47 @@ impl SortManifest {
         Ok(())
     }
 
+    /// Refuse to resume on an array whose redundancy state doesn't cover
+    /// the manifest's.  A manifest written under parity addresses blocks
+    /// through the rotating-parity remap, and blocks written while a disk
+    /// was dead exist *only* as parity — so the resuming array must have
+    /// the same stripe width and must already treat every manifest-dead
+    /// disk as dead (extra deaths discovered since the snapshot are fine;
+    /// they just mean more reconstruction).
+    pub fn validate_redundancy(&self, current: Option<&RedundancyInfo>) -> Result<()> {
+        match (&self.redundancy, current) {
+            (None, None) => Ok(()),
+            (Some(_), None) => Err(SrmError::Checkpoint(
+                "manifest was written under parity redundancy but the array has none; \
+                 blocks are laid out through the parity remap and degraded writes exist \
+                 only as parity"
+                    .into(),
+            )),
+            (None, Some(_)) => Err(SrmError::Checkpoint(
+                "manifest was written on a plain array but the array has parity \
+                 redundancy; the parity remap would misinterpret every address"
+                    .into(),
+            )),
+            (Some(want), Some(have)) => {
+                if want.stripe_disks != have.stripe_disks {
+                    return Err(SrmError::Checkpoint(format!(
+                        "manifest parity stripe width {} does not match array stripe width {}",
+                        want.stripe_disks, have.stripe_disks
+                    )));
+                }
+                if let Some(d) = want.dead.iter().find(|d| !have.dead.contains(d)) {
+                    return Err(SrmError::Checkpoint(format!(
+                        "manifest records disk {} dead but the array treats it as live; \
+                         its degraded-mode writes exist only as parity and a direct read \
+                         would return stale or missing data",
+                        d.0
+                    )));
+                }
+                Ok(())
+            }
+        }
+    }
+
     /// Serialize to the manifest text format, checksum line included.
     pub fn encode(&self) -> String {
         let mut s = String::new();
@@ -148,6 +206,16 @@ impl SortManifest {
         s.push_str(&format!("runs-formed {}\n", self.runs_formed));
         s.push_str(&format!("pass {}\n", self.pass));
         s.push_str(&format!("draws {}\n", self.draws));
+        if let Some(red) = &self.redundancy {
+            s.push_str(&format!("parity {}\n", red.stripe_disks));
+            if !red.dead.is_empty() {
+                s.push_str("dead");
+                for d in &red.dead {
+                    s.push_str(&format!(" {}", d.0));
+                }
+                s.push('\n');
+            }
+        }
         s.push_str(&format!("runs {}\n", self.runs.len()));
         for run in &self.runs {
             s.push_str(&format!(
@@ -182,40 +250,61 @@ impl SortManifest {
             )));
         }
 
-        let mut lines = text[..body_end].lines();
+        let mut lines = text[..body_end].lines().peekable();
         if lines.next() != Some(HEADER) {
             return Err(bad("unknown header or version"));
         }
-        let mut field = |name: &str| -> Result<String> {
-            let line = lines.next().ok_or_else(|| bad("truncated"))?;
-            line.strip_prefix(name)
-                .and_then(|rest| rest.strip_prefix(' '))
-                .map(str::to_owned)
-                .ok_or_else(|| bad(&format!("expected `{name}` line, got `{line}`")))
-        };
-        if field("algo")? != "srm" {
+        if take_field(&mut lines, "algo")? != "srm" {
             return Err(bad("not an srm manifest"));
         }
-        let geo: Vec<usize> = parse_ints(&field("geometry")?).map_err(|e| bad(&e))?;
+        let geo: Vec<usize> = parse_ints(&take_field(&mut lines, "geometry")?).map_err(|e| bad(&e))?;
         if geo.len() != 3 {
             return Err(bad("geometry needs three fields"));
         }
         let geometry = Geometry::new(geo[0], geo[1], geo[2])
             .map_err(|e| SrmError::Checkpoint(format!("manifest geometry invalid: {e}")))?;
-        let seed: u64 = field("seed")?.parse().map_err(|_| bad("seed"))?;
-        let placement = match field("placement")?.as_str() {
+        let seed: u64 = take_field(&mut lines, "seed")?.parse().map_err(|_| bad("seed"))?;
+        let placement = match take_field(&mut lines, "placement")?.as_str() {
             "random" => Placement::Random,
             "staggered" => Placement::Staggered,
             other => return Err(bad(&format!("unknown placement `{other}`"))),
         };
-        let records: u64 = field("records")?.parse().map_err(|_| bad("records"))?;
-        let runs_formed: u64 = field("runs-formed")?.parse().map_err(|_| bad("runs-formed"))?;
-        let pass: u64 = field("pass")?.parse().map_err(|_| bad("pass"))?;
-        let draws: u64 = field("draws")?.parse().map_err(|_| bad("draws"))?;
-        let count: usize = field("runs")?.parse().map_err(|_| bad("runs count"))?;
-        let mut runs = Vec::with_capacity(count);
+        let records: u64 = take_field(&mut lines, "records")?
+            .parse()
+            .map_err(|_| bad("records"))?;
+        let runs_formed: u64 = take_field(&mut lines, "runs-formed")?
+            .parse()
+            .map_err(|_| bad("runs-formed"))?;
+        let pass: u64 = take_field(&mut lines, "pass")?.parse().map_err(|_| bad("pass"))?;
+        let draws: u64 = take_field(&mut lines, "draws")?.parse().map_err(|_| bad("draws"))?;
+        // Optional redundancy lines, present only for snapshots taken under
+        // parity.  `dead` without `parity` is malformed.
+        let mut redundancy = None;
+        if lines.peek().is_some_and(|l| l.starts_with("parity ")) {
+            let stripe_disks: usize = take_field(&mut lines, "parity")?
+                .parse()
+                .map_err(|_| bad("parity stripe width"))?;
+            if stripe_disks != geometry.d {
+                return Err(bad("parity stripe width does not match geometry"));
+            }
+            let mut dead = Vec::new();
+            if lines.peek().is_some_and(|l| l.starts_with("dead ")) {
+                let ids: Vec<u32> = parse_ints(&take_field(&mut lines, "dead")?).map_err(|e| bad(&e))?;
+                if ids.iter().any(|&i| i as usize >= geometry.d) {
+                    return Err(bad("dead disk id out of range for geometry"));
+                }
+                dead = ids.into_iter().map(DiskId).collect();
+            }
+            redundancy = Some(RedundancyInfo { stripe_disks, dead });
+        }
+        let count: usize = take_field(&mut lines, "runs")?
+            .parse()
+            .map_err(|_| bad("runs count"))?;
+        // Cap the pre-allocation: `count` is attacker-ish input (a corrupt
+        // or hostile manifest) and should not drive an unbounded reserve.
+        let mut runs = Vec::with_capacity(count.min(1024));
         for _ in 0..count {
-            let nums: Vec<u64> = parse_ints(&field("run")?).map_err(|e| bad(&e))?;
+            let nums: Vec<u64> = parse_ints(&take_field(&mut lines, "run")?).map_err(|e| bad(&e))?;
             if nums.len() != 3 + geometry.d {
                 return Err(bad("run line has wrong field count for geometry"));
             }
@@ -237,6 +326,7 @@ impl SortManifest {
             runs_formed,
             pass,
             draws,
+            redundancy,
             runs,
         })
     }
@@ -279,6 +369,25 @@ impl SortManifest {
     }
 }
 
+/// Consume the next manifest line, which must be `<name> <value>`, and
+/// return the value.  Shared by the SRM and (via re-use) DSM parsers.
+fn take_field<'a, I: Iterator<Item = &'a str>>(
+    lines: &mut std::iter::Peekable<I>,
+    name: &str,
+) -> Result<String> {
+    let line = lines
+        .next()
+        .ok_or_else(|| SrmError::Checkpoint("malformed manifest: truncated".into()))?;
+    line.strip_prefix(name)
+        .and_then(|rest| rest.strip_prefix(' '))
+        .map(str::to_owned)
+        .ok_or_else(|| {
+            SrmError::Checkpoint(format!(
+                "malformed manifest: expected `{name}` line, got `{line}`"
+            ))
+        })
+}
+
 fn parse_ints<T: std::str::FromStr>(s: &str) -> std::result::Result<Vec<T>, String> {
     s.split_whitespace()
         .map(|w| w.parse::<T>().map_err(|_| format!("bad integer `{w}`")))
@@ -309,6 +418,7 @@ mod tests {
             21,
             2,
             25,
+            None,
             vec![
                 StripedRun {
                     start_disk: DiskId(1),
@@ -379,5 +489,90 @@ mod tests {
         assert!(m.validate(&staggered, geom, 1000).is_err());
         // Wrong record count.
         assert!(m.validate(&cfg, geom, 999).is_err());
+    }
+
+    #[test]
+    fn redundancy_lines_roundtrip() {
+        // Degraded snapshot: parity width 3, disk 1 dead.
+        let mut m = sample();
+        m.redundancy = Some(RedundancyInfo {
+            stripe_disks: 3,
+            dead: vec![DiskId(1)],
+        });
+        let text = m.encode();
+        assert!(text.contains("parity 3\n"), "{text}");
+        assert!(text.contains("dead 1\n"), "{text}");
+        assert_eq!(SortManifest::parse(&text).unwrap(), m);
+        // Healthy parity snapshot: no `dead` line at all.
+        m.redundancy = Some(RedundancyInfo {
+            stripe_disks: 3,
+            dead: vec![],
+        });
+        let text = m.encode();
+        assert!(!text.contains("dead"), "{text}");
+        assert_eq!(SortManifest::parse(&text).unwrap(), m);
+        // Plain manifests stay byte-compatible with the v1 wire format.
+        assert!(!sample().encode().contains("parity"));
+    }
+
+    #[test]
+    fn redundancy_lines_are_validated_against_geometry() {
+        let mut m = sample();
+        m.redundancy = Some(RedundancyInfo {
+            stripe_disks: 3,
+            dead: vec![DiskId(1)],
+        });
+        // Stripe width must equal D.
+        let wrong_width = m.encode().replace("parity 3", "parity 4");
+        assert!(SortManifest::parse(&recheck(&wrong_width)).is_err());
+        // Dead ids must be in range.
+        let wrong_disk = m.encode().replace("dead 1", "dead 9");
+        assert!(SortManifest::parse(&recheck(&wrong_disk)).is_err());
+    }
+
+    /// Re-stamp a hand-edited manifest body with a fresh valid checksum so
+    /// the tests exercise the *semantic* validation, not the checksum.
+    fn recheck(text: &str) -> String {
+        let body_end = text.rfind("checksum ").unwrap();
+        let body = &text[..body_end];
+        format!("{body}checksum {:016x}\n", fnv1a64(body.as_bytes()))
+    }
+
+    #[test]
+    fn validate_redundancy_refuses_mismatches() {
+        let mut m = sample();
+        // Plain manifest on a plain array: fine.
+        m.validate_redundancy(None).unwrap();
+        let parity3 = RedundancyInfo {
+            stripe_disks: 3,
+            dead: vec![],
+        };
+        // Plain manifest on a parity array: refused (remap mismatch).
+        assert!(m.validate_redundancy(Some(&parity3)).is_err());
+        m.redundancy = Some(RedundancyInfo {
+            stripe_disks: 3,
+            dead: vec![DiskId(2)],
+        });
+        // Parity manifest on a plain array: refused.
+        assert!(m.validate_redundancy(None).is_err());
+        // Array must already treat manifest-dead disks as dead.
+        assert!(m.validate_redundancy(Some(&parity3)).is_err());
+        let degraded = RedundancyInfo {
+            stripe_disks: 3,
+            dead: vec![DiskId(2)],
+        };
+        m.validate_redundancy(Some(&degraded)).unwrap();
+        // Extra deaths discovered since the snapshot are tolerated.
+        let worse = RedundancyInfo {
+            stripe_disks: 3,
+            dead: vec![DiskId(0), DiskId(2)],
+        };
+        m.validate_redundancy(Some(&worse)).unwrap();
+        // Stripe width mismatch is refused outright.
+        let narrower = RedundancyInfo {
+            stripe_disks: 2,
+            dead: vec![DiskId(2)],
+        };
+        assert!(m.validate_redundancy(Some(&narrower)).is_err());
     }
 }

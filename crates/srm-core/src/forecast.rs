@@ -17,6 +17,13 @@
 //!   flushed key becomes the entry (flushed blocks always precede the
 //!   current entry in participation order, because they were read earlier
 //!   from the same frontier).
+//!
+//! The tables keep a frontier for **every** disk even when one is dead:
+//! forecasting predicts which *logical* block each disk contributes next,
+//! and under a [`pdisk::ParityDiskArray`] a dead disk's predicted block is
+//! simply served by parity reconstruction instead of a platter read.  Not
+//! special-casing death here is what keeps the degraded-mode schedule — and
+//! hence the output — identical to the failure-free one.
 
 use crate::key::{BlockKey, RunId};
 use pdisk::DiskId;

@@ -6,6 +6,19 @@
 //! means reads are initiated at every legal opportunity — the earliest
 //! possible time, which is what the dedicated `M_D` buffers exist for —
 //! and the merge consumes records whenever no read can be initiated).
+//!
+//! # Degraded mode
+//!
+//! The merge is deliberately oblivious to disk death.  When the array is a
+//! [`pdisk::ParityDiskArray`] with a dead disk, the forecast-driven
+//! schedule below is **unchanged**: the merge still asks for the dead
+//! disk's next-needed block in the same parallel operation it always
+//! would, and the parity layer serves it by reconstruction (one extra
+//! parallel read of the surviving disks, counted as
+//! `IoStats::reconstructed_reads`, never as a schedule read).  Because the
+//! schedule — and therefore the sequence of records consumed and emitted —
+//! is byte-identical to the failure-free execution, losing a disk mid-sort
+//! changes *cost*, never *output*.
 
 use crate::error::{Result, SrmError};
 use crate::key::{BlockKey, RunId};

@@ -16,7 +16,7 @@ use crate::error::{Result, SrmError};
 use crate::merge::{merge_runs, MergeStats};
 use crate::run_formation::{form_runs, RunFormation};
 use crate::scheduler::ScheduleStats;
-use pdisk::{Block, DiskArray, DiskId, Forecast, IoStats, Record, StripedRun};
+use pdisk::{Block, DiskArray, DiskId, Forecast, IoStats, Record, RedundancyInfo, StripedRun};
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 use std::path::Path;
@@ -153,6 +153,10 @@ pub struct SrmSorter {
     config: SrmConfig,
 }
 
+/// Pass-boundary callback threaded through `sort_inner`; see
+/// [`SrmSorter::sort_observed`].
+type PassObserver<'a, A> = &'a mut dyn FnMut(u64, &mut A) -> Result<()>;
+
 impl SrmSorter {
     /// Sorter with the given configuration.
     pub fn new(config: SrmConfig) -> Self {
@@ -171,7 +175,7 @@ impl SrmSorter {
         array: &mut A,
         input: &StripedRun,
     ) -> Result<(StripedRun, SortReport)> {
-        self.sort_inner(array, input, None)
+        self.sort_inner(array, input, None, None)
     }
 
     /// Like [`SrmSorter::sort`], but checkpointing progress to `manifest`
@@ -203,7 +207,27 @@ impl SrmSorter {
         input: &StripedRun,
         manifest: &Path,
     ) -> Result<(StripedRun, SortReport)> {
-        self.sort_inner(array, input, Some(manifest))
+        self.sort_inner(array, input, Some(manifest), None)
+    }
+
+    /// Like [`SrmSorter::sort_checkpointed`] (pass `manifest: None` for an
+    /// unsnapshotted sort), but calling `observer` at every pass boundary
+    /// **completed by this call**: once after run formation (`pass` = 0)
+    /// and once after each merge pass, each time *before* the snapshot is
+    /// taken.  The observer may mutate the array — this is the injection
+    /// point for fault drills (`--kill-disk D@PASS` in the CLI kills a
+    /// disk here, so the subsequent snapshot records the death and the
+    /// next pass runs degraded).  An observer error aborts the sort.
+    ///
+    /// Pass boundaries completed *before* a resume are not replayed.
+    pub fn sort_observed<R: Record, A: DiskArray<R>>(
+        &self,
+        array: &mut A,
+        input: &StripedRun,
+        manifest: Option<&Path>,
+        mut observer: impl FnMut(u64, &mut A) -> Result<()>,
+    ) -> Result<(StripedRun, SortReport)> {
+        self.sort_inner(array, input, manifest, Some(&mut observer))
     }
 
     fn sort_inner<R: Record, A: DiskArray<R>>(
@@ -211,6 +235,7 @@ impl SrmSorter {
         array: &mut A,
         input: &StripedRun,
         manifest: Option<&Path>,
+        mut observer: Option<PassObserver<'_, A>>,
     ) -> Result<(StripedRun, SortReport)> {
         let geom = array.geometry();
         if input.records == 0 {
@@ -227,6 +252,7 @@ impl SrmSorter {
         let (mut queue, mut pass, runs_formed) = match resume {
             Some(m) => {
                 m.validate(&self.config, geom, input.records)?;
+                m.validate_redundancy(array.redundancy().as_ref())?;
                 placer.fast_forward(m.draws);
                 (m.runs, m.pass, m.runs_formed as usize)
             }
@@ -234,8 +260,11 @@ impl SrmSorter {
                 let queue =
                     form_runs(array, input, self.config.run_formation, || placer.next())?;
                 let runs_formed = queue.len();
+                if let Some(obs) = observer.as_deref_mut() {
+                    obs(0, array)?;
+                }
                 if let Some(path) = manifest {
-                    self.snapshot(path, geom, input, runs_formed, 0, &placer, &queue)?;
+                    self.snapshot(path, geom, input, runs_formed, 0, &placer, array.redundancy(), &queue)?;
                 }
                 (queue, 0, runs_formed)
             }
@@ -263,9 +292,21 @@ impl SrmSorter {
                 next.push(out.run);
             }
             queue = next;
+            if let Some(obs) = observer.as_deref_mut() {
+                obs(pass, array)?;
+            }
             if let Some(path) = manifest {
                 if queue.len() > 1 {
-                    self.snapshot(path, geom, input, runs_formed, pass, &placer, &queue)?;
+                    self.snapshot(
+                        path,
+                        geom,
+                        input,
+                        runs_formed,
+                        pass,
+                        &placer,
+                        array.redundancy(),
+                        &queue,
+                    )?;
                 }
             }
         }
@@ -290,6 +331,7 @@ impl SrmSorter {
         runs_formed: usize,
         pass: u64,
         placer: &Placer,
+        redundancy: Option<RedundancyInfo>,
         queue: &[StripedRun],
     ) -> Result<()> {
         SortManifest::new(
@@ -299,6 +341,7 @@ impl SrmSorter {
             runs_formed as u64,
             pass,
             placer.draws,
+            redundancy,
             queue.to_vec(),
         )
         .save(path)

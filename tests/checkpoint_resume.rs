@@ -217,3 +217,113 @@ fn resume_rejects_incompatible_manifests() {
     }
     let _ = std::fs::remove_dir_all(&dir);
 }
+
+/// Exhaustive single-byte corruption: flipping **any** byte of a valid
+/// manifest (two masks per position: a low bit and all bits) must either
+/// be refused with a typed checkpoint error or parse back to a manifest
+/// identical to the original — never panic, never yield a silently
+/// different resume state.  (A flip in trailing whitespace can leave the
+/// content intact; that is the only acceptable "success".)
+#[test]
+fn srm_manifest_byte_flips_never_panic_or_resume_wrong() {
+    let mut m = srm_core::SortManifest::new(
+        &srm_core::SrmConfig::default(),
+        geom(),
+        3000,
+        63,
+        2,
+        67,
+        Some(pdisk::RedundancyInfo {
+            stripe_disks: 2,
+            dead: vec![pdisk::DiskId(1)],
+        }),
+        vec![
+            pdisk::StripedRun {
+                start_disk: pdisk::DiskId(1),
+                len_blocks: 130,
+                records: 520,
+                base_offsets: vec![10, 20],
+            },
+            pdisk::StripedRun {
+                start_disk: pdisk::DiskId(0),
+                len_blocks: 120,
+                records: 480,
+                base_offsets: vec![55, 66],
+            },
+        ],
+    );
+    let dir = unique_dir("srm-fuzz");
+    let path = dir.join("sort.manifest");
+    m.save(&path).unwrap();
+    let valid = std::fs::read(&path).unwrap();
+    m = srm_core::SortManifest::load(&path).unwrap(); // normalize
+
+    for i in 0..valid.len() {
+        for mask in [0x01u8, 0xFF] {
+            let mut bytes = valid.clone();
+            bytes[i] ^= mask;
+            std::fs::write(&path, &bytes).unwrap();
+            match srm_core::SortManifest::load(&path) {
+                Err(srm_core::SrmError::Checkpoint(_)) => {}
+                Err(other) => {
+                    panic!("byte {i} ^ {mask:#04x}: wrong error type {other:?}")
+                }
+                Ok(parsed) => assert_eq!(
+                    parsed, m,
+                    "byte {i} ^ {mask:#04x}: corrupt manifest parsed to different state"
+                ),
+            }
+        }
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// Same exhaustive corruption sweep for the DSM manifest format.
+#[test]
+fn dsm_manifest_byte_flips_never_panic_or_resume_wrong() {
+    let m = dsm::DsmManifest {
+        geometry: geom(),
+        records: 3000,
+        runs_formed: 63,
+        pass: 1,
+        redundancy: Some(pdisk::RedundancyInfo {
+            stripe_disks: 2,
+            dead: vec![pdisk::DiskId(0)],
+        }),
+        runs: vec![
+            dsm::LogicalRun {
+                start_stripe: 400,
+                len_stripes: 30,
+                records: 240,
+            },
+            dsm::LogicalRun {
+                start_stripe: 430,
+                len_stripes: 20,
+                records: 160,
+            },
+        ],
+    };
+    let dir = unique_dir("dsm-fuzz");
+    let path = dir.join("sort.manifest");
+    m.save(&path).unwrap();
+    let valid = std::fs::read(&path).unwrap();
+
+    for i in 0..valid.len() {
+        for mask in [0x01u8, 0xFF] {
+            let mut bytes = valid.clone();
+            bytes[i] ^= mask;
+            std::fs::write(&path, &bytes).unwrap();
+            match dsm::DsmManifest::load(&path) {
+                Err(dsm::DsmError::Checkpoint(_)) => {}
+                Err(other) => {
+                    panic!("byte {i} ^ {mask:#04x}: wrong error type {other:?}")
+                }
+                Ok(parsed) => assert_eq!(
+                    parsed, m,
+                    "byte {i} ^ {mask:#04x}: corrupt manifest parsed to different state"
+                ),
+            }
+        }
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}
