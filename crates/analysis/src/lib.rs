@@ -13,6 +13,8 @@
 //! * [`render`] — plain-text/markdown rendering used by the `bench`
 //!   binaries and EXPERIMENTS.md.
 
+#![forbid(unsafe_code)]
+
 pub mod formulas;
 pub mod memory;
 pub mod paper;

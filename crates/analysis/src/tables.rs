@@ -24,7 +24,7 @@ pub fn table1(ks: &[usize], ds: &[usize], trials: u64, seed: u64) -> Grid {
 /// (same row/column labels) and `B = 1000`.
 pub fn table2(v: &Grid) -> Grid {
     Grid::build(&v.ks, &v.ds, |k, d| {
-        let vkd = v.get(k, d).expect("v grid covers (k, d)");
+        let vkd = v.get(k, d).expect("v grid covers (k, d)"); // lint:allow(panic) Grid::build iterates v's own axes
         c_srm(vkd, k, d) / c_dsm(k, d, TABLE_B)
     })
 }
@@ -71,7 +71,7 @@ pub fn table3(ks: &[usize], ds: &[usize], params: Table3Params) -> Grid {
             params.trials,
             &mut rng,
         )
-        .expect("simulation cannot fail on well-formed inputs")
+        .expect("simulation cannot fail on well-formed inputs") // lint:allow(panic) inputs are table constants
         .mean
     })
 }

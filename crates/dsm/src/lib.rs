@@ -18,6 +18,8 @@
 //! the two are compared on identical terms: identical geometry, identical
 //! memory budget, identical counting.
 
+#![forbid(unsafe_code)]
+
 pub mod checkpoint;
 pub mod logical;
 pub mod sort;

@@ -39,7 +39,7 @@ pub fn alloc_stripe<R: Record, A: DiskArray<R>>(array: &mut A) -> Result<u64, Pd
     let d = array.geometry().d;
     let first = array.alloc_contiguous(DiskId(0), 1)?;
     for disk in 1..d {
-        let off = array.alloc_contiguous(DiskId(disk as u32), 1)?;
+        let off = array.alloc_contiguous(DiskId::from_index(disk), 1)?;
         assert_eq!(
             off, first,
             "DSM requires lockstep allocation; disk {disk} is at {off}, disk 0 at {first}"
@@ -59,7 +59,7 @@ pub fn read_stripe<R: Record, A: DiskArray<R>>(
     assert!(n_records > 0 && n_records <= (geom.d * geom.b) as u64);
     let n_blocks = (n_records as usize).div_ceil(geom.b);
     let addrs: Vec<BlockAddr> = (0..n_blocks)
-        .map(|disk| BlockAddr::new(DiskId(disk as u32), s))
+        .map(|disk| BlockAddr::new(DiskId::from_index(disk), s))
         .collect();
     let blocks = array.read(&addrs)?;
     let mut out = Vec::with_capacity(n_records as usize);
@@ -88,7 +88,7 @@ pub fn write_stripe<R: Record, A: DiskArray<R>>(
             records: chunk.to_vec(),
             forecast: Forecast::Next(pdisk::block::NO_BLOCK),
         };
-        writes.push((BlockAddr::new(DiskId(disk as u32), s), block));
+        writes.push((BlockAddr::new(DiskId::from_index(disk), s), block));
     }
     array.write(writes)
 }

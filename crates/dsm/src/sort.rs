@@ -66,6 +66,7 @@ type PassObserver<'a, A> = &'a mut dyn FnMut(u64, &mut A) -> Result<(), DsmError
 
 /// Errors are plain [`PdiskError`]s plus configuration strings.
 #[derive(Debug)]
+#[non_exhaustive]
 pub enum DsmError {
     /// Disk layer failure.
     Disk(PdiskError),
@@ -180,6 +181,10 @@ impl DsmSorter {
                 (m.runs, m.pass, m.runs_formed as usize)
             }
             None => {
+                if let Some(sink) = array.trace_sink() {
+                    // Run formation is pass 0; merge passes count from 1.
+                    sink.begin_pass(0);
+                }
                 // Run formation: sort `load_fraction · M` records at a time.
                 let capacity =
                     ((geom.m as f64 * self.config.load_fraction) as usize).max(geom.b * geom.d);
@@ -215,6 +220,9 @@ impl DsmSorter {
         // Merge passes.
         while queue.len() > 1 {
             pass += 1;
+            if let Some(sink) = array.trace_sink() {
+                sink.begin_pass(pass);
+            }
             let mut next: Vec<LogicalRun> = Vec::with_capacity(queue.len().div_ceil(r_dsm));
             for group in queue.chunks(r_dsm) {
                 if group.len() == 1 {

@@ -1,0 +1,589 @@
+//! Checking the block-granularity simulator's schedule traces.
+//!
+//! `srm-core`'s `MergeSim` emits a compact schedule trace — initial
+//! reads, parallel reads with flush victims, depletions — without ever
+//! touching a disk array, so the [`pdisk::trace`] checker cannot see it.
+//! This module replays that schedule against the same model rules using
+//! the same scheduler replica as [`crate::replay`]: forecast-minimal
+//! fetching, rule 2a–2c flush arithmetic, farthest-future eviction, and
+//! the Definition 3 buffer budgets.
+//!
+//! The event type here deliberately mirrors the simulator's trace enum
+//! structurally (`modelcheck` must not depend on `srm-core`, which would
+//! cycle); tests map one to the other field-for-field.
+
+use crate::replay::SchedReplica;
+use crate::violation::{BlockRef, Violation, ViolationKind};
+use pdisk::DiskId;
+
+/// One run as the simulator laid it out: a start disk plus each block's
+/// smallest key (the keys that drive forecasting and flush ranks).
+#[derive(Debug, Clone)]
+pub struct SimRunLayout {
+    /// Disk of block 0; block `i` lives on `(start_disk + i) mod D`.
+    pub start_disk: u32,
+    /// Smallest key per block, strictly increasing across blocks.
+    pub min_keys: Vec<u64>,
+}
+
+impl SimRunLayout {
+    fn blocks(&self) -> u64 {
+        self.min_keys.len() as u64
+    }
+
+    fn disk_of(&self, idx: u64, d: usize) -> DiskId {
+        DiskId::from_mod(u64::from(self.start_disk) + idx, d)
+    }
+}
+
+/// The merge input a simulator trace is checked against.
+#[derive(Debug, Clone)]
+pub struct SimCheckInput {
+    /// Number of disks.
+    pub d: usize,
+    /// The runs being merged.
+    pub runs: Vec<SimRunLayout>,
+}
+
+/// Structural mirror of the simulator's trace events.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SimEvent {
+    /// A step-1 read fetching the initial blocks of the listed runs.
+    InitRead {
+        /// Runs whose block 0 arrived in this operation.
+        runs: Vec<u32>,
+    },
+    /// A main-loop parallel read, possibly preceded by a virtual flush.
+    ParRead {
+        /// `(disk, run, block idx)` fetched, at most one entry per disk.
+        targets: Vec<(u32, u32, u64)>,
+        /// `(run, block idx)` virtually flushed by rule 2c.
+        flushed: Vec<(u32, u64)>,
+    },
+    /// Run `run`'s leading block `idx` was fully consumed.
+    Depleted {
+        /// The run whose block depleted.
+        run: u32,
+        /// Index of the depleted block.
+        idx: u64,
+    },
+}
+
+/// What a clean simulator trace contained.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+#[non_exhaustive]
+pub struct SimCheckSummary {
+    /// Events replayed.
+    pub events: u64,
+    /// Step-1 initial reads.
+    pub init_reads: u64,
+    /// Main-loop parallel reads.
+    pub par_reads: u64,
+    /// Blocks fetched across all reads.
+    pub blocks_fetched: u64,
+    /// Blocks virtually flushed by rule 2c.
+    pub flushed_blocks: u64,
+    /// Depletions observed.
+    pub depletes: u64,
+}
+
+struct SimRunState {
+    loaded: bool,
+    cur_idx: u64,
+    awaiting: bool,
+    exhausted: bool,
+}
+
+/// Replay a simulator schedule trace against the model rules, failing
+/// fast at the first violation.  `seq` in the violation is the event's
+/// index in `events`; `pass` is always 0 (the simulator runs one merge).
+pub fn check_sim_trace(
+    input: &SimCheckInput,
+    events: &[SimEvent],
+) -> Result<SimCheckSummary, Box<Violation>> {
+    let mut checker = SimReplay::new(input)?;
+    for (i, event) in events.iter().enumerate() {
+        checker
+            .step(event)
+            .map_err(|kind| Box::new(Violation::new(i as u64, 0, kind)))?;
+    }
+    checker
+        .finish()
+        .map_err(|kind| Box::new(Violation::new(events.len() as u64, 0, kind)))?;
+    Ok(checker.summary)
+}
+
+struct SimReplay<'a> {
+    input: &'a SimCheckInput,
+    sched: SchedReplica,
+    states: Vec<SimRunState>,
+    summary: SimCheckSummary,
+}
+
+impl<'a> SimReplay<'a> {
+    fn new(input: &'a SimCheckInput) -> Result<Self, Box<Violation>> {
+        let bad = |reason: &'static str| {
+            Box::new(Violation::new(
+                0,
+                0,
+                ViolationKind::UnexpectedEvent { event: "input", reason },
+            ))
+        };
+        if input.d == 0 {
+            return Err(bad("zero disks"));
+        }
+        if input.runs.is_empty() {
+            return Err(bad("merge of zero runs"));
+        }
+        for run in &input.runs {
+            if run.min_keys.is_empty() {
+                return Err(bad("run with zero blocks"));
+            }
+            if run.start_disk as usize >= input.d {
+                return Err(bad("run start disk out of range"));
+            }
+        }
+        Ok(SimReplay {
+            input,
+            sched: SchedReplica::new(input.runs.len(), input.d),
+            states: input
+                .runs
+                .iter()
+                .map(|_| SimRunState {
+                    loaded: false,
+                    cur_idx: 0,
+                    awaiting: false,
+                    exhausted: false,
+                })
+                .collect(),
+            summary: SimCheckSummary::default(),
+        })
+    }
+
+    fn check_run(&self, run: u32) -> Result<(), ViolationKind> {
+        if (run as usize) < self.input.runs.len() {
+            Ok(())
+        } else {
+            Err(ViolationKind::RunOutOfRange {
+                run,
+                r: self.input.runs.len(),
+            })
+        }
+    }
+
+    fn block_ref(&self, run: u32, idx: u64) -> BlockRef {
+        (self.input.runs[run as usize].min_keys[idx as usize], run, idx)
+    }
+
+    fn step(&mut self, event: &SimEvent) -> Result<(), ViolationKind> {
+        self.summary.events += 1;
+        match event {
+            SimEvent::InitRead { runs } => self.init_read(runs),
+            SimEvent::ParRead { targets, flushed } => self.par_read(targets, flushed),
+            SimEvent::Depleted { run, idx } => self.depleted(*run, *idx),
+        }
+    }
+
+    /// Step 1 of §5.5: one batch of initial blocks, one per disk; each
+    /// arrival seeds its run's forecasting entries for blocks `1..=D`.
+    fn init_read(&mut self, runs: &[u32]) -> Result<(), ViolationKind> {
+        self.summary.init_reads += 1;
+        self.summary.blocks_fetched += runs.len() as u64;
+        let d = self.input.d;
+        let mut seen = vec![false; d];
+        for &j in runs {
+            self.check_run(j)?;
+            let layout = &self.input.runs[j as usize];
+            let disk = layout.disk_of(0, d);
+            if seen[disk.index()] {
+                return Err(ViolationKind::DuplicateDiskInOp {
+                    op: "initial read",
+                    disk,
+                });
+            }
+            seen[disk.index()] = true;
+            let st = &mut self.states[j as usize];
+            if st.loaded {
+                return Err(ViolationKind::UnexpectedEvent {
+                    event: "InitRead",
+                    reason: "run's initial block was already fetched",
+                });
+            }
+            st.loaded = true;
+            let horizon = (d as u64).min(layout.blocks().saturating_sub(1));
+            for idx in 1..=horizon {
+                let key = layout.min_keys[idx as usize];
+                let slot = layout.disk_of(idx, d).index();
+                self.sched.fds[slot].insert(j, (key, j, idx));
+            }
+        }
+        Ok(())
+    }
+
+    /// One main-loop parallel read, judged exactly like the engine's
+    /// `SchedRead` — same drain points, same rule 2a–2c arithmetic, same
+    /// forecast-minimality demands.
+    fn par_read(
+        &mut self,
+        targets: &[(u32, u32, u64)],
+        flushed: &[(u32, u64)],
+    ) -> Result<(), ViolationKind> {
+        self.summary.par_reads += 1;
+        self.summary.blocks_fetched += targets.len() as u64;
+        self.summary.flushed_blocks += flushed.len() as u64;
+        let d = self.input.d;
+        self.sched.drain();
+        if !self.sched.staged.is_empty() {
+            return Err(ViolationKind::ReadWhileStagingOccupied {
+                staged: self.sched.staged.len(),
+            });
+        }
+
+        // Rules 2a–2c: flush count from pre-flush occupancy.
+        let occ = self.sched.fset.len();
+        let expected_flush = if occ > self.sched.r {
+            let extra = occ - self.sched.r;
+            let Some(s_min) = self.sched.frontier_min() else {
+                return Err(ViolationKind::UnexpectedEvent {
+                    event: "ParRead",
+                    reason: "flush arithmetic needs a forecasting minimum, but FDS is empty",
+                });
+            };
+            let out_rank = 1 + self.sched.fset.range(..s_min).count();
+            if out_rank <= extra {
+                extra - out_rank + 1
+            } else {
+                0
+            }
+        } else {
+            0
+        };
+        if flushed.len() != expected_flush {
+            return Err(ViolationKind::FlushCountMismatch {
+                expected: expected_flush,
+                got: flushed.len(),
+            });
+        }
+        for &(run, idx) in flushed {
+            self.check_run(run)?;
+            if idx >= self.input.runs[run as usize].blocks() {
+                return Err(ViolationKind::UnexpectedEvent {
+                    event: "ParRead",
+                    reason: "flushed block index beyond its run",
+                });
+            }
+            let fb = self.block_ref(run, idx);
+            match self.sched.fset.last().copied() {
+                Some(max) if max == fb => {
+                    self.sched.fset.remove(&fb);
+                }
+                Some(max) => {
+                    if self.sched.fset.contains(&fb) {
+                        return Err(ViolationKind::FlushNotFarthestFuture {
+                            flushed: fb,
+                            expected: max,
+                        });
+                    }
+                    return Err(ViolationKind::FlushedBlockNotBuffered { flushed: fb });
+                }
+                None => return Err(ViolationKind::FlushedBlockNotBuffered { flushed: fb }),
+            }
+            let home = self.input.runs[run as usize].disk_of(idx, d);
+            self.sched.lower_to(home.index(), run, fb);
+        }
+
+        // §4: exactly each pending disk's forecast minimum.
+        let mut covered = vec![false; d];
+        for &(disk, run, idx) in targets {
+            let disk = DiskId(disk);
+            if disk.index() >= d {
+                return Err(ViolationKind::DiskOutOfRange {
+                    op: "parallel read",
+                    disk,
+                    d,
+                });
+            }
+            if covered[disk.index()] {
+                return Err(ViolationKind::DuplicateDiskInOp {
+                    op: "parallel read",
+                    disk,
+                });
+            }
+            self.check_run(run)?;
+            if idx >= self.input.runs[run as usize].blocks() {
+                return Err(ViolationKind::UnexpectedEvent {
+                    event: "ParRead",
+                    reason: "target block index beyond its run",
+                });
+            }
+            let home = self.input.runs[run as usize].disk_of(idx, d);
+            if disk != home {
+                return Err(ViolationKind::OffHomeDisk {
+                    role: "target",
+                    run,
+                    idx,
+                    got: disk,
+                    home,
+                });
+            }
+            let tb = self.block_ref(run, idx);
+            let min = self.sched.disk_min(disk.index());
+            if min != Some(tb) {
+                return Err(ViolationKind::NotForecastMinimal {
+                    disk,
+                    got: tb,
+                    expected: min,
+                });
+            }
+            covered[disk.index()] = true;
+        }
+        for (disk, was_covered) in covered.iter().enumerate().take(d) {
+            if !was_covered {
+                if let Some(expected) = self.sched.disk_min(disk) {
+                    return Err(ViolationKind::FetchSetIncomplete {
+                        disk: DiskId::from_index(disk),
+                        expected,
+                    });
+                }
+            }
+        }
+
+        // Arrivals: consume the forecasting entry, implant the
+        // successor's, route per exchange rule 2 (derived — the sim
+        // trace carries no routing flag).
+        for &(disk, run, idx) in targets {
+            let layout = &self.input.runs[run as usize];
+            let slot = DiskId(disk).index();
+            let next = idx + d as u64;
+            if next < layout.blocks() {
+                let key = layout.min_keys[next as usize];
+                self.sched.fds[slot].insert(run, (key, run, next));
+            } else {
+                self.sched.fds[slot].remove(&run);
+            }
+            let tb = (layout.min_keys[idx as usize], run, idx);
+            let st = &mut self.states[run as usize];
+            if st.awaiting && st.cur_idx == idx {
+                st.awaiting = false;
+            } else {
+                self.sched.staged.push(tb);
+            }
+        }
+
+        // Definition 3's budgets.
+        if self.sched.staged.len() > d {
+            return Err(ViolationKind::BufferOverCommit {
+                pool: "M_D",
+                len: self.sched.staged.len(),
+                cap: d,
+            });
+        }
+        if self.sched.fset.len() > self.sched.r + d {
+            return Err(ViolationKind::BufferOverCommit {
+                pool: "M_R",
+                len: self.sched.fset.len(),
+                cap: self.sched.r + d,
+            });
+        }
+        Ok(())
+    }
+
+    fn depleted(&mut self, run: u32, idx: u64) -> Result<(), ViolationKind> {
+        self.summary.depletes += 1;
+        self.sched.drain();
+        self.check_run(run)?;
+        let blocks = self.input.runs[run as usize].blocks();
+        let st = &mut self.states[run as usize];
+        if !st.loaded {
+            return Err(ViolationKind::UnexpectedEvent {
+                event: "Depleted",
+                reason: "run's initial block was never fetched",
+            });
+        }
+        if st.exhausted {
+            return Err(ViolationKind::UnexpectedEvent {
+                event: "Depleted",
+                reason: "run is already exhausted",
+            });
+        }
+        if st.awaiting {
+            return Err(ViolationKind::UnexpectedEvent {
+                event: "Depleted",
+                reason: "run's leading buffer is empty (awaiting I/O)",
+            });
+        }
+        if idx != st.cur_idx {
+            return Err(ViolationKind::DepleteOutOfOrder {
+                run,
+                got: idx,
+                expected: st.cur_idx,
+            });
+        }
+        st.cur_idx += 1;
+        if st.cur_idx >= blocks {
+            st.exhausted = true;
+            return Ok(());
+        }
+        let next = st.cur_idx;
+        if self.sched.remove_buffered(run, next) {
+            // The simulator promotes silently; mirror it and drain.
+            self.sched.drain();
+        } else {
+            let home = self.input.runs[run as usize].disk_of(next, self.input.d);
+            match self.sched.fds[home.index()].get(&run) {
+                Some(e) if e.2 == next => self.states[run as usize].awaiting = true,
+                _ => return Err(ViolationKind::AwaitWithoutForecast { run, idx: next }),
+            }
+        }
+        Ok(())
+    }
+
+    /// After the last event: every run exhausted, every buffer empty.
+    fn finish(&mut self) -> Result<(), ViolationKind> {
+        if let Some(j) = self.states.iter().position(|st| !st.exhausted) {
+            return Err(ViolationKind::UnexpectedEvent {
+                event: "end of trace",
+                reason: if self.states[j].loaded {
+                    "a run was never fully depleted"
+                } else {
+                    "a run's initial block was never fetched"
+                },
+            });
+        }
+        let fset = self.sched.fset.len();
+        let staged = self.sched.staged.len();
+        let unread = self.sched.unread();
+        if fset > 0 || staged > 0 || unread > 0 {
+            return Err(ViolationKind::MergeIncomplete { fset, staged, unread });
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// 2 runs of 2 blocks on 3 disks; run 0 = keys 10, 30 starting on
+    /// disk 0; run 1 = keys 20, 40 starting on disk 1.
+    fn input() -> SimCheckInput {
+        SimCheckInput {
+            d: 3,
+            runs: vec![
+                SimRunLayout { start_disk: 0, min_keys: vec![10, 30] },
+                SimRunLayout { start_disk: 1, min_keys: vec![20, 40] },
+            ],
+        }
+    }
+
+    fn clean_events() -> Vec<SimEvent> {
+        vec![
+            SimEvent::InitRead { runs: vec![0, 1] },
+            SimEvent::Depleted { run: 0, idx: 0 },
+            SimEvent::ParRead {
+                targets: vec![(1, 0, 1), (2, 1, 1)],
+                flushed: vec![],
+            },
+            SimEvent::Depleted { run: 1, idx: 0 },
+            SimEvent::Depleted { run: 0, idx: 1 },
+            SimEvent::Depleted { run: 1, idx: 1 },
+        ]
+    }
+
+    #[test]
+    fn clean_schedule_passes() {
+        let summary = match check_sim_trace(&input(), &clean_events()) {
+            Ok(s) => s,
+            Err(v) => panic!("clean sim trace rejected: {v}"),
+        };
+        assert_eq!(summary.init_reads, 1);
+        assert_eq!(summary.par_reads, 1);
+        assert_eq!(summary.depletes, 4);
+        assert_eq!(summary.blocks_fetched, 4);
+    }
+
+    #[test]
+    fn two_initial_blocks_on_one_disk_is_flagged() {
+        // Both runs starting on disk 0 cannot arrive in one batch.
+        let input = SimCheckInput {
+            d: 3,
+            runs: vec![
+                SimRunLayout { start_disk: 0, min_keys: vec![10] },
+                SimRunLayout { start_disk: 0, min_keys: vec![20] },
+            ],
+        };
+        let events = vec![SimEvent::InitRead { runs: vec![0, 1] }];
+        let v = match check_sim_trace(&input, &events) {
+            Err(v) => v,
+            Ok(_) => panic!("accepted duplicate-disk initial read"),
+        };
+        assert!(matches!(
+            v.kind,
+            ViolationKind::DuplicateDiskInOp { op: "initial read", disk: DiskId(0) }
+        ));
+    }
+
+    #[test]
+    fn non_minimal_fetch_is_flagged() {
+        let mut events = clean_events();
+        // Fetch run 1's block 1 from the wrong disk claim — swap its
+        // target to a block that is not the forecast minimum of disk 1.
+        if let SimEvent::ParRead { targets, .. } = &mut events[2] {
+            *targets = vec![(1, 0, 1), (2, 1, 1), (0, 0, 0)];
+        }
+        let v = match check_sim_trace(&input(), &events) {
+            Err(v) => v,
+            Ok(_) => panic!("accepted stale re-fetch"),
+        };
+        // Block (0, run 0) has no forecasting entry anymore — disk 0's
+        // minimum is absent.
+        assert!(matches!(
+            v.kind,
+            ViolationKind::NotForecastMinimal { disk: DiskId(0), .. }
+        ));
+    }
+
+    #[test]
+    fn incomplete_fetch_set_is_flagged() {
+        let mut events = clean_events();
+        if let SimEvent::ParRead { targets, .. } = &mut events[2] {
+            targets.pop();
+        }
+        let v = match check_sim_trace(&input(), &events) {
+            Err(v) => v,
+            Ok(_) => panic!("accepted incomplete fetch set"),
+        };
+        assert!(matches!(
+            v.kind,
+            ViolationKind::FetchSetIncomplete { disk: DiskId(2), .. }
+        ));
+    }
+
+    #[test]
+    fn truncated_trace_is_flagged() {
+        let mut events = clean_events();
+        events.pop();
+        let v = match check_sim_trace(&input(), &events) {
+            Err(v) => v,
+            Ok(_) => panic!("accepted truncated trace"),
+        };
+        assert!(matches!(v.kind, ViolationKind::UnexpectedEvent { event: "end of trace", .. }));
+        assert_eq!(v.seq, 5, "finish violations locate at one past the last event");
+    }
+
+    #[test]
+    fn unsanctioned_flush_is_flagged() {
+        let mut events = clean_events();
+        if let SimEvent::ParRead { flushed, .. } = &mut events[2] {
+            flushed.push((0, 1));
+        }
+        let v = match check_sim_trace(&input(), &events) {
+            Err(v) => v,
+            Ok(_) => panic!("accepted unsanctioned flush"),
+        };
+        assert!(matches!(
+            v.kind,
+            ViolationKind::FlushCountMismatch { expected: 0, got: 1 }
+        ));
+    }
+}

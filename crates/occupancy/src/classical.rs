@@ -116,7 +116,7 @@ pub fn exact_classical_max(n_balls: u32, d: usize) -> f64 {
             bins[(c % d as u64) as usize] += 1;
             c /= d as u64;
         }
-        total += *bins.iter().max().unwrap() as u64;
+        total += bins.iter().max().map_or(0, |&b| b as u64);
     }
     total as f64 / outcomes as f64
 }

@@ -169,7 +169,7 @@ impl DependentProblem {
         let d = self.d as u64;
         let c = self.chains.len() as u32;
         let outcomes = d.checked_pow(c).filter(|&o| o <= 100_000_000).unwrap_or_else(|| {
-            panic!("exact enumeration infeasible: {d}^{c} outcomes")
+            panic!("exact enumeration infeasible: {d}^{c} outcomes") // lint:allow(panic) documented # Panics contract
         });
         let mut total = 0u64;
         let mut starts = vec![0usize; self.chains.len()];

@@ -27,6 +27,8 @@
 //! * [`stats`] — running means, standard errors and confidence intervals
 //!   for all the estimators above.
 
+#![forbid(unsafe_code)]
+
 pub mod bounds;
 pub mod classical;
 pub mod dependent;

@@ -93,11 +93,11 @@ impl BlockMinima {
     pub fn sample_naive<RN: Rng + ?Sized>(records: u64, block: u64, rng: &mut RN) -> Self {
         assert!(records > 0 && block > 0);
         let mut keys: Vec<f64> = (0..records).map(|_| rng.random::<f64>()).collect();
-        keys.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        keys.sort_by(f64::total_cmp);
         let minima = keys.iter().step_by(block as usize).copied().collect();
         BlockMinima {
             minima,
-            last_key: *keys.last().unwrap(),
+            last_key: keys.last().copied().unwrap_or(0.0),
         }
     }
 }
@@ -143,7 +143,7 @@ impl BlockBounds {
             };
             if in_block > 1 {
                 s += if in_block == block {
-                    gamma_gap.as_ref().expect("block > 1").sample(rng)
+                    gamma_gap.as_ref().expect("block > 1").sample(rng) // lint:allow(panic) Some whenever block > 1, the only way here
                 } else {
                     GammaSampler::new((in_block - 1) as f64).sample(rng)
                 };

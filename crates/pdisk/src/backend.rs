@@ -7,6 +7,7 @@ use crate::geometry::Geometry;
 use crate::record::Record;
 use crate::stats::IoStats;
 use crate::striping::StripedRun;
+use crate::trace::TraceSink;
 
 /// What a redundancy layer (e.g. [`crate::parity::ParityDiskArray`])
 /// reports about itself: checkpoint manifests record this so a resumed
@@ -58,6 +59,21 @@ pub trait DiskArray<R: Record> {
         None
     }
 
+    /// Install a shared trace sink.  Backends that support tracing store
+    /// the sink and emit [`crate::trace::TraceEvent`]s into it; wrappers
+    /// keep a copy for their own layer events and forward the sink down
+    /// the stack.  The default ignores the sink (tracing unsupported),
+    /// which keeps untraced runs zero-cost.
+    fn install_trace(&mut self, sink: TraceSink) {
+        let _ = sink;
+    }
+
+    /// The installed trace sink, if tracing is active anywhere in the
+    /// stack.  `None` (the default) means no events are being recorded.
+    fn trace_sink(&self) -> Option<&TraceSink> {
+        None
+    }
+
     /// Reserve space for a run of `len_blocks` blocks (holding `records`
     /// records) striped cyclically from `start_disk` (§3's layout).
     ///
@@ -66,7 +82,7 @@ pub trait DiskArray<R: Record> {
         let d = self.geometry().d;
         let mut base_offsets = vec![0u64; d];
         for disk in 0..d {
-            let disk = DiskId(disk as u32);
+            let disk = DiskId::from_index(disk);
             let run = StripedRun {
                 start_disk,
                 len_blocks,

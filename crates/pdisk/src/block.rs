@@ -76,13 +76,13 @@ impl<R: Record> Block<R> {
     /// Panics on an empty block — empty blocks are never written.
     #[inline]
     pub fn min_key(&self) -> u64 {
-        self.records.first().expect("non-empty block").key()
+        self.records.first().expect("non-empty block").key() // lint:allow(panic) documented # Panics contract
     }
 
     /// Largest key in the block.
     #[inline]
     pub fn max_key(&self) -> u64 {
-        self.records.last().expect("non-empty block").key()
+        self.records.last().expect("non-empty block").key() // lint:allow(panic) documented # Panics contract
     }
 
     /// Number of records currently held.

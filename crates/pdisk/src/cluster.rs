@@ -70,7 +70,7 @@ impl<R: Record, A: DiskArray<R>> ClusteredDiskArray<R, A> {
 
     fn physical_addrs(&self, addr: BlockAddr) -> impl Iterator<Item = BlockAddr> + '_ {
         let base = addr.disk.index() * self.c;
-        (0..self.c).map(move |i| BlockAddr::new(DiskId((base + i) as u32), addr.offset))
+        (0..self.c).map(move |i| BlockAddr::new(DiskId::from_index(base + i), addr.offset))
     }
 }
 
@@ -139,11 +139,11 @@ impl<R: Record, A: DiskArray<R>> DiskArray<R> for ClusteredDiskArray<R, A> {
         let base = disk.index() * self.c;
         let first = self
             .inner
-            .alloc_contiguous(DiskId(base as u32), count)?;
+            .alloc_contiguous(DiskId::from_index(base), count)?;
         for i in 1..self.c {
             let off = self
                 .inner
-                .alloc_contiguous(DiskId((base + i) as u32), count)?;
+                .alloc_contiguous(DiskId::from_index(base + i), count)?;
             assert_eq!(
                 off, first,
                 "cluster {disk} allocators out of lockstep (physical disk {i})"

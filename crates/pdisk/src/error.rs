@@ -46,6 +46,7 @@ impl std::fmt::Display for FaultOp {
 
 /// Errors produced by the parallel disk model.
 #[derive(Debug)]
+#[non_exhaustive]
 pub enum PdiskError {
     /// A parallel I/O operation addressed the same disk more than once.
     ///
@@ -88,6 +89,17 @@ pub enum PdiskError {
         /// Error returned by the final attempt.
         last: Box<PdiskError>,
     },
+    /// A [`crate::FileDiskArray`] directory is already open — by this
+    /// process or (per its lock file) by a live process `holder`.  Two
+    /// handles on the same directory would silently interleave writes
+    /// and corrupt both sorts, so the second open is refused.
+    ArrayLocked {
+        /// The contested array directory.
+        dir: std::path::PathBuf,
+        /// PID recorded in the lock file (this process's own PID when
+        /// the double-open is within one process).
+        holder: u32,
+    },
 }
 
 impl PdiskError {
@@ -128,6 +140,14 @@ impl std::fmt::Display for PdiskError {
             },
             PdiskError::RetriesExhausted { attempts, last } => {
                 write!(f, "gave up after {attempts} attempts: {last}")
+            }
+            PdiskError::ArrayLocked { dir, holder } => {
+                write!(
+                    f,
+                    "disk array directory {} is already open (held by pid {holder}); \
+                     a second handle would interleave writes",
+                    dir.display()
+                )
             }
         }
     }

@@ -24,6 +24,7 @@ use crate::error::{FaultKind, FaultOp, PdiskError, Result};
 use crate::geometry::Geometry;
 use crate::record::Record;
 use crate::stats::IoStats;
+use crate::trace::{TraceEvent, TraceSink};
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 use std::collections::BTreeSet;
@@ -368,6 +369,18 @@ impl<R: Record, A: DiskArray<R>> FaultyDiskArray<R, A> {
     pub fn model_mut(&mut self) -> &mut FaultModel {
         &mut self.model
     }
+
+    /// Record an injected fault in the trace, if tracing is active.
+    fn emit_fault(&self, op: FaultOp, err: &PdiskError) {
+        if let Some(sink) = self.inner.trace_sink() {
+            let (kind, disk) = match err {
+                PdiskError::Fault { kind, disk, .. } => (*kind, *disk),
+                // Injected corruption is retryable, i.e. transient.
+                _ => (FaultKind::Transient, None),
+            };
+            sink.emit(TraceEvent::Fault { op, kind, disk });
+        }
+    }
 }
 
 impl<R: Record, A: DiskArray<R>> DiskArray<R> for FaultyDiskArray<R, A> {
@@ -382,7 +395,10 @@ impl<R: Record, A: DiskArray<R>> DiskArray<R> for FaultyDiskArray<R, A> {
         let ordinal = self.reads_seen;
         self.reads_seen += 1;
         let disks: Vec<DiskId> = addrs.iter().map(|a| a.disk).collect();
-        self.model.check(FaultOp::Read, ordinal, &disks)?;
+        if let Err(e) = self.model.check(FaultOp::Read, ordinal, &disks) {
+            self.emit_fault(FaultOp::Read, &e);
+            return Err(e);
+        }
         self.inner.read(addrs)
     }
 
@@ -393,14 +409,20 @@ impl<R: Record, A: DiskArray<R>> DiskArray<R> for FaultyDiskArray<R, A> {
         let ordinal = self.writes_seen;
         self.writes_seen += 1;
         let disks: Vec<DiskId> = writes.iter().map(|(a, _)| a.disk).collect();
-        self.model.check(FaultOp::Write, ordinal, &disks)?;
+        if let Err(e) = self.model.check(FaultOp::Write, ordinal, &disks) {
+            self.emit_fault(FaultOp::Write, &e);
+            return Err(e);
+        }
         self.inner.write(writes)
     }
 
     fn alloc_contiguous(&mut self, disk: DiskId, count: u64) -> Result<u64> {
         let ordinal = self.allocs_seen;
         self.allocs_seen += 1;
-        self.model.check(FaultOp::Alloc, ordinal, &[disk])?;
+        if let Err(e) = self.model.check(FaultOp::Alloc, ordinal, &[disk]) {
+            self.emit_fault(FaultOp::Alloc, &e);
+            return Err(e);
+        }
         self.inner.alloc_contiguous(disk, count)
     }
 
@@ -414,6 +436,14 @@ impl<R: Record, A: DiskArray<R>> DiskArray<R> for FaultyDiskArray<R, A> {
 
     fn redundancy(&self) -> Option<crate::backend::RedundancyInfo> {
         self.inner.redundancy()
+    }
+
+    fn install_trace(&mut self, sink: TraceSink) {
+        self.inner.install_trace(sink);
+    }
+
+    fn trace_sink(&self) -> Option<&TraceSink> {
+        self.inner.trace_sink()
     }
 }
 

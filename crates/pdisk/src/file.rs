@@ -23,10 +23,12 @@
 //! mis-sort.  [`FileDiskArray::open`] reopens an existing array without
 //! truncating, which is what checkpoint/resume builds on.
 
+use std::collections::BTreeSet;
 use std::fs::{File, OpenOptions};
 use std::io;
 use std::os::unix::fs::FileExt;
 use std::path::{Path, PathBuf};
+use std::sync::{Mutex, OnceLock};
 
 use crossbeam::channel::{bounded, unbounded, Sender};
 
@@ -37,9 +39,102 @@ use crate::error::{PdiskError, Result};
 use crate::geometry::Geometry;
 use crate::record::Record;
 use crate::stats::IoStats;
+use crate::trace::{TraceEvent, TraceSink};
 
 /// Bytes of the leading per-slot checksum.
 const CHECKSUM_BYTES: usize = 8;
+
+/// Name of the advisory lock file guarding an array directory.
+const LOCK_FILE: &str = "pdisk.lock";
+
+/// First 8 bytes of `bytes` as a little-endian `u64`.  Callers pass
+/// buffers sized by this module, so the length is guaranteed.
+fn le_u64(bytes: &[u8]) -> u64 {
+    let mut b = [0u8; 8];
+    b.copy_from_slice(&bytes[..8]);
+    u64::from_le_bytes(b)
+}
+
+/// First 4 bytes of `bytes` as a little-endian `u32`.
+fn le_u32(bytes: &[u8]) -> u32 {
+    let mut b = [0u8; 4];
+    b.copy_from_slice(&bytes[..4]);
+    u32::from_le_bytes(b)
+}
+
+/// Canonicalized array directories currently open in this process.
+fn open_dirs() -> &'static Mutex<BTreeSet<PathBuf>> {
+    static DIRS: OnceLock<Mutex<BTreeSet<PathBuf>>> = OnceLock::new();
+    DIRS.get_or_init(|| Mutex::new(BTreeSet::new()))
+}
+
+/// Whether a process with `pid` is alive, per procfs.  On platforms
+/// without `/proc` this reports `false`, treating foreign locks as
+/// stale — same-process double-opens are still caught by the registry.
+fn pid_alive(pid: u32) -> bool {
+    Path::new("/proc").join(pid.to_string()).exists()
+}
+
+/// Exclusive claim on one array directory, held for the lifetime of a
+/// [`FileDiskArray`].  Two live handles on the same directory would
+/// share allocator state by accident and silently interleave writes, so
+/// the second open fails with [`PdiskError::ArrayLocked`] instead.
+///
+/// Within a process the claim is a registry of canonicalized paths; a
+/// cross-process claim is an advisory `pdisk.lock` file recording the
+/// holder's PID.  A lock whose holder is no longer alive (a crash) is
+/// stale and silently reclaimed, so recovery never needs a manual
+/// unlock step.
+#[derive(Debug)]
+struct DirLock {
+    canonical: PathBuf,
+    lock_path: PathBuf,
+}
+
+impl DirLock {
+    fn registry() -> std::sync::MutexGuard<'static, BTreeSet<PathBuf>> {
+        match open_dirs().lock() {
+            Ok(g) => g,
+            Err(poisoned) => poisoned.into_inner(),
+        }
+    }
+
+    fn acquire(dir: &Path) -> Result<Self> {
+        let canonical = dir.canonicalize()?;
+        let lock_path = dir.join(LOCK_FILE);
+        let me = std::process::id();
+        let mut dirs = Self::registry();
+        if dirs.contains(&canonical) {
+            return Err(PdiskError::ArrayLocked {
+                dir: canonical,
+                holder: me,
+            });
+        }
+        if let Ok(text) = std::fs::read_to_string(&lock_path) {
+            if let Ok(pid) = text.trim().parse::<u32>() {
+                if pid != me && pid_alive(pid) {
+                    return Err(PdiskError::ArrayLocked {
+                        dir: canonical,
+                        holder: pid,
+                    });
+                }
+            }
+        }
+        std::fs::write(&lock_path, format!("{me}\n"))?;
+        dirs.insert(canonical.clone());
+        Ok(DirLock {
+            canonical,
+            lock_path,
+        })
+    }
+}
+
+impl Drop for DirLock {
+    fn drop(&mut self) {
+        Self::registry().remove(&self.canonical);
+        let _ = std::fs::remove_file(&self.lock_path);
+    }
+}
 
 /// FNV-1a, 64-bit: tiny, dependency-free, and plenty to catch torn or
 /// bit-flipped slots (this guards against accidents, not adversaries).
@@ -56,7 +151,7 @@ fn fnv1a64(bytes: &[u8]) -> u64 {
 fn slot_checksum_ok(file: &File, slot_bytes: usize, index: u64) -> io::Result<bool> {
     let mut buf = vec![0u8; slot_bytes];
     file.read_exact_at(&mut buf, index * slot_bytes as u64)?;
-    let stored = u64::from_le_bytes(buf[..CHECKSUM_BYTES].try_into().unwrap());
+    let stored = le_u64(&buf[..CHECKSUM_BYTES]);
     Ok(stored == fnv1a64(&buf[CHECKSUM_BYTES..]))
 }
 
@@ -92,6 +187,8 @@ pub struct FileDiskArray<R: Record> {
     stats: IoStats,
     slot_bytes: usize,
     forecast_keys: usize,
+    trace: Option<TraceSink>,
+    _lock: DirLock,
     _marker: std::marker::PhantomData<R>,
 }
 
@@ -121,6 +218,7 @@ impl<R: Record> FileDiskArray<R> {
     fn build(geom: Geometry, dir: impl AsRef<Path>, truncate: bool) -> Result<Self> {
         let dir = dir.as_ref().to_path_buf();
         std::fs::create_dir_all(&dir)?;
+        let lock = DirLock::acquire(&dir)?;
         let forecast_keys = geom.d.max(1);
         let slot_bytes = CHECKSUM_BYTES + 8 + 8 * forecast_keys + geom.b * R::ENCODED_LEN;
         let mut workers = Vec::with_capacity(geom.d);
@@ -176,7 +274,7 @@ impl<R: Record> FileDiskArray<R> {
                 }
                 *free = keep;
             }
-            workers.push(Self::spawn_worker(d, file));
+            workers.push(Self::spawn_worker(d, file)?);
         }
         Ok(FileDiskArray {
             geom,
@@ -186,11 +284,13 @@ impl<R: Record> FileDiskArray<R> {
             stats: IoStats::default(),
             slot_bytes,
             forecast_keys,
+            trace: None,
+            _lock: lock,
             _marker: std::marker::PhantomData,
         })
     }
 
-    fn spawn_worker(idx: usize, file: File) -> Worker {
+    fn spawn_worker(idx: usize, file: File) -> Result<Worker> {
         let (tx, rx) = unbounded::<Job>();
         let handle = std::thread::Builder::new()
             .name(format!("pdisk-io-{idx}"))
@@ -208,12 +308,11 @@ impl<R: Record> FileDiskArray<R> {
                         }
                     }
                 }
-            })
-            .expect("spawn disk worker");
-        Worker {
+            })?;
+        Ok(Worker {
             tx,
             handle: Some(handle),
-        }
+        })
     }
 
     /// Directory holding the disk files.
@@ -271,7 +370,7 @@ impl<R: Record> FileDiskArray<R> {
                 self.slot_bytes
             )));
         }
-        let stored = u64::from_le_bytes(bytes[..CHECKSUM_BYTES].try_into().unwrap());
+        let stored = le_u64(&bytes[..CHECKSUM_BYTES]);
         let actual = fnv1a64(&bytes[CHECKSUM_BYTES..]);
         if stored != actual {
             return Err(PdiskError::Corrupt(format!(
@@ -279,18 +378,18 @@ impl<R: Record> FileDiskArray<R> {
             )));
         }
         let bytes = &bytes[CHECKSUM_BYTES..];
-        let n = u32::from_le_bytes(bytes[..4].try_into().unwrap()) as usize;
+        let n = le_u32(&bytes[..4]) as usize;
         if n > self.geom.b {
             return Err(PdiskError::Corrupt(format!(
                 "record count {n} exceeds block size {}",
                 self.geom.b
             )));
         }
-        let kind = u32::from_le_bytes(bytes[4..8].try_into().unwrap());
+        let kind = le_u32(&bytes[4..8]);
         let mut off = 8;
         let mut keys = Vec::with_capacity(self.forecast_keys);
         for _ in 0..self.forecast_keys {
-            keys.push(u64::from_le_bytes(bytes[off..off + 8].try_into().unwrap()));
+            keys.push(le_u64(&bytes[off..off + 8]));
             off += 8;
         }
         let forecast = match kind {
@@ -355,6 +454,11 @@ impl<R: Record> DiskArray<R> for FileDiskArray<R> {
             out.push(self.decode_block(&bytes)?);
         }
         self.stats.record_read(addrs.len());
+        if let Some(sink) = &self.trace {
+            sink.emit(TraceEvent::PhysRead {
+                addrs: addrs.to_vec(),
+            });
+        }
         Ok(out)
     }
 
@@ -386,6 +490,11 @@ impl<R: Record> DiskArray<R> for FileDiskArray<R> {
             rx.recv().map_err(|_| worker_gone())??;
         }
         self.stats.record_write(n);
+        if let Some(sink) = &self.trace {
+            sink.emit(TraceEvent::PhysWrite {
+                addrs: writes.iter().map(|(a, _)| *a).collect(),
+            });
+        }
         Ok(())
     }
 
@@ -406,9 +515,20 @@ impl<R: Record> DiskArray<R> for FileDiskArray<R> {
     fn reset_stats(&mut self) {
         self.stats = IoStats::default();
     }
+
+    fn install_trace(&mut self, sink: TraceSink) {
+        self.trace = Some(sink);
+    }
+
+    fn trace_sink(&self) -> Option<&TraceSink> {
+        self.trace.as_ref()
+    }
 }
 
-#[cfg(test)]
+// The file backend's tests live on the real filesystem, which miri's
+// isolation does not provide — the CI miri job covers every other pdisk
+// module and skips these.
+#[cfg(all(test, not(miri)))]
 mod tests {
     use super::*;
     use crate::record::{KeyPayloadRecord, U64Record};
@@ -673,6 +793,67 @@ mod tests {
             Err(e) => e,
         };
         assert!(matches!(err, PdiskError::Corrupt(_)), "got {err:?}");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn double_open_same_dir_is_refused() {
+        let g = Geometry::new(2, 2, 1000).unwrap();
+        let dir = tmpdir("doubleopen");
+        let a: FileDiskArray<U64Record> = FileDiskArray::create(g, &dir).unwrap();
+        // A second handle on the same directory — via create *or* open —
+        // must fail while the first is alive: two handles would hand out
+        // overlapping slots and silently interleave writes.
+        let err = match FileDiskArray::<U64Record>::create(g, &dir) {
+            Ok(_) => panic!("second create on a held directory must fail"),
+            Err(e) => e,
+        };
+        assert!(
+            matches!(err, PdiskError::ArrayLocked { holder, .. } if holder == std::process::id()),
+            "got {err:?}"
+        );
+        let err = match FileDiskArray::<U64Record>::open(g, &dir) {
+            Ok(_) => panic!("second open on a held directory must fail"),
+            Err(e) => e,
+        };
+        assert!(matches!(err, PdiskError::ArrayLocked { .. }), "got {err:?}");
+        // Dropping the first handle releases the claim.
+        drop(a);
+        let b: FileDiskArray<U64Record> = FileDiskArray::open(g, &dir).unwrap();
+        drop(b);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn stale_lock_from_a_dead_process_is_reclaimed() {
+        let g = Geometry::new(2, 2, 1000).unwrap();
+        let dir = tmpdir("stalelock");
+        {
+            let _a: FileDiskArray<U64Record> = FileDiskArray::create(g, &dir).unwrap();
+        }
+        // Fake a crash: a lock file naming a PID that cannot be alive.
+        std::fs::write(dir.join(super::LOCK_FILE), "4294967294\n").unwrap();
+        let a = FileDiskArray::<U64Record>::open(g, &dir);
+        assert!(a.is_ok(), "stale lock must be reclaimed: {:?}", a.err());
+        drop(a);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn traced_ops_emit_physical_events() {
+        use crate::trace::TracingDiskArray;
+        let g = Geometry::new(2, 2, 1000).unwrap();
+        let dir = tmpdir("trace");
+        let inner: FileDiskArray<U64Record> = FileDiskArray::create(g, &dir).unwrap();
+        let mut a = TracingDiskArray::new(inner);
+        let o = a.alloc_contiguous(DiskId(0), 1).unwrap();
+        a.write(vec![(BlockAddr::new(DiskId(0), o), blk(&[1], Forecast::Next(0)))])
+            .unwrap();
+        a.read(&[BlockAddr::new(DiskId(0), o)]).unwrap();
+        let t = a.take_trace();
+        assert!(t.iter().any(|e| matches!(e.event, TraceEvent::PhysWrite { .. })));
+        assert!(t.iter().any(|e| matches!(e.event, TraceEvent::PhysRead { .. })));
+        drop(a);
         let _ = std::fs::remove_dir_all(&dir);
     }
 

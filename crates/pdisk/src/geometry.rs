@@ -49,6 +49,14 @@ impl Geometry {
         if d == 0 {
             return Err(PdiskError::BadGeometry("D must be >= 1".into()));
         }
+        if d > u32::MAX as usize {
+            // DiskId is a u32; this bound makes every in-range disk index
+            // representable, which DiskId::from_index/from_mod rely on.
+            return Err(PdiskError::BadGeometry(format!(
+                "D = {d} exceeds the addressable maximum {}",
+                u32::MAX
+            )));
+        }
         if b == 0 {
             return Err(PdiskError::BadGeometry("B must be >= 1".into()));
         }

@@ -39,6 +39,8 @@
 //! parity layer absorbs *permanent* faults from below; *transient* faults
 //! pass through it to the retry layer above.
 
+#![forbid(unsafe_code)]
+
 pub mod addr;
 pub mod backend;
 pub mod block;
@@ -54,6 +56,7 @@ pub mod retry;
 pub mod stats;
 pub mod striping;
 pub mod timing;
+pub mod trace;
 
 pub use addr::{BlockAddr, DiskId};
 pub use backend::{DiskArray, RedundancyInfo};
@@ -70,3 +73,4 @@ pub use retry::{RetryCounters, RetryPolicy, RetryingDiskArray};
 pub use stats::IoStats;
 pub use striping::StripedRun;
 pub use timing::{ArrayTiming, DiskModel};
+pub use trace::{TraceEvent, TraceSink, TracingDiskArray};

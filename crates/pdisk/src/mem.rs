@@ -12,6 +12,7 @@ use crate::error::{PdiskError, Result};
 use crate::geometry::Geometry;
 use crate::record::Record;
 use crate::stats::IoStats;
+use crate::trace::{TraceEvent, TraceSink};
 
 /// A simulated array of `D` disks holding blocks in RAM.
 ///
@@ -48,6 +49,8 @@ pub struct MemDiskArray<R: Record> {
     /// Addresses marked corrupt by [`MemDiskArray::corrupt_block`];
     /// reading one fails like a checksum mismatch would on disk.
     corrupted: std::collections::BTreeSet<BlockAddr>,
+    /// Trace sink, when tracing is active ([`DiskArray::install_trace`]).
+    trace: Option<TraceSink>,
 }
 
 impl<R: Record> MemDiskArray<R> {
@@ -59,6 +62,7 @@ impl<R: Record> MemDiskArray<R> {
             stats: IoStats::default(),
             loads: vec![(0, 0); geom.d],
             corrupted: std::collections::BTreeSet::new(),
+            trace: None,
         }
     }
 
@@ -133,6 +137,11 @@ impl<R: Record> DiskArray<R> for MemDiskArray<R> {
             self.loads[addr.disk.index()].0 += 1;
         }
         self.stats.record_read(addrs.len());
+        if let Some(t) = &self.trace {
+            t.emit(TraceEvent::PhysRead {
+                addrs: addrs.to_vec(),
+            });
+        }
         Ok(out)
     }
 
@@ -143,6 +152,7 @@ impl<R: Record> DiskArray<R> for MemDiskArray<R> {
         self.geom
             .check_parallel_op(writes.iter().map(|(a, _)| a.disk))?;
         let n = writes.len();
+        let addrs: Vec<BlockAddr> = writes.iter().map(|(a, _)| *a).collect();
         for (addr, block) in writes {
             if block.len() > self.geom.b {
                 return Err(PdiskError::BadBlockSize {
@@ -157,6 +167,9 @@ impl<R: Record> DiskArray<R> for MemDiskArray<R> {
             self.loads[addr.disk.index()].1 += 1;
         }
         self.stats.record_write(n);
+        if let Some(t) = &self.trace {
+            t.emit(TraceEvent::PhysWrite { addrs });
+        }
         Ok(())
     }
 
@@ -168,6 +181,14 @@ impl<R: Record> DiskArray<R> for MemDiskArray<R> {
         let start = vec.len() as u64;
         vec.resize_with(vec.len() + count as usize, || None);
         Ok(start)
+    }
+
+    fn install_trace(&mut self, sink: TraceSink) {
+        self.trace = Some(sink);
+    }
+
+    fn trace_sink(&self) -> Option<&TraceSink> {
+        self.trace.as_ref()
     }
 
     fn stats(&self) -> IoStats {

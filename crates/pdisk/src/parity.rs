@@ -46,6 +46,7 @@ use crate::geometry::Geometry;
 use crate::record::Record;
 use crate::stats::IoStats;
 use crate::timing::ArrayTiming;
+use crate::trace::{TraceEvent, TraceSink};
 
 /// Physical offset of logical slot `lo` on disk `d` in a `dd`-disk
 /// array: every group of `dd` physical slots donates the one at
@@ -73,6 +74,21 @@ fn xor_into(dst: &mut [u8], src: &[u8]) {
     for (a, b) in dst.iter_mut().zip(src) {
         *a ^= b;
     }
+}
+
+/// First 8 bytes of `bytes` as a little-endian `u64`.  All callers pass
+/// buffers sized by this module, so the length is guaranteed.
+fn le_u64(bytes: &[u8]) -> u64 {
+    let mut b = [0u8; 8];
+    b.copy_from_slice(&bytes[..8]);
+    u64::from_le_bytes(b)
+}
+
+/// First 4 bytes of `bytes` as a little-endian `u32`.
+fn le_u32(bytes: &[u8]) -> u32 {
+    let mut b = [0u8; 4];
+    b.copy_from_slice(&bytes[..4]);
+    u32::from_le_bytes(b)
 }
 
 /// FNV-1a, 64-bit, for the sidecar store's slot checksums.
@@ -148,13 +164,13 @@ impl ParityStore {
             if buf.iter().all(|&b| b == 0) {
                 continue; // hole: stripe never touched
             }
-            let stored = u64::from_le_bytes(buf[..8].try_into().unwrap());
+            let stored = le_u64(&buf[..8]);
             if stored != fnv1a64(&buf[8..]) {
                 return Err(PdiskError::Corrupt(format!(
                     "parity store slot {s} fails its checksum"
                 )));
             }
-            let mask = u64::from_le_bytes(buf[8..16].try_into().unwrap());
+            let mask = le_u64(&buf[8..16]);
             stripes.insert(
                 s,
                 Stripe {
@@ -328,6 +344,9 @@ impl<R: Record, A: DiskArray<R>> ParityDiskArray<R, A> {
             )));
         }
         self.dead.insert(disk);
+        if let Some(sink) = self.inner.trace_sink() {
+            sink.emit(TraceEvent::DiskDeath { disk });
+        }
         // Parity stored on the dead disk is gone with it.
         let dd = self.geom.d as u64;
         let lost: Vec<u64> = self
@@ -337,7 +356,9 @@ impl<R: Record, A: DiskArray<R>> ParityDiskArray<R, A> {
             .map(|(s, _)| *s)
             .collect();
         for s in lost {
-            self.stripes.get_mut(&s).unwrap().parity_lost = true;
+            if let Some(st) = self.stripes.get_mut(&s) {
+                st.parity_lost = true;
+            }
             self.save_stripe(s)?;
         }
         Ok(())
@@ -345,7 +366,9 @@ impl<R: Record, A: DiskArray<R>> ParityDiskArray<R, A> {
 
     fn save_stripe(&self, s: u64) -> Result<()> {
         if let Some(store) = &self.store {
-            store.save(s, &self.stripes[&s])?;
+            if let Some(st) = self.stripes.get(&s) {
+                store.save(s, st)?;
+            }
         }
         Ok(())
     }
@@ -388,18 +411,18 @@ impl<R: Record, A: DiskArray<R>> ParityDiskArray<R, A> {
     }
 
     fn decode_frame(&self, bytes: &[u8]) -> Result<Block<R>> {
-        let n = u32::from_le_bytes(bytes[..4].try_into().unwrap()) as usize;
+        let n = le_u32(&bytes[..4]) as usize;
         if n > self.geom.b {
             return Err(PdiskError::Corrupt(format!(
                 "reconstructed record count {n} exceeds block size {}",
                 self.geom.b
             )));
         }
-        let kind = u32::from_le_bytes(bytes[4..8].try_into().unwrap());
+        let kind = le_u32(&bytes[4..8]);
         let mut off = 8;
         let mut keys = Vec::with_capacity(self.forecast_keys);
         for _ in 0..self.forecast_keys {
-            keys.push(u64::from_le_bytes(bytes[off..off + 8].try_into().unwrap()));
+            keys.push(le_u64(&bytes[off..off + 8]));
             off += 8;
         }
         let forecast = match kind {
@@ -438,7 +461,7 @@ impl<R: Record, A: DiskArray<R>> ParityDiskArray<R, A> {
         let dd = self.geom.d as u64;
         let mut sibs = Vec::new();
         for d in 0..self.geom.d {
-            let did = DiskId(d as u32);
+            let did = DiskId::from_index(d);
             if did == target || d as u64 == s % dd || stripe.written & (1 << d) == 0 {
                 continue;
             }
@@ -471,6 +494,13 @@ impl<R: Record, A: DiskArray<R>> ParityDiskArray<R, A> {
                 xor_into(&mut frame, &sib_frame);
             }
         }
+        if let Some(sink) = self.inner.trace_sink() {
+            sink.emit(TraceEvent::Reconstruct {
+                disk: target,
+                stripe: s,
+                siblings: sibs,
+            });
+        }
         Ok(frame)
     }
 
@@ -492,7 +522,7 @@ impl<R: Record, A: DiskArray<R>> ParityDiskArray<R, A> {
         // Every written sibling must be live, else the hedge would fail.
         let dd = self.geom.d as u64;
         (0..self.geom.d).all(|d| {
-            let did = DiskId(d as u32);
+            let did = DiskId::from_index(d);
             did == pa.disk
                 || d as u64 == pa.offset % dd
                 || st.written & (1 << d) == 0
@@ -549,7 +579,7 @@ impl<R: Record, A: DiskArray<R>> ParityDiskArray<R, A> {
             let mut members = Vec::new();
             for d in 0..self.geom.d {
                 if d != i && written & (1 << d) != 0 {
-                    members.push(BlockAddr::new(DiskId(d as u32), s));
+                    members.push(BlockAddr::new(DiskId::from_index(d), s));
                 }
             }
             let mut parity = vec![0u8; self.frame_len];
@@ -559,13 +589,17 @@ impl<R: Record, A: DiskArray<R>> ParityDiskArray<R, A> {
                     xor_into(&mut parity, &f);
                 }
             }
-            let st = self.stripes.get_mut(&s).unwrap();
-            st.parity = parity;
-            st.parity_lost = false;
+            if let Some(st) = self.stripes.get_mut(&s) {
+                st.parity = parity;
+                st.parity_lost = false;
+            }
             self.parity_writes += 1;
             self.save_stripe(s)?;
         }
         self.dead.remove(&disk);
+        if let Some(sink) = self.inner.trace_sink() {
+            sink.emit(TraceEvent::DiskRebuilt { disk });
+        }
         Ok(())
     }
 }
@@ -655,7 +689,16 @@ impl<R: Record, A: DiskArray<R>> DiskArray<R> for ParityDiskArray<R, A> {
             }
             out[i] = Some(block);
         }
-        Ok(out.into_iter().map(Option::unwrap).collect())
+        out.into_iter()
+            .enumerate()
+            .map(|(i, b)| {
+                b.ok_or_else(|| {
+                    PdiskError::Unrecoverable(format!(
+                        "parity read left request slot {i} unserved (internal invariant)"
+                    ))
+                })
+            })
+            .collect()
     }
 
     fn write(&mut self, writes: Vec<(BlockAddr, Block<R>)>) -> Result<()> {
@@ -734,7 +777,7 @@ impl<R: Record, A: DiskArray<R>> DiskArray<R> for ParityDiskArray<R, A> {
         // All durable effects succeeded; commit parity exactly once.
         let mut touched: BTreeSet<u64> = BTreeSet::new();
         for (i, pa) in pas.iter().enumerate() {
-            let parity_disk_dead = self.dead.contains(&DiskId((pa.offset % dd) as u32));
+            let parity_disk_dead = self.dead.contains(&DiskId::from_mod(pa.offset, self.geom.d));
             if self.dead.contains(&pa.disk) && parity_disk_dead {
                 return Err(PdiskError::Unrecoverable(format!(
                     "write to dead disk {} in stripe {} whose parity is also lost",
@@ -757,6 +800,20 @@ impl<R: Record, A: DiskArray<R>> DiskArray<R> for ParityDiskArray<R, A> {
             self.save_stripe(pa.offset)?;
         }
         self.parity_writes += touched.len() as u64;
+        if let Some(sink) = self.inner.trace_sink() {
+            for &s in &touched {
+                let data_disks: Vec<DiskId> = pas
+                    .iter()
+                    .filter(|pa| pa.offset == s)
+                    .map(|pa| pa.disk)
+                    .collect();
+                sink.emit(TraceEvent::ParityCommit {
+                    stripe: s,
+                    parity_disk: DiskId::from_mod(s, self.geom.d),
+                    data_disks,
+                });
+            }
+        }
         Ok(())
     }
 
@@ -812,6 +869,14 @@ impl<R: Record, A: DiskArray<R>> DiskArray<R> for ParityDiskArray<R, A> {
             stripe_disks: self.geom.d,
             dead: self.dead.iter().copied().collect(),
         })
+    }
+
+    fn install_trace(&mut self, sink: TraceSink) {
+        self.inner.install_trace(sink);
+    }
+
+    fn trace_sink(&self) -> Option<&TraceSink> {
+        self.inner.trace_sink()
     }
 }
 
@@ -1098,6 +1163,7 @@ mod tests {
     }
 
     #[test]
+    #[cfg_attr(miri, ignore = "touches the real filesystem")]
     fn store_persists_parity_across_reopen_and_serves_degraded_resume() {
         let dir = tmpdir("store");
         let geom = Geometry::new(3, 4, 1000).unwrap();
@@ -1144,6 +1210,7 @@ mod tests {
     }
 
     #[test]
+    #[cfg_attr(miri, ignore = "touches the real filesystem")]
     fn corrupt_store_is_refused() {
         let dir = tmpdir("store-corrupt");
         let geom = Geometry::new(2, 4, 1000).unwrap();

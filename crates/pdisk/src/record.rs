@@ -46,7 +46,7 @@ impl Record for U64Record {
 
     #[inline]
     fn decode(bytes: &[u8]) -> Self {
-        U64Record(u64::from_le_bytes(bytes.try_into().expect("8-byte record")))
+        U64Record(u64::from_le_bytes(bytes.try_into().expect("8-byte record"))) // lint:allow(panic) decode's length contract
     }
 }
 
@@ -87,7 +87,7 @@ impl<const P: usize> Record for KeyPayloadRecord<P> {
     }
 
     fn decode(bytes: &[u8]) -> Self {
-        let key = u64::from_le_bytes(bytes[..8].try_into().expect("key bytes"));
+        let key = u64::from_le_bytes(bytes[..8].try_into().expect("key bytes")); // lint:allow(panic) decode's length contract
         let mut payload = [0u8; P];
         payload.copy_from_slice(&bytes[8..]);
         KeyPayloadRecord { key, payload }

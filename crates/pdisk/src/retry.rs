@@ -22,11 +22,12 @@
 use crate::addr::{BlockAddr, DiskId};
 use crate::backend::DiskArray;
 use crate::block::Block;
-use crate::error::{PdiskError, Result};
+use crate::error::{FaultOp, PdiskError, Result};
 use crate::geometry::Geometry;
 use crate::record::Record;
 use crate::stats::IoStats;
 use crate::timing::DiskModel;
+use crate::trace::{TraceEvent, TraceSink};
 use std::time::Duration;
 
 /// How many times to try, and how long to (virtually) wait in between.
@@ -179,6 +180,18 @@ impl<R: Record, A: DiskArray<R>> RetryingDiskArray<R, A> {
     pub fn total_backoff(&self) -> Duration {
         self.reads.backoff + self.writes.backoff + self.allocs.backoff
     }
+
+    /// Record `count` re-issues of `op` in the trace, if tracing is on.
+    fn emit_retries(&self, op: FaultOp, count: u64) {
+        if count == 0 {
+            return;
+        }
+        if let Some(sink) = self.inner.trace_sink() {
+            for _ in 0..count {
+                sink.emit(TraceEvent::Retry { op });
+            }
+        }
+    }
 }
 
 impl<R: Record, A: DiskArray<R>> DiskArray<R> for RetryingDiskArray<R, A> {
@@ -187,20 +200,31 @@ impl<R: Record, A: DiskArray<R>> DiskArray<R> for RetryingDiskArray<R, A> {
     }
 
     fn read(&mut self, addrs: &[BlockAddr]) -> Result<Vec<Block<R>>> {
+        let before = self.reads.attempted;
         let inner = &mut self.inner;
-        self.policy.run(&mut self.reads, || inner.read(addrs))
+        let out = self.policy.run(&mut self.reads, || inner.read(addrs));
+        self.emit_retries(FaultOp::Read, self.reads.attempted - before);
+        out
     }
 
     fn write(&mut self, writes: Vec<(BlockAddr, Block<R>)>) -> Result<()> {
+        let before = self.writes.attempted;
         let inner = &mut self.inner;
-        self.policy
-            .run(&mut self.writes, || inner.write(writes.clone()))
+        let out = self
+            .policy
+            .run(&mut self.writes, || inner.write(writes.clone()));
+        self.emit_retries(FaultOp::Write, self.writes.attempted - before);
+        out
     }
 
     fn alloc_contiguous(&mut self, disk: DiskId, count: u64) -> Result<u64> {
+        let before = self.allocs.attempted;
         let inner = &mut self.inner;
-        self.policy
-            .run(&mut self.allocs, || inner.alloc_contiguous(disk, count))
+        let out = self
+            .policy
+            .run(&mut self.allocs, || inner.alloc_contiguous(disk, count));
+        self.emit_retries(FaultOp::Alloc, self.allocs.attempted - before);
+        out
     }
 
     /// Inner (logical) stats plus this wrapper's retry counters.
@@ -224,6 +248,14 @@ impl<R: Record, A: DiskArray<R>> DiskArray<R> for RetryingDiskArray<R, A> {
 
     fn redundancy(&self) -> Option<crate::backend::RedundancyInfo> {
         self.inner.redundancy()
+    }
+
+    fn install_trace(&mut self, sink: TraceSink) {
+        self.inner.install_trace(sink);
+    }
+
+    fn trace_sink(&self) -> Option<&TraceSink> {
+        self.inner.trace_sink()
     }
 }
 

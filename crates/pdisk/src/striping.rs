@@ -27,8 +27,7 @@ impl StripedRun {
     /// Disk holding block `i`: `(d_r + i) mod D`.
     #[inline]
     pub fn disk_of(&self, i: u64) -> DiskId {
-        let d = self.base_offsets.len() as u64;
-        DiskId(((self.start_disk.0 as u64 + i) % d) as u32)
+        DiskId::from_mod(u64::from(self.start_disk.0) + i, self.base_offsets.len())
     }
 
     /// Full address of block `i`.

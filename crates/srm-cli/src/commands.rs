@@ -2,6 +2,7 @@
 
 use crate::args::Flags;
 use dsm::{read_logical_run, write_unsorted_stripes, DsmSorter};
+use pdisk::trace::TracingDiskArray;
 use pdisk::{
     ArrayTiming, DiskArray, DiskId, DiskModel, FaultModel, FaultyDiskArray, FileDiskArray,
     Geometry, MemDiskArray, ParityDiskArray, Record, RetryPolicy, RetryingDiskArray, U64Record,
@@ -24,7 +25,7 @@ USAGE:
            [--threads N] [--keep]
            [--fault-rate R] [--fault-seed S] [--resume MANIFEST]
            [--parity] [--kill-disk D@PASS] [--slow-disk D:F[,D:F...]]
-           [--hedge-after MULT]
+           [--hedge-after MULT] [--check-model]
       Generate N random records, stage them on the simulated disk array,
       sort, verify, and print the I/O accounting (one parallel operation
       moves up to one block per disk) plus estimated wall times under a
@@ -52,6 +53,13 @@ USAGE:
       geometry and dead-disk set, so --resume works from a degraded
       array.  --kill-disk, --slow-disk, and --hedge-after require
       --parity.
+
+      --check-model records the structured I/O trace of each sort and
+      replays it through the modelcheck invariant checker (one block per
+      disk per parallel I/O, forecast-minimal fetching, flush discipline,
+      buffer budgets, striped output runs, parity placement — DESIGN.md
+      §8).  Any violation aborts with a typed, located error naming the
+      pass, disk, and block involved.
 
   srm occupancy --k K --d D [--trials N] [--seed S]
       Estimate Table 1's overhead v(k, D) = C(kD, D)/k by ball-throwing.
@@ -113,6 +121,7 @@ pub fn sort(argv: &[String]) -> i32 {
         }
         let fault_seed: u64 = flags.get_or("fault-seed", 0xFA_017)?;
         let resume = flags.get_str("resume").map(std::path::PathBuf::from);
+        let check_model = flags.has("check-model");
 
         let parity = flags.has("parity");
         let kill = flags.get_str("kill-disk").map(parse_kill_spec).transpose()?;
@@ -176,6 +185,7 @@ pub fn sort(argv: &[String]) -> i32 {
                         resume.as_deref(),
                         popts.as_ref(),
                         None,
+                        check_model,
                     )?;
                 }
                 "file" => {
@@ -208,6 +218,7 @@ pub fn sort(argv: &[String]) -> i32 {
                         resume.as_deref(),
                         popts.as_ref(),
                         store.as_deref(),
+                        check_model,
                     )?;
                     if !flags.has("keep") {
                         let _ = std::fs::remove_dir_all(&dir);
@@ -223,7 +234,15 @@ pub fn sort(argv: &[String]) -> i32 {
                 println!("(DSM runs on the in-memory backend)");
             }
             let array: MemDiskArray<U64Record> = MemDiskArray::new(geom);
-            dsm_with_faults(array, &data, geom, fault_rate, fault_seed, popts.as_ref())?;
+            dsm_with_faults(
+                array,
+                &data,
+                geom,
+                fault_rate,
+                fault_seed,
+                popts.as_ref(),
+                check_model,
+            )?;
         }
         if algo != "srm" && algo != "dsm" && algo != "both" {
             return Err(format!("unknown algo `{algo}`"));
@@ -358,6 +377,7 @@ fn srm_with_faults<A: DiskArray<U64Record>>(
     resume: Option<&Path>,
     parity: Option<&ParityOpts>,
     store: Option<&Path>,
+    check_model: bool,
 ) -> Result<(), String> {
     let policy = RetryPolicy::default();
     if fault_rate > 0.0 {
@@ -379,7 +399,7 @@ fn srm_with_faults<A: DiskArray<U64Record>>(
                     }
                 }
             }
-            let mut wrapped =
+            let wrapped =
                 build_parity_stack(array, geom, fault_rate, fault_seed, p, store, &dead)?;
             let kill = p.kill;
             let observer: SrmObserver<'_, ProtectedStack<A>> = Some(Box::new(move |pass, a| {
@@ -391,22 +411,70 @@ fn srm_with_faults<A: DiskArray<U64Record>>(
                 }
                 Ok(())
             }));
-            run_srm(&mut wrapped, data, config, geom, resume, observer)
+            run_srm(wrapped, data, config, geom, resume, check_model, observer)
         }
         None if fault_rate > 0.0 => {
             let faulty =
                 FaultyDiskArray::new(array, FaultModel::random(fault_seed).with_rate(fault_rate));
-            let mut wrapped = RetryingDiskArray::new(faulty, policy);
-            run_srm(&mut wrapped, data, config, geom, resume, None)
+            let wrapped = RetryingDiskArray::new(faulty, policy);
+            run_srm(wrapped, data, config, geom, resume, check_model, None)
         }
-        None => {
-            let mut array = array;
-            run_srm(&mut array, data, config, geom, resume, None)
-        }
+        None => run_srm(array, data, config, geom, resume, check_model, None),
     }
 }
 
+/// Replay a traced sort's event stream through the model checker and
+/// report the verdict (the CLI's `--check-model` back end).
+fn report_model_check<A: DiskArray<U64Record>>(
+    geom: Geometry,
+    traced: &TracingDiskArray<U64Record, A>,
+) -> Result<(), String> {
+    let trace = traced.take_trace();
+    let summary = modelcheck::check_trace(geom, &trace)
+        .map_err(|v| format!("model-rule violation: {v}"))?;
+    modelcheck::check_stats(&trace, &traced.stats())
+        .map_err(|v| format!("trace/stats drift: {v}"))?;
+    println!(
+        "  model check: clean — {} events replayed ({} scheduled reads, {} blocks flushed, \
+         {} runs written, {} parity commits, {} reconstructions)",
+        summary.events,
+        summary.sched_reads,
+        summary.flushed_blocks,
+        summary.runs_written,
+        summary.parity_commits,
+        summary.reconstructs,
+    );
+    Ok(())
+}
+
+/// Dispatch a sort to [`run_srm_on`], optionally under the tracing
+/// wrapper + invariant checker (`--check-model`).
 fn run_srm<A: DiskArray<U64Record>>(
+    array: A,
+    data: &[U64Record],
+    config: SrmConfig,
+    geom: Geometry,
+    resume: Option<&Path>,
+    check_model: bool,
+    observer: SrmObserver<'_, A>,
+) -> Result<(), String> {
+    if check_model {
+        let mut traced = TracingDiskArray::new(array);
+        let mut obs = observer;
+        let adapted: SrmObserver<'_, TracingDiskArray<U64Record, A>> =
+            Some(Box::new(move |pass, t| match obs.as_deref_mut() {
+                Some(f) => f(pass, t.inner_mut()),
+                None => Ok(()),
+            }));
+        run_srm_on(&mut traced, data, config, geom, resume, adapted)?;
+        report_model_check(geom, &traced)
+    } else {
+        let mut array = array;
+        run_srm_on(&mut array, data, config, geom, resume, observer)
+    }
+}
+
+fn run_srm_on<A: DiskArray<U64Record>>(
     array: &mut A,
     data: &[U64Record],
     config: SrmConfig,
@@ -465,6 +533,7 @@ fn run_srm<A: DiskArray<U64Record>>(
 }
 
 /// Run DSM on `array`, optionally behind the same protective stack as SRM.
+#[allow(clippy::too_many_arguments)]
 fn dsm_with_faults<A: DiskArray<U64Record>>(
     array: A,
     data: &[U64Record],
@@ -472,6 +541,7 @@ fn dsm_with_faults<A: DiskArray<U64Record>>(
     fault_rate: f64,
     fault_seed: u64,
     parity: Option<&ParityOpts>,
+    check_model: bool,
 ) -> Result<(), String> {
     let policy = RetryPolicy::default();
     if fault_rate > 0.0 {
@@ -482,8 +552,7 @@ fn dsm_with_faults<A: DiskArray<U64Record>>(
     }
     match parity {
         Some(p) => {
-            let mut wrapped =
-                build_parity_stack(array, geom, fault_rate, fault_seed, p, None, &[])?;
+            let wrapped = build_parity_stack(array, geom, fault_rate, fault_seed, p, None, &[])?;
             let kill = p.kill;
             let observer: DsmObserver<'_, ProtectedStack<A>> = Some(Box::new(move |pass, a| {
                 if let Some((disk, at)) = kill {
@@ -494,22 +563,44 @@ fn dsm_with_faults<A: DiskArray<U64Record>>(
                 }
                 Ok(())
             }));
-            run_dsm(&mut wrapped, data, geom, observer)
+            run_dsm(wrapped, data, geom, check_model, observer)
         }
         None if fault_rate > 0.0 => {
             let faulty =
                 FaultyDiskArray::new(array, FaultModel::random(fault_seed).with_rate(fault_rate));
-            let mut wrapped = RetryingDiskArray::new(faulty, policy);
-            run_dsm(&mut wrapped, data, geom, None)
+            let wrapped = RetryingDiskArray::new(faulty, policy);
+            run_dsm(wrapped, data, geom, check_model, None)
         }
-        None => {
-            let mut array = array;
-            run_dsm(&mut array, data, geom, None)
-        }
+        None => run_dsm(array, data, geom, check_model, None),
     }
 }
 
+/// Dispatch a DSM sort to [`run_dsm_on`], optionally under the tracing
+/// wrapper + invariant checker (`--check-model`).
 fn run_dsm<A: DiskArray<U64Record>>(
+    array: A,
+    data: &[U64Record],
+    geom: Geometry,
+    check_model: bool,
+    observer: DsmObserver<'_, A>,
+) -> Result<(), String> {
+    if check_model {
+        let mut traced = TracingDiskArray::new(array);
+        let mut obs = observer;
+        let adapted: DsmObserver<'_, TracingDiskArray<U64Record, A>> =
+            Some(Box::new(move |pass, t| match obs.as_deref_mut() {
+                Some(f) => f(pass, t.inner_mut()),
+                None => Ok(()),
+            }));
+        run_dsm_on(&mut traced, data, geom, adapted)?;
+        report_model_check(geom, &traced)
+    } else {
+        let mut array = array;
+        run_dsm_on(&mut array, data, geom, observer)
+    }
+}
+
+fn run_dsm_on<A: DiskArray<U64Record>>(
     array: &mut A,
     data: &[U64Record],
     geom: Geometry,

@@ -12,6 +12,8 @@
 //!
 //! Run `srm help` for flags.
 
+#![forbid(unsafe_code)]
+
 mod args;
 mod commands;
 

@@ -4,6 +4,7 @@ use pdisk::PdiskError;
 
 /// Errors surfaced by SRM's merging and sorting.
 #[derive(Debug)]
+#[non_exhaustive]
 pub enum SrmError {
     /// Underlying disk-model failure.
     Disk(PdiskError),

@@ -94,7 +94,7 @@ impl ForecastTable {
         self.ordered
             .iter()
             .enumerate()
-            .filter_map(|(i, set)| set.first().map(|&k| (DiskId(i as u32), k)))
+            .filter_map(|(i, set)| set.first().map(|&k| (DiskId::from_index(i), k)))
     }
 
     /// Smallest key across the whole frontier (`min over S_t`), used for

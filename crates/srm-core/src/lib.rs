@@ -36,6 +36,8 @@
 //!   schedule, used to reproduce Table 3 at paper scale (§9.3);
 //! * [`error`] — error types.
 
+#![forbid(unsafe_code)]
+
 pub mod checkpoint;
 pub mod error;
 pub mod forecast;

@@ -26,6 +26,7 @@ use crate::loser_tree::LoserTree;
 use crate::output::RunWriter;
 use crate::scheduler::{PlannedRead, ScheduleStats, Scheduler};
 use pdisk::block::NO_BLOCK;
+use pdisk::trace::{TraceBlock, TraceEvent, TraceFlush, TraceRunMeta, TraceSink};
 use pdisk::{BlockAddr, DiskArray, DiskId, Forecast, Geometry, Record, StripedRun};
 use std::collections::{HashMap, VecDeque};
 
@@ -114,6 +115,21 @@ pub fn merge_runs<R: Record, A: DiskArray<R>>(
             )));
         }
     }
+    let trace = array.trace_sink().cloned();
+    if let Some(sink) = &trace {
+        sink.emit(TraceEvent::MergeBegin {
+            r: runs.len(),
+            geom,
+            runs: runs
+                .iter()
+                .map(|h| TraceRunMeta {
+                    start_disk: h.start_disk,
+                    len_blocks: h.len_blocks,
+                    base_offsets: h.base_offsets.clone(),
+                })
+                .collect(),
+        });
+    }
     let mut merger = Merger {
         geom,
         runs: runs
@@ -131,6 +147,7 @@ pub fn merge_runs<R: Record, A: DiskArray<R>>(
         tree: LoserTree::new(vec![u64::MAX; runs.len()]),
         buffers: HashMap::new(),
         writer: RunWriter::new(geom, out_start_disk),
+        trace,
     };
     merger.initial_load(array)?;
     merger.run_to_completion(array)
@@ -144,6 +161,8 @@ struct Merger<R: Record> {
     /// Contents of blocks in `M_R ∪ M_D`, keyed by `(run, block idx)`.
     buffers: HashMap<(RunId, u64), (u64, Vec<R>)>,
     writer: RunWriter<R>,
+    /// Annotation sink, cloned from the array's installed trace (if any).
+    trace: Option<TraceSink>,
 }
 
 impl<R: Record> Merger<R> {
@@ -172,6 +191,11 @@ impl<R: Record> Merger<R> {
             let addrs: Vec<BlockAddr> = batch.iter().map(|&(_, a)| a).collect();
             let blocks = array.read(&addrs)?;
             self.sched.charge_initial_read(blocks.len());
+            if let Some(sink) = &self.trace {
+                sink.emit(TraceEvent::InitLoad {
+                    blocks: batch.iter().map(|&(j, a)| (j, a.disk)).collect(),
+                });
+            }
             for ((j, _), block) in batch.into_iter().zip(blocks) {
                 let st = &mut self.runs[j as usize];
                 let keys = match &block.forecast {
@@ -189,6 +213,9 @@ impl<R: Record> Merger<R> {
                         self.sched
                             .fds_mut()
                             .set(disk, j, Some(BlockKey::new(k, j, idx)));
+                        if let Some(sink) = &self.trace {
+                            sink.emit(TraceEvent::InitImplant { run: j, idx, key: k, disk });
+                        }
                     }
                 }
                 st.leading = block.records;
@@ -206,12 +233,23 @@ impl<R: Record> Merger<R> {
         let plan: PlannedRead = self.sched.plan_read(|k: &BlockKey| {
             runs[k.run as usize].handle.disk_of(k.idx)
         });
+        let flushed: Vec<TraceFlush> = plan
+            .flushed
+            .iter()
+            .map(|k| TraceFlush {
+                run: k.run,
+                idx: k.idx,
+                key: k.key,
+                disk: self.runs[k.run as usize].handle.disk_of(k.idx),
+            })
+            .collect();
         for key in &plan.flushed {
             let dropped = self.buffers.remove(&(key.run, key.idx));
             debug_assert!(dropped.is_some(), "flushed block {key:?} had no buffer");
         }
         let addrs: Vec<BlockAddr> = plan.targets.iter().map(|(_, k)| self.addr_of(k)).collect();
         let blocks = array.read(&addrs)?;
+        let mut traced: Vec<TraceBlock> = Vec::with_capacity(plan.targets.len());
         for ((disk, key), block) in plan.targets.into_iter().zip(blocks) {
             debug_assert_eq!(
                 block.records.first().map(|r| r.key()),
@@ -234,6 +272,14 @@ impl<R: Record> Merger<R> {
             };
             let st = &mut self.runs[key.run as usize];
             let to_leading = st.awaiting && st.cur_idx == key.idx;
+            traced.push(TraceBlock {
+                run: key.run,
+                idx: key.idx,
+                key: key.key,
+                disk,
+                implant: implant.as_ref().map(|b| b.key),
+                to_leading,
+            });
             self.sched.arrive(key, disk, implant, to_leading);
             if to_leading {
                 st.leading = block.records;
@@ -245,6 +291,14 @@ impl<R: Record> Merger<R> {
                 self.buffers.insert((key.run, key.idx), (key.key, block.records));
             }
         }
+        if let Some(sink) = &self.trace {
+            sink.emit(TraceEvent::SchedRead {
+                targets: traced,
+                flushed,
+                fset_len: self.sched.fset_len(),
+                staged_len: self.sched.staged_len(),
+            });
+        }
         Ok(())
     }
 
@@ -253,6 +307,12 @@ impl<R: Record> Merger<R> {
     /// or mark the run exhausted / awaiting I/O.
     fn advance_run(&mut self, run: usize) -> Result<()> {
         let st = &mut self.runs[run];
+        if let Some(sink) = &self.trace {
+            sink.emit(TraceEvent::Deplete {
+                run: run as RunId,
+                idx: st.cur_idx,
+            });
+        }
         st.cur_idx += 1;
         st.leading = Vec::new();
         st.cursor = 0;
@@ -270,6 +330,12 @@ impl<R: Record> Merger<R> {
                     "buffered block (run {run}, idx {}) unknown to scheduler",
                     st.cur_idx
                 )));
+            }
+            if let Some(sink) = &self.trace {
+                sink.emit(TraceEvent::Promote {
+                    run: run as RunId,
+                    idx: st.cur_idx,
+                });
             }
             st.leading = recs;
             let first = st.leading[0].key();
@@ -338,6 +404,9 @@ impl<R: Record> Merger<R> {
         let schedule = self.sched.stats();
         let writer = self.writer;
         let run = writer.finish(array)?;
+        if let Some(sink) = &self.trace {
+            sink.emit(TraceEvent::MergeEnd);
+        }
         Ok(MergeOutcome {
             stats: MergeStats {
                 schedule,

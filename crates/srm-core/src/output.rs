@@ -16,6 +16,7 @@
 //! same `D` keys of storage.  DESIGN.md §3 records this deviation.)
 
 use crate::key::RunId;
+use pdisk::trace::TraceEvent;
 use pdisk::{Block, DiskArray, DiskId, Forecast, Geometry, PdiskError, Record, StripedRun};
 use pdisk::block::NO_BLOCK;
 use std::collections::VecDeque;
@@ -73,7 +74,7 @@ impl<R: Record> RunWriter<R> {
 
     /// Disk of block `i` under the cyclic layout.
     fn disk_of(&self, i: u64) -> DiskId {
-        DiskId(((self.start_disk.0 as u64 + i) % self.geom.d as u64) as u32)
+        DiskId::from_mod(u64::from(self.start_disk.0) + i, self.geom.d)
     }
 
     /// Append one record (keys must be non-decreasing).
@@ -116,11 +117,20 @@ impl<R: Record> RunWriter<R> {
     fn write_stripe<A: DiskArray<R>>(&mut self, array: &mut A, count: usize) -> Result<(), PdiskError> {
         let count = count.min(self.pending.len());
         debug_assert!(count >= 1 && count <= self.geom.d);
+        if self.emitted_blocks == 0 {
+            if let Some(sink) = array.trace_sink() {
+                sink.emit(TraceEvent::RunStart {
+                    start_disk: self.start_disk,
+                });
+            }
+        }
         let d = self.geom.d as u64;
         let mut writes = Vec::with_capacity(count);
         for _ in 0..count {
+            let Some(records) = self.pending.pop_front() else {
+                break;
+            };
             let i = self.emitted_blocks;
-            let records = self.pending.pop_front().expect("pending block");
             self.pending_min_keys.pop_front();
             self.emitted_blocks += 1;
             let forecast = if i == 0 {
@@ -134,12 +144,9 @@ impl<R: Record> RunWriter<R> {
             };
             let disk = self.disk_of(i);
             let offset = array.alloc_contiguous(disk, 1)?;
-            let base = &mut self.base_offsets[disk.index()];
-            if base.is_none() {
-                *base = Some(offset);
-            }
+            let base = *self.base_offsets[disk.index()].get_or_insert(offset);
             debug_assert_eq!(
-                base.unwrap() + i / d,
+                base + i / d,
                 offset,
                 "allocations for one run must be contiguous per disk"
             );
@@ -178,6 +185,12 @@ impl<R: Record> RunWriter<R> {
             self.write_stripe(array, self.geom.d)?;
         }
         let len_blocks = self.emitted_blocks;
+        if let Some(sink) = array.trace_sink() {
+            sink.emit(TraceEvent::RunEnd {
+                start_disk: self.start_disk,
+                len_blocks,
+            });
+        }
         Ok(StripedRun {
             start_disk: self.start_disk,
             len_blocks,

@@ -70,7 +70,7 @@ pub fn form_runs<R: Record, A: DiskArray<R>>(
                 RunFormation::ParallelMemoryLoad { fraction, threads } => {
                     (fraction, threads.max(1))
                 }
-                RunFormation::ReplacementSelection => unreachable!(),
+                RunFormation::ReplacementSelection => unreachable!(), // lint:allow(panic) outer match arm pins the variant
             };
             if !(fraction > 0.0 && fraction <= 1.0) {
                 return Err(SrmError::Config(format!(

@@ -142,7 +142,7 @@ impl Scheduler {
             let s_min = self
                 .fds
                 .frontier_min()
-                .expect("can_attempt_read guarantees a frontier");
+                .expect("can_attempt_read guarantees a frontier"); // lint:allow(panic) documented # Panics contract
             // OutRank_t: rank of the smallest S_t block within F_t ∪ S_t.
             // The smallest S_t block is s_min itself, so its rank is one
             // plus the number of F blocks strictly below it.
@@ -152,7 +152,7 @@ impl Scheduler {
                 // blocks of F_t.
                 let n_flush = extra - out_rank + 1;
                 for _ in 0..n_flush {
-                    let victim = *self.fset.last().expect("F non-empty while flushing");
+                    let victim = *self.fset.last().expect("F non-empty while flushing"); // lint:allow(panic) occ > R ⇒ F has ≥ extra blocks
                     self.fset.remove(&victim);
                     self.fds.lower_to(disk_of(&victim), victim.run, victim);
                     flushed.push(victim);
@@ -194,8 +194,8 @@ impl Scheduler {
     /// Exchange rule 3 of §5.2: move staged blocks into `M_R` while `M_R`
     /// has unoccupied blocks.
     pub fn drain(&mut self) {
-        while !self.staged.is_empty() && self.fset.len() < self.r + self.d {
-            let k = self.staged.pop().expect("non-empty");
+        while self.fset.len() < self.r + self.d {
+            let Some(k) = self.staged.pop() else { break };
             let fresh = self.fset.insert(k);
             debug_assert!(fresh, "block {k:?} already in F");
         }

@@ -40,7 +40,7 @@ impl SimRun {
     }
 
     fn disk_of(&self, idx: u64, d: usize) -> DiskId {
-        DiskId(((self.start_disk as u64 + idx) % d as u64) as u32)
+        DiskId::from_mod(u64::from(self.start_disk) + idx, d)
     }
 }
 

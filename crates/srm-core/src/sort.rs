@@ -257,6 +257,10 @@ impl SrmSorter {
                 (m.runs, m.pass, m.runs_formed as usize)
             }
             None => {
+                if let Some(sink) = array.trace_sink() {
+                    // Run formation is pass 0; merge passes count from 1.
+                    sink.begin_pass(0);
+                }
                 let queue =
                     form_runs(array, input, self.config.run_formation, || placer.next())?;
                 let runs_formed = queue.len();
@@ -278,6 +282,9 @@ impl SrmSorter {
 
         while queue.len() > 1 {
             pass += 1;
+            if let Some(sink) = array.trace_sink() {
+                sink.begin_pass(pass);
+            }
             let mut next = Vec::with_capacity(queue.len().div_ceil(r_max));
             for group in queue.chunks(r_max) {
                 if group.len() == 1 {

@@ -4,7 +4,13 @@
 //! the counts themselves are pinned here.  If an intentional scheduler
 //! change shifts them, these constants must be re-derived (and the change
 //! explained); an *unintentional* shift is a regression in the schedule.
+//!
+//! Every golden run is also replayed through `modelcheck`: the pinned
+//! counts are only meaningful if the schedule that produced them obeys
+//! the model rules, so a golden trace must be checker-clean.
 
+use modelcheck::check_trace;
+use pdisk::trace::TracingDiskArray;
 use pdisk::{DiskArray as _, Geometry, MemDiskArray, U64Record};
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
@@ -17,10 +23,13 @@ fn golden_sort_counts() {
     let geom = Geometry::new(2, 4, 96).unwrap();
     let mut rng = SmallRng::seed_from_u64(0xD00D);
     let data: Vec<U64Record> = (0..3000).map(|_| U64Record(rng.random())).collect();
-    let mut a: MemDiskArray<U64Record> = MemDiskArray::new(geom);
+    let mut a = TracingDiskArray::new(MemDiskArray::<U64Record>::new(geom));
     let input = write_unsorted_input(&mut a, &data).unwrap();
     a.reset_stats();
     let (_, report) = SrmSorter::default().sort(&mut a, &input).unwrap();
+    let summary = check_trace(geom, &a.take_trace())
+        .unwrap_or_else(|v| panic!("golden sort trace violates the model: {v}"));
+    assert!(summary.sched_reads > 0, "{summary:?}");
 
     assert_eq!(report.merge_order, 6);
     assert_eq!(report.runs_formed, 63);
@@ -44,10 +53,37 @@ fn golden_sort_counts() {
 
 #[test]
 fn golden_simulator_counts() {
+    use modelcheck::sim::{check_sim_trace, SimCheckInput, SimEvent, SimRunLayout};
+    use srm_core::simulator::TraceEvent as SimTrace;
+
     let mut rng = SmallRng::seed_from_u64(0xFEED);
     let input = SimInput::average_case(20, 100, 64, 5, SimPlacement::Random, &mut rng);
-    let stats = MergeSim::run(&input).unwrap();
+    let (stats, trace) = MergeSim::run_traced(&input).unwrap();
     assert_eq!(input.total_blocks(), 2000);
+    let check_input = SimCheckInput {
+        d: input.d,
+        runs: input
+            .runs
+            .iter()
+            .map(|r| SimRunLayout {
+                start_disk: r.start_disk,
+                min_keys: r.min_keys.clone(),
+            })
+            .collect(),
+    };
+    let events: Vec<SimEvent> = trace
+        .iter()
+        .map(|e| match e {
+            SimTrace::InitRead { runs } => SimEvent::InitRead { runs: runs.clone() },
+            SimTrace::ParRead { targets, flushed } => SimEvent::ParRead {
+                targets: targets.clone(),
+                flushed: flushed.clone(),
+            },
+            SimTrace::Depleted { run, idx } => SimEvent::Depleted { run: *run, idx: *idx },
+        })
+        .collect();
+    check_sim_trace(&check_input, &events)
+        .unwrap_or_else(|v| panic!("golden simulator schedule violates the model: {v}"));
     assert_eq!(
         (
             stats.schedule.init_reads,
