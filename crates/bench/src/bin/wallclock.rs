@@ -1,0 +1,352 @@
+//! **Wall-clock pipeline benchmark** — times the serial (blocking) and
+//! pipelined (split-phase read-ahead + write-behind) engines of SRM and
+//! DSM on the *file* backend, where disk latency is real, and writes
+//! `BENCH_pipeline.json` at the repo root.
+//!
+//! ```text
+//! cargo run -p bench --release --bin wallclock [-- --quick]
+//!     [--assert-speedup MARGIN] [--out PATH] [--seed N] [--reps N]
+//! ```
+//!
+//! Every case runs the same input through both engines and asserts the
+//! outputs are byte-identical and the [`pdisk::IoStats`] exactly equal —
+//! the pipeline moves waiting, never work (DESIGN.md §9).  Engines are
+//! interleaved and each is timed as the minimum of `--reps` runs
+//! (default 3), which filters host scheduling noise.  The headline
+//! case (SRM, `D = 4`, realistic per-block delay) is additionally run
+//! under the tracing wrapper and replayed through the modelcheck
+//! invariant checker.  `--assert-speedup 1.05` exits non-zero unless the
+//! headline pipelined sort is at least 1.05x faster than serial.
+//!
+//! The emitted JSON is a flat object:
+//!
+//! ```json
+//! { "bench": "pipeline", "quick": false, "headline_speedup": 1.42,
+//!   "cases": [ { "algo": "srm", "d": 4, "b": 32, "m": 4096,
+//!                "records": 100000, "io_delay_us": 100,
+//!                "serial_ms": 812.4, "pipelined_ms": 571.0,
+//!                "speedup": 1.42, "read_ops": 3121, "write_ops": 2430,
+//!                "stats_match": true, "output_match": true,
+//!                "headline": true, "model_checked": true } ] }
+//! ```
+
+use dsm::{read_logical_run, write_unsorted_stripes, DsmSorter};
+use pdisk::trace::TracingDiskArray;
+use pdisk::{DiskArray, FileDiskArray, Geometry, IoStats, U64Record};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use srm_core::sort::write_unsorted_input;
+use srm_core::{read_run, SrmSorter};
+use std::path::PathBuf;
+use std::time::{Duration, Instant};
+
+/// One benchmark configuration.
+struct Case {
+    algo: &'static str,
+    d: usize,
+    b: usize,
+    k: usize,
+    records: u64,
+    io_delay_us: u64,
+    /// The acceptance-gate case: `D >= 4` with realistic latency.
+    headline: bool,
+}
+
+/// One measured result.
+struct Outcome {
+    case: Case,
+    m: usize,
+    serial_ms: f64,
+    pipelined_ms: f64,
+    io: IoStats,
+    stats_match: bool,
+    output_match: bool,
+    model_checked: bool,
+}
+
+impl Outcome {
+    fn speedup(&self) -> f64 {
+        self.serial_ms / self.pipelined_ms
+    }
+}
+
+fn main() {
+    let mut quick = false;
+    let mut assert_speedup: Option<f64> = None;
+    let mut out_path: Option<PathBuf> = None;
+    let mut seed: u64 = 0x01BE_11E5;
+    let mut reps: usize = 3;
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        match flag.as_str() {
+            "--quick" => quick = true,
+            "--assert-speedup" => {
+                let v = it.next().expect("--assert-speedup needs a value");
+                assert_speedup = Some(v.parse().expect("--assert-speedup: bad float"));
+            }
+            "--out" => {
+                out_path = Some(PathBuf::from(it.next().expect("--out needs a path")));
+            }
+            "--seed" => {
+                let v = it.next().expect("--seed needs a value");
+                seed = v.parse().expect("--seed: bad integer");
+            }
+            "--reps" => {
+                let v = it.next().expect("--reps needs a value");
+                reps = v.parse().expect("--reps: bad integer");
+                assert!(reps >= 1, "--reps must be at least 1");
+            }
+            other => panic!("unknown flag {other} (see the module docs)"),
+        }
+    }
+    let out_path = out_path.unwrap_or_else(|| {
+        PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_pipeline.json")
+    });
+
+    // (algo, D, B, k, records, delay_us, headline).  `--quick` keeps one
+    // SRM and one DSM case at reduced scale for CI smoke.
+    //
+    // Delays are SSD-class per-block service times; 60us sits where disk
+    // time and engine compute are comparable, which is where overlap has
+    // something to hide.  (With ms-class delays both engines are purely
+    // disk-bound and the ratio tends to 1; at 0 the pipeline only hides
+    // filesystem latency.)
+    let cases: Vec<Case> = if quick {
+        vec![
+            case("srm", 4, 16, 4, 30_000, 60, true),
+            case("dsm", 4, 16, 4, 30_000, 60, false),
+        ]
+    } else {
+        vec![
+            case("srm", 2, 16, 4, 60_000, 60, false),
+            case("srm", 4, 32, 4, 100_000, 60, true),
+            case("srm", 4, 64, 4, 100_000, 60, false),
+            case("srm", 8, 16, 4, 120_000, 60, false),
+            case("srm", 4, 32, 2, 100_000, 60, false),
+            case("srm", 4, 32, 4, 100_000, 0, false),
+            case("dsm", 4, 32, 4, 100_000, 60, false),
+            case("dsm", 2, 16, 4, 60_000, 60, false),
+        ]
+    };
+
+    println!("# Wall-clock: serial vs pipelined engines (file backend)\n");
+    println!("(seed={seed:#x}; every case asserts identical output bytes and identical IoStats)\n");
+    println!("| algo | D | B | M | records | delay | serial | pipelined | speedup |");
+    println!("|---|---|---|---|---|---|---|---|---|");
+
+    let mut outcomes: Vec<Outcome> = Vec::new();
+    for case in cases {
+        let o = run_case(case, seed, reps);
+        println!(
+            "| {} | {} | {} | {} | {} | {}us | {:.1}ms | {:.1}ms | {:.2}x |",
+            o.case.algo,
+            o.case.d,
+            o.case.b,
+            o.m,
+            o.case.records,
+            o.case.io_delay_us,
+            o.serial_ms,
+            o.pipelined_ms,
+            o.speedup()
+        );
+        assert!(o.output_match, "pipelined output diverged from serial");
+        assert!(o.stats_match, "pipelined IoStats diverged from serial");
+        outcomes.push(o);
+    }
+
+    let headline = outcomes
+        .iter()
+        .find(|o| o.case.headline)
+        .expect("a headline case must be configured");
+    println!(
+        "\nheadline (SRM D={} B={} delay={}us): {:.2}x speedup, model check {}",
+        headline.case.d,
+        headline.case.b,
+        headline.case.io_delay_us,
+        headline.speedup(),
+        if headline.model_checked { "clean" } else { "SKIPPED" },
+    );
+    assert!(headline.model_checked, "headline trace must model-check");
+
+    let json = render_json(&outcomes, quick, headline.speedup());
+    std::fs::write(&out_path, json).expect("write BENCH_pipeline.json");
+    println!("wrote {}", out_path.display());
+
+    if let Some(margin) = assert_speedup {
+        assert!(
+            headline.speedup() >= margin,
+            "headline speedup {:.3}x below required {margin}x",
+            headline.speedup()
+        );
+        println!("speedup gate: {:.2}x >= {margin}x ok", headline.speedup());
+    }
+}
+
+fn case(
+    algo: &'static str,
+    d: usize,
+    b: usize,
+    k: usize,
+    records: u64,
+    io_delay_us: u64,
+    headline: bool,
+) -> Case {
+    Case { algo, d, b, k, records, io_delay_us, headline }
+}
+
+/// Stage `data` on a fresh file array in `dir`, switch on the service
+/// delay, time one sort, then return (sorted output, elapsed, IoStats).
+fn timed_sort(
+    dir: &std::path::Path,
+    geom: Geometry,
+    delay: Duration,
+    data: &[U64Record],
+    algo: &str,
+    pipeline: bool,
+) -> (Vec<U64Record>, Duration, IoStats) {
+    let _ = std::fs::remove_dir_all(dir);
+    std::fs::create_dir_all(dir).expect("bench dir");
+    let mut array: FileDiskArray<U64Record> = FileDiskArray::create(geom, dir).expect("array");
+    let (output, elapsed, io) = match algo {
+        "srm" => {
+            let input = write_unsorted_input(&mut array, data).expect("stage");
+            array.set_io_delay(delay);
+            array.reset_stats();
+            let start = Instant::now();
+            let (sorted, _) = SrmSorter::default()
+                .with_pipeline(pipeline)
+                .sort(&mut array, &input)
+                .expect("srm sort");
+            let elapsed = start.elapsed();
+            let io = array.stats();
+            array.set_io_delay(Duration::ZERO);
+            (read_run(&mut array, &sorted).expect("read output"), elapsed, io)
+        }
+        "dsm" => {
+            let input = write_unsorted_stripes(&mut array, data).expect("stage");
+            array.set_io_delay(delay);
+            array.reset_stats();
+            let start = Instant::now();
+            let (sorted, _) = DsmSorter::default()
+                .with_pipeline(pipeline)
+                .sort(&mut array, &input)
+                .expect("dsm sort");
+            let elapsed = start.elapsed();
+            let io = array.stats();
+            array.set_io_delay(Duration::ZERO);
+            (read_logical_run(&mut array, &sorted).expect("read output"), elapsed, io)
+        }
+        other => panic!("unknown algo {other}"),
+    };
+    drop(array);
+    let _ = std::fs::remove_dir_all(dir);
+    (output, elapsed, io)
+}
+
+fn run_case(case: Case, seed: u64, reps: usize) -> Outcome {
+    let geom = Geometry::for_table(case.k, case.d, case.b).expect("geometry");
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let data: Vec<U64Record> = (0..case.records).map(|_| U64Record(rng.random())).collect();
+    let delay = Duration::from_micros(case.io_delay_us);
+    let base = std::env::temp_dir().join(format!(
+        "srm-wallclock-{}-{}-{}-{}",
+        std::process::id(),
+        case.algo,
+        case.d,
+        case.io_delay_us
+    ));
+
+    // Interleave engines and keep each one's *minimum* over `reps`
+    // repetitions: min-of-N filters host scheduling noise, which on a
+    // shared machine easily exceeds the effect under measurement.
+    let (serial_out, mut serial_t, serial_io) =
+        timed_sort(&base, geom, delay, &data, case.algo, false);
+    let (pipe_out, mut pipe_t, pipe_io) = timed_sort(&base, geom, delay, &data, case.algo, true);
+    for _ in 1..reps {
+        let (o, t, io) = timed_sort(&base, geom, delay, &data, case.algo, false);
+        assert_eq!(o, serial_out, "serial output unstable across reps");
+        assert_eq!(io, serial_io, "serial IoStats unstable across reps");
+        serial_t = serial_t.min(t);
+        let (o, t, io) = timed_sort(&base, geom, delay, &data, case.algo, true);
+        assert_eq!(o, pipe_out, "pipelined output unstable across reps");
+        assert_eq!(io, pipe_io, "pipelined IoStats unstable across reps");
+        pipe_t = pipe_t.min(t);
+    }
+
+    let mut sorted = data.clone();
+    sorted.sort_unstable_by_key(|r| r.0);
+    assert_eq!(serial_out, sorted, "serial output unsorted or corrupt");
+
+    // The headline case must also hold up in front of the invariant
+    // checker: replay a traced pipelined sort (untimed, no delay).
+    let model_checked = if case.headline && case.algo == "srm" {
+        let dir = base.with_extension("trace");
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).expect("trace dir");
+        let file: FileDiskArray<U64Record> = FileDiskArray::create(geom, &dir).expect("array");
+        let mut traced = TracingDiskArray::new(file);
+        let input = write_unsorted_input(&mut traced, &data).expect("stage");
+        SrmSorter::default()
+            .with_pipeline(true)
+            .sort(&mut traced, &input)
+            .expect("traced sort");
+        let trace = traced.take_trace();
+        modelcheck::check_trace(geom, &trace)
+            .unwrap_or_else(|v| panic!("model-rule violation: {v}"));
+        modelcheck::check_stats(&trace, &traced.stats())
+            .unwrap_or_else(|v| panic!("trace/stats drift: {v}"));
+        drop(traced);
+        let _ = std::fs::remove_dir_all(&dir);
+        true
+    } else {
+        false
+    };
+
+    Outcome {
+        m: geom.m,
+        serial_ms: serial_t.as_secs_f64() * 1e3,
+        pipelined_ms: pipe_t.as_secs_f64() * 1e3,
+        stats_match: serial_io == pipe_io,
+        output_match: serial_out == pipe_out,
+        io: pipe_io,
+        model_checked,
+        case,
+    }
+}
+
+/// Hand-rolled JSON (the bench crate carries no serde).
+fn render_json(outcomes: &[Outcome], quick: bool, headline_speedup: f64) -> String {
+    let mut s = String::new();
+    s.push_str("{\n");
+    s.push_str("  \"bench\": \"pipeline\",\n");
+    s.push_str(&format!("  \"quick\": {quick},\n"));
+    s.push_str(&format!("  \"headline_speedup\": {headline_speedup:.4},\n"));
+    s.push_str("  \"cases\": [\n");
+    for (i, o) in outcomes.iter().enumerate() {
+        s.push_str(&format!(
+            "    {{\"algo\": \"{}\", \"d\": {}, \"b\": {}, \"m\": {}, \"records\": {}, \
+             \"io_delay_us\": {}, \"serial_ms\": {:.3}, \"pipelined_ms\": {:.3}, \
+             \"speedup\": {:.4}, \"read_ops\": {}, \"write_ops\": {}, \
+             \"stats_match\": {}, \"output_match\": {}, \"headline\": {}, \
+             \"model_checked\": {}}}{}\n",
+            o.case.algo,
+            o.case.d,
+            o.case.b,
+            o.m,
+            o.case.records,
+            o.case.io_delay_us,
+            o.serial_ms,
+            o.pipelined_ms,
+            o.speedup(),
+            o.io.read_ops,
+            o.io.write_ops,
+            o.stats_match,
+            o.output_match,
+            o.case.headline,
+            o.model_checked,
+            if i + 1 == outcomes.len() { "" } else { "," },
+        ));
+    }
+    s.push_str("  ]\n}\n");
+    s
+}

@@ -1,6 +1,9 @@
 //! The logical single-disk view: stripes of `D` same-offset blocks.
 
-use pdisk::{Block, BlockAddr, DiskArray, DiskId, Forecast, PdiskError, Record, StripedRun};
+use pdisk::{
+    Block, BlockAddr, DiskArray, DiskId, Forecast, PdiskError, ReadTicket, Record, StripedRun,
+    WriteTicket,
+};
 
 /// A run stored as consecutive *stripes* — block `s` of every disk, for
 /// `s` in `start_stripe .. start_stripe + len_stripes`.
@@ -48,6 +51,15 @@ pub fn alloc_stripe<R: Record, A: DiskArray<R>>(array: &mut A) -> Result<u64, Pd
     Ok(first)
 }
 
+/// The addresses holding the first `n_records` records of stripe `s`.
+fn stripe_addrs(d: usize, b: usize, s: u64, n_records: u64) -> Vec<BlockAddr> {
+    assert!(n_records > 0 && n_records <= (d * b) as u64);
+    let n_blocks = (n_records as usize).div_ceil(b);
+    (0..n_blocks)
+        .map(|disk| BlockAddr::new(DiskId::from_index(disk), s))
+        .collect()
+}
+
 /// Read the first `n_records` records of stripe `s` in one parallel
 /// operation (only the `⌈n/B⌉` blocks that exist are touched).
 pub fn read_stripe<R: Record, A: DiskArray<R>>(
@@ -56,17 +68,40 @@ pub fn read_stripe<R: Record, A: DiskArray<R>>(
     n_records: u64,
 ) -> Result<Vec<R>, PdiskError> {
     let geom = array.geometry();
-    assert!(n_records > 0 && n_records <= (geom.d * geom.b) as u64);
-    let n_blocks = (n_records as usize).div_ceil(geom.b);
-    let addrs: Vec<BlockAddr> = (0..n_blocks)
-        .map(|disk| BlockAddr::new(DiskId::from_index(disk), s))
-        .collect();
+    let addrs = stripe_addrs(geom.d, geom.b, s, n_records);
     let blocks = array.read(&addrs)?;
     let mut out = Vec::with_capacity(n_records as usize);
     for block in blocks {
         out.extend(block.records);
     }
     debug_assert_eq!(out.len() as u64, n_records);
+    Ok(out)
+}
+
+/// Split-phase variant of [`read_stripe`]: queue the parallel read and
+/// return a ticket.  The I/O is charged and traced now, so the logical
+/// operation sequence is the same as the blocking call's.
+pub fn submit_stripe_read<R: Record, A: DiskArray<R>>(
+    array: &mut A,
+    s: u64,
+    n_records: u64,
+) -> Result<ReadTicket<R>, PdiskError> {
+    let geom = array.geometry();
+    let addrs = stripe_addrs(geom.d, geom.b, s, n_records);
+    array.submit_read(&addrs)
+}
+
+/// Wait for a stripe read submitted with [`submit_stripe_read`] and
+/// concatenate its blocks into records.
+pub fn complete_stripe_read<R: Record, A: DiskArray<R>>(
+    array: &mut A,
+    ticket: ReadTicket<R>,
+) -> Result<Vec<R>, PdiskError> {
+    let blocks = array.complete_read(ticket)?;
+    let mut out = Vec::new();
+    for block in blocks {
+        out.extend(block.records);
+    }
     Ok(out)
 }
 
@@ -78,7 +113,27 @@ pub fn write_stripe<R: Record, A: DiskArray<R>>(
     s: u64,
     records: &[R],
 ) -> Result<(), PdiskError> {
-    let geom = array.geometry();
+    let writes = stripe_writes(array.geometry(), s, records);
+    array.write(writes)
+}
+
+/// Split-phase variant of [`write_stripe`]: queue the parallel write and
+/// return a ticket to wait on later.
+pub fn submit_stripe_write<R: Record, A: DiskArray<R>>(
+    array: &mut A,
+    s: u64,
+    records: &[R],
+) -> Result<WriteTicket, PdiskError> {
+    let writes = stripe_writes(array.geometry(), s, records);
+    array.submit_write(writes)
+}
+
+/// Build the per-disk block writes of a stripe.
+fn stripe_writes<R: Record>(
+    geom: pdisk::Geometry,
+    s: u64,
+    records: &[R],
+) -> Vec<(BlockAddr, Block<R>)> {
     assert!(records.len() <= geom.d * geom.b, "stripe overflow");
     assert!(!records.is_empty(), "empty stripe write");
     let mut writes = Vec::with_capacity(geom.d);
@@ -90,7 +145,7 @@ pub fn write_stripe<R: Record, A: DiskArray<R>>(
         };
         writes.push((BlockAddr::new(DiskId::from_index(disk), s), block));
     }
-    array.write(writes)
+    writes
 }
 
 /// Read a whole logical run back (verification path).

@@ -31,7 +31,7 @@
 
 use std::collections::{BTreeMap, BTreeSet};
 
-use pdisk::trace::{Tagged, TraceBlock, TraceEvent, TraceFlush, TraceRunMeta};
+use pdisk::trace::{Tagged, TraceBlock, TraceEvent, TraceFlush, TraceRunMeta, TraceTarget};
 use pdisk::{BlockAddr, DiskId, FaultKind, FaultOp, Geometry, IoStats};
 
 use crate::violation::{BlockRef, Violation, ViolationKind};
@@ -50,6 +50,9 @@ pub struct CheckSummary {
     pub merges: u64,
     /// Scheduled parallel reads verified.
     pub sched_reads: u64,
+    /// Split-phase read submissions verified (pipelined engine only;
+    /// each is later matched by its completing `SchedRead`).
+    pub read_submits: u64,
     /// Blocks virtually flushed by rule 2c.
     pub flushed_blocks: u64,
     /// Leading-block depletions.
@@ -175,6 +178,18 @@ struct RunReplica {
     exhausted: bool,
 }
 
+/// A split-phase read between its `ReadSubmit` and completing
+/// `SchedRead` events (pipelined engine).  Scheduling legality — flush
+/// arithmetic, forecast minimality, fetch-set completeness — was judged
+/// at submit, against the state the decision was actually made in; the
+/// completion must repeat the same fetch set verbatim and is then only
+/// checked for arrival routing and occupancy.
+#[derive(Debug)]
+struct PendingRead {
+    targets: Vec<TraceTarget>,
+    flushed: Vec<TraceFlush>,
+}
+
 /// State of one in-progress merge.
 #[derive(Debug)]
 struct MergeReplica {
@@ -183,6 +198,8 @@ struct MergeReplica {
     /// A promotion the replay performed that the trace has not yet
     /// acknowledged with a `Promote` event.
     last_promote: Option<(u32, u64)>,
+    /// The one split-phase read in flight, if any.
+    pending_read: Option<PendingRead>,
 }
 
 /// State of one in-progress output run.
@@ -323,12 +340,26 @@ impl Replay {
                 check_op_disks("initial load", blocks.iter().map(|&(_, disk)| disk), d)?;
                 m.init_load(blocks, last_read.as_deref())
             }
+            TraceEvent::ReadSubmit { targets, flushed } => {
+                self.summary.read_submits += 1;
+                let last_read = self.last_read.take();
+                let m = require_merge(&mut self.merge, "ReadSubmit")?;
+                m.read_submit(targets, flushed, last_read.as_deref())
+            }
             TraceEvent::SchedRead { targets, flushed, fset_len, staged_len } => {
                 self.summary.sched_reads += 1;
                 self.summary.flushed_blocks += flushed.len() as u64;
-                let last_read = self.last_read.take();
+                let pending = self.merge.as_mut().and_then(|m| m.pending_read.take());
                 let m = require_merge(&mut self.merge, "SchedRead")?;
-                m.sched_read(targets, flushed, *fset_len, *staged_len, last_read.as_deref())
+                match pending {
+                    // Completion of a split-phase read: legality was
+                    // judged at its `ReadSubmit`; here only the arrivals.
+                    Some(p) => m.sched_read_complete(&p, targets, flushed, *fset_len, *staged_len),
+                    None => {
+                        let last_read = self.last_read.take();
+                        m.sched_read(targets, flushed, *fset_len, *staged_len, last_read.as_deref())
+                    }
+                }
             }
             TraceEvent::Promote { run, idx } => {
                 self.summary.promotes += 1;
@@ -347,6 +378,12 @@ impl Replay {
                 let m = require_merge(&mut self.merge, "MergeEnd")?;
                 if let Some((run, idx)) = m.last_promote {
                     return Err(ViolationKind::PromoteMismatch { run, idx });
+                }
+                if m.pending_read.is_some() {
+                    return Err(ViolationKind::UnexpectedEvent {
+                        event: "MergeEnd",
+                        reason: "a split-phase read is still in flight",
+                    });
                 }
                 let fset = m.sched.fset.len();
                 let staged = m.sched.staged.len();
@@ -479,6 +516,7 @@ impl Replay {
                 })
                 .collect(),
             last_promote: None,
+            pending_read: None,
         });
         Ok(())
     }
@@ -558,14 +596,16 @@ impl MergeReplica {
         Ok(())
     }
 
-    /// Verify one scheduled read against §5.5's rules 2a–2c and §4's
-    /// forecast-minimality, then apply its arrivals.
-    fn sched_read(
+    /// The legality half of a scheduled read, judged in the state the
+    /// engine made the decision in: staging drained and empty, rule
+    /// 2a–2c flush arithmetic, §4 forecast-minimality, fetch-set
+    /// completeness, and the cross-check against the logical read's
+    /// addresses.  Mutates the replica only by applying the flushes.
+    fn verify_plan(
         &mut self,
-        targets: &[TraceBlock],
+        event: &'static str,
+        targets: &[TraceTarget],
         flushed: &[TraceFlush],
-        fset_len: usize,
-        staged_len: usize,
         last_read: Option<&[BlockAddr]>,
     ) -> Result<(), ViolationKind> {
         let d = self.sched.d;
@@ -585,7 +625,7 @@ impl MergeReplica {
             let extra = occ - self.sched.r;
             let Some(s_min) = self.sched.frontier_min() else {
                 return Err(ViolationKind::UnexpectedEvent {
-                    event: "SchedRead",
+                    event,
                     reason: "flush arithmetic needs a forecasting minimum, but FDS is empty",
                 });
             };
@@ -688,9 +728,16 @@ impl MergeReplica {
                 }
             }
         }
+        Ok(())
+    }
 
-        // Apply arrivals: each target consumes its forecasting entry,
-        // implants its successor's, and routes per exchange rule 2.
+    /// Apply a read's arrivals: each target consumes its forecasting
+    /// entry, implants its successor's, and routes per exchange rule 2 —
+    /// judged against the replica's *current* run cursors, which for a
+    /// split-phase read have advanced since submit exactly as the
+    /// engine's did.
+    fn apply_arrivals(&mut self, targets: &[TraceBlock]) -> Result<(), ViolationKind> {
+        let d = self.sched.d;
         for t in targets {
             let tb: BlockRef = (t.key, t.run, t.idx);
             let st = &mut self.runs[t.run as usize];
@@ -717,9 +764,14 @@ impl MergeReplica {
                 self.sched.staged.push(tb);
             }
         }
+        Ok(())
+    }
 
-        // The engine's own occupancy tags, recorded post-arrival and
-        // pre-drain, must match the replay exactly.
+    /// The engine's own occupancy tags, recorded post-arrival and
+    /// pre-drain, must match the replay exactly; then Definition 3's
+    /// budgets.
+    fn check_occupancy(&self, fset_len: usize, staged_len: usize) -> Result<(), ViolationKind> {
+        let d = self.sched.d;
         if fset_len != self.sched.fset.len() {
             return Err(ViolationKind::OccupancyTagMismatch {
                 pool: "M_R",
@@ -734,7 +786,6 @@ impl MergeReplica {
                 replayed: self.sched.staged.len(),
             });
         }
-        // Definition 3's budgets.
         if self.sched.staged.len() > d {
             return Err(ViolationKind::BufferOverCommit {
                 pool: "M_D",
@@ -750,6 +801,86 @@ impl MergeReplica {
             });
         }
         Ok(())
+    }
+
+    /// Verify one serial scheduled read against §5.5's rules 2a–2c and
+    /// §4's forecast-minimality, then apply its arrivals.
+    fn sched_read(
+        &mut self,
+        targets: &[TraceBlock],
+        flushed: &[TraceFlush],
+        fset_len: usize,
+        staged_len: usize,
+        last_read: Option<&[BlockAddr]>,
+    ) -> Result<(), ViolationKind> {
+        let plan: Vec<TraceTarget> = targets
+            .iter()
+            .map(|t| TraceTarget {
+                run: t.run,
+                idx: t.idx,
+                key: t.key,
+                disk: t.disk,
+            })
+            .collect();
+        self.verify_plan("SchedRead", &plan, flushed, last_read)?;
+        self.apply_arrivals(targets)?;
+        self.check_occupancy(fset_len, staged_len)
+    }
+
+    /// A split-phase submission: full scheduling legality now (this is
+    /// the state the plan was made in), arrivals deferred to the
+    /// completing `SchedRead`.  The forecasting table is left untouched
+    /// until then — exactly as the engine's is.
+    fn read_submit(
+        &mut self,
+        targets: &[TraceTarget],
+        flushed: &[TraceFlush],
+        last_read: Option<&[BlockAddr]>,
+    ) -> Result<(), ViolationKind> {
+        if self.pending_read.is_some() {
+            return Err(ViolationKind::UnexpectedEvent {
+                event: "ReadSubmit",
+                reason: "a split-phase read is already in flight",
+            });
+        }
+        self.verify_plan("ReadSubmit", targets, flushed, last_read)?;
+        self.pending_read = Some(PendingRead {
+            targets: targets.to_vec(),
+            flushed: flushed.to_vec(),
+        });
+        Ok(())
+    }
+
+    /// Completion of a split-phase read: must repeat the submitted fetch
+    /// set and flush list verbatim, then routes the arrivals against the
+    /// current state.
+    fn sched_read_complete(
+        &mut self,
+        submitted: &PendingRead,
+        targets: &[TraceBlock],
+        flushed: &[TraceFlush],
+        fset_len: usize,
+        staged_len: usize,
+    ) -> Result<(), ViolationKind> {
+        if targets.len() != submitted.targets.len()
+            || targets
+                .iter()
+                .zip(&submitted.targets)
+                .any(|(t, s)| t.run != s.run || t.idx != s.idx || t.key != s.key || t.disk != s.disk)
+        {
+            return Err(ViolationKind::UnexpectedEvent {
+                event: "SchedRead",
+                reason: "completion's fetch set differs from its ReadSubmit",
+            });
+        }
+        if submitted.flushed.as_slice() != flushed {
+            return Err(ViolationKind::UnexpectedEvent {
+                event: "SchedRead",
+                reason: "completion's flush list differs from its ReadSubmit",
+            });
+        }
+        self.apply_arrivals(targets)?;
+        self.check_occupancy(fset_len, staged_len)
     }
 
     fn deplete(&mut self, run: u32, idx: u64) -> Result<(), ViolationKind> {
@@ -1136,6 +1267,141 @@ mod tests {
         assert_eq!(summary.sched_reads, 1);
         assert_eq!(summary.depletes, 4);
         assert_eq!(summary.promotes, 1);
+    }
+
+    /// The same merge as [`clean_merge_events`], but driven by the
+    /// pipelined engine: the read is split into a `ReadSubmit` at the
+    /// plan point and a `SchedRead` at completion, and run 1 depletes
+    /// *during the flight* — so its block arrives straight to leading
+    /// (`to_leading: true`) instead of staging, with no `Promote`.
+    fn clean_pipelined_merge_events() -> Vec<TraceEvent> {
+        let g = geom();
+        let m0 = meta(0, 2);
+        let m1 = meta(1, 2);
+        vec![
+            TraceEvent::MergeBegin { r: 2, geom: g, runs: vec![m0, m1] },
+            TraceEvent::InitLoad { blocks: vec![(0, DiskId(0)), (1, DiskId(1))] },
+            TraceEvent::InitImplant { run: 0, idx: 1, key: 30, disk: DiskId(1) },
+            TraceEvent::InitImplant { run: 1, idx: 1, key: 40, disk: DiskId(2) },
+            TraceEvent::Deplete { run: 0, idx: 0 },
+            TraceEvent::ReadSubmit {
+                targets: vec![
+                    TraceTarget { run: 0, idx: 1, key: 30, disk: DiskId(1) },
+                    TraceTarget { run: 1, idx: 1, key: 40, disk: DiskId(2) },
+                ],
+                flushed: vec![],
+            },
+            TraceEvent::Deplete { run: 1, idx: 0 },
+            TraceEvent::SchedRead {
+                targets: vec![
+                    TraceBlock {
+                        run: 0,
+                        idx: 1,
+                        key: 30,
+                        disk: DiskId(1),
+                        implant: None,
+                        to_leading: true,
+                    },
+                    TraceBlock {
+                        run: 1,
+                        idx: 1,
+                        key: 40,
+                        disk: DiskId(2),
+                        implant: None,
+                        to_leading: true,
+                    },
+                ],
+                flushed: vec![],
+                fset_len: 0,
+                staged_len: 0,
+            },
+            TraceEvent::Deplete { run: 0, idx: 1 },
+            TraceEvent::Deplete { run: 1, idx: 1 },
+            TraceEvent::MergeEnd,
+        ]
+    }
+
+    #[test]
+    fn clean_pipelined_merge_passes() {
+        let summary = match check_trace(geom(), &tag(clean_pipelined_merge_events())) {
+            Ok(s) => s,
+            Err(v) => panic!("clean pipelined trace rejected: {v}"),
+        };
+        assert_eq!(summary.merges, 1);
+        assert_eq!(summary.read_submits, 1);
+        assert_eq!(summary.sched_reads, 1);
+        assert_eq!(summary.depletes, 4);
+        // The flight absorbed run 1's arrival straight into leading, so
+        // no staged block was ever promoted.
+        assert_eq!(summary.promotes, 0);
+    }
+
+    #[test]
+    fn double_read_submit_is_flagged() {
+        let mut events = clean_pipelined_merge_events();
+        let submit = events[5].clone();
+        events.insert(6, submit);
+        let v = match check_trace(geom(), &tag(events)) {
+            Err(v) => v,
+            Ok(_) => panic!("accepted overlapping split-phase reads"),
+        };
+        assert!(matches!(
+            v.kind,
+            ViolationKind::UnexpectedEvent { event: "ReadSubmit", .. }
+        ));
+    }
+
+    #[test]
+    fn completion_target_mismatch_is_flagged() {
+        let mut events = clean_pipelined_merge_events();
+        // The completion claims a different block than was submitted.
+        if let TraceEvent::SchedRead { targets, .. } = &mut events[7] {
+            targets[1].key = 99;
+        }
+        let v = match check_trace(geom(), &tag(events)) {
+            Err(v) => v,
+            Ok(_) => panic!("accepted drifted completion targets"),
+        };
+        assert!(matches!(
+            v.kind,
+            ViolationKind::UnexpectedEvent { event: "SchedRead", reason }
+                if reason.contains("fetch set")
+        ));
+    }
+
+    #[test]
+    fn completion_flush_mismatch_is_flagged() {
+        let mut events = clean_pipelined_merge_events();
+        if let TraceEvent::SchedRead { flushed, .. } = &mut events[7] {
+            flushed.push(TraceFlush { run: 0, idx: 1, key: 30, disk: DiskId(1) });
+        }
+        let v = match check_trace(geom(), &tag(events)) {
+            Err(v) => v,
+            Ok(_) => panic!("accepted drifted completion flushes"),
+        };
+        assert!(matches!(
+            v.kind,
+            ViolationKind::UnexpectedEvent { event: "SchedRead", reason }
+                if reason.contains("flush list")
+        ));
+    }
+
+    #[test]
+    fn merge_end_with_read_in_flight_is_flagged() {
+        let mut events = clean_pipelined_merge_events();
+        // Cut the merge off right after the submit: the read never
+        // completed.
+        events.truncate(6);
+        events.push(TraceEvent::MergeEnd);
+        let v = match check_trace(geom(), &tag(events)) {
+            Err(v) => v,
+            Ok(_) => panic!("accepted MergeEnd with a read in flight"),
+        };
+        assert!(matches!(
+            v.kind,
+            ViolationKind::UnexpectedEvent { event: "MergeEnd", reason }
+                if reason.contains("in flight")
+        ));
     }
 
     #[test]

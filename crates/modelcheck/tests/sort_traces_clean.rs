@@ -61,6 +61,34 @@ fn srm_healthy_sort_is_checker_clean() {
     assert_eq!(summary.parity_commits, 0);
 }
 
+/// The pipelined engine emits the two-event `ReadSubmit`/`SchedRead`
+/// protocol; its trace must replay clean, every submit must pair with a
+/// completion, and its stats must match the trace — on both the plain
+/// and the flush-heavy geometry.
+#[test]
+fn srm_pipelined_sort_is_checker_clean() {
+    for (geom, n, seed) in [
+        (Geometry::new(2, 4, 96).unwrap(), 3000u64, 0xB1u64),
+        (Geometry::new(4, 8, 256).unwrap(), 12_000, 0xB2),
+    ] {
+        let mut a = TracingDiskArray::new(MemDiskArray::<U64Record>::new(geom));
+        let input = write_unsorted_input(&mut a, &random_records(n, seed)).unwrap();
+        let (_, report) = SrmSorter::default()
+            .with_pipeline(true)
+            .sort(&mut a, &input)
+            .unwrap();
+        assert!(report.merge_passes >= 1, "need a real multi-pass sort");
+        let trace = a.take_trace();
+        let summary = check_trace(geom, &trace).unwrap_or_else(|v| panic!("violation: {v}"));
+        check_stats(&trace, &a.stats()).unwrap_or_else(|v| panic!("stats drift: {v}"));
+        assert!(summary.read_submits > 100, "{summary:?}");
+        assert_eq!(
+            summary.read_submits, summary.sched_reads,
+            "every split-phase submit must complete: {summary:?}"
+        );
+    }
+}
+
 /// A wider array at low `k = R/D` pushes occupancy over `R` and forces
 /// rule 2c virtual flushes; those must verify too.
 #[test]

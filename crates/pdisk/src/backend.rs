@@ -2,12 +2,127 @@
 
 use crate::addr::{BlockAddr, DiskId};
 use crate::block::Block;
-use crate::error::Result;
+use crate::error::{PdiskError, Result};
 use crate::geometry::Geometry;
+use crate::pool::BufferPool;
 use crate::record::Record;
 use crate::stats::IoStats;
 use crate::striping::StripedRun;
 use crate::trace::TraceSink;
+
+/// Raw slot bytes travelling back from a per-disk I/O worker.
+pub(crate) type SlotReply = crossbeam::channel::Receiver<std::io::Result<Vec<u8>>>;
+
+/// In-progress state of a split-phase read.
+pub(crate) enum ReadState<R: Record> {
+    /// The backend executed the read eagerly; the blocks are here.
+    Ready(Vec<Block<R>>),
+    /// The read is in flight on per-disk worker threads; one reply
+    /// channel per requested block, in request order.
+    Pending(Vec<SlotReply>),
+}
+
+/// Handle to a submitted parallel read ([`DiskArray::submit_read`]).
+///
+/// The ticket must be handed back to [`DiskArray::complete_read`] **on
+/// the same array** (or a wrapper stack containing it) to collect the
+/// blocks.  The I/O operation was already charged to [`IoStats`] at
+/// submit time; dropping a ticket abandons the data but never un-counts
+/// the operation — exactly like dropping the result of a serial read.
+pub struct ReadTicket<R: Record> {
+    pub(crate) addrs: Vec<BlockAddr>,
+    pub(crate) state: ReadState<R>,
+}
+
+impl<R: Record> ReadTicket<R> {
+    pub(crate) fn ready(addrs: Vec<BlockAddr>, blocks: Vec<Block<R>>) -> Self {
+        ReadTicket {
+            addrs,
+            state: ReadState::Ready(blocks),
+        }
+    }
+
+    pub(crate) fn pending(addrs: Vec<BlockAddr>, replies: Vec<SlotReply>) -> Self {
+        ReadTicket {
+            addrs,
+            state: ReadState::Pending(replies),
+        }
+    }
+
+    /// Addresses the submitted read targets, in request order.
+    pub fn addrs(&self) -> &[BlockAddr] {
+        &self.addrs
+    }
+
+    /// Whether the I/O is still in flight (as opposed to already
+    /// executed eagerly by a synchronous backend).
+    pub fn is_pending(&self) -> bool {
+        matches!(self.state, ReadState::Pending(_))
+    }
+}
+
+impl<R: Record> std::fmt::Debug for ReadTicket<R> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ReadTicket")
+            .field("addrs", &self.addrs)
+            .field("pending", &self.is_pending())
+            .finish()
+    }
+}
+
+/// In-progress state of a split-phase write.
+pub(crate) enum WriteState {
+    /// The backend executed the write eagerly.
+    Ready,
+    /// The write is in flight; workers reply with the consumed slot
+    /// bytes so they can be recycled into a [`BufferPool`].
+    Pending(Vec<SlotReply>),
+}
+
+/// Handle to a submitted parallel write ([`DiskArray::submit_write`]).
+///
+/// Must be handed back to [`DiskArray::complete_write`] on the same
+/// array to observe the write's success.  A dropped ticket abandons
+/// error reporting, not the write itself.
+pub struct WriteTicket {
+    pub(crate) addrs: Vec<BlockAddr>,
+    pub(crate) state: WriteState,
+}
+
+impl WriteTicket {
+    pub(crate) fn ready(addrs: Vec<BlockAddr>) -> Self {
+        WriteTicket {
+            addrs,
+            state: WriteState::Ready,
+        }
+    }
+
+    pub(crate) fn pending(addrs: Vec<BlockAddr>, replies: Vec<SlotReply>) -> Self {
+        WriteTicket {
+            addrs,
+            state: WriteState::Pending(replies),
+        }
+    }
+
+    /// Addresses the submitted write targets, in request order.
+    pub fn addrs(&self) -> &[BlockAddr] {
+        &self.addrs
+    }
+
+    /// Whether the I/O is still in flight.
+    pub fn is_pending(&self) -> bool {
+        matches!(self.state, WriteState::Pending(_))
+    }
+}
+
+impl std::fmt::Debug for WriteTicket {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("WriteTicket")
+            .field("addrs", &self.addrs)
+            .field("pending", &self.is_pending())
+            .finish()
+    }
+}
 
 /// What a redundancy layer (e.g. [`crate::parity::ParityDiskArray`])
 /// reports about itself: checkpoint manifests record this so a resumed
@@ -71,6 +186,66 @@ pub trait DiskArray<R: Record> {
     /// The installed trace sink, if tracing is active anywhere in the
     /// stack.  `None` (the default) means no events are being recorded.
     fn trace_sink(&self) -> Option<&TraceSink> {
+        None
+    }
+
+    /// Begin one parallel read without waiting for it: the operation is
+    /// charged (and physical trace events emitted) now, the data is
+    /// collected later via [`DiskArray::complete_read`].
+    ///
+    /// The submit/complete pair models **the same single** parallel I/O
+    /// operation as [`DiskArray::read`] — the split only exposes the
+    /// latency between issuing it and needing its data, which a
+    /// pipelined engine overlaps with merging.  The default executes
+    /// the read eagerly (synchronous backends degenerate to serial
+    /// behaviour with no semantic change); [`crate::FileDiskArray`]
+    /// overrides it to leave the per-disk transfers genuinely in
+    /// flight on its worker threads.
+    fn submit_read(&mut self, addrs: &[BlockAddr]) -> Result<ReadTicket<R>> {
+        let blocks = self.read(addrs)?;
+        Ok(ReadTicket::ready(addrs.to_vec(), blocks))
+    }
+
+    /// Wait for a submitted read and return its blocks in request
+    /// order.  Fails with [`PdiskError::TicketMismatch`] if handed a
+    /// still-pending ticket issued by a different backend.
+    fn complete_read(&mut self, ticket: ReadTicket<R>) -> Result<Vec<Block<R>>> {
+        match ticket.state {
+            ReadState::Ready(blocks) => Ok(blocks),
+            ReadState::Pending(_) => Err(PdiskError::TicketMismatch),
+        }
+    }
+
+    /// Begin one parallel write without waiting for it; the operation
+    /// is charged now, completion is observed via
+    /// [`DiskArray::complete_write`].  The default executes the write
+    /// eagerly through [`DiskArray::write`], so every wrapper's write
+    /// semantics (fault injection, retry, parity) apply unchanged.
+    fn submit_write(&mut self, writes: Vec<(BlockAddr, Block<R>)>) -> Result<WriteTicket> {
+        let addrs: Vec<BlockAddr> = writes.iter().map(|(a, _)| *a).collect();
+        self.write(writes)?;
+        Ok(WriteTicket::ready(addrs))
+    }
+
+    /// Wait for a submitted write and surface any I/O error.
+    fn complete_write(&mut self, ticket: WriteTicket) -> Result<()> {
+        match ticket.state {
+            WriteState::Ready => Ok(()),
+            WriteState::Pending(_) => Err(PdiskError::TicketMismatch),
+        }
+    }
+
+    /// Share a recycling buffer pool with this array.  Backends that
+    /// allocate block-sized buffers draw from (and return to) the pool;
+    /// wrappers forward it down the stack.  The default ignores the
+    /// pool — simulation backends that never touch block-sized heap
+    /// memory have nothing to recycle.
+    fn install_pool(&mut self, pool: BufferPool<R>) {
+        let _ = pool;
+    }
+
+    /// The installed buffer pool, if this stack recycles buffers.
+    fn buffer_pool(&self) -> Option<&BufferPool<R>> {
         None
     }
 

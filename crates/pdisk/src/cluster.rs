@@ -132,6 +132,14 @@ impl<R: Record, A: DiskArray<R>> DiskArray<R> for ClusteredDiskArray<R, A> {
         self.inner.write(phys)
     }
 
+    fn install_pool(&mut self, pool: crate::pool::BufferPool<R>) {
+        self.inner.install_pool(pool);
+    }
+
+    fn buffer_pool(&self) -> Option<&crate::pool::BufferPool<R>> {
+        self.inner.buffer_pool()
+    }
+
     fn alloc_contiguous(&mut self, disk: DiskId, count: u64) -> Result<u64> {
         if disk.index() >= self.logical.d {
             return Err(PdiskError::NoSuchDisk(disk));

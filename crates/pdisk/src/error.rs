@@ -89,6 +89,10 @@ pub enum PdiskError {
         /// Error returned by the final attempt.
         last: Box<PdiskError>,
     },
+    /// A split-phase completion was handed a ticket this backend cannot
+    /// finish: the ticket is pending on a different backend's in-flight
+    /// I/O (tickets must be completed by the array that issued them).
+    TicketMismatch,
     /// A [`crate::FileDiskArray`] directory is already open — by this
     /// process or (per its lock file) by a live process `holder`.  Two
     /// handles on the same directory would silently interleave writes
@@ -140,6 +144,9 @@ impl std::fmt::Display for PdiskError {
             },
             PdiskError::RetriesExhausted { attempts, last } => {
                 write!(f, "gave up after {attempts} attempts: {last}")
+            }
+            PdiskError::TicketMismatch => {
+                f.write_str("split-phase ticket completed on a backend that did not issue it")
             }
             PdiskError::ArrayLocked { dir, holder } => {
                 write!(

@@ -18,15 +18,14 @@
 //! through [`crate::retry::RetryingDiskArray`]'s retry counters.
 
 use crate::addr::{BlockAddr, DiskId};
-use crate::backend::DiskArray;
+use crate::backend::{DiskArray, ReadTicket};
 use crate::block::Block;
 use crate::error::{FaultKind, FaultOp, PdiskError, Result};
 use crate::geometry::Geometry;
+use crate::pool::BufferPool;
 use crate::record::Record;
 use crate::stats::IoStats;
 use crate::trace::{TraceEvent, TraceSink};
-use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
 use std::collections::BTreeSet;
 
 /// Which operations to fail, counted from 0 over the wrapper's lifetime.
@@ -119,7 +118,13 @@ pub struct FaultModel {
     /// Per-disk multipliers on the random rates; `1.0` when absent, so
     /// an empty vector means uniform exposure.
     disk_weights: Vec<f64>,
-    rng: SmallRng,
+    /// Seed for random trials.  Each trial derives its draw as a pure
+    /// hash of `(seed, op kind, per-kind ordinal, disk)` — never from a
+    /// shared stream — so fault decisions depend only on *which*
+    /// operation this is, not on how reads and writes interleave.  The
+    /// pipelined engines submit the same Nth read and Nth write as the
+    /// serial engines, so both see byte-identical fault sequences.
+    seed: u64,
     /// Disks that have suffered a permanent fault; every later
     /// operation touching them fails permanently.
     dead: BTreeSet<DiskId>,
@@ -140,7 +145,7 @@ impl FaultModel {
             write_rate: 0.0,
             corrupt_rate: 0.0,
             disk_weights: Vec::new(),
-            rng: SmallRng::seed_from_u64(seed),
+            seed,
             dead: BTreeSet::new(),
         }
     }
@@ -230,6 +235,28 @@ impl FaultModel {
         }
     }
 
+    /// A uniform `[0, 1)` draw that is a pure function of
+    /// `(seed, op, ordinal, disk, salt)`: splitmix64 over the packed
+    /// trial identity.  `salt` separates the transient and corruption
+    /// trials an op makes against the same disk.
+    fn trial(&self, op: FaultOp, ordinal: u64, disk: DiskId, salt: u64) -> f64 {
+        let op_tag = match op {
+            FaultOp::Read => 1u64,
+            FaultOp::Write => 2,
+            FaultOp::Alloc => 3,
+        };
+        let mut x = self
+            .seed
+            .wrapping_add(ordinal.wrapping_mul(0x9E37_79B9_7F4A_7C15))
+            .wrapping_add(op_tag.wrapping_mul(0xBF58_476D_1CE4_E5B9))
+            .wrapping_add(u64::from(disk.0).wrapping_mul(0x94D0_49BB_1331_11EB))
+            .wrapping_add(salt);
+        x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        x ^= x >> 31;
+        (x >> 11) as f64 / (1u64 << 53) as f64
+    }
+
     /// Decide the fate of the `ordinal`-th operation of kind `op`
     /// touching `disks`.  `Ok(())` lets the operation proceed.
     fn check(&mut self, op: FaultOp, ordinal: u64, disks: &[DiskId]) -> Result<()> {
@@ -265,7 +292,7 @@ impl FaultModel {
         if rate > 0.0 {
             for &disk in disks {
                 let p = (rate * self.weight(disk)).min(1.0);
-                if p > 0.0 && self.rng.random::<f64>() < p {
+                if p > 0.0 && self.trial(op, ordinal, disk, 0) < p {
                     return Err(PdiskError::Fault {
                         kind: FaultKind::Transient,
                         op,
@@ -279,7 +306,7 @@ impl FaultModel {
         if op == FaultOp::Read && self.corrupt_rate > 0.0 {
             for &disk in disks {
                 let p = (self.corrupt_rate * self.weight(disk)).min(1.0);
-                if p > 0.0 && self.rng.random::<f64>() < p {
+                if p > 0.0 && self.trial(op, ordinal, disk, 1) < p {
                     return Err(PdiskError::Corrupt(format!(
                         "injected checksum mismatch on disk {}",
                         disk.0
@@ -444,6 +471,39 @@ impl<R: Record, A: DiskArray<R>> DiskArray<R> for FaultyDiskArray<R, A> {
 
     fn trace_sink(&self) -> Option<&TraceSink> {
         self.inner.trace_sink()
+    }
+
+    fn submit_read(&mut self, addrs: &[BlockAddr]) -> Result<ReadTicket<R>> {
+        if addrs.is_empty() {
+            return self.inner.submit_read(addrs);
+        }
+        // The fault decision is made at submit time against the same
+        // per-read ordinal the serial path uses, so for a given seed the
+        // Nth scheduled read fails identically whether the engine runs
+        // serial or pipelined.
+        let ordinal = self.reads_seen;
+        self.reads_seen += 1;
+        let disks: Vec<DiskId> = addrs.iter().map(|a| a.disk).collect();
+        if let Err(e) = self.model.check(FaultOp::Read, ordinal, &disks) {
+            self.emit_fault(FaultOp::Read, &e);
+            return Err(e);
+        }
+        self.inner.submit_read(addrs)
+    }
+
+    fn complete_read(&mut self, ticket: ReadTicket<R>) -> Result<Vec<Block<R>>> {
+        self.inner.complete_read(ticket)
+    }
+
+    // submit_write / complete_write use the trait defaults, which route
+    // through `self.write` and therefore this wrapper's injection logic.
+
+    fn install_pool(&mut self, pool: BufferPool<R>) {
+        self.inner.install_pool(pool);
+    }
+
+    fn buffer_pool(&self) -> Option<&BufferPool<R>> {
+        self.inner.buffer_pool()
     }
 }
 

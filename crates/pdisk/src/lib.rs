@@ -51,6 +51,7 @@ pub mod file;
 pub mod geometry;
 pub mod mem;
 pub mod parity;
+pub mod pool;
 pub mod record;
 pub mod retry;
 pub mod stats;
@@ -59,7 +60,7 @@ pub mod timing;
 pub mod trace;
 
 pub use addr::{BlockAddr, DiskId};
-pub use backend::{DiskArray, RedundancyInfo};
+pub use backend::{DiskArray, ReadTicket, RedundancyInfo, WriteTicket};
 pub use block::{Block, Forecast};
 pub use cluster::ClusteredDiskArray;
 pub use error::{FaultKind, FaultOp, PdiskError, Result};
@@ -68,6 +69,7 @@ pub use file::FileDiskArray;
 pub use geometry::Geometry;
 pub use mem::MemDiskArray;
 pub use parity::ParityDiskArray;
+pub use pool::{BufferPool, PoolStats};
 pub use record::{KeyPayloadRecord, Record, U64Record};
 pub use retry::{RetryCounters, RetryPolicy, RetryingDiskArray};
 pub use stats::IoStats;

@@ -878,6 +878,19 @@ impl<R: Record, A: DiskArray<R>> DiskArray<R> for ParityDiskArray<R, A> {
     fn trace_sink(&self) -> Option<&TraceSink> {
         self.inner.trace_sink()
     }
+
+    // submit_read / submit_write use the trait defaults: they execute
+    // eagerly through this wrapper's read/write, so reconstruction,
+    // parity maintenance, and hedging all apply to split-phase traffic
+    // unchanged (the split degenerates to serial at this layer).
+
+    fn install_pool(&mut self, pool: crate::pool::BufferPool<R>) {
+        self.inner.install_pool(pool);
+    }
+
+    fn buffer_pool(&self) -> Option<&crate::pool::BufferPool<R>> {
+        self.inner.buffer_pool()
+    }
 }
 
 #[cfg(test)]

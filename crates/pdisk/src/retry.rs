@@ -20,10 +20,11 @@
 //! it cannot drift between operation kinds.
 
 use crate::addr::{BlockAddr, DiskId};
-use crate::backend::DiskArray;
+use crate::backend::{DiskArray, ReadTicket};
 use crate::block::Block;
 use crate::error::{FaultOp, PdiskError, Result};
 use crate::geometry::Geometry;
+use crate::pool::BufferPool;
 use crate::record::Record;
 use crate::stats::IoStats;
 use crate::timing::DiskModel;
@@ -256,6 +257,48 @@ impl<R: Record, A: DiskArray<R>> DiskArray<R> for RetryingDiskArray<R, A> {
 
     fn trace_sink(&self) -> Option<&TraceSink> {
         self.inner.trace_sink()
+    }
+
+    fn submit_read(&mut self, addrs: &[BlockAddr]) -> Result<ReadTicket<R>> {
+        let before = self.reads.attempted;
+        let inner = &mut self.inner;
+        let out = self.policy.run(&mut self.reads, || inner.submit_read(addrs));
+        self.emit_retries(FaultOp::Read, self.reads.attempted - before);
+        out
+    }
+
+    fn complete_read(&mut self, ticket: ReadTicket<R>) -> Result<Vec<Block<R>>> {
+        // The first completion attempt drains the in-flight ticket; if
+        // it fails with a retryable error the data is gone with it, so
+        // further attempts fall back to a fresh synchronous read of the
+        // same addresses.  Note the fallback charges a second read op
+        // in the inner backend's stats — acceptable for a recovery
+        // path, and unreachable through the CLI stacks, where the
+        // parity layer executes submits eagerly and completion cannot
+        // fail.
+        let addrs: Vec<BlockAddr> = ticket.addrs().to_vec();
+        let before = self.reads.attempted;
+        let inner = &mut self.inner;
+        let mut first = Some(ticket);
+        let out = self.policy.run(&mut self.reads, || match first.take() {
+            Some(t) => inner.complete_read(t),
+            None => inner.read(&addrs),
+        });
+        self.emit_retries(FaultOp::Read, self.reads.attempted - before);
+        out
+    }
+
+    // submit_write / complete_write deliberately use the trait defaults:
+    // the default submit executes eagerly via `self.write`, which runs
+    // this wrapper's retrying write logic, so split-phase writes through
+    // a retry layer degenerate to the (fully protected) serial path.
+
+    fn install_pool(&mut self, pool: BufferPool<R>) {
+        self.inner.install_pool(pool);
+    }
+
+    fn buffer_pool(&self) -> Option<&BufferPool<R>> {
+        self.inner.buffer_pool()
     }
 }
 

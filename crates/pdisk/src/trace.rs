@@ -31,10 +31,11 @@
 use std::sync::{Arc, Mutex, MutexGuard};
 
 use crate::addr::{BlockAddr, DiskId};
-use crate::backend::DiskArray;
+use crate::backend::{DiskArray, ReadTicket, WriteTicket};
 use crate::block::Block;
 use crate::error::{FaultKind, FaultOp, Result};
 use crate::geometry::Geometry;
+use crate::pool::BufferPool;
 use crate::record::Record;
 use crate::stats::IoStats;
 
@@ -82,6 +83,22 @@ pub struct TraceBlock {
     /// Whether the block goes straight to the leading buffer `M_L`
     /// (exchange rule 2 of §5.2) instead of staging in `M_D`.
     pub to_leading: bool,
+}
+
+/// One block targeted by a split-phase scheduled read, recorded at
+/// submit time — before the block's contents (implant key, destination
+/// buffer) are known, which is what distinguishes this from the
+/// completion-time [`TraceBlock`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TraceTarget {
+    /// Input run the block belongs to.
+    pub run: u32,
+    /// Block index within the run.
+    pub idx: u64,
+    /// The block's minimum key (its forecasting key).
+    pub key: u64,
+    /// Disk the scheduler expects to fetch it from.
+    pub disk: DiskId,
 }
 
 /// One block virtually flushed by scheduling rule 2c.
@@ -210,6 +227,21 @@ pub enum TraceEvent {
     InitLoad {
         /// `(run, disk)` of each fetched initial block.
         blocks: Vec<(u32, DiskId)>,
+    },
+    /// A pipelined engine *submitted* one scheduled parallel read
+    /// without waiting for it.  The flush decision and the fetch set
+    /// are fixed here — at the same merge position the serial engine
+    /// would issue its blocking read — while the arrivals (implants,
+    /// buffer routing) are recorded by the matching [`SchedRead`]
+    /// event when the engine later completes the ticket.  Serial
+    /// merges never emit this event.
+    ///
+    /// [`SchedRead`]: TraceEvent::SchedRead
+    ReadSubmit {
+        /// The fetch set `S_t`: per-disk forecast-minimal blocks.
+        targets: Vec<TraceTarget>,
+        /// Blocks evicted by rule 2c before the read (empty otherwise).
+        flushed: Vec<TraceFlush>,
     },
     /// The scheduler committed to one `ParRead`, possibly preceded by a
     /// `Flush` (§5.5 rules 2a–2c).
@@ -446,6 +478,44 @@ impl<R: Record, A: DiskArray<R>> DiskArray<R> for TracingDiskArray<R, A> {
 
     fn trace_sink(&self) -> Option<&TraceSink> {
         Some(&self.sink)
+    }
+
+    fn submit_read(&mut self, addrs: &[BlockAddr]) -> Result<ReadTicket<R>> {
+        let ticket = self.inner.submit_read(addrs)?;
+        // The logical operation is recorded where it is issued — at
+        // submit — so a pipelined engine's logical Read stream is
+        // position-identical to the serial engine's.
+        if !addrs.is_empty() {
+            self.sink.emit(TraceEvent::Read {
+                addrs: addrs.to_vec(),
+            });
+        }
+        Ok(ticket)
+    }
+
+    fn complete_read(&mut self, ticket: ReadTicket<R>) -> Result<Vec<Block<R>>> {
+        self.inner.complete_read(ticket)
+    }
+
+    fn submit_write(&mut self, writes: Vec<(BlockAddr, Block<R>)>) -> Result<WriteTicket> {
+        let addrs: Vec<BlockAddr> = writes.iter().map(|(a, _)| *a).collect();
+        let ticket = self.inner.submit_write(writes)?;
+        if !addrs.is_empty() {
+            self.sink.emit(TraceEvent::Write { addrs });
+        }
+        Ok(ticket)
+    }
+
+    fn complete_write(&mut self, ticket: WriteTicket) -> Result<()> {
+        self.inner.complete_write(ticket)
+    }
+
+    fn install_pool(&mut self, pool: BufferPool<R>) {
+        self.inner.install_pool(pool);
+    }
+
+    fn buffer_pool(&self) -> Option<&BufferPool<R>> {
+        self.inner.buffer_pool()
     }
 }
 

@@ -22,7 +22,7 @@ USAGE:
   srm sort [--records N] [--d D] [--b B] [--k K | --m M] [--algo srm|dsm|both]
            [--backend mem|file] [--dir PATH] [--seed S]
            [--placement random|staggered] [--formation load|parload|rs]
-           [--threads N] [--keep]
+           [--threads N] [--pipeline] [--keep]
            [--fault-rate R] [--fault-seed S] [--resume MANIFEST]
            [--parity] [--kill-disk D@PASS] [--slow-disk D:F[,D:F...]]
            [--hedge-after MULT] [--check-model]
@@ -30,6 +30,15 @@ USAGE:
       sort, verify, and print the I/O accounting (one parallel operation
       moves up to one block per disk) plus estimated wall times under a
       1996-era disk model and an SSD model.
+
+      --pipeline switches both sorters to the split-phase engine: the
+      next scheduled read is in flight while the merge drains the
+      current buffers, and output stripes are written behind the merge
+      (DESIGN.md §9).  The operation sequence, I/O accounting, and
+      output bytes are identical to the blocking engine — only the
+      waiting overlaps — so --check-model and --resume work unchanged.
+      --threads N sizes parallel run formation (and implies
+      --formation parload when --formation is not given).
 
       --fault-rate R injects transient faults on reads and writes with
       per-disk probability R (0 <= R < 1, seeded by --fault-seed) and
@@ -103,18 +112,21 @@ pub fn sort(argv: &[String]) -> i32 {
             "staggered" => Placement::Staggered,
             other => return Err(format!("unknown placement `{other}`")),
         };
-        let formation = match flags.get_str("formation").unwrap_or("load") {
+        // `--threads N` alone opts into parallel run formation.
+        let threads: Option<usize> = flags.get("threads")?;
+        let default_formation = if threads.is_some() { "parload" } else { "load" };
+        let formation = match flags.get_str("formation").unwrap_or(default_formation) {
             "load" => RunFormation::MemoryLoad { fraction: 0.5 },
             "parload" => RunFormation::ParallelMemoryLoad {
                 fraction: 0.5,
-                threads: flags.get_or(
-                    "threads",
-                    std::thread::available_parallelism().map_or(4, |p| p.get()),
-                )?,
+                threads: threads.unwrap_or_else(|| {
+                    std::thread::available_parallelism().map_or(4, |p| p.get())
+                }),
             },
             "rs" => RunFormation::ReplacementSelection,
             other => return Err(format!("unknown formation `{other}`")),
         };
+        let pipeline = flags.has("pipeline");
         let fault_rate: f64 = flags.get_or("fault-rate", 0.0)?;
         if !(0.0..1.0).contains(&fault_rate) {
             return Err(format!("--fault-rate {fault_rate} outside [0, 1)"));
@@ -167,18 +179,22 @@ pub fn sort(argv: &[String]) -> i32 {
         let data: Vec<U64Record> = (0..records).map(|_| U64Record(rng.random())).collect();
 
         if algo == "srm" || algo == "both" {
-            let config = SrmConfig {
+            let sorter = SrmSorter::new(SrmConfig {
                 placement,
                 run_formation: formation,
                 seed,
-            };
+            })
+            .with_pipeline(pipeline);
+            if pipeline {
+                println!("engine: pipelined (split-phase reads + write-behind)");
+            }
             match backend {
                 "mem" => {
                     let array: MemDiskArray<U64Record> = MemDiskArray::new(geom);
                     srm_with_faults(
                         array,
                         &data,
-                        config,
+                        sorter.clone(),
                         geom,
                         fault_rate,
                         fault_seed,
@@ -211,7 +227,7 @@ pub fn sort(argv: &[String]) -> i32 {
                     srm_with_faults(
                         array,
                         &data,
-                        config,
+                        sorter,
                         geom,
                         fault_rate,
                         fault_seed,
@@ -242,6 +258,7 @@ pub fn sort(argv: &[String]) -> i32 {
                 fault_seed,
                 popts.as_ref(),
                 check_model,
+                pipeline,
             )?;
         }
         if algo != "srm" && algo != "dsm" && algo != "both" {
@@ -370,7 +387,7 @@ fn build_parity_stack<A: DiskArray<U64Record>>(
 fn srm_with_faults<A: DiskArray<U64Record>>(
     array: A,
     data: &[U64Record],
-    config: SrmConfig,
+    sorter: SrmSorter,
     geom: Geometry,
     fault_rate: f64,
     fault_seed: u64,
@@ -411,15 +428,15 @@ fn srm_with_faults<A: DiskArray<U64Record>>(
                 }
                 Ok(())
             }));
-            run_srm(wrapped, data, config, geom, resume, check_model, observer)
+            run_srm(wrapped, data, sorter.clone(), geom, resume, check_model, observer)
         }
         None if fault_rate > 0.0 => {
             let faulty =
                 FaultyDiskArray::new(array, FaultModel::random(fault_seed).with_rate(fault_rate));
             let wrapped = RetryingDiskArray::new(faulty, policy);
-            run_srm(wrapped, data, config, geom, resume, check_model, None)
+            run_srm(wrapped, data, sorter.clone(), geom, resume, check_model, None)
         }
-        None => run_srm(array, data, config, geom, resume, check_model, None),
+        None => run_srm(array, data, sorter, geom, resume, check_model, None),
     }
 }
 
@@ -452,7 +469,7 @@ fn report_model_check<A: DiskArray<U64Record>>(
 fn run_srm<A: DiskArray<U64Record>>(
     array: A,
     data: &[U64Record],
-    config: SrmConfig,
+    sorter: SrmSorter,
     geom: Geometry,
     resume: Option<&Path>,
     check_model: bool,
@@ -466,18 +483,18 @@ fn run_srm<A: DiskArray<U64Record>>(
                 Some(f) => f(pass, t.inner_mut()),
                 None => Ok(()),
             }));
-        run_srm_on(&mut traced, data, config, geom, resume, adapted)?;
+        run_srm_on(&mut traced, data, sorter, geom, resume, adapted)?;
         report_model_check(geom, &traced)
     } else {
         let mut array = array;
-        run_srm_on(&mut array, data, config, geom, resume, observer)
+        run_srm_on(&mut array, data, sorter, geom, resume, observer)
     }
 }
 
 fn run_srm_on<A: DiskArray<U64Record>>(
     array: &mut A,
     data: &[U64Record],
-    config: SrmConfig,
+    sorter: SrmSorter,
     geom: Geometry,
     resume: Option<&Path>,
     observer: SrmObserver<'_, A>,
@@ -485,7 +502,6 @@ fn run_srm_on<A: DiskArray<U64Record>>(
     let input = write_unsorted_input(array, data).map_err(|e| e.to_string())?;
     let staged = array.stats();
     let start = std::time::Instant::now();
-    let sorter = SrmSorter::new(config);
     let mut obs = observer;
     let result = sorter
         .sort_observed(array, &input, resume, |pass, a| match obs.as_deref_mut() {
@@ -542,6 +558,7 @@ fn dsm_with_faults<A: DiskArray<U64Record>>(
     fault_seed: u64,
     parity: Option<&ParityOpts>,
     check_model: bool,
+    pipeline: bool,
 ) -> Result<(), String> {
     let policy = RetryPolicy::default();
     if fault_rate > 0.0 {
@@ -563,15 +580,15 @@ fn dsm_with_faults<A: DiskArray<U64Record>>(
                 }
                 Ok(())
             }));
-            run_dsm(wrapped, data, geom, check_model, observer)
+            run_dsm(wrapped, data, geom, check_model, pipeline, observer)
         }
         None if fault_rate > 0.0 => {
             let faulty =
                 FaultyDiskArray::new(array, FaultModel::random(fault_seed).with_rate(fault_rate));
             let wrapped = RetryingDiskArray::new(faulty, policy);
-            run_dsm(wrapped, data, geom, check_model, None)
+            run_dsm(wrapped, data, geom, check_model, pipeline, None)
         }
-        None => run_dsm(array, data, geom, check_model, None),
+        None => run_dsm(array, data, geom, check_model, pipeline, None),
     }
 }
 
@@ -582,6 +599,7 @@ fn run_dsm<A: DiskArray<U64Record>>(
     data: &[U64Record],
     geom: Geometry,
     check_model: bool,
+    pipeline: bool,
     observer: DsmObserver<'_, A>,
 ) -> Result<(), String> {
     if check_model {
@@ -592,11 +610,11 @@ fn run_dsm<A: DiskArray<U64Record>>(
                 Some(f) => f(pass, t.inner_mut()),
                 None => Ok(()),
             }));
-        run_dsm_on(&mut traced, data, geom, adapted)?;
+        run_dsm_on(&mut traced, data, geom, pipeline, adapted)?;
         report_model_check(geom, &traced)
     } else {
         let mut array = array;
-        run_dsm_on(&mut array, data, geom, observer)
+        run_dsm_on(&mut array, data, geom, pipeline, observer)
     }
 }
 
@@ -604,6 +622,7 @@ fn run_dsm_on<A: DiskArray<U64Record>>(
     array: &mut A,
     data: &[U64Record],
     geom: Geometry,
+    pipeline: bool,
     observer: DsmObserver<'_, A>,
 ) -> Result<(), String> {
     let input = write_unsorted_stripes(array, data).map_err(|e| e.to_string())?;
@@ -611,6 +630,7 @@ fn run_dsm_on<A: DiskArray<U64Record>>(
     let start = std::time::Instant::now();
     let mut obs = observer;
     let (sorted, report) = DsmSorter::default()
+        .with_pipeline(pipeline)
         .sort_observed(array, &input, None, |pass, a| match obs.as_deref_mut() {
             Some(f) => f(pass, a),
             None => Ok(()),

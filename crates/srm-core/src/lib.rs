@@ -55,10 +55,10 @@ pub mod sort;
 pub use checkpoint::SortManifest;
 pub use error::{Result, SrmError};
 pub use key::{BlockKey, RunId};
-pub use merge::{merge_runs, MergeOutcome, MergeStats};
+pub use merge::{merge_runs, merge_runs_pipelined, MergeOutcome, MergeStats};
 pub use naive::{naive_merge_count, NaiveMergeStats};
 pub use output::{read_run, RunWriter};
-pub use run_formation::{form_runs, RunFormation};
+pub use run_formation::{form_runs, form_runs_pipelined, RunFormation};
 pub use scheduler::{ScheduleStats, Scheduler};
 pub use simulator::{MergeSim, SimInput, SimStats, TraceEvent};
 pub use sort::{Placement, SortReport, SrmConfig, SrmSorter};

@@ -26,8 +26,11 @@ use crate::loser_tree::LoserTree;
 use crate::output::RunWriter;
 use crate::scheduler::{PlannedRead, ScheduleStats, Scheduler};
 use pdisk::block::NO_BLOCK;
-use pdisk::trace::{TraceBlock, TraceEvent, TraceFlush, TraceRunMeta, TraceSink};
-use pdisk::{BlockAddr, DiskArray, DiskId, Forecast, Geometry, Record, StripedRun};
+use pdisk::trace::{TraceBlock, TraceEvent, TraceFlush, TraceRunMeta, TraceSink, TraceTarget};
+use pdisk::{
+    Block, BlockAddr, BufferPool, DiskArray, DiskId, Forecast, Geometry, ReadTicket, Record,
+    StripedRun,
+};
 use std::collections::{HashMap, VecDeque};
 
 /// Statistics for one merge.
@@ -52,8 +55,8 @@ pub struct MergeOutcome {
     pub stats: MergeStats,
 }
 
-struct RunState<R: Record> {
-    handle: StripedRun,
+struct RunState<'a, R: Record> {
+    handle: &'a StripedRun,
     /// Records of the current leading block.
     leading: Vec<R>,
     cursor: usize,
@@ -61,6 +64,21 @@ struct RunState<R: Record> {
     cur_idx: u64,
     awaiting: bool,
     exhausted: bool,
+}
+
+/// The one parallel read in flight between `submit_read` and
+/// `complete_read` in the pipelined engine.
+struct InFlightRead<R: Record> {
+    ticket: ReadTicket<R>,
+    /// The planned fetch set, in ticket (= address) order.
+    targets: Vec<(DiskId, BlockKey)>,
+    /// Rule-2c flushes performed at submit time, replayed into the
+    /// completion-time [`TraceEvent::SchedRead`] annotation.
+    flushed: Vec<TraceFlush>,
+    /// Targets whose run is not (yet) awaiting them — the blocks that
+    /// will land in `M_D`/`M_R` rather than go straight to leading.
+    /// Completion gate `P_s` compares `fset_len + pending` to `R + D`.
+    pending: usize,
 }
 
 /// Merge `runs` into a single run starting on `out_start_disk`.
@@ -99,6 +117,63 @@ pub fn merge_runs<R: Record, A: DiskArray<R>>(
     runs: &[StripedRun],
     out_start_disk: DiskId,
 ) -> Result<MergeOutcome> {
+    merge_impl(array, runs, out_start_disk, false)
+}
+
+/// Like [`merge_runs`], but overlapping disk time with merge time via the
+/// split-phase [`DiskArray`] interface: each parallel read is *submitted*
+/// at exactly the point the serial engine would execute it, the loser tree
+/// keeps consuming already-resident buffers while the read is in flight,
+/// and the read is *completed* at the first point its blocks are needed
+/// (`P_need`: the tree's winner awaits one of them) or can be admitted
+/// (`P_s`: the fetch set has room again).  Output writes are likewise
+/// submitted a stripe ahead (write-behind, see
+/// [`RunWriter::new_pipelined`]).
+///
+/// The I/O *schedule* is unchanged: reads and writes are initiated in the
+/// same order, at the same record positions, against the same addresses as
+/// [`merge_runs`], so the output run, the [`pdisk::IoStats`] deltas, and
+/// the logical operation sequence in a model-check trace are identical.
+/// Only wall-clock overlap differs — on a backend with real I/O latency
+/// (e.g. [`pdisk::FileDiskArray`]) disk time hides behind merge time.  On
+/// a synchronous backend the split-phase calls degenerate to the serial
+/// ones and the result is the same by construction.
+///
+/// # Examples
+///
+/// ```
+/// use pdisk::{DiskId, Geometry, MemDiskArray, U64Record};
+/// use srm_core::{merge_runs_pipelined, read_run, RunWriter};
+///
+/// let geom = Geometry::new(2, 4, 1000)?;
+/// let mut disks: MemDiskArray<U64Record> = MemDiskArray::new(geom);
+/// let mut handles = Vec::new();
+/// for (start, keys) in [(0u32, [1u64, 3, 5, 7]), (1, [2, 4, 6, 8])] {
+///     let mut w = RunWriter::new(geom, DiskId(start));
+///     for k in keys { w.push(&mut disks, U64Record(k))?; }
+///     handles.push(w.finish(&mut disks)?);
+/// }
+///
+/// let out = merge_runs_pipelined(&mut disks, &handles, DiskId(0))?;
+/// let merged = read_run(&mut disks, &out.run)?;
+/// assert_eq!(merged.iter().map(|r| r.0).collect::<Vec<_>>(),
+///            vec![1, 2, 3, 4, 5, 6, 7, 8]);
+/// # Ok::<(), srm_core::SrmError>(())
+/// ```
+pub fn merge_runs_pipelined<R: Record, A: DiskArray<R>>(
+    array: &mut A,
+    runs: &[StripedRun],
+    out_start_disk: DiskId,
+) -> Result<MergeOutcome> {
+    merge_impl(array, runs, out_start_disk, true)
+}
+
+fn merge_impl<R: Record, A: DiskArray<R>>(
+    array: &mut A,
+    runs: &[StripedRun],
+    out_start_disk: DiskId,
+    pipelined: bool,
+) -> Result<MergeOutcome> {
     let geom = array.geometry();
     if runs.is_empty() {
         return Err(SrmError::Config("merge of zero runs".into()));
@@ -135,7 +210,7 @@ pub fn merge_runs<R: Record, A: DiskArray<R>>(
         runs: runs
             .iter()
             .map(|h| RunState {
-                handle: h.clone(),
+                handle: h,
                 leading: Vec::new(),
                 cursor: 0,
                 cur_idx: 0,
@@ -146,26 +221,41 @@ pub fn merge_runs<R: Record, A: DiskArray<R>>(
         sched: Scheduler::new(runs.len(), geom.d),
         tree: LoserTree::new(vec![u64::MAX; runs.len()]),
         buffers: HashMap::new(),
-        writer: RunWriter::new(geom, out_start_disk),
+        writer: if pipelined {
+            RunWriter::new_pipelined(geom, out_start_disk)
+        } else {
+            RunWriter::new(geom, out_start_disk)
+        },
+        in_flight: None,
+        pool: array.buffer_pool().cloned(),
         trace,
     };
     merger.initial_load(array)?;
-    merger.run_to_completion(array)
+    if pipelined {
+        merger.run_to_completion_pipelined(array)
+    } else {
+        merger.run_to_completion(array)
+    }
 }
 
-struct Merger<R: Record> {
+struct Merger<'a, R: Record> {
     geom: Geometry,
-    runs: Vec<RunState<R>>,
+    runs: Vec<RunState<'a, R>>,
     sched: Scheduler,
     tree: LoserTree,
     /// Contents of blocks in `M_R ∪ M_D`, keyed by `(run, block idx)`.
     buffers: HashMap<(RunId, u64), (u64, Vec<R>)>,
     writer: RunWriter<R>,
+    /// The one read in flight (pipelined engine only; always `None` in
+    /// the serial engine).
+    in_flight: Option<InFlightRead<R>>,
+    /// Recycling pool shared with the backend, if the stack has one.
+    pool: Option<BufferPool<R>>,
     /// Annotation sink, cloned from the array's installed trace (if any).
     trace: Option<TraceSink>,
 }
 
-impl<R: Record> Merger<R> {
+impl<R: Record> Merger<'_, R> {
     fn addr_of(&self, key: &BlockKey) -> BlockAddr {
         self.runs[key.run as usize].handle.addr_of(key.idx)
     }
@@ -198,8 +288,10 @@ impl<R: Record> Merger<R> {
             }
             for ((j, _), block) in batch.into_iter().zip(blocks) {
                 let st = &mut self.runs[j as usize];
-                let keys = match &block.forecast {
-                    Forecast::Initial(keys) => keys.clone(),
+                // The block is owned: take the implanted table instead of
+                // cloning it.
+                let keys = match block.forecast {
+                    Forecast::Initial(keys) => keys,
                     f => {
                         return Err(SrmError::Internal(format!(
                             "run {j} block 0 carries {f:?}, expected Initial table"
@@ -228,13 +320,9 @@ impl<R: Record> Merger<R> {
         Ok(())
     }
 
-    fn execute_read<A: DiskArray<R>>(&mut self, array: &mut A) -> Result<()> {
-        let runs = &self.runs;
-        let plan: PlannedRead = self.sched.plan_read(|k: &BlockKey| {
-            runs[k.run as usize].handle.disk_of(k.idx)
-        });
-        let flushed: Vec<TraceFlush> = plan
-            .flushed
+    /// Trace annotations for the rule-2c flush victims of a planned read.
+    fn trace_flushes(&self, flushed: &[BlockKey]) -> Vec<TraceFlush> {
+        flushed
             .iter()
             .map(|k| TraceFlush {
                 run: k.run,
@@ -242,59 +330,164 @@ impl<R: Record> Merger<R> {
                 key: k.key,
                 disk: self.runs[k.run as usize].handle.disk_of(k.idx),
             })
-            .collect();
-        for key in &plan.flushed {
+            .collect()
+    }
+
+    /// Drop the flush victims' buffers (their contents are still on disk),
+    /// recycling the record vectors when the stack has a pool.
+    fn drop_flushed(&mut self, flushed: &[BlockKey]) {
+        for key in flushed {
             let dropped = self.buffers.remove(&(key.run, key.idx));
             debug_assert!(dropped.is_some(), "flushed block {key:?} had no buffer");
+            if let (Some(pool), Some((_, recs))) = (&self.pool, dropped) {
+                pool.put_records(recs);
+            }
         }
+    }
+
+    /// One block's arrival: implant its forecast key, hand it to the
+    /// awaiting run's leading buffer or park it in `M_D`, and record the
+    /// trace row.  Shared verbatim by the serial and pipelined engines.
+    fn arrive_block(
+        &mut self,
+        disk: DiskId,
+        key: BlockKey,
+        block: Block<R>,
+        traced: &mut Vec<TraceBlock>,
+    ) -> Result<()> {
+        debug_assert_eq!(
+            block.records.first().map(|r| r.key()),
+            Some(key.key),
+            "forecast key disagrees with block contents"
+        );
+        let next_idx = key.idx + self.geom.d as u64;
+        let implant = match &block.forecast {
+            Forecast::Next(k)
+                if *k != NO_BLOCK && next_idx < self.runs[key.run as usize].handle.len_blocks =>
+            {
+                Some(BlockKey::new(*k, key.run, next_idx))
+            }
+            Forecast::Next(_) => None,
+            f => {
+                return Err(SrmError::Internal(format!(
+                    "non-initial block {key:?} carries {f:?}"
+                )))
+            }
+        };
+        let st = &mut self.runs[key.run as usize];
+        let to_leading = st.awaiting && st.cur_idx == key.idx;
+        traced.push(TraceBlock {
+            run: key.run,
+            idx: key.idx,
+            key: key.key,
+            disk,
+            implant: implant.as_ref().map(|b| b.key),
+            to_leading,
+        });
+        self.sched.arrive(key, disk, implant, to_leading);
+        if to_leading {
+            st.leading = block.records;
+            st.cursor = 0;
+            st.awaiting = false;
+            let first = st.leading[0].key();
+            self.tree.update(key.run as usize, first);
+        } else {
+            self.buffers.insert((key.run, key.idx), (key.key, block.records));
+        }
+        Ok(())
+    }
+
+    fn execute_read<A: DiskArray<R>>(&mut self, array: &mut A) -> Result<()> {
+        let runs = &self.runs;
+        let plan: PlannedRead = self.sched.plan_read(|k: &BlockKey| {
+            runs[k.run as usize].handle.disk_of(k.idx)
+        });
+        let flushed = self.trace_flushes(&plan.flushed);
+        self.drop_flushed(&plan.flushed);
         let addrs: Vec<BlockAddr> = plan.targets.iter().map(|(_, k)| self.addr_of(k)).collect();
         let blocks = array.read(&addrs)?;
         let mut traced: Vec<TraceBlock> = Vec::with_capacity(plan.targets.len());
         for ((disk, key), block) in plan.targets.into_iter().zip(blocks) {
-            debug_assert_eq!(
-                block.records.first().map(|r| r.key()),
-                Some(key.key),
-                "forecast key disagrees with block contents"
-            );
-            let next_idx = key.idx + self.geom.d as u64;
-            let implant = match &block.forecast {
-                Forecast::Next(k) if *k != NO_BLOCK
-                    && next_idx < self.runs[key.run as usize].handle.len_blocks =>
-                {
-                    Some(BlockKey::new(*k, key.run, next_idx))
-                }
-                Forecast::Next(_) => None,
-                f => {
-                    return Err(SrmError::Internal(format!(
-                        "non-initial block {key:?} carries {f:?}"
-                    )))
-                }
-            };
-            let st = &mut self.runs[key.run as usize];
-            let to_leading = st.awaiting && st.cur_idx == key.idx;
-            traced.push(TraceBlock {
-                run: key.run,
-                idx: key.idx,
-                key: key.key,
-                disk,
-                implant: implant.as_ref().map(|b| b.key),
-                to_leading,
-            });
-            self.sched.arrive(key, disk, implant, to_leading);
-            if to_leading {
-                st.leading = block.records;
-                st.cursor = 0;
-                st.awaiting = false;
-                let first = st.leading[0].key();
-                self.tree.update(key.run as usize, first);
-            } else {
-                self.buffers.insert((key.run, key.idx), (key.key, block.records));
-            }
+            self.arrive_block(disk, key, block, &mut traced)?;
         }
         if let Some(sink) = &self.trace {
             sink.emit(TraceEvent::SchedRead {
                 targets: traced,
                 flushed,
+                fset_len: self.sched.fset_len(),
+                staged_len: self.sched.staged_len(),
+            });
+        }
+        Ok(())
+    }
+
+    /// Pipelined step 1: plan the next parallel read at the exact point
+    /// the serial engine would execute it, then *submit* it and return
+    /// without waiting.  The operation is charged and traced at submit, so
+    /// the logical I/O sequence is identical to [`merge_runs`]'s.
+    fn submit_read_pipelined<A: DiskArray<R>>(&mut self, array: &mut A) -> Result<()> {
+        debug_assert!(self.in_flight.is_none(), "one read in flight at a time");
+        let runs = &self.runs;
+        let plan: PlannedRead = self.sched.plan_read(|k: &BlockKey| {
+            runs[k.run as usize].handle.disk_of(k.idx)
+        });
+        let flushed = self.trace_flushes(&plan.flushed);
+        self.drop_flushed(&plan.flushed);
+        let addrs: Vec<BlockAddr> = plan.targets.iter().map(|(_, k)| self.addr_of(k)).collect();
+        let ticket = array.submit_read(&addrs)?;
+        if let Some(sink) = &self.trace {
+            sink.emit(TraceEvent::ReadSubmit {
+                targets: plan
+                    .targets
+                    .iter()
+                    .map(|&(disk, k)| TraceTarget {
+                        run: k.run,
+                        idx: k.idx,
+                        key: k.key,
+                        disk,
+                    })
+                    .collect(),
+                flushed: flushed.clone(),
+            });
+        }
+        // Targets already awaited go straight to a leading buffer on
+        // arrival; the rest will occupy `M_D`/`M_R` and therefore gate
+        // completion via `P_s`.  `advance_run` decrements this count when
+        // a run starts awaiting one of the in-flight targets.
+        let pending = plan
+            .targets
+            .iter()
+            .filter(|(_, k)| {
+                let st = &self.runs[k.run as usize];
+                !(st.awaiting && st.cur_idx == k.idx)
+            })
+            .count();
+        self.in_flight = Some(InFlightRead {
+            ticket,
+            targets: plan.targets,
+            flushed,
+            pending,
+        });
+        Ok(())
+    }
+
+    /// Pipelined step 2: wait for the in-flight read and apply its
+    /// arrivals — the same per-block handling as the serial
+    /// `execute_read`, in the same (address) order.
+    fn complete_read_pipelined<A: DiskArray<R>>(&mut self, array: &mut A) -> Result<()> {
+        let fl = self
+            .in_flight
+            .take()
+            .ok_or_else(|| SrmError::Internal("completing a read with none in flight".into()))?;
+        let blocks = array.complete_read(fl.ticket)?;
+        let mut traced: Vec<TraceBlock> = Vec::with_capacity(fl.targets.len());
+        for ((disk, key), block) in fl.targets.into_iter().zip(blocks) {
+            self.arrive_block(disk, key, block, &mut traced)?;
+        }
+        if let Some(sink) = &self.trace {
+            sink.emit(TraceEvent::SchedRead {
+                targets: traced,
+                flushed: fl.flushed,
                 fset_len: self.sched.fset_len(),
                 staged_len: self.sched.staged_len(),
             });
@@ -314,7 +507,10 @@ impl<R: Record> Merger<R> {
             });
         }
         st.cur_idx += 1;
-        st.leading = Vec::new();
+        let depleted = std::mem::take(&mut st.leading);
+        if let Some(pool) = &self.pool {
+            pool.put_records(depleted);
+        }
         st.cursor = 0;
         if st.cur_idx >= st.handle.len_blocks {
             st.exhausted = true;
@@ -362,6 +558,38 @@ impl<R: Record> Merger<R> {
             }
             st.awaiting = true;
             self.tree.update(run, entry.key);
+            // Pipelined: if the awaited block is already in flight, it
+            // will now arrive straight to leading instead of occupying
+            // `M_D`/`M_R`, so it stops counting against the `P_s` gate.
+            if let Some(fl) = &mut self.in_flight {
+                let cur_idx = self.runs[run].cur_idx;
+                if fl
+                    .targets
+                    .iter()
+                    .any(|&(_, k)| k.run as usize == run && k.idx == cur_idx)
+                {
+                    debug_assert!(fl.pending > 0, "pending underflow");
+                    fl.pending -= 1;
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Consume the loser tree's winning record (the caller has
+    /// established that its run is not awaiting I/O), then hand the
+    /// depleted leading buffer on if the block ran dry.
+    fn emit_winner<A: DiskArray<R>>(&mut self, array: &mut A, run: usize, key: u64) -> Result<()> {
+        let st = &mut self.runs[run];
+        let rec = st.leading[st.cursor];
+        st.cursor += 1;
+        debug_assert_eq!(rec.key(), key, "tree winner key mismatch");
+        self.writer.push(array, rec)?;
+        if st.cursor == st.leading.len() {
+            self.advance_run(run)?;
+        } else {
+            let next_key = st.leading[st.cursor].key();
+            self.tree.update(run, next_key);
         }
         Ok(())
     }
@@ -384,18 +612,82 @@ impl<R: Record> Merger<R> {
                     self.runs[run].cur_idx
                 )));
             }
-            let st = &mut self.runs[run];
-            let rec = st.leading[st.cursor];
-            st.cursor += 1;
-            debug_assert_eq!(rec.key(), key, "tree winner key mismatch");
-            self.writer.push(array, rec)?;
-            if st.cursor == st.leading.len() {
-                self.advance_run(run)?;
-            } else {
-                let next_key = st.leading[st.cursor].key();
-                self.tree.update(run, next_key);
-            }
+            self.emit_winner(array, run, key)?;
         }
+        self.finish_merge(array)
+    }
+
+    /// The pipelined main loop: the same decisions at the same record
+    /// positions as [`Merger::run_to_completion`], except that a planned
+    /// read is *submitted* where the serial loop would execute it and
+    /// *completed* at the first later point where either
+    ///
+    /// * `P_need` — the loser tree's winner awaits a block, so merging
+    ///   cannot proceed without the in-flight arrival (by Lemma 1 the
+    ///   awaited block is always among the flight's targets, so this
+    ///   never wedges — the stuck branch below is the runtime witness);
+    ///   or
+    /// * `P_s` — enough buffers have drained that every in-flight
+    ///   block headed for `M_D`/`M_R` now fits: `fset_len + pending ≤
+    ///   R + D`.  This is exactly the serial engine's "staging empty
+    ///   after drain" read condition, so the *next* read is planned at
+    ///   the identical record position with the identical `F_t`,
+    ///   keeping the op sequence — flush decisions included —
+    ///   byte-identical to the serial engine's.  (Completing any later
+    ///   would let extra promotions shift `OutRank` and change rule
+    ///   2a–2c outcomes.)
+    ///
+    /// Between submit and completion the loop keeps merging records from
+    /// resident leading buffers — that interval is the read-ahead
+    /// overlap: loser-tree work, record copies, and output-block encodes
+    /// proceed while the disks serve the flight.
+    fn run_to_completion_pipelined<A: DiskArray<R>>(
+        mut self,
+        array: &mut A,
+    ) -> Result<MergeOutcome> {
+        let cap = self.runs.len() + self.geom.d;
+        loop {
+            self.sched.drain();
+            if let Some(fl) = &self.in_flight {
+                let p_s = self.sched.fset_len() + fl.pending <= cap;
+                let p_need = !self.tree.all_exhausted() && {
+                    let (run, _) = self.tree.peek();
+                    self.runs[run].awaiting
+                };
+                if p_need || p_s {
+                    self.complete_read_pipelined(array)?;
+                    continue;
+                }
+            } else if self.sched.can_attempt_read() {
+                self.submit_read_pipelined(array)?;
+                continue;
+            }
+            if self.tree.all_exhausted() {
+                break;
+            }
+            let (run, key) = self.tree.peek();
+            if self.runs[run].awaiting {
+                return Err(SrmError::Internal(format!(
+                    "pipelined merge stuck: run {run} awaits block {} (key {key}) \
+                     with no read in flight",
+                    self.runs[run].cur_idx
+                )));
+            }
+            self.emit_winner(array, run, key)?;
+        }
+        // Every submitted read's targets are blocks the merge still
+        // needs, so their runs cannot all be exhausted while one is in
+        // flight.
+        debug_assert!(self.in_flight.is_none(), "read in flight at merge end");
+        if self.in_flight.is_some() {
+            return Err(SrmError::Internal(
+                "read still in flight at merge end".into(),
+            ));
+        }
+        self.finish_merge(array)
+    }
+
+    fn finish_merge<A: DiskArray<R>>(self, array: &mut A) -> Result<MergeOutcome> {
         debug_assert!(self.buffers.is_empty(), "leftover buffered blocks");
         debug_assert!(self.sched.fds().is_empty(), "unread blocks at completion");
         self.sched.assert_capacities();
@@ -566,6 +858,77 @@ mod tests {
             reads <= total_blocks + out.stats.schedule.blocks_flushed,
             "reads {reads} exceed blocks {total_blocks} + reread allowance"
         );
+    }
+
+    /// The pipelined engine's contract: same output, same scheduling
+    /// counters, same backend I/O as the serial engine, on every shape.
+    #[test]
+    fn pipelined_merge_matches_serial_exactly() {
+        let mut rng = SmallRng::seed_from_u64(99);
+        for &(d, b, n_runs) in &[
+            (2usize, 4usize, 3usize),
+            (3, 4, 5),
+            (4, 8, 7),
+            (5, 2, 9),
+            (1, 4, 4),
+            (4, 4, 12),
+        ] {
+            let geom = Geometry::new(d, b, 1_000_000).unwrap();
+            let runs = random_sorted_runs(&mut rng, n_runs, 1..200);
+            let starts: Vec<u32> = (0..n_runs).map(|_| rng.random_range(0..d as u32)).collect();
+            let drive = |pipelined: bool| {
+                let mut a: MemDiskArray<U64Record> = MemDiskArray::new(geom);
+                let handles: Vec<StripedRun> = runs
+                    .iter()
+                    .zip(&starts)
+                    .map(|(keys, &s)| put_run(&mut a, geom, s, keys))
+                    .collect();
+                a.reset_stats();
+                let out = if pipelined {
+                    merge_runs_pipelined(&mut a, &handles, DiskId(0)).unwrap()
+                } else {
+                    merge_runs(&mut a, &handles, DiskId(0)).unwrap()
+                };
+                let io = a.stats();
+                let keys: Vec<u64> =
+                    read_run(&mut a, &out.run).unwrap().iter().map(|r| r.0).collect();
+                (keys, out.stats, io)
+            };
+            let (serial_keys, serial_stats, serial_io) = drive(false);
+            let (piped_keys, piped_stats, piped_io) = drive(true);
+            assert_eq!(piped_keys, serial_keys, "d={d} b={b} runs={n_runs}");
+            assert_eq!(piped_stats, serial_stats, "d={d} b={b} runs={n_runs}");
+            assert_eq!(piped_io, serial_io, "d={d} b={b} runs={n_runs}");
+        }
+    }
+
+    /// All-runs-on-one-disk contention plus globally interleaved keys:
+    /// the flush-heavy worst cases must also be schedule-identical.
+    #[test]
+    fn pipelined_merge_matches_serial_under_contention() {
+        let geom = Geometry::new(2, 2, 1_000_000).unwrap();
+        let n_runs = 6;
+        let len = 120u64;
+        let run_keys: Vec<Vec<u64>> = (0..n_runs)
+            .map(|j| (0..len).map(|i| i * n_runs as u64 + j as u64).collect())
+            .collect();
+        let starts = vec![0u32; n_runs];
+        let drive = |pipelined: bool| {
+            let mut a: MemDiskArray<U64Record> = MemDiskArray::new(geom);
+            let handles: Vec<StripedRun> = run_keys
+                .iter()
+                .zip(&starts)
+                .map(|(keys, &s)| put_run(&mut a, geom, s, keys))
+                .collect();
+            a.reset_stats();
+            let out = if pipelined {
+                merge_runs_pipelined(&mut a, &handles, DiskId(0)).unwrap()
+            } else {
+                merge_runs(&mut a, &handles, DiskId(0)).unwrap()
+            };
+            (a.stats(), out.stats)
+        };
+        assert_eq!(drive(true), drive(false));
     }
 
     #[test]

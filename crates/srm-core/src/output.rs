@@ -17,7 +17,9 @@
 
 use crate::key::RunId;
 use pdisk::trace::TraceEvent;
-use pdisk::{Block, DiskArray, DiskId, Forecast, Geometry, PdiskError, Record, StripedRun};
+use pdisk::{
+    Block, DiskArray, DiskId, Forecast, Geometry, PdiskError, Record, StripedRun, WriteTicket,
+};
 use pdisk::block::NO_BLOCK;
 use std::collections::VecDeque;
 
@@ -51,6 +53,11 @@ pub struct RunWriter<R: Record> {
     last_key: Option<u64>,
     stripes_written: u64,
     finished: bool,
+    /// Write-behind mode: stripes are `submit_write`-ten and completed one
+    /// stripe later, so disk time hides behind record production.
+    pipelined: bool,
+    /// The one stripe write in flight (pipelined mode only).
+    ticket: Option<WriteTicket>,
 }
 
 impl<R: Record> RunWriter<R> {
@@ -69,6 +76,21 @@ impl<R: Record> RunWriter<R> {
             last_key: None,
             stripes_written: 0,
             finished: false,
+            pipelined: false,
+            ticket: None,
+        }
+    }
+
+    /// Like [`RunWriter::new`], but with write-behind: each stripe is
+    /// submitted (via [`DiskArray::submit_write`]) at exactly the record
+    /// position [`RunWriter::new`] would write it — so the operation
+    /// sequence and [`pdisk::IoStats`] are identical — and completed just
+    /// before the *next* stripe is submitted (or in
+    /// [`RunWriter::finish`]), keeping at most one stripe in flight.
+    pub fn new_pipelined(geom: Geometry, start_disk: DiskId) -> Self {
+        RunWriter {
+            pipelined: true,
+            ..Self::new(geom, start_disk)
         }
     }
 
@@ -87,7 +109,14 @@ impl<R: Record> RunWriter<R> {
         self.records += 1;
         self.cur.push(rec);
         if self.cur.len() == self.geom.b {
-            let block = std::mem::replace(&mut self.cur, Vec::with_capacity(self.geom.b));
+            // Draw the replacement buffer from the stack's pool when it
+            // has one: the backend returns encoded blocks' record vectors
+            // there, closing the recycling loop.
+            let fresh = match array.buffer_pool() {
+                Some(pool) => pool.take_records(self.geom.b),
+                None => Vec::with_capacity(self.geom.b),
+            };
+            let block = std::mem::replace(&mut self.cur, fresh);
             self.enqueue_block(block);
             // Write a stripe once its forecasts are all known: the first D
             // pending blocks need min keys of the next D, so 2D buffered
@@ -155,7 +184,18 @@ impl<R: Record> RunWriter<R> {
                 Block::new(records, forecast),
             ));
         }
-        array.write(writes)?;
+        if self.pipelined {
+            // Write-behind: retire the previous stripe, then put this one
+            // in flight.  Submission (where the operation is charged and
+            // traced) happens at the same record position the serial
+            // writer's `write` would, so the I/O sequence is unchanged.
+            if let Some(ticket) = self.ticket.take() {
+                array.complete_write(ticket)?;
+            }
+            self.ticket = Some(array.submit_write(writes)?);
+        } else {
+            array.write(writes)?;
+        }
         self.stripes_written += 1;
         Ok(())
     }
@@ -183,6 +223,9 @@ impl<R: Record> RunWriter<R> {
         }
         while !self.pending.is_empty() {
             self.write_stripe(array, self.geom.d)?;
+        }
+        if let Some(ticket) = self.ticket.take() {
+            array.complete_write(ticket)?;
         }
         let len_blocks = self.emitted_blocks;
         if let Some(sink) = array.trace_sink() {

@@ -18,9 +18,9 @@
 
 use crate::error::{Result, SrmError};
 use crate::output::RunWriter;
-use pdisk::{DiskArray, DiskId, Record, StripedRun};
+use pdisk::{BlockAddr, DiskArray, DiskId, Geometry, ReadTicket, Record, StripedRun};
 use std::cmp::Reverse;
-use std::collections::BinaryHeap;
+use std::collections::{BinaryHeap, VecDeque};
 
 /// Strategy for the run-formation pass.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -60,6 +60,34 @@ pub fn form_runs<R: Record, A: DiskArray<R>>(
     array: &mut A,
     input: &StripedRun,
     strategy: RunFormation,
+    place: impl FnMut() -> DiskId,
+) -> Result<Vec<StripedRun>> {
+    form_runs_inner(array, input, strategy, false, place)
+}
+
+/// [`form_runs`] with the split-phase overlap §2.1 motivates: while one
+/// memory load is sorted and written, the *next* load's stripe reads are
+/// already in flight (up to one load of records ahead — the other half
+/// of memory when `fraction = 1/2`), and run stripes are written behind
+/// via [`RunWriter::new_pipelined`].  The operation sequence is planned
+/// from the same arithmetic as the serial reader, so op sizes, counts,
+/// and [`pdisk::IoStats`] are identical; only waiting moves.
+/// Replacement selection keeps serial reads (each fetch decision depends
+/// on the records just consumed) but still writes behind.
+pub fn form_runs_pipelined<R: Record, A: DiskArray<R>>(
+    array: &mut A,
+    input: &StripedRun,
+    strategy: RunFormation,
+    place: impl FnMut() -> DiskId,
+) -> Result<Vec<StripedRun>> {
+    form_runs_inner(array, input, strategy, true, place)
+}
+
+fn form_runs_inner<R: Record, A: DiskArray<R>>(
+    array: &mut A,
+    input: &StripedRun,
+    strategy: RunFormation,
+    pipeline: bool,
     mut place: impl FnMut() -> DiskId,
 ) -> Result<Vec<StripedRun>> {
     let geom = array.geometry();
@@ -78,12 +106,24 @@ pub fn form_runs<R: Record, A: DiskArray<R>>(
                 )));
             }
             let capacity = ((geom.m as f64 * fraction) as usize).max(geom.b);
-            let mut reader = StripeReader::new(input);
+            let mut serial_reader;
+            let mut prefetch_reader;
             let mut out = Vec::new();
+            if pipeline {
+                prefetch_reader = PrefetchStripeReader::new(geom, input, capacity);
+                serial_reader = None;
+            } else {
+                serial_reader = Some(StripeReader::new(input));
+                prefetch_reader = PrefetchStripeReader::empty();
+            }
             loop {
                 let mut load: Vec<R> = Vec::with_capacity(capacity);
                 while load.len() < capacity {
-                    match reader.next_stripe(array, capacity - load.len())? {
+                    let stripe = match &mut serial_reader {
+                        Some(r) => r.next_stripe(array, capacity - load.len())?,
+                        None => prefetch_reader.next_stripe(array)?,
+                    };
+                    match stripe {
                         Some(records) => load.extend(records),
                         None => break,
                     }
@@ -92,7 +132,11 @@ pub fn form_runs<R: Record, A: DiskArray<R>>(
                     break;
                 }
                 crate::par_sort::par_sort_by_key(&mut load, threads);
-                let mut w = RunWriter::new(geom, place());
+                let mut w = if pipeline {
+                    RunWriter::new_pipelined(geom, place())
+                } else {
+                    RunWriter::new(geom, place())
+                };
                 for rec in load {
                     w.push(array, rec)?;
                 }
@@ -101,7 +145,7 @@ pub fn form_runs<R: Record, A: DiskArray<R>>(
             Ok(out)
         }
         RunFormation::ReplacementSelection => {
-            replacement_selection(array, input, place)
+            replacement_selection(array, input, pipeline, place)
         }
     }
 }
@@ -140,11 +184,119 @@ impl<'a> StripeReader<'a> {
     }
 }
 
+/// One planned parallel input read: the exact addresses (and record
+/// yield) the serial [`StripeReader`] would fetch in one operation.
+struct StripePlan {
+    addrs: Vec<BlockAddr>,
+    records: usize,
+}
+
+/// Replay the serial reader's op arithmetic over the whole input:
+/// within each memory load, `want = capacity − filled` decides the op
+/// width exactly as [`StripeReader::next_stripe`] does, so the planned
+/// sequence is the serial sequence, op for op and block for block.
+fn plan_stripe_ops(geom: Geometry, input: &StripedRun, capacity: usize) -> VecDeque<StripePlan> {
+    let b = geom.b;
+    let block_records = |i: u64| -> usize {
+        if i + 1 == input.len_blocks {
+            (input.records - (input.len_blocks - 1) * b as u64) as usize
+        } else {
+            b
+        }
+    };
+    let mut ops = VecDeque::new();
+    let mut next_block = 0u64;
+    while next_block < input.len_blocks {
+        let mut filled = 0usize;
+        while filled < capacity && next_block < input.len_blocks {
+            let want = capacity - filled;
+            let blocks_wanted = want.div_ceil(b).max(1).min(geom.d);
+            let hi = (next_block + blocks_wanted as u64).min(input.len_blocks);
+            let addrs: Vec<BlockAddr> = (next_block..hi).map(|i| input.addr_of(i)).collect();
+            let records = (next_block..hi).map(block_records).sum();
+            filled += records;
+            next_block = hi;
+            ops.push_back(StripePlan { addrs, records });
+        }
+    }
+    ops
+}
+
+/// Split-phase input reader: issues the planned serial op sequence via
+/// [`DiskArray::submit_read`], keeping up to one memory load of records
+/// in flight — the paper's §2.1 double buffer: while load `k` is sorted
+/// and written, load `k + 1` streams in.
+struct PrefetchStripeReader<R: Record> {
+    ops: VecDeque<StripePlan>,
+    in_flight: VecDeque<(ReadTicket<R>, usize)>,
+    in_flight_records: usize,
+    /// Records allowed in flight (`capacity` = one memory load).
+    budget: usize,
+}
+
+impl<R: Record> PrefetchStripeReader<R> {
+    fn new(geom: Geometry, input: &StripedRun, capacity: usize) -> Self {
+        PrefetchStripeReader {
+            ops: plan_stripe_ops(geom, input, capacity),
+            in_flight: VecDeque::new(),
+            in_flight_records: 0,
+            budget: capacity.max(1),
+        }
+    }
+
+    /// A reader that yields nothing (the serial-path placeholder).
+    fn empty() -> Self {
+        PrefetchStripeReader {
+            ops: VecDeque::new(),
+            in_flight: VecDeque::new(),
+            in_flight_records: 0,
+            budget: 1,
+        }
+    }
+
+    /// Submit planned ops until the in-flight budget is spent (always at
+    /// least one, so the reader cannot stall on an oversized op).
+    fn top_up<A: DiskArray<R>>(&mut self, array: &mut A) -> Result<()> {
+        while self
+            .ops
+            .front()
+            .is_some_and(|op| {
+                self.in_flight.is_empty() || self.in_flight_records + op.records <= self.budget
+            })
+        {
+            let Some(op) = self.ops.pop_front() else { break };
+            let ticket = array.submit_read(&op.addrs)?;
+            self.in_flight_records += op.records;
+            self.in_flight.push_back((ticket, op.records));
+        }
+        Ok(())
+    }
+
+    /// Retire the oldest in-flight op and immediately reuse its budget.
+    /// Returns `None` when the input is exhausted.
+    fn next_stripe<A: DiskArray<R>>(&mut self, array: &mut A) -> Result<Option<Vec<R>>> {
+        self.top_up(array)?;
+        let Some((ticket, n)) = self.in_flight.pop_front() else {
+            return Ok(None);
+        };
+        let blocks = array.complete_read(ticket)?;
+        self.in_flight_records -= n;
+        self.top_up(array)?;
+        let mut records = Vec::with_capacity(n);
+        for block in blocks {
+            records.extend(block.records);
+        }
+        debug_assert_eq!(records.len(), n, "planned record yield mismatch");
+        Ok(Some(records))
+    }
+}
+
 /// Replacement selection: heap entries are `(epoch, key, seq)` so that
 /// records frozen for the next run sink below every current-run record.
 fn replacement_selection<R: Record, A: DiskArray<R>>(
     array: &mut A,
     input: &StripedRun,
+    pipeline: bool,
     mut place: impl FnMut() -> DiskId,
 ) -> Result<Vec<StripedRun>> {
     let geom = array.geometry();
@@ -192,7 +344,11 @@ fn replacement_selection<R: Record, A: DiskArray<R>>(
     let mut epoch = 0u64;
     refill(&mut heap, &mut payloads, &mut pending, &mut reader, array, epoch, &mut seq)?;
     while !heap.is_empty() {
-        let mut writer = RunWriter::new(geom, place());
+        let mut writer = if pipeline {
+            RunWriter::new_pipelined(geom, place())
+        } else {
+            RunWriter::new(geom, place())
+        };
         loop {
             match heap.peek() {
                 Some(&Reverse((e, _, _))) if e == epoch => {}
@@ -371,6 +527,51 @@ mod tests {
             assert_eq!(sk, pk, "run contents must match serial formation");
         }
         verify_runs(&mut b, &parallel, &input_keys);
+    }
+
+    #[test]
+    fn pipelined_formation_matches_serial_exactly() {
+        // Same runs, layouts, and IoStats across shapes that exercise
+        // partial final blocks, partial final stripes, and both
+        // memory-load strategies.
+        for &(d, b, m, n, strategy) in &[
+            (2usize, 4usize, 64usize, 300usize, RunFormation::MemoryLoad { fraction: 0.5 }),
+            (4, 8, 256, 1_000, RunFormation::MemoryLoad { fraction: 0.5 }),
+            (3, 4, 96, 233, RunFormation::MemoryLoad { fraction: 1.0 }),
+            (4, 8, 256, 777, RunFormation::ParallelMemoryLoad { fraction: 0.5, threads: 3 }),
+            (2, 4, 64, 150, RunFormation::ReplacementSelection),
+        ] {
+            let mut rng = SmallRng::seed_from_u64(0xF0);
+            let geom = Geometry::new(d, b, m).unwrap();
+            let input_keys = random_input(&mut rng, n);
+
+            let mut a = MemDiskArray::new(geom);
+            let input_a = write_input(&mut a, geom, &input_keys);
+            a.reset_stats();
+            let serial = form_runs(&mut a, &input_a, strategy, || DiskId(0)).unwrap();
+            let serial_io = a.stats();
+
+            let mut p = MemDiskArray::new(geom);
+            let input_p = write_input(&mut p, geom, &input_keys);
+            p.reset_stats();
+            let piped = form_runs_pipelined(&mut p, &input_p, strategy, || DiskId(0)).unwrap();
+            let piped_io = p.stats();
+
+            let ctx = format!("d={d} b={b} m={m} n={n} strategy={strategy:?}");
+            assert_eq!(serial_io, piped_io, "IoStats diverged: {ctx}");
+            assert_eq!(serial.len(), piped.len(), "run count diverged: {ctx}");
+            for (s, q) in serial.iter().zip(&piped) {
+                assert_eq!(
+                    (s.start_disk, s.len_blocks, s.records, &s.base_offsets),
+                    (q.start_disk, q.len_blocks, q.records, &q.base_offsets),
+                    "run layout diverged: {ctx}"
+                );
+                let sk = read_run(&mut a, s).unwrap();
+                let qk = read_run(&mut p, q).unwrap();
+                assert_eq!(sk, qk, "run contents diverged: {ctx}");
+            }
+            verify_runs(&mut p, &piped, &input_keys);
+        }
     }
 
     #[test]

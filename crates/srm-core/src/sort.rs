@@ -13,8 +13,8 @@
 
 use crate::checkpoint::SortManifest;
 use crate::error::{Result, SrmError};
-use crate::merge::{merge_runs, MergeStats};
-use crate::run_formation::{form_runs, RunFormation};
+use crate::merge::{merge_runs, merge_runs_pipelined, MergeStats};
+use crate::run_formation::{form_runs, form_runs_pipelined, RunFormation};
 use crate::scheduler::ScheduleStats;
 use pdisk::{Block, DiskArray, DiskId, Forecast, IoStats, Record, RedundancyInfo, StripedRun};
 use rand::rngs::SmallRng;
@@ -151,6 +151,11 @@ impl Placer {
 #[derive(Debug, Clone, Default)]
 pub struct SrmSorter {
     config: SrmConfig,
+    /// Use the pipelined merge engine ([`merge_runs_pipelined`]).  Not
+    /// part of [`SrmConfig`] because it does not affect the I/O schedule
+    /// or the output — checkpoint manifests stay compatible, and a sort
+    /// may even be resumed under the other engine.
+    pipeline: bool,
 }
 
 /// Pass-boundary callback threaded through `sort_inner`; see
@@ -160,7 +165,26 @@ type PassObserver<'a, A> = &'a mut dyn FnMut(u64, &mut A) -> Result<()>;
 impl SrmSorter {
     /// Sorter with the given configuration.
     pub fn new(config: SrmConfig) -> Self {
-        SrmSorter { config }
+        SrmSorter {
+            config,
+            pipeline: false,
+        }
+    }
+
+    /// Overlap disk time with merge time: run every merge through
+    /// [`merge_runs_pipelined`] (read-ahead via split-phase reads,
+    /// write-behind on the output run).  The I/O schedule, the output,
+    /// the [`IoStats`] deltas, and the model-check trace's operation
+    /// sequence are identical to the serial engine; only wall-clock
+    /// behavior on a real backend changes.
+    pub fn with_pipeline(mut self, on: bool) -> Self {
+        self.pipeline = on;
+        self
+    }
+
+    /// Whether merges run on the pipelined engine.
+    pub fn pipeline(&self) -> bool {
+        self.pipeline
     }
 
     /// The configuration in use.
@@ -261,8 +285,13 @@ impl SrmSorter {
                     // Run formation is pass 0; merge passes count from 1.
                     sink.begin_pass(0);
                 }
-                let queue =
-                    form_runs(array, input, self.config.run_formation, || placer.next())?;
+                let queue = if self.pipeline {
+                    form_runs_pipelined(array, input, self.config.run_formation, || {
+                        placer.next()
+                    })?
+                } else {
+                    form_runs(array, input, self.config.run_formation, || placer.next())?
+                };
                 let runs_formed = queue.len();
                 if let Some(obs) = observer.as_deref_mut() {
                     obs(0, array)?;
@@ -293,7 +322,11 @@ impl SrmSorter {
                     next.push(group[0].clone());
                     continue;
                 }
-                let out = merge_runs(array, group, placer.next())?;
+                let out = if self.pipeline {
+                    merge_runs_pipelined(array, group, placer.next())?
+                } else {
+                    merge_runs(array, group, placer.next())?
+                };
                 report.merges += 1;
                 accumulate(&mut report.schedule, &out.stats);
                 next.push(out.run);
