@@ -16,6 +16,7 @@
 //! pass <completed merge passes>
 //! parity <stripe_disks>            (optional: array ran under parity)
 //! dead <disk_id> ...               (optional: disks dead at snapshot time)
+//! generation <u64>                 (optional: monotonic save counter, absent = 0)
 //! runs <count>
 //! run <start_stripe> <len_stripes> <records>
 //! ...
@@ -27,8 +28,13 @@
 //! array can only be resumed by an array that knows the same disks are
 //! dead (see [`DsmManifest::validate_redundancy`]).
 //!
-//! Written atomically (temp file + rename) with an FNV-1a checksum line,
-//! so a torn manifest is detected, never trusted.
+//! Saves are journaled exactly like `srm-core::checkpoint`: the previous
+//! valid manifest is rotated to `<path>.prev`, the new one is written to
+//! `<path>.tmp`, fsynced, and renamed into place with a monotonic
+//! **generation number** one past the newest valid generation on disk.
+//! Recovery ([`DsmManifest::load_latest`]) picks the newest *valid*
+//! candidate, so a crash torn mid-save falls back to the journaled
+//! predecessor instead of trusting a half-written file.
 //!
 //! One DSM-specific caveat: resuming requires the array's per-disk bump
 //! allocators to still be in lockstep (see [`crate::logical::alloc_stripe`]).
@@ -59,6 +65,10 @@ pub struct DsmManifest {
     pub pass: u64,
     /// Redundancy geometry at snapshot time (`None` for a plain array).
     pub redundancy: Option<RedundancyInfo>,
+    /// Monotonic save counter (0 until first saved).  Each journaled
+    /// save writes one past the newest valid generation on disk, and
+    /// [`Self::load_latest`] resumes from the largest valid one.
+    pub generation: u64,
     /// Surviving runs, in merge-queue order.
     pub runs: Vec<LogicalRun>,
 }
@@ -139,6 +149,9 @@ impl DsmManifest {
                 s.push('\n');
             }
         }
+        if self.generation > 0 {
+            s.push_str(&format!("generation {}\n", self.generation));
+        }
         s.push_str(&format!("runs {}\n", self.runs.len()));
         for run in &self.runs {
             s.push_str(&format!(
@@ -207,6 +220,14 @@ impl DsmManifest {
             }
             redundancy = Some(RedundancyInfo { stripe_disks, dead });
         }
+        // Optional generation line; manifests from before journaled saves
+        // carry none and read as generation 0.
+        let mut generation = 0u64;
+        if lines.peek().is_some_and(|l| l.starts_with("generation ")) {
+            generation = take_field(&mut lines, "generation")?
+                .parse()
+                .map_err(|_| bad("generation"))?;
+        }
         let count: usize = take_field(&mut lines, "runs")?
             .parse()
             .map_err(|_| bad("runs count"))?;
@@ -232,16 +253,34 @@ impl DsmManifest {
             runs_formed,
             pass,
             redundancy,
+            generation,
             runs,
         })
     }
 
-    /// Write atomically: temp file, fsync, rename.
-    pub fn save(&self, path: &Path) -> Result<(), DsmError> {
+    /// Write journaled and atomic.  The previous valid manifest at
+    /// `path` is first rotated to `<path>.prev`; the new manifest is
+    /// then serialized to `<path>.tmp`, fsynced, and renamed over
+    /// `path`, stamped with a generation one past the newest valid
+    /// generation already on disk.  A crash at any point leaves at
+    /// least one valid manifest for [`Self::load_latest`] to pick up.
+    pub fn save(&mut self, path: &Path) -> Result<(), DsmError> {
         let ckpt = |e: std::io::Error| {
             DsmError::Checkpoint(format!("cannot write manifest {}: {e}", path.display()))
         };
-        let tmp = path.with_extension("tmp");
+        let prev = manifest_sibling(path, "prev");
+        let newest = [path, prev.as_path()]
+            .into_iter()
+            .filter_map(|p| Self::load(p).ok())
+            .map(|m| m.generation)
+            .max();
+        self.generation = newest.map_or(1, |g| g + 1);
+        // Rotate only a *valid* current manifest: renaming a torn one
+        // over `.prev` would clobber the good fallback copy.
+        if path.exists() && Self::load(path).is_ok() {
+            std::fs::rename(path, &prev).map_err(ckpt)?;
+        }
+        let tmp = manifest_sibling(path, "tmp");
         let mut f = std::fs::File::create(&tmp).map_err(ckpt)?;
         f.write_all(self.encode().as_bytes()).map_err(ckpt)?;
         f.sync_all().map_err(ckpt)?;
@@ -258,17 +297,80 @@ impl DsmManifest {
         Self::parse(&text)
     }
 
-    /// Delete a completed sort's manifest; a missing file is fine.
-    pub fn remove(path: &Path) -> Result<(), DsmError> {
-        match std::fs::remove_file(path) {
-            Ok(()) => Ok(()),
-            Err(e) if e.kind() == std::io::ErrorKind::NotFound => Ok(()),
-            Err(e) => Err(DsmError::Checkpoint(format!(
-                "cannot remove manifest {}: {e}",
+    /// Recovery rule: the newest *valid* manifest among `path` and its
+    /// `.prev` journal sibling.
+    ///
+    /// * No candidate file exists → `Ok(None)` (nothing to resume).
+    /// * At least one candidate parses and passes its checksum → the one
+    ///   with the largest generation.
+    /// * Candidates exist but every one is torn or corrupt → an error;
+    ///   resuming blind would re-sort from scratch and clobber state
+    ///   the operator may want to inspect.
+    pub fn load_latest(path: &Path) -> Result<Option<Self>, DsmError> {
+        let prev = manifest_sibling(path, "prev");
+        let candidates = [path, prev.as_path()];
+        let mut best: Option<Self> = None;
+        let mut existed = 0u32;
+        let mut last_err = None;
+        for p in candidates {
+            if !p.exists() {
+                continue;
+            }
+            existed += 1;
+            match Self::load(p) {
+                Ok(m) if best.as_ref().is_none_or(|b| m.generation > b.generation) => {
+                    best = Some(m);
+                }
+                Ok(_) => {}
+                Err(e) => last_err = Some(e),
+            }
+        }
+        match (best, existed, last_err) {
+            (Some(m), _, _) => Ok(Some(m)),
+            (None, 0, _) => Ok(None),
+            (None, _, Some(e)) => Err(DsmError::Checkpoint(format!(
+                "every manifest candidate for {} is corrupt (last error: {e})",
+                path.display()
+            ))),
+            (None, _, None) => Err(DsmError::Checkpoint(format!(
+                "every manifest candidate for {} is unreadable",
                 path.display()
             ))),
         }
     }
+
+    /// Delete a completed sort's manifest, including its `.prev` journal
+    /// sibling and any orphaned `.tmp`; missing files are fine (the sort
+    /// may never have checkpointed).
+    pub fn remove(path: &Path) -> Result<(), DsmError> {
+        for p in [
+            path.to_path_buf(),
+            manifest_sibling(path, "prev"),
+            manifest_sibling(path, "tmp"),
+        ] {
+            match std::fs::remove_file(&p) {
+                Ok(()) => {}
+                Err(e) if e.kind() == std::io::ErrorKind::NotFound => {}
+                Err(e) => {
+                    return Err(DsmError::Checkpoint(format!(
+                        "cannot remove manifest {}: {e}",
+                        p.display()
+                    )))
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+/// `<path>.<suffix>` with the suffix *appended* (not replacing an
+/// existing extension), so `sort.manifest` journals beside itself as
+/// `sort.manifest.prev` / `sort.manifest.tmp`.
+pub(crate) fn manifest_sibling(path: &Path, suffix: &str) -> std::path::PathBuf {
+    let mut os = path.as_os_str().to_owned();
+    os.push(".");
+    os.push(suffix);
+    std::path::PathBuf::from(os)
 }
 
 /// Consume the next manifest line, which must be `<name> <value>`, and
@@ -317,6 +419,7 @@ mod tests {
             runs_formed: 63,
             pass: 1,
             redundancy: None,
+            generation: 0,
             runs: vec![
                 LogicalRun {
                     start_stripe: 400,
@@ -344,6 +447,49 @@ mod tests {
         let broken = text.replace("run 400 30 240", "run 401 30 240");
         assert!(DsmManifest::parse(&broken).is_err());
         assert!(DsmManifest::parse(&text[..text.len() - 20]).is_err());
+    }
+
+    #[test]
+    fn saves_journal_the_previous_generation() {
+        let dir = std::env::temp_dir().join(format!("dsm-manifest-gen-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("dsm.manifest");
+        let mut m = sample();
+        m.save(&path).unwrap();
+        assert_eq!(m.generation, 1);
+        m.pass = 2;
+        m.save(&path).unwrap();
+        assert_eq!(m.generation, 2);
+        assert_eq!(DsmManifest::load_latest(&path).unwrap().unwrap(), m);
+        let prev = DsmManifest::load(&manifest_sibling(&path, "prev")).unwrap();
+        assert_eq!((prev.generation, prev.pass), (1, 1));
+        DsmManifest::remove(&path).unwrap();
+        assert!(!path.exists() && !manifest_sibling(&path, "prev").exists());
+        assert!(DsmManifest::load_latest(&path).unwrap().is_none());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn load_latest_falls_back_to_the_previous_valid_generation() {
+        let dir = std::env::temp_dir().join(format!("dsm-manifest-fb-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("dsm.manifest");
+        let mut m = sample();
+        m.save(&path).unwrap();
+        m.pass = 2;
+        m.save(&path).unwrap();
+        // Tear the newest generation: recovery falls back to gen 1.
+        std::fs::write(&path, "torn garbage").unwrap();
+        let got = DsmManifest::load_latest(&path).unwrap().unwrap();
+        assert_eq!((got.generation, got.pass), (1, 1));
+        // Tear the journal too: every candidate corrupt is an error,
+        // not a silent fresh start.
+        std::fs::write(manifest_sibling(&path, "prev"), "also torn").unwrap();
+        let err = DsmManifest::load_latest(&path).unwrap_err();
+        assert!(err.to_string().contains("corrupt"), "{err}");
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

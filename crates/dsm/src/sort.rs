@@ -190,9 +190,11 @@ impl DsmSorter {
             .map_err(|e| DsmError::Config(e.to_string()))?;
         let io_before = array.stats();
 
+        // Recovery rule: newest valid manifest generation wins; a torn
+        // current manifest falls back to its journaled predecessor.
         let resume = match manifest {
-            Some(path) if path.exists() => Some(DsmManifest::load(path)?),
-            _ => None,
+            Some(path) => DsmManifest::load_latest(path)?,
+            None => None,
         };
         let (mut queue, mut pass, runs_formed) = match resume {
             Some(m) => {
@@ -249,7 +251,7 @@ impl DsmSorter {
                     obs(0, array)?;
                 }
                 if let Some(path) = manifest {
-                    snapshot(path, geom, input, runs_formed, 0, array.redundancy(), &queue)?;
+                    snapshot(path, input, runs_formed, 0, array, &queue)?;
                 }
                 (queue, 0, runs_formed)
             }
@@ -275,7 +277,7 @@ impl DsmSorter {
             }
             if let Some(path) = manifest {
                 if queue.len() > 1 {
-                    snapshot(path, geom, input, runs_formed, pass, array.redundancy(), &queue)?;
+                    snapshot(path, input, runs_formed, pass, array, &queue)?;
                 }
             }
         }
@@ -299,21 +301,25 @@ impl DsmSorter {
     }
 }
 
-fn snapshot(
+fn snapshot<R: Record, A: DiskArray<R>>(
     path: &Path,
-    geometry: pdisk::Geometry,
     input: &LogicalRun,
     runs_formed: usize,
     pass: u64,
-    redundancy: Option<pdisk::RedundancyInfo>,
+    array: &mut A,
     queue: &[LogicalRun],
 ) -> Result<(), DsmError> {
+    // Durability barrier: every block the manifest is about to reference
+    // must be on stable storage before the manifest claims the pass
+    // completed.
+    array.sync()?;
     DsmManifest {
-        geometry,
+        geometry: array.geometry(),
         records: input.records,
         runs_formed: runs_formed as u64,
         pass,
-        redundancy,
+        redundancy: array.redundancy(),
+        generation: 0,
         runs: queue.to_vec(),
     }
     .save(path)

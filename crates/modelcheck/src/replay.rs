@@ -65,6 +65,8 @@ pub struct CheckSummary {
     pub reads: u64,
     /// Logical parallel writes.
     pub writes: u64,
+    /// Durable write completions (`WriteDurable` events).
+    pub durable_writes: u64,
     /// Parity commits checked for placement.
     pub parity_commits: u64,
     /// Degraded-mode reconstructions checked.
@@ -220,6 +222,11 @@ pub struct Replay {
     /// Addresses of the most recent logical `Read`, for cross-checking
     /// scheduler targets against what was actually fetched.
     last_read: Option<Vec<BlockAddr>>,
+    /// Addresses whose logical `Write` has no matching `WriteDurable`
+    /// yet — the window a crash can tear.  Reading one of these is the
+    /// recovery-invariant violation: nothing may depend on a frame
+    /// whose write never durably completed.
+    undurable: BTreeSet<BlockAddr>,
     summary: CheckSummary,
 }
 
@@ -231,6 +238,7 @@ impl Replay {
             merge: None,
             writer: None,
             last_read: None,
+            undurable: BTreeSet::new(),
             summary: CheckSummary::default(),
         }
     }
@@ -253,13 +261,25 @@ impl Replay {
             TraceEvent::Read { addrs } => {
                 check_op_disks("read", addrs.iter().map(|a| a.disk), d)?;
                 self.summary.reads += 1;
+                if let Some(addr) = addrs.iter().copied().find(|a| self.undurable.contains(a)) {
+                    return Err(ViolationKind::ReadBeforeDurableWrite { addr });
+                }
                 self.last_read = Some(addrs.clone());
                 Ok(())
             }
             TraceEvent::Write { addrs } => {
                 check_op_disks("write", addrs.iter().map(|a| a.disk), d)?;
                 self.summary.writes += 1;
+                self.undurable.extend(addrs.iter().copied());
                 self.on_run_write(addrs)
+            }
+            TraceEvent::WriteDurable { addrs } => {
+                check_op_disks("durable write", addrs.iter().map(|a| a.disk), d)?;
+                self.summary.durable_writes += 1;
+                for a in addrs {
+                    self.undurable.remove(a);
+                }
+                Ok(())
             }
             TraceEvent::PhysRead { addrs } => {
                 check_op_disks("phys-read", addrs.iter().map(|a| a.disk), d)
@@ -1093,6 +1113,39 @@ mod tests {
             len_blocks: len,
             base_offsets: vec![0; 3],
         }
+    }
+
+    #[test]
+    fn read_inside_the_durability_gap_is_flagged() {
+        let a = BlockAddr::new(DiskId(0), 0);
+        let t = tag(vec![
+            TraceEvent::Write { addrs: vec![a] },
+            TraceEvent::Read { addrs: vec![a] },
+        ]);
+        let v = match check_trace(geom(), &t) {
+            Err(v) => v,
+            Ok(s) => panic!("accepted a read of an undurable write: {s:?}"),
+        };
+        assert!(
+            matches!(v.kind, ViolationKind::ReadBeforeDurableWrite { addr } if addr == a),
+            "got {v}"
+        );
+    }
+
+    #[test]
+    fn durably_completed_writes_may_be_read() {
+        let a = BlockAddr::new(DiskId(0), 0);
+        let t = tag(vec![
+            TraceEvent::Write { addrs: vec![a] },
+            TraceEvent::WriteDurable { addrs: vec![a] },
+            TraceEvent::Read { addrs: vec![a] },
+        ]);
+        let s = match check_trace(geom(), &t) {
+            Ok(s) => s,
+            Err(v) => panic!("rejected a durably-completed write: {v}"),
+        };
+        assert_eq!(s.durable_writes, 1);
+        assert_eq!(s.reads, 1);
     }
 
     #[test]

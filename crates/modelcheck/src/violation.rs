@@ -5,7 +5,7 @@
 //! failing check reads like a line in the paper's proof being broken:
 //! "event #812 (pass 2): parallel read touches disk 3 twice".
 
-use pdisk::DiskId;
+use pdisk::{BlockAddr, DiskId};
 
 /// Identity of a block inside one merge: `(min key, run, block idx)` —
 /// the total order every rank computation uses.
@@ -265,6 +265,14 @@ pub enum ViolationKind {
         /// The disk being reconstructed.
         disk: DiskId,
     },
+    /// A parallel read touched a block whose logical write was never
+    /// followed by a durable completion (`WriteDurable`) — after a
+    /// crash, such a frame may be torn or absent, so nothing
+    /// recoverable may depend on it.
+    ReadBeforeDurableWrite {
+        /// The address read inside the durability gap.
+        addr: BlockAddr,
+    },
     /// A counter in [`pdisk::IoStats`] disagrees with the events in the
     /// trace (e.g. parity work leaking into the logical-op counters).
     StatsMismatch {
@@ -392,6 +400,11 @@ impl std::fmt::Display for ViolationKind {
             ViolationKind::ReconstructReadsTarget { stripe, disk } => write!(
                 f,
                 "reconstruction of {disk} in stripe {stripe} lists its own target as a sibling"
+            ),
+            ViolationKind::ReadBeforeDurableWrite { addr } => write!(
+                f,
+                "read of {addr:?} inside its durability gap: the write was \
+                 submitted but never durably completed"
             ),
             ViolationKind::StatsMismatch { counter, from_trace, from_stats } => write!(
                 f,

@@ -32,6 +32,11 @@ pub(crate) enum ReadState<R: Record> {
 pub struct ReadTicket<R: Record> {
     pub(crate) addrs: Vec<BlockAddr>,
     pub(crate) state: ReadState<R>,
+    /// How many I/O issues the submit phase consumed (≥ 1).  Backends
+    /// always issue once; [`crate::RetryingDiskArray`] records its retry
+    /// spend here so the completion phase can share one per-logical-op
+    /// attempt budget with the submit instead of starting a fresh one.
+    pub(crate) issues: u32,
 }
 
 impl<R: Record> ReadTicket<R> {
@@ -39,6 +44,7 @@ impl<R: Record> ReadTicket<R> {
         ReadTicket {
             addrs,
             state: ReadState::Ready(blocks),
+            issues: 1,
         }
     }
 
@@ -46,6 +52,7 @@ impl<R: Record> ReadTicket<R> {
         ReadTicket {
             addrs,
             state: ReadState::Pending(replies),
+            issues: 1,
         }
     }
 
@@ -134,6 +141,19 @@ pub struct RedundancyInfo {
     pub stripe_disks: usize,
     /// Disks currently dead, whose blocks are served by reconstruction.
     pub dead: Vec<DiskId>,
+}
+
+/// What a [`DiskArray::scrub_block`] pass found (and did) at one block.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ScrubOutcome {
+    /// The block read back and verified clean.
+    Clean,
+    /// The block was corrupt and a redundancy layer rewrote it in place
+    /// from reconstructed content; it now verifies clean.
+    Repaired,
+    /// The block is corrupt (or lost) and no layer of the stack can
+    /// reconstruct it; the message says why.
+    Unrepairable(String),
 }
 
 /// An array of `D` independent disks addressed in blocks.
@@ -232,6 +252,33 @@ pub trait DiskArray<R: Record> {
         match ticket.state {
             WriteState::Ready => Ok(()),
             WriteState::Pending(_) => Err(PdiskError::TicketMismatch),
+        }
+    }
+
+    /// Durability barrier: flush everything written so far to stable
+    /// storage before returning.  Simulation backends are trivially
+    /// durable, so the default is a no-op; [`crate::FileDiskArray`]
+    /// overrides it with a per-disk `fsync`, and redundancy layers also
+    /// flush their own sidecar state (e.g. the parity store).  Checkpoint
+    /// writers call this *before* publishing a manifest so the manifest
+    /// never references data that could be lost to a crash.
+    fn sync(&mut self) -> Result<()> {
+        Ok(())
+    }
+
+    /// Verify one block's integrity, repairing it in place when a
+    /// redundancy layer can.  The default merely reads the block (one
+    /// width-1 parallel operation, charged as usual): a clean read is
+    /// [`ScrubOutcome::Clean`], a checksum failure is
+    /// [`ScrubOutcome::Unrepairable`] because a plain backend has no
+    /// second copy to heal from.  [`crate::ParityDiskArray`] overrides
+    /// this to reconstruct the frame from parity and rewrite it.
+    /// Non-integrity errors (bad address, dead process) propagate.
+    fn scrub_block(&mut self, addr: BlockAddr) -> Result<ScrubOutcome> {
+        match self.read(&[addr]) {
+            Ok(_) => Ok(ScrubOutcome::Clean),
+            Err(e @ PdiskError::Corrupt(_)) => Ok(ScrubOutcome::Unrepairable(e.to_string())),
+            Err(e) => Err(e),
         }
     }
 

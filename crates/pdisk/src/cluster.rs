@@ -167,6 +167,38 @@ impl<R: Record, A: DiskArray<R>> DiskArray<R> for ClusteredDiskArray<R, A> {
     fn reset_stats(&mut self) {
         self.inner.reset_stats();
     }
+
+    fn sync(&mut self) -> Result<()> {
+        self.inner.sync()
+    }
+
+    /// Scrub every physical block of the logical mini-stripe and fold
+    /// the outcomes: any unrepairable member poisons the logical block,
+    /// otherwise one repair suffices to report it repaired.
+    fn scrub_block(&mut self, addr: BlockAddr) -> Result<crate::backend::ScrubOutcome> {
+        use crate::backend::ScrubOutcome;
+        if addr.disk.index() >= self.logical.d {
+            return Err(PdiskError::NoSuchDisk(addr.disk));
+        }
+        let phys: Vec<BlockAddr> = self.physical_addrs(addr).collect();
+        let mut repaired = false;
+        for pa in phys {
+            match self.inner.scrub_block(pa)? {
+                ScrubOutcome::Clean => {}
+                ScrubOutcome::Repaired => repaired = true,
+                ScrubOutcome::Unrepairable(why) => {
+                    return Ok(ScrubOutcome::Unrepairable(format!(
+                        "physical member {pa:?} of logical block {addr:?}: {why}"
+                    )));
+                }
+            }
+        }
+        Ok(if repaired {
+            ScrubOutcome::Repaired
+        } else {
+            ScrubOutcome::Clean
+        })
+    }
 }
 
 #[cfg(test)]

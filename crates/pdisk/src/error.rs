@@ -93,6 +93,17 @@ pub enum PdiskError {
     /// finish: the ticket is pending on a different backend's in-flight
     /// I/O (tickets must be completed by the array that issued them).
     TicketMismatch,
+    /// A simulated process crash injected by [`crate::CrashingDiskArray`]
+    /// fired at numbered I/O boundary `point`.  The array is poisoned:
+    /// every subsequent operation fails with the same error, mimicking a
+    /// dead process until the harness "reboots" (unwraps and re-wraps the
+    /// array).  Never retryable — a crashed process cannot retry.
+    Crashed {
+        /// The crash point (boundary number) that fired.
+        point: u64,
+        /// Human-readable label for the boundary kind (e.g. `write-torn`).
+        label: &'static str,
+    },
     /// A [`crate::FileDiskArray`] directory is already open — by this
     /// process or (per its lock file) by a live process `holder`.  Two
     /// handles on the same directory would silently interleave writes
@@ -147,6 +158,9 @@ impl std::fmt::Display for PdiskError {
             }
             PdiskError::TicketMismatch => {
                 f.write_str("split-phase ticket completed on a backend that did not issue it")
+            }
+            PdiskError::Crashed { point, label } => {
+                write!(f, "simulated process crash at I/O boundary {point} ({label})")
             }
             PdiskError::ArrayLocked { dir, holder } => {
                 write!(
@@ -245,6 +259,14 @@ mod tests {
         assert!(PdiskError::Corrupt("torn".into()).is_retryable());
         assert!(!PdiskError::NoSuchDisk(DiskId(0)).is_retryable());
         assert!(!PdiskError::Unrecoverable("two disks down".into()).is_retryable());
+        assert!(!PdiskError::Crashed { point: 7, label: "write-torn" }.is_retryable());
+    }
+
+    #[test]
+    fn crashed_display_names_point_and_label() {
+        let e = PdiskError::Crashed { point: 42, label: "read-submit" };
+        let text = e.to_string();
+        assert!(text.contains("42") && text.contains("read-submit") && text.contains("crash"));
     }
 
     #[test]

@@ -498,6 +498,20 @@ impl<R: Record, A: DiskArray<R>> DiskArray<R> for FaultyDiskArray<R, A> {
     // submit_write / complete_write use the trait defaults, which route
     // through `self.write` and therefore this wrapper's injection logic.
 
+    fn sync(&mut self) -> Result<()> {
+        // A durability barrier is not a counted parallel op; no fault
+        // ordinal is consumed, so seeded fault sequences are unchanged
+        // by how often the sorter checkpoints.
+        self.inner.sync()
+    }
+
+    fn scrub_block(&mut self, addr: BlockAddr) -> Result<crate::backend::ScrubOutcome> {
+        // Scrubbing verifies the media below the injector: routing it
+        // through `self.read` would consume fault ordinals and make the
+        // sort's fault schedule depend on whether a scrub ran.
+        self.inner.scrub_block(addr)
+    }
+
     fn install_pool(&mut self, pool: BufferPool<R>) {
         self.inner.install_pool(pool);
     }

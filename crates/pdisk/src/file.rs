@@ -47,6 +47,14 @@ use crate::trace::{TraceEvent, TraceSink};
 /// Bytes of the leading per-slot checksum.
 const CHECKSUM_BYTES: usize = 8;
 
+/// How many whole trailing slots per disk a crash can tear.  The engines
+/// keep at most one write-behind ticket in flight in addition to the
+/// write being issued when the process dies, and each parallel write
+/// places at most one slot per disk — so at most two un-fsynced trailing
+/// slots per disk can be partially applied.  Checksum failures deeper
+/// than this window are structural corruption and refuse the reopen.
+const MAX_TORN_SLOTS: u64 = 2;
+
 /// Name of the advisory lock file guarding an array directory.
 const LOCK_FILE: &str = "pdisk.lock";
 
@@ -179,6 +187,13 @@ enum Job {
         /// caller can recycle them into the buffer pool.
         reply: Sender<io::Result<Vec<u8>>>,
     },
+    /// Durability barrier: `fsync` the disk file.  Because each worker
+    /// processes its queue in order, the barrier also *drains* every
+    /// write queued before it — a sync reply means those writes are on
+    /// stable storage, not merely in flight.
+    Sync {
+        reply: Sender<io::Result<()>>,
+    },
 }
 
 struct Worker {
@@ -202,6 +217,10 @@ pub struct FileDiskArray<R: Record> {
     /// device whose transfers take real time, making I/O–compute
     /// overlap measurable even on a fast local filesystem.
     io_delay_us: Arc<AtomicU64>,
+    /// Per-disk count of torn trailing frames (whole slots plus a
+    /// partial tail) dropped by the reopen recovery; all zero for a
+    /// freshly created array or a clean reopen.
+    torn_dropped: Vec<u64>,
     _lock: DirLock,
     _marker: std::marker::PhantomData<R>,
 }
@@ -238,6 +257,7 @@ impl<R: Record> FileDiskArray<R> {
         let io_delay_us = Arc::new(AtomicU64::new(0));
         let mut workers = Vec::with_capacity(geom.d);
         let mut next_free = vec![0u64; geom.d];
+        let mut torn_dropped = vec![0u64; geom.d];
         for (d, free) in next_free.iter_mut().enumerate() {
             let path = dir.join(format!("disk_{d:04}.bin"));
             let file = OpenOptions::new()
@@ -247,14 +267,18 @@ impl<R: Record> FileDiskArray<R> {
                 .truncate(truncate)
                 .open(&path)?;
             if !truncate {
-                // Recover the allocator from the file, tolerating exactly
-                // one torn slot at the tail (a crash mid-write; the
-                // per-disk worker serializes writes, so at most the last
-                // slot can be torn).  Verify *before* truncating: the slot
-                // preceding the torn tail must pass its checksum, so a
-                // reopen under the wrong geometry — where every slot
-                // boundary is misaligned — is refused rather than having
-                // real data sheared off.
+                // Recover the allocator from the file, tolerating a torn
+                // *parallel-write group* at the tail.  A crash can leave
+                // un-fsynced trailing slots partially applied on every
+                // disk of the group at once, and with one write-behind
+                // ticket in flight plus the write being issued, up to
+                // MAX_TORN_SLOTS whole slots per disk may be affected —
+                // not just the single last slot.  Verify *before*
+                // truncating: after dropping the torn tail, the surviving
+                // trailing slot must pass its checksum, so a reopen under
+                // the wrong geometry — where every slot boundary is
+                // misaligned — is refused rather than having real data
+                // sheared off.
                 let len = file.metadata()?.len();
                 let sb = slot_bytes as u64;
                 let (whole, rem) = (len / sb, len % sb);
@@ -266,27 +290,35 @@ impl<R: Record> FileDiskArray<R> {
                         path.display()
                     )))
                 };
-                let keep = if rem != 0 {
-                    // Partially written trailing slot.
-                    if whole >= 1 && slot_checksum_ok(&file, slot_bytes, whole - 1)? {
-                        whole
+                // Drop whole trailing slots that fail their checksum, up
+                // to the torn-write window.
+                let mut keep = whole;
+                let mut dropped = 0u64;
+                while keep > 0
+                    && dropped < MAX_TORN_SLOTS
+                    && !slot_checksum_ok(&file, slot_bytes, keep - 1)?
+                {
+                    keep -= 1;
+                    dropped += 1;
+                }
+                if keep > 0 && !slot_checksum_ok(&file, slot_bytes, keep - 1)? {
+                    // Corruption deeper than any torn write can reach.
+                    return refuse("a corrupt trailing region");
+                }
+                if keep == 0 && len > 0 {
+                    // A torn tail with no verified slot anywhere before
+                    // it: nothing anchors the slot size, so refuse
+                    // rather than guess.
+                    return refuse(if rem != 0 {
+                        "a partial trailing slot"
                     } else {
-                        return refuse("a partial trailing slot");
-                    }
-                } else if whole == 0 || slot_checksum_ok(&file, slot_bytes, whole - 1)? {
-                    whole
-                } else {
-                    // Full-length trailing slot that fails its checksum: a
-                    // torn write that reached the slot boundary.
-                    if whole >= 2 && slot_checksum_ok(&file, slot_bytes, whole - 2)? {
-                        whole - 1
-                    } else {
-                        return refuse("a corrupt trailing slot");
-                    }
-                };
+                        "a corrupt trailing slot"
+                    });
+                }
                 if keep * sb != len {
                     file.set_len(keep * sb)?;
                 }
+                torn_dropped[d] = dropped + u64::from(rem != 0);
                 *free = keep;
             }
             workers.push(Self::spawn_worker(d, file, Arc::clone(&io_delay_us))?);
@@ -302,6 +334,7 @@ impl<R: Record> FileDiskArray<R> {
             trace: None,
             pool: BufferPool::new(),
             io_delay_us,
+            torn_dropped,
             _lock: lock,
             _marker: std::marker::PhantomData,
         })
@@ -326,6 +359,9 @@ impl<R: Record> FileDiskArray<R> {
                             let res = file.write_all_at(&bytes, offset).map(|()| bytes);
                             let _ = reply.send(res);
                         }
+                        Job::Sync { reply } => {
+                            let _ = reply.send(file.sync_all());
+                        }
                     }
                 }
             })?;
@@ -338,6 +374,14 @@ impl<R: Record> FileDiskArray<R> {
     /// Directory holding the disk files.
     pub fn dir(&self) -> &Path {
         &self.dir
+    }
+
+    /// Per-disk count of torn trailing frames dropped by the last
+    /// reopen's recovery — how much of an interrupted parallel-write
+    /// group was detected and discarded on each disk.  All zero for a
+    /// fresh array or a clean reopen.
+    pub fn torn_frames_dropped(&self) -> &[u64] {
+        &self.torn_dropped
     }
 
     /// Bytes a block slot occupies on disk.
@@ -640,6 +684,25 @@ impl<R: Record> DiskArray<R> for FileDiskArray<R> {
         }
     }
 
+    /// Durability barrier: drain every queued write and `fsync` all `D`
+    /// disk files before returning.  Worker queues are processed in
+    /// order, so a completed sync means every write submitted before it
+    /// — including abandoned write-behind tickets — is on stable
+    /// storage.  Checkpoint writers call this before publishing a
+    /// manifest.
+    fn sync(&mut self) -> Result<()> {
+        let mut replies = Vec::with_capacity(self.workers.len());
+        for w in &self.workers {
+            let (tx, rx) = bounded(1);
+            w.tx.send(Job::Sync { reply: tx }).map_err(|_| worker_gone())?;
+            replies.push(rx);
+        }
+        for rx in replies {
+            rx.recv().map_err(|_| worker_gone())??;
+        }
+        Ok(())
+    }
+
     fn install_pool(&mut self, pool: BufferPool<R>) {
         self.pool = pool;
     }
@@ -893,6 +956,115 @@ mod tests {
         assert_eq!(std::fs::metadata(&path).unwrap().len(), slot);
         assert_eq!(a.read(&[BlockAddr::new(DiskId(0), 0)]).unwrap()[0], block);
         assert_eq!(a.alloc_contiguous(DiskId(0), 1).unwrap(), 1);
+        drop(a);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn open_recovers_a_torn_parallel_write_group() {
+        // A crash mid-group can leave torn trailing frames on SEVERAL
+        // disks at once — a full-length garbage slot on one, a partial
+        // slot on another — while a third disk's frame landed cleanly.
+        // Recovery must trim each member of the group independently and
+        // report what it dropped.
+        let g = Geometry::new(3, 3, 1000).unwrap();
+        let dir = tmpdir("torn-group");
+        let block = blk(&[1, 2, 3], Forecast::Next(9));
+        let slot;
+        {
+            let mut a: FileDiskArray<U64Record> = FileDiskArray::create(g, &dir).unwrap();
+            slot = a.slot_bytes() as u64;
+            // One clean full-width stripe everywhere.
+            let writes: Vec<_> = (0..3u32)
+                .map(|d| {
+                    let o = a.alloc_contiguous(DiskId(d), 1).unwrap();
+                    (BlockAddr::new(DiskId(d), o), block.clone())
+                })
+                .collect();
+            a.write(writes).unwrap();
+        }
+        // Torn group on top: disk 0 = full-length garbage slot, disk 1 =
+        // half a slot, disk 2 = untouched (its frame never made it out
+        // of the dead process).
+        let p0 = dir.join("disk_0000.bin");
+        let p1 = dir.join("disk_0001.bin");
+        let mut b0 = std::fs::read(&p0).unwrap();
+        b0.extend(vec![0x55u8; slot as usize]);
+        std::fs::write(&p0, &b0).unwrap();
+        let mut b1 = std::fs::read(&p1).unwrap();
+        b1.extend(vec![0xAAu8; slot as usize / 2]);
+        std::fs::write(&p1, &b1).unwrap();
+
+        let mut a: FileDiskArray<U64Record> = FileDiskArray::open(g, &dir).unwrap();
+        assert_eq!(a.torn_frames_dropped(), &[1, 1, 0]);
+        // Every disk is trimmed back to the last durable group.
+        for d in 0..3u32 {
+            assert_eq!(a.read(&[BlockAddr::new(DiskId(d), 0)]).unwrap()[0], block);
+            assert_eq!(a.alloc_contiguous(DiskId(d), 1).unwrap(), 1);
+        }
+        drop(a);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn open_recovers_two_torn_slots_but_refuses_deeper_corruption() {
+        let g = Geometry::new(2, 3, 1000).unwrap();
+        let dir = tmpdir("torn-window");
+        let block = blk(&[7, 8, 9], Forecast::Next(9));
+        let slot;
+        {
+            let mut a: FileDiskArray<U64Record> = FileDiskArray::create(g, &dir).unwrap();
+            slot = a.slot_bytes() as u64;
+            let o = a.alloc_contiguous(DiskId(0), 1).unwrap();
+            a.write(vec![(BlockAddr::new(DiskId(0), o), block.clone())])
+                .unwrap();
+        }
+        let path = dir.join("disk_0000.bin");
+        // Two garbage whole slots — the deepest a torn write-behind
+        // pipeline can reach — recover fine...
+        let clean = std::fs::read(&path).unwrap();
+        let mut bytes = clean.clone();
+        bytes.extend(vec![0x66u8; 2 * slot as usize]);
+        std::fs::write(&path, &bytes).unwrap();
+        {
+            let a: FileDiskArray<U64Record> = FileDiskArray::open(g, &dir).unwrap();
+            assert_eq!(a.torn_frames_dropped()[0], 2);
+            assert_eq!(std::fs::metadata(&path).unwrap().len(), slot);
+        }
+        // ...but three garbage slots exceed the window: that is not a
+        // torn write, and recovery must refuse instead of shearing.
+        let mut bytes = clean;
+        bytes.extend(vec![0x66u8; 3 * slot as usize]);
+        std::fs::write(&path, &bytes).unwrap();
+        let err = match FileDiskArray::<U64Record>::open(g, &dir) {
+            Ok(_) => panic!("corruption beyond the torn window must refuse"),
+            Err(e) => e,
+        };
+        assert!(matches!(err, PdiskError::Corrupt(_)), "got {err:?}");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn sync_drains_and_flushes_all_disks() {
+        let g = Geometry::new(2, 3, 1000).unwrap();
+        let dir = tmpdir("syncbar");
+        let mut a: FileDiskArray<U64Record> = FileDiskArray::create(g, &dir).unwrap();
+        let block = blk(&[1, 2, 3], Forecast::Next(9));
+        // Queue split-phase writes, then sync WITHOUT completing the
+        // tickets: the barrier must drain the worker queues, so the
+        // data is fully on disk afterwards.
+        let o0 = a.alloc_contiguous(DiskId(0), 1).unwrap();
+        let o1 = a.alloc_contiguous(DiskId(1), 1).unwrap();
+        let t = a
+            .submit_write(vec![
+                (BlockAddr::new(DiskId(0), o0), block.clone()),
+                (BlockAddr::new(DiskId(1), o1), block.clone()),
+            ])
+            .unwrap();
+        a.sync().unwrap();
+        let len = std::fs::metadata(dir.join("disk_0000.bin")).unwrap().len();
+        assert_eq!(len, a.slot_bytes() as u64, "write drained by the barrier");
+        a.complete_write(t).unwrap();
         drop(a);
         let _ = std::fs::remove_dir_all(&dir);
     }

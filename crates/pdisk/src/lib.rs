@@ -32,7 +32,11 @@
 //! * [`parity`] — single-disk-failure tolerance: [`ParityDiskArray`] adds
 //!   RAID-5-style rotating parity over any backend, serves a dead disk's
 //!   blocks by reconstruction (degraded mode), rebuilds onto a spare
-//!   online, and hedges straggler reads via [`ArrayTiming`].
+//!   online, and hedges straggler reads via [`ArrayTiming`];
+//! * [`crash`] — deterministic crash-point injection: [`CrashingDiskArray`]
+//!   numbers every I/O boundary with a shared [`CrashClock`] and can kill
+//!   the (simulated) process at any one of them, including torn multi-disk
+//!   writes where only a prefix of the frames landed.
 //!
 //! Stack order for a fully protected array, bottom to top:
 //! `RetryingDiskArray(ParityDiskArray(FaultyDiskArray(backend)))` — the
@@ -45,6 +49,7 @@ pub mod addr;
 pub mod backend;
 pub mod block;
 pub mod cluster;
+pub mod crash;
 pub mod error;
 pub mod faulty;
 pub mod file;
@@ -60,9 +65,10 @@ pub mod timing;
 pub mod trace;
 
 pub use addr::{BlockAddr, DiskId};
-pub use backend::{DiskArray, ReadTicket, RedundancyInfo, WriteTicket};
+pub use backend::{DiskArray, ReadTicket, RedundancyInfo, ScrubOutcome, WriteTicket};
 pub use block::{Block, Forecast};
 pub use cluster::ClusteredDiskArray;
+pub use crash::{CrashClock, CrashingDiskArray};
 pub use error::{FaultKind, FaultOp, PdiskError, Result};
 pub use faulty::{FaultModel, FaultPlan, FaultyDiskArray, ScriptedFault};
 pub use file::FileDiskArray;

@@ -39,8 +39,9 @@ use std::os::unix::fs::FileExt;
 use std::path::Path;
 
 use crate::addr::{BlockAddr, DiskId};
-use crate::backend::{DiskArray, RedundancyInfo};
+use crate::backend::{DiskArray, RedundancyInfo, ScrubOutcome};
 use crate::block::{Block, Forecast, NO_BLOCK};
+use crate::crash::CrashClock;
 use crate::error::{FaultKind, PdiskError, Result};
 use crate::geometry::Geometry;
 use crate::record::Record;
@@ -220,6 +221,7 @@ pub struct ParityDiskArray<R: Record, A: DiskArray<R>> {
     parity_writes: u64,
     hedged_reads: u64,
     store: Option<ParityStore>,
+    crash: Option<CrashClock>,
     _marker: std::marker::PhantomData<R>,
 }
 
@@ -250,6 +252,7 @@ impl<R: Record, A: DiskArray<R>> ParityDiskArray<R, A> {
             parity_writes: 0,
             hedged_reads: 0,
             store: None,
+            crash: None,
             _marker: std::marker::PhantomData,
         })
     }
@@ -291,6 +294,22 @@ impl<R: Record, A: DiskArray<R>> ParityDiskArray<R, A> {
         Ok(self)
     }
 
+    /// Share `clock` with a [`crate::CrashingDiskArray`] sitting above
+    /// this stack: the parity-commit section of every write then gets
+    /// its own numbered crash boundaries (`parity-update` /
+    /// `parity-updated`), so a crash-matrix sweep covers the window
+    /// where data frames are durable but the parity sidecar is not.
+    pub fn set_crash_clock(&mut self, clock: CrashClock) {
+        self.crash = Some(clock);
+    }
+
+    fn crash_tick(&self, label: &'static str) -> Result<()> {
+        match &self.crash {
+            Some(c) => c.tick(label),
+            None => Ok(()),
+        }
+    }
+
     /// Enable straggler hedging: a read addressed to a disk that
     /// `timing` reports at least `after ×` slower than the array's
     /// fastest disk is served by parity reconstruction instead of
@@ -314,6 +333,17 @@ impl<R: Record, A: DiskArray<R>> ParityDiskArray<R, A> {
     /// Unwrap.
     pub fn into_inner(self) -> A {
         self.inner
+    }
+
+    /// The physical slot (on the wrapped array) backing a logical
+    /// address, after the rotating-parity layout shift.  For tooling
+    /// and tests that need to reach below the parity layer — e.g. to
+    /// inject latent corruption a scrub should then heal.
+    pub fn physical_addr(&self, addr: BlockAddr) -> BlockAddr {
+        BlockAddr::new(
+            addr.disk,
+            phys_of(addr.disk.index(), addr.offset, self.geom.d as u64),
+        )
     }
 
     /// Disks currently served by reconstruction.
@@ -774,7 +804,12 @@ impl<R: Record, A: DiskArray<R>> DiskArray<R> for ParityDiskArray<R, A> {
                 Err(e) => return Err(e),
             }
         }
-        // All durable effects succeeded; commit parity exactly once.
+        // All durable effects succeeded; commit parity exactly once.  A
+        // crash landing between the inner write and this commit leaves
+        // the stripes' `written` bits unset, so the frames read back as
+        // unwritten and the sorter re-issues them after recovery —
+        // never a half-updated parity that would reconstruct garbage.
+        self.crash_tick("parity-update")?;
         let mut touched: BTreeSet<u64> = BTreeSet::new();
         for (i, pa) in pas.iter().enumerate() {
             let parity_disk_dead = self.dead.contains(&DiskId::from_mod(pa.offset, self.geom.d));
@@ -814,6 +849,7 @@ impl<R: Record, A: DiskArray<R>> DiskArray<R> for ParityDiskArray<R, A> {
                 });
             }
         }
+        self.crash_tick("parity-updated")?;
         Ok(())
     }
 
@@ -869,6 +905,99 @@ impl<R: Record, A: DiskArray<R>> DiskArray<R> for ParityDiskArray<R, A> {
             stripe_disks: self.geom.d,
             dead: self.dead.iter().copied().collect(),
         })
+    }
+
+    /// Durability barrier: flush the inner array first (data frames),
+    /// then the parity sidecar, so a crash between the two leaves
+    /// parity *behind* the data — the safe direction, since a stale
+    /// `written` mask merely re-exposes frames as unwritten.
+    fn sync(&mut self) -> Result<()> {
+        self.inner.sync()?;
+        if let Some(store) = &self.store {
+            store.file.sync_all()?;
+        }
+        Ok(())
+    }
+
+    /// Verify the block at `addr`; on a checksum failure in the inner
+    /// backend, reconstruct the frame from the stripe's parity and
+    /// rewrite it in place.  The rewrite goes straight to the inner
+    /// array: parity already reflects the *correct* frame (the
+    /// corruption is latent media damage below us), so updating it
+    /// again would wreck it.
+    fn scrub_block(&mut self, addr: BlockAddr) -> Result<ScrubOutcome> {
+        if addr.disk.index() >= self.geom.d {
+            return Err(PdiskError::NoSuchDisk(addr.disk));
+        }
+        if addr.offset >= self.logical_free[addr.disk.index()] {
+            return Err(PdiskError::UnmappedBlock(addr));
+        }
+        let dd = self.geom.d as u64;
+        let pa = BlockAddr::new(addr.disk, phys_of(addr.disk.index(), addr.offset, dd));
+        if !self.dead.contains(&addr.disk) {
+            match self.inner.read(&[pa]) {
+                Ok(_) => return Ok(ScrubOutcome::Clean),
+                Err(PdiskError::Corrupt(_)) => {}
+                Err(PdiskError::Fault {
+                    kind: FaultKind::Permanent,
+                    disk: Some(dead),
+                    ..
+                }) => {
+                    // The disk died under the scrubber; fall through to
+                    // the degraded verification path.
+                    self.mark_dead(dead)?;
+                }
+                Err(e) => return Err(e),
+            }
+        }
+        if self
+            .stripes
+            .get(&pa.offset)
+            .is_none_or(|st| st.written & (1 << pa.disk.index()) == 0)
+        {
+            return Ok(ScrubOutcome::Unrepairable(format!(
+                "block {addr:?} fails verification and its stripe holds no \
+                 parity state to rebuild it from"
+            )));
+        }
+        let frame = match self.reconstruct_frame(pa.offset, pa.disk) {
+            Ok(f) => f,
+            Err(PdiskError::Unrecoverable(why)) => {
+                return Ok(ScrubOutcome::Unrepairable(why));
+            }
+            // A corrupt sibling is a double failure in this stripe —
+            // that makes the block unrepairable, but it must not abort
+            // the scrub of every block behind it.
+            Err(PdiskError::Corrupt(why)) => {
+                return Ok(ScrubOutcome::Unrepairable(format!(
+                    "block {addr:?}: a stripe sibling is corrupt too: {why}"
+                )));
+            }
+            Err(e) => return Err(e),
+        };
+        let block = match self.decode_frame(&frame) {
+            Ok(b) => b,
+            Err(e) => {
+                return Ok(ScrubOutcome::Unrepairable(format!(
+                    "block {addr:?} reconstructed to garbage: {e}"
+                )));
+            }
+        };
+        self.reconstructed_reads += 1;
+        if self.dead.contains(&addr.disk) {
+            // Nothing to rewrite: the disk is gone, but the degraded
+            // read path serves the block, which is all a scrub can
+            // promise here.
+            return Ok(ScrubOutcome::Clean);
+        }
+        self.inner.write(vec![(pa, block)])?;
+        if let Some(sink) = self.inner.trace_sink() {
+            sink.emit(TraceEvent::ScrubRepair {
+                addr: pa,
+                stripe: pa.offset,
+            });
+        }
+        Ok(ScrubOutcome::Repaired)
     }
 
     fn install_trace(&mut self, sink: TraceSink) {
@@ -1173,6 +1302,97 @@ mod tests {
         let got = a.read(&[BlockAddr::new(DiskId(0), 1)]).unwrap();
         assert_eq!(got[0], expected(0, 1));
         assert_eq!(a.stats().hedged_reads, 1);
+    }
+
+    /// Like [`seeded`] but directly over [`MemDiskArray`], so tests can
+    /// reach [`MemDiskArray::corrupt_block`] through one `inner_mut`.
+    fn seeded_mem(d: usize, slots: u64) -> ParityDiskArray<U64Record, Mem> {
+        let geom = Geometry::new(d, 4, 1000).unwrap();
+        let mut a = ParityDiskArray::new(MemDiskArray::new(geom)).unwrap();
+        for disk in 0..d {
+            a.alloc_contiguous(DiskId(disk as u32), slots).unwrap();
+        }
+        for slot in 0..slots {
+            let writes: Vec<_> = (0..d)
+                .map(|disk| (BlockAddr::new(DiskId(disk as u32), slot), expected(disk, slot)))
+                .collect();
+            a.write(writes).unwrap();
+        }
+        a
+    }
+
+    #[test]
+    fn scrub_repairs_latent_corruption_in_place() {
+        use crate::backend::ScrubOutcome;
+        let mut a = seeded_mem(3, 4);
+        let logical = BlockAddr::new(DiskId(1), 2);
+        let pa = BlockAddr::new(DiskId(1), phys_of(1, 2, 3));
+        a.inner_mut().corrupt_block(pa).unwrap();
+        // Plain reads now fail: the damage is latent until touched.
+        assert!(matches!(a.read(&[logical]), Err(PdiskError::Corrupt(_))));
+        assert_eq!(a.scrub_block(logical).unwrap(), ScrubOutcome::Repaired);
+        // The rewrite healed the media; data and parity both intact.
+        assert_eq!(a.read(&[logical]).unwrap()[0], expected(1, 2));
+        assert_eq!(a.scrub_block(logical).unwrap(), ScrubOutcome::Clean);
+        assert!(a.stats().reconstructed_reads >= 1);
+    }
+
+    #[test]
+    fn scrub_on_a_dead_disk_verifies_the_degraded_path() {
+        use crate::backend::ScrubOutcome;
+        let mut a = seeded_mem(3, 2);
+        a.fail_disk(DiskId(2)).unwrap();
+        // Nothing to rewrite (the disk is gone) but the block is
+        // reconstructable, which is all a scrub can promise here.
+        assert_eq!(
+            a.scrub_block(BlockAddr::new(DiskId(2), 1)).unwrap(),
+            ScrubOutcome::Clean
+        );
+        assert!(a.stats().reconstructed_reads >= 1);
+    }
+
+    #[test]
+    fn scrub_reports_unrepairable_when_a_sibling_is_dead() {
+        use crate::backend::ScrubOutcome;
+        let mut a = seeded_mem(3, 2);
+        a.fail_disk(DiskId(0)).unwrap();
+        // Logical (1, 1) lives in stripe 2, whose reconstruction needs
+        // dead disk 0's member: corruption there is beyond repair.
+        let logical = BlockAddr::new(DiskId(1), 1);
+        let pa = BlockAddr::new(DiskId(1), phys_of(1, 1, 3));
+        assert_eq!(pa.offset, 2);
+        a.inner_mut().corrupt_block(pa).unwrap();
+        match a.scrub_block(logical).unwrap() {
+            ScrubOutcome::Unrepairable(why) => {
+                assert!(why.contains("dead"), "unexpected reason: {why}");
+            }
+            other => panic!("expected Unrepairable, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn crash_between_data_write_and_parity_commit_stays_consistent() {
+        let geom = Geometry::new(3, 4, 1000).unwrap();
+        let mut a = ParityDiskArray::new(MemDiskArray::<U64Record>::new(geom)).unwrap();
+        for d in 0..3 {
+            a.alloc_contiguous(DiskId(d), 1).unwrap();
+        }
+        let clock = crate::crash::CrashClock::crash_at(0);
+        a.set_crash_clock(clock.clone());
+        let writes: Vec<_> = (0..3)
+            .map(|d| (BlockAddr::new(DiskId(d), 0), expected(d as usize, 0)))
+            .collect();
+        let err = a.write(writes).unwrap_err();
+        assert!(matches!(err, PdiskError::Crashed { point: 0, .. }), "got {err:?}");
+        assert_eq!(clock.fired(), Some(0));
+        // Data frames landed below, but no stripe committed: recovery
+        // sees the frames as unwritten and re-issues them.
+        assert!(a.stripes.is_empty(), "parity committed despite the crash");
+        // The poisoned clock keeps refusing work, like a dead process.
+        let err = a
+            .write(vec![(BlockAddr::new(DiskId(0), 0), expected(0, 0))])
+            .unwrap_err();
+        assert!(matches!(err, PdiskError::Crashed { point: 0, .. }));
     }
 
     #[test]

@@ -82,9 +82,27 @@ impl RetryPolicy {
     pub fn run<T>(
         &self,
         counters: &mut RetryCounters,
+        op: impl FnMut() -> Result<T>,
+    ) -> Result<T> {
+        self.run_from(counters, 1, op)
+    }
+
+    /// Like [`RetryPolicy::run`], but *continuing* a logical operation
+    /// that has already consumed `spent` I/O issues — e.g. a split-phase
+    /// completion sharing one per-logical-op budget with its submit.
+    ///
+    /// The first `op()` call is treated as issue number `spent` (it
+    /// collects work already issued, so it is free); each subsequent call
+    /// is a fresh issue charged to `counters` until the budget of
+    /// `max_attempts` total issues is spent.  `spent = 1` is a fresh
+    /// operation, i.e. [`RetryPolicy::run`].
+    pub fn run_from<T>(
+        &self,
+        counters: &mut RetryCounters,
+        spent: u32,
         mut op: impl FnMut() -> Result<T>,
     ) -> Result<T> {
-        let mut attempt = 1u32;
+        let mut attempt = spent.max(1);
         loop {
             match op() {
                 Ok(v) => return Ok(v),
@@ -251,6 +269,19 @@ impl<R: Record, A: DiskArray<R>> DiskArray<R> for RetryingDiskArray<R, A> {
         self.inner.redundancy()
     }
 
+    /// Durability barriers are forwarded unretried: a failed `fsync`
+    /// leaves the kernel's dirty state unknown, so the checkpoint writer
+    /// above must see the failure and withhold its manifest.
+    fn sync(&mut self) -> Result<()> {
+        self.inner.sync()
+    }
+
+    /// Scrubbing is forwarded unretried so repair accounting stays with
+    /// the redundancy layer that performs it.
+    fn scrub_block(&mut self, addr: BlockAddr) -> Result<crate::backend::ScrubOutcome> {
+        self.inner.scrub_block(addr)
+    }
+
     fn install_trace(&mut self, sink: TraceSink) {
         self.inner.install_trace(sink);
     }
@@ -263,8 +294,15 @@ impl<R: Record, A: DiskArray<R>> DiskArray<R> for RetryingDiskArray<R, A> {
         let before = self.reads.attempted;
         let inner = &mut self.inner;
         let out = self.policy.run(&mut self.reads, || inner.submit_read(addrs));
-        self.emit_retries(FaultOp::Read, self.reads.attempted - before);
-        out
+        let issued = self.reads.attempted - before;
+        self.emit_retries(FaultOp::Read, issued);
+        // Record the issues this submit consumed in the ticket, so the
+        // completion phase continues the same per-logical-op budget
+        // instead of starting a fresh one.
+        out.map(|mut t| {
+            t.issues = 1 + issued as u32;
+            t
+        })
     }
 
     fn complete_read(&mut self, ticket: ReadTicket<R>) -> Result<Vec<Block<R>>> {
@@ -276,11 +314,17 @@ impl<R: Record, A: DiskArray<R>> DiskArray<R> for RetryingDiskArray<R, A> {
         // path, and unreachable through the CLI stacks, where the
         // parity layer executes submits eagerly and completion cannot
         // fail.
+        //
+        // Submit and complete share ONE attempt budget: the ticket says
+        // how many issues its submit consumed, and `run_from` resumes
+        // the schedule there, so a logical read can never consume more
+        // than `max_attempts` issues across both phases.
+        let spent = ticket.issues;
         let addrs: Vec<BlockAddr> = ticket.addrs().to_vec();
         let before = self.reads.attempted;
         let inner = &mut self.inner;
         let mut first = Some(ticket);
-        let out = self.policy.run(&mut self.reads, || match first.take() {
+        let out = self.policy.run_from(&mut self.reads, spent, || match first.take() {
             Some(t) => inner.complete_read(t),
             None => inner.read(&addrs),
         });
@@ -449,6 +493,150 @@ mod tests {
         let m = DiskModel::hdd_1996();
         let p = RetryPolicy::from_model(5, &m, 1 << 16);
         assert_eq!(p.base_backoff, m.op_time(1 << 16));
+    }
+
+    /// Split-phase test double: submits and completions fail retryably a
+    /// scripted number of times, and every raw I/O *issue* (a submit or a
+    /// fallback read — not a ticket drain) is counted, so tests can
+    /// assert the per-logical-op budget precisely.
+    struct FlakySplit {
+        inner: MemDiskArray<U64Record>,
+        fail_submits: u32,
+        fail_completes: u32,
+        fail_reads: u32,
+        issues: u64,
+    }
+
+    impl FlakySplit {
+        fn transient() -> PdiskError {
+            PdiskError::Fault {
+                kind: FaultKind::Transient,
+                op: FaultOp::Read,
+                disk: None,
+            }
+        }
+    }
+
+    impl DiskArray<U64Record> for FlakySplit {
+        fn geometry(&self) -> Geometry {
+            self.inner.geometry()
+        }
+
+        fn read(&mut self, addrs: &[BlockAddr]) -> Result<Vec<Block<U64Record>>> {
+            self.issues += 1;
+            if self.fail_reads > 0 {
+                self.fail_reads -= 1;
+                return Err(Self::transient());
+            }
+            self.inner.read(addrs)
+        }
+
+        fn write(&mut self, writes: Vec<(BlockAddr, Block<U64Record>)>) -> Result<()> {
+            self.inner.write(writes)
+        }
+
+        fn submit_read(&mut self, addrs: &[BlockAddr]) -> Result<ReadTicket<U64Record>> {
+            self.issues += 1;
+            if self.fail_submits > 0 {
+                self.fail_submits -= 1;
+                return Err(Self::transient());
+            }
+            let blocks = self.inner.read(addrs)?;
+            Ok(ReadTicket::ready(addrs.to_vec(), blocks))
+        }
+
+        fn complete_read(&mut self, ticket: ReadTicket<U64Record>) -> Result<Vec<Block<U64Record>>> {
+            if self.fail_completes > 0 {
+                self.fail_completes -= 1;
+                return Err(Self::transient());
+            }
+            match ticket.state {
+                crate::backend::ReadState::Ready(blocks) => Ok(blocks),
+                crate::backend::ReadState::Pending(_) => Err(PdiskError::TicketMismatch),
+            }
+        }
+
+        fn alloc_contiguous(&mut self, disk: DiskId, count: u64) -> Result<u64> {
+            self.inner.alloc_contiguous(disk, count)
+        }
+
+        fn stats(&self) -> IoStats {
+            self.inner.stats()
+        }
+
+        fn reset_stats(&mut self) {
+            self.inner.reset_stats();
+        }
+    }
+
+    fn flaky_split(fail_submits: u32, fail_completes: u32, fail_reads: u32) -> FlakySplit {
+        let geom = Geometry::new(2, 2, 100).unwrap();
+        let mut inner: MemDiskArray<U64Record> = MemDiskArray::new(geom);
+        let o = inner.alloc_contiguous(DiskId(0), 1).unwrap();
+        inner
+            .write(vec![(
+                BlockAddr::new(DiskId(0), o),
+                Block::new(vec![U64Record(1)], Forecast::Next(u64::MAX)),
+            )])
+            .unwrap();
+        FlakySplit {
+            inner,
+            fail_submits,
+            fail_completes,
+            fail_reads,
+            issues: 0,
+        }
+    }
+
+    #[test]
+    fn submit_and_complete_share_one_attempt_budget() {
+        // Submit fails once (2 issues), the drain fails, the fallback
+        // read succeeds: 3 issues total, within the budget of 4.
+        let mut a = RetryingDiskArray::new(flaky_split(1, 1, 0), RetryPolicy::default());
+        let addr = BlockAddr::new(DiskId(0), 0);
+        let t = a.submit_read(&[addr]).unwrap();
+        let got = a.complete_read(t).unwrap();
+        assert_eq!(got[0].records[0], U64Record(1));
+        assert_eq!(a.inner().issues, 3, "submit + retried submit + fallback read");
+        assert_eq!(a.stats().read_retries, 2, "one submit retry + one completion re-issue");
+    }
+
+    #[test]
+    fn completion_does_not_double_the_budget() {
+        // Regression: submit consumes the budget's first two issues
+        // (one transient failure + the success); when the completion
+        // then fails, NO fallback issue remains — the old code gave the
+        // completion a fresh budget of its own, letting one logical read
+        // consume up to 2x max_attempts issues.
+        let mut a = RetryingDiskArray::new(
+            flaky_split(1, 1, 0),
+            RetryPolicy::new(2, Duration::from_millis(1)),
+        );
+        let addr = BlockAddr::new(DiskId(0), 0);
+        let t = a.submit_read(&[addr]).unwrap();
+        let err = a.complete_read(t).unwrap_err();
+        match err {
+            PdiskError::RetriesExhausted { attempts, .. } => {
+                assert_eq!(attempts, 2, "whole logical op capped at max_attempts")
+            }
+            other => panic!("expected RetriesExhausted, got {other:?}"),
+        }
+        assert_eq!(
+            a.inner().issues,
+            2,
+            "no issue beyond the per-logical-op budget of 2"
+        );
+        assert_eq!(a.stats().read_exhausted, 1);
+    }
+
+    #[test]
+    fn clean_split_phase_costs_one_issue() {
+        let mut a = RetryingDiskArray::new(flaky_split(0, 0, 0), RetryPolicy::default());
+        let addr = BlockAddr::new(DiskId(0), 0);
+        let t = a.submit_read(&[addr]).unwrap();
+        a.complete_read(t).unwrap();
+        assert_eq!(a.inner().issues, 1);
+        assert_eq!(a.stats().read_retries, 0);
     }
 
     #[test]

@@ -130,6 +130,18 @@ pub enum TraceEvent {
         /// Logical addresses written, one per participating disk.
         addrs: Vec<BlockAddr>,
     },
+    /// A parallel write's durable completion.  Serial writes emit this
+    /// immediately after their [`Write`]; a pipelined engine emits it
+    /// only when the write ticket completes successfully, so the gap
+    /// between the two events is exactly the window a crash can tear.
+    /// The `modelcheck` recovery invariant forbids reading a block
+    /// whose `Write` was never followed by this event.
+    ///
+    /// [`Write`]: TraceEvent::Write
+    WriteDurable {
+        /// Logical addresses whose write completed, in request order.
+        addrs: Vec<BlockAddr>,
+    },
     /// A parallel read executed by a bottom backend (physical
     /// addresses, below any parity remap; includes reconstruction
     /// sibling reads).
@@ -186,6 +198,14 @@ pub enum TraceEvent {
     DiskRebuilt {
         /// Disk no longer served by reconstruction.
         disk: DiskId,
+    },
+    /// The scrubber repaired a latent-corrupt block in place from its
+    /// stripe's parity.
+    ScrubRepair {
+        /// Physical address of the rewritten block.
+        addr: BlockAddr,
+        /// Physical stripe index the reconstruction used.
+        stripe: u64,
     },
     /// The parity layer committed a parity update for one stripe.
     ParityCommit {
@@ -448,7 +468,11 @@ impl<R: Record, A: DiskArray<R>> DiskArray<R> for TracingDiskArray<R, A> {
         let addrs: Vec<BlockAddr> = writes.iter().map(|(a, _)| *a).collect();
         self.inner.write(writes)?;
         if !addrs.is_empty() {
-            self.sink.emit(TraceEvent::Write { addrs });
+            self.sink.emit(TraceEvent::Write {
+                addrs: addrs.clone(),
+            });
+            // A blocking write that returned is durably complete.
+            self.sink.emit(TraceEvent::WriteDurable { addrs });
         }
         Ok(())
     }
@@ -507,7 +531,20 @@ impl<R: Record, A: DiskArray<R>> DiskArray<R> for TracingDiskArray<R, A> {
     }
 
     fn complete_write(&mut self, ticket: WriteTicket) -> Result<()> {
-        self.inner.complete_write(ticket)
+        let addrs = ticket.addrs().to_vec();
+        self.inner.complete_write(ticket)?;
+        if !addrs.is_empty() {
+            self.sink.emit(TraceEvent::WriteDurable { addrs });
+        }
+        Ok(())
+    }
+
+    fn sync(&mut self) -> Result<()> {
+        self.inner.sync()
+    }
+
+    fn scrub_block(&mut self, addr: BlockAddr) -> Result<crate::backend::ScrubOutcome> {
+        self.inner.scrub_block(addr)
     }
 
     fn install_pool(&mut self, pool: BufferPool<R>) {
@@ -547,12 +584,13 @@ mod tests {
                 TraceEvent::Alloc { .. } => "alloc",
                 TraceEvent::PhysWrite { .. } => "pw",
                 TraceEvent::Write { .. } => "w",
+                TraceEvent::WriteDurable { .. } => "wd",
                 TraceEvent::PhysRead { .. } => "pr",
                 TraceEvent::Read { .. } => "r",
                 _ => "?",
             })
             .collect();
-        assert_eq!(kinds, vec!["alloc", "pw", "w", "pr", "r"]);
+        assert_eq!(kinds, vec!["alloc", "pw", "w", "wd", "pr", "r"]);
         // Sequence numbers are dense and events carry the default pass 0.
         for (i, e) in t.iter().enumerate() {
             assert_eq!(e.seq, i as u64);

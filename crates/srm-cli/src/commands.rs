@@ -4,8 +4,9 @@ use crate::args::Flags;
 use dsm::{read_logical_run, write_unsorted_stripes, DsmSorter};
 use pdisk::trace::TracingDiskArray;
 use pdisk::{
-    ArrayTiming, DiskArray, DiskId, DiskModel, FaultModel, FaultyDiskArray, FileDiskArray,
-    Geometry, MemDiskArray, ParityDiskArray, Record, RetryPolicy, RetryingDiskArray, U64Record,
+    ArrayTiming, CrashClock, CrashingDiskArray, DiskArray, DiskId, DiskModel, FaultModel,
+    FaultyDiskArray, FileDiskArray, Geometry, MemDiskArray, ParityDiskArray, Record, RetryPolicy,
+    RetryingDiskArray, U64Record,
 };
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
@@ -26,6 +27,7 @@ USAGE:
            [--fault-rate R] [--fault-seed S] [--resume MANIFEST]
            [--parity] [--kill-disk D@PASS] [--slow-disk D:F[,D:F...]]
            [--hedge-after MULT] [--check-model]
+           [--crash-at K] [--crash-points]
       Generate N random records, stage them on the simulated disk array,
       sort, verify, and print the I/O accounting (one parallel operation
       moves up to one block per disk) plus estimated wall times under a
@@ -63,6 +65,15 @@ USAGE:
       array.  --kill-disk, --slow-disk, and --hedge-after require
       --parity.
 
+      --crash-points numbers every I/O boundary of the SRM sort with a
+      counting crash clock and reports the total N after success;
+      --crash-at K then kills the process state at boundary K exactly
+      (including torn parallel writes where only a prefix of the stripe
+      lands) and exits nonzero.  Rerun without --crash-at (keeping
+      --resume MANIFEST and, with --backend file, the same --dir) to
+      recover from the last durable checkpoint.  Both flags apply to the
+      SRM sort only (--algo srm) and cannot be combined with --kill-disk.
+
       --check-model records the structured I/O trace of each sort and
       replays it through the modelcheck invariant checker (one block per
       disk per parallel I/O, forecast-minimal fetching, flush discipline,
@@ -77,6 +88,24 @@ USAGE:
            [--placement random|staggered]
       Estimate Table 3's overhead v(k, D) by simulating the SRM merge of
       kD runs of L blocks on average-case input.
+
+  srm scrub --dir PATH --manifest MANIFEST [--parity]
+      Walk every live run recorded in a sort's checkpoint manifest,
+      verify block checksums, and (with --parity) self-heal latent
+      corruption by parity reconstruction.  Geometry and the dead-disk
+      set come from the manifest; disk files are reopened from --dir.
+      Exits 0 when every block verified clean or was repaired, 1 when
+      any block is unrepairable.
+
+  srm crash-matrix [--records N] [--d D] [--b B] [--k K | --m M]
+           [--seed S] [--pipeline] [--parity] [--backend mem|file]
+           [--dir PATH] [--no-check]
+      Exhaustive crash-point exploration: dry-run a small checkpointed
+      sort to number its N I/O boundaries, then for every K in 0..N
+      crash at boundary K, reboot (only the disks and sidecar files
+      survive), recover, and require byte-identical sorted output.
+      Each recovery's own I/O trace is replayed through the model
+      checker unless --no-check is given.
 
   srm help
       This text.
@@ -135,6 +164,16 @@ pub fn sort(argv: &[String]) -> i32 {
         let resume = flags.get_str("resume").map(std::path::PathBuf::from);
         let check_model = flags.has("check-model");
 
+        // Crash drills: a counting clock numbers the boundaries, an
+        // armed clock kills the process state at one of them.
+        let crash_at: Option<u64> = flags.get("crash-at")?;
+        let crash_points = flags.has("crash-points");
+        let crash = match crash_at {
+            Some(kk) => Some(CrashClock::crash_at(kk)),
+            None if crash_points => Some(CrashClock::counting()),
+            None => None,
+        };
+
         let parity = flags.has("parity");
         let kill = flags.get_str("kill-disk").map(parse_kill_spec).transpose()?;
         let slow = flags
@@ -163,6 +202,14 @@ pub fn sort(argv: &[String]) -> i32 {
             slow,
             hedge_after,
         });
+        if crash.is_some() {
+            if algo != "srm" {
+                return Err("--crash-at / --crash-points require --algo srm".into());
+            }
+            if popts.as_ref().is_some_and(|p| p.kill.is_some()) {
+                return Err("--crash-at / --crash-points cannot be combined with --kill-disk".into());
+            }
+        }
 
         println!(
             "geometry: D={} disks, B={} records/block, M={} records ({} blocks of memory)",
@@ -202,6 +249,7 @@ pub fn sort(argv: &[String]) -> i32 {
                         popts.as_ref(),
                         None,
                         check_model,
+                        crash.clone(),
                     )?;
                 }
                 "file" => {
@@ -214,7 +262,15 @@ pub fn sort(argv: &[String]) -> i32 {
                     println!("file backend at {}", dir.display());
                     // Resuming from a manifest means the disk files hold
                     // prior progress: reopen them instead of truncating.
-                    let resuming = resume.as_deref().is_some_and(Path::exists);
+                    // The generation-aware load also accepts a torn
+                    // current manifest whose journaled predecessor is
+                    // still valid.
+                    let resuming = match resume.as_deref() {
+                        Some(path) => srm_core::SortManifest::load_latest(path)
+                            .map_err(|e| e.to_string())?
+                            .is_some(),
+                        None => false,
+                    };
                     let array: FileDiskArray<U64Record> = if resuming {
                         println!("resuming from {}", resume.as_deref().unwrap().display());
                         FileDiskArray::open(geom, &dir).map_err(|e| e.to_string())?
@@ -222,8 +278,16 @@ pub fn sort(argv: &[String]) -> i32 {
                         FileDiskArray::create(geom, &dir).map_err(|e| e.to_string())?
                     };
                     // Parity frames persist next to the disk files so a
-                    // degraded sort can be resumed after a crash.
+                    // degraded sort can be resumed after a crash.  A
+                    // fresh sort truncates the disks, so any sidecar
+                    // left by an earlier (crashed) run is stale and
+                    // must go with them.
                     let store = popts.as_ref().map(|_| dir.join("parity.store"));
+                    if !resuming {
+                        if let Some(s) = &store {
+                            let _ = std::fs::remove_file(s);
+                        }
+                    }
                     srm_with_faults(
                         array,
                         &data,
@@ -235,6 +299,7 @@ pub fn sort(argv: &[String]) -> i32 {
                         popts.as_ref(),
                         store.as_deref(),
                         check_model,
+                        crash.clone(),
                     )?;
                     if !flags.has("keep") {
                         let _ = std::fs::remove_dir_all(&dir);
@@ -243,6 +308,12 @@ pub fn sort(argv: &[String]) -> i32 {
                     }
                 }
                 other => return Err(format!("unknown backend `{other}`")),
+            }
+            if crash_points {
+                if let Some(c) = &crash {
+                    println!("crash boundaries numbered: {} (explore with --crash-at 0..{})",
+                        c.points(), c.points());
+                }
             }
         }
         if algo == "dsm" || algo == "both" {
@@ -342,6 +413,7 @@ type DsmObserver<'a, A> = Option<Box<dyn FnMut(u64, &mut A) -> Result<(), dsm::D
 /// Build the parity layer for either sorter: wrap `array` in fault
 /// injection + rotating parity, attach the sidecar store, configure
 /// hedging, and re-mark any disks a resumed manifest recorded as dead.
+#[allow(clippy::too_many_arguments)]
 fn build_parity_stack<A: DiskArray<U64Record>>(
     array: A,
     geom: Geometry,
@@ -350,6 +422,7 @@ fn build_parity_stack<A: DiskArray<U64Record>>(
     opts: &ParityOpts,
     store: Option<&Path>,
     dead_from_manifest: &[DiskId],
+    crash: Option<&CrashClock>,
 ) -> Result<ProtectedStack<A>, String> {
     println!(
         "parity: rotating parity over {} disks ({} of every {} blocks usable); survives one disk death",
@@ -377,6 +450,12 @@ fn build_parity_stack<A: DiskArray<U64Record>>(
         println!("manifest records disk {} dead; resuming degraded", dd.0);
         pa.fail_disk(dd).map_err(|e| e.to_string())?;
     }
+    // Crash drills also number the parity layer's read-modify-write
+    // boundaries, so --crash-at can land between a data write and its
+    // parity commit.
+    if let Some(c) = crash {
+        pa.set_crash_clock(c.clone());
+    }
     Ok(RetryingDiskArray::new(pa, RetryPolicy::default()))
 }
 
@@ -395,6 +474,7 @@ fn srm_with_faults<A: DiskArray<U64Record>>(
     parity: Option<&ParityOpts>,
     store: Option<&Path>,
     check_model: bool,
+    crash: Option<CrashClock>,
 ) -> Result<(), String> {
     let policy = RetryPolicy::default();
     if fault_rate > 0.0 {
@@ -403,21 +483,36 @@ fn srm_with_faults<A: DiskArray<U64Record>>(
             policy.max_attempts
         );
     }
+    // The sorter ticks its own manifest-write boundaries on the same
+    // clock the array layers use, so boundary numbering is total.
+    let sorter = match &crash {
+        Some(c) => sorter.with_crash_clock(c.clone()),
+        None => sorter,
+    };
     match parity {
         Some(p) => {
             // A degraded resume must re-mark the manifest's dead disks
-            // *before* the sorter validates redundancy.
+            // *before* the sorter validates redundancy.  The
+            // generation-aware load tolerates a torn current manifest.
             let mut dead = Vec::new();
             if let Some(path) = resume {
-                if path.exists() {
-                    let m = srm_core::SortManifest::load(path).map_err(|e| e.to_string())?;
+                if let Some(m) =
+                    srm_core::SortManifest::load_latest(path).map_err(|e| e.to_string())?
+                {
                     if let Some(red) = &m.redundancy {
                         dead = red.dead.clone();
                     }
                 }
             }
-            let wrapped =
-                build_parity_stack(array, geom, fault_rate, fault_seed, p, store, &dead)?;
+            let wrapped = build_parity_stack(
+                array, geom, fault_rate, fault_seed, p, store, &dead, crash.as_ref(),
+            )?;
+            if let Some(c) = crash {
+                // Crash drills exclude --kill-disk (validated at parse
+                // time), so no observer is needed on this path.
+                let arr = CrashingDiskArray::new(wrapped, c);
+                return run_srm(arr, data, sorter, geom, resume, check_model, None);
+            }
             let kill = p.kill;
             let observer: SrmObserver<'_, ProtectedStack<A>> = Some(Box::new(move |pass, a| {
                 if let Some((disk, at)) = kill {
@@ -434,9 +529,21 @@ fn srm_with_faults<A: DiskArray<U64Record>>(
             let faulty =
                 FaultyDiskArray::new(array, FaultModel::random(fault_seed).with_rate(fault_rate));
             let wrapped = RetryingDiskArray::new(faulty, policy);
-            run_srm(wrapped, data, sorter.clone(), geom, resume, check_model, None)
+            match crash {
+                Some(c) => {
+                    let arr = CrashingDiskArray::new(wrapped, c);
+                    run_srm(arr, data, sorter, geom, resume, check_model, None)
+                }
+                None => run_srm(wrapped, data, sorter.clone(), geom, resume, check_model, None),
+            }
         }
-        None => run_srm(array, data, sorter, geom, resume, check_model, None),
+        None => match crash {
+            Some(c) => {
+                let arr = CrashingDiskArray::new(array, c);
+                run_srm(arr, data, sorter, geom, resume, check_model, None)
+            }
+            None => run_srm(array, data, sorter, geom, resume, check_model, None),
+        },
     }
 }
 
@@ -569,7 +676,8 @@ fn dsm_with_faults<A: DiskArray<U64Record>>(
     }
     match parity {
         Some(p) => {
-            let wrapped = build_parity_stack(array, geom, fault_rate, fault_seed, p, None, &[])?;
+            let wrapped =
+                build_parity_stack(array, geom, fault_rate, fault_seed, p, None, &[], None)?;
             let kill = p.kill;
             let observer: DsmObserver<'_, ProtectedStack<A>> = Some(Box::new(move |pass, a| {
                 if let Some((disk, at)) = kill {
@@ -677,6 +785,146 @@ fn verify_sorted(got: &[U64Record], original: &[U64Record]) -> Result<(), String
         return Err("output is not a permutation of the input".into());
     }
     Ok(())
+}
+
+/// `srm scrub`
+pub fn scrub(argv: &[String]) -> i32 {
+    let flags = match Flags::parse(argv) {
+        Ok(f) => f,
+        Err(e) => return fail(e),
+    };
+    let inner = || -> Result<bool, String> {
+        let dir = flags
+            .get_str("dir")
+            .map(std::path::PathBuf::from)
+            .ok_or("`srm scrub` requires --dir")?;
+        let manifest = flags
+            .get_str("manifest")
+            .map(std::path::PathBuf::from)
+            .ok_or("`srm scrub` requires --manifest")?;
+        let parity = flags.has("parity");
+        let m = srm_core::SortManifest::load_latest(&manifest)
+            .map_err(|e| e.to_string())?
+            .ok_or_else(|| format!("no valid manifest at {}", manifest.display()))?;
+        let geom = m.geometry;
+        println!(
+            "scrubbing {} live runs ({} blocks) from {} (D={} disks, B={} records/block)",
+            m.runs.len(),
+            m.runs.iter().map(|r| r.len_blocks).sum::<u64>(),
+            manifest.display(),
+            geom.d,
+            geom.b
+        );
+        let fa: FileDiskArray<U64Record> =
+            FileDiskArray::open(geom, &dir).map_err(|e| e.to_string())?;
+        let report = if parity {
+            let mut pa = ParityDiskArray::new(fa)
+                .map_err(|e| e.to_string())?
+                .with_store(dir.join("parity.store"))
+                .map_err(|e| e.to_string())?;
+            if let Some(red) = &m.redundancy {
+                for &dd in &red.dead {
+                    println!("manifest records disk {} dead; scrubbing degraded", dd.0);
+                    pa.fail_disk(dd).map_err(|e| e.to_string())?;
+                }
+            }
+            srm_core::scrub_runs(&mut pa, &m.runs).map_err(|e| e.to_string())?
+        } else {
+            let mut fa = fa;
+            srm_core::scrub_runs(&mut fa, &m.runs).map_err(|e| e.to_string())?
+        };
+        println!("{report}");
+        for f in &report.failures {
+            println!("  unrepairable: {f}");
+        }
+        Ok(report.is_healthy())
+    };
+    match inner() {
+        Ok(true) => 0,
+        Ok(false) => 1,
+        Err(e) => fail(e),
+    }
+}
+
+/// `srm crash-matrix`
+pub fn crash_matrix(argv: &[String]) -> i32 {
+    use srm_repro::crashmat::{run_matrix, Backend, MatrixConfig};
+    let flags = match Flags::parse(argv) {
+        Ok(f) => f,
+        Err(e) => return fail(e),
+    };
+    let inner = || -> Result<(), String> {
+        let records: u64 = flags.get_or("records", 600)?;
+        let d: usize = flags.get_or("d", 4)?;
+        let b: usize = flags.get_or("b", 4)?;
+        let seed: u64 = flags.get_or("seed", 0xC4A5)?;
+        let geom = match flags.get::<usize>("m")? {
+            Some(m) => Geometry::new(d, b, m),
+            None => match flags.get::<usize>("k")? {
+                Some(k) => Geometry::for_table(k, d, b),
+                // Small enough for an exhaustive sweep, big enough
+                // (with the default record count) for two merge passes.
+                None => Geometry::new(d, b, 8 * d * b),
+            },
+        }
+        .map_err(|e| e.to_string())?;
+        let backend = match flags.get_str("backend").unwrap_or("mem") {
+            "mem" => Backend::Mem,
+            "file" => Backend::File,
+            other => return Err(format!("unknown backend `{other}`")),
+        };
+        let scratch = flags
+            .get_str("dir")
+            .map(std::path::PathBuf::from)
+            .unwrap_or_else(|| {
+                std::env::temp_dir().join(format!("srm-crash-matrix-{}", std::process::id()))
+            });
+        let cfg = MatrixConfig {
+            geom,
+            seed,
+            pipeline: flags.has("pipeline"),
+            parity: flags.has("parity"),
+            backend,
+            check_recovery: !flags.has("no-check"),
+            scratch: scratch.clone(),
+        };
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let data: Vec<U64Record> = (0..records).map(|_| U64Record(rng.random())).collect();
+        println!(
+            "crash matrix: {records} records on D={} B={} M={} ({} engine, parity {}, {} backend)",
+            geom.d,
+            geom.b,
+            geom.m,
+            if cfg.pipeline { "pipelined" } else { "serial" },
+            if cfg.parity { "on" } else { "off" },
+            if backend == Backend::Mem { "mem" } else { "file" },
+        );
+        let start = std::time::Instant::now();
+        let report = run_matrix(&cfg, &data, |kk, n| {
+            if kk % 100 == 0 {
+                println!("  exploring crash point {kk}/{n}");
+            }
+        })?;
+        println!(
+            "explored {} crash points in {:.2?}: {} resumed from a checkpoint, {} restarted \
+             fresh; every recovery was byte-identical to the baseline{}",
+            report.points,
+            start.elapsed(),
+            report.resumed_from_checkpoint,
+            report.fresh_restarts,
+            if cfg.check_recovery {
+                " with a checker-clean I/O trace"
+            } else {
+                ""
+            },
+        );
+        let _ = std::fs::remove_dir_all(&scratch);
+        Ok(())
+    };
+    match inner() {
+        Ok(()) => 0,
+        Err(e) => fail(e),
+    }
 }
 
 /// `srm occupancy`

@@ -8,7 +8,11 @@
 //! * `srm occupancy` — quick `v(k, D)` estimate by ball-throwing (Table 1
 //!   cells on demand);
 //! * `srm simulate` — quick `v(k, D)` estimate by simulating the SRM
-//!   merge itself (Table 3 cells on demand).
+//!   merge itself (Table 3 cells on demand);
+//! * `srm scrub` — walk a checkpointed sort's live runs, verify block
+//!   checksums, and heal latent corruption via parity reconstruction;
+//! * `srm crash-matrix` — exhaustively crash a small checkpointed sort at
+//!   every I/O boundary and prove byte-identical recovery.
 //!
 //! Run `srm help` for flags.
 
@@ -23,6 +27,8 @@ fn main() {
         Some("sort") => commands::sort(&argv[1..]),
         Some("occupancy") => commands::occupancy(&argv[1..]),
         Some("simulate") => commands::simulate(&argv[1..]),
+        Some("scrub") => commands::scrub(&argv[1..]),
+        Some("crash-matrix") => commands::crash_matrix(&argv[1..]),
         Some("help") | Some("--help") | Some("-h") | None => {
             print!("{}", commands::USAGE);
             0

@@ -22,6 +22,7 @@
 //! runs-formed <u64>
 //! pass <completed merge passes>
 //! draws <placement draws consumed>
+//! generation <u64>                 (optional: monotonic save counter, absent = 0)
 //! parity <stripe_disks>            (optional: array ran under parity)
 //! dead <disk_id> ...               (optional: disks dead at snapshot time)
 //! runs <count>
@@ -29,6 +30,15 @@
 //! ...
 //! checksum <fnv1a64 of all preceding bytes, hex>
 //! ```
+//!
+//! Each [`SortManifest::save`] journals: the previous valid manifest is
+//! first rotated to `<path>.prev`, then the new one is written to
+//! `<path>.tmp`, fsynced, and renamed over `path`, stamped with a
+//! **generation number** one past the newest valid generation on disk.
+//! Recovery ([`SortManifest::load_latest`]) picks the newest *valid*
+//! manifest among `path` and `path.prev` — so a crash at any byte of a
+//! manifest write (including a torn rename) falls back to the previous
+//! checkpoint instead of refusing to resume.
 //!
 //! `draws` is the key to determinism: SRM's randomized placement draws one
 //! start disk per run written.  Fast-forwarding a fresh placement RNG by
@@ -75,6 +85,10 @@ pub struct SortManifest {
     /// Placement draws consumed so far; the resuming sorter fast-forwards
     /// its RNG by this count.
     pub draws: u64,
+    /// Monotonic save counter, stamped by [`SortManifest::save`]: each
+    /// save writes one past the newest valid generation on disk, and
+    /// recovery picks the valid candidate with the largest value.
+    pub generation: u64,
     /// Redundancy geometry the snapshot was taken under: `None` for a plain
     /// array, `Some` when the array carried rotating parity (with the set
     /// of disks already dead at snapshot time).
@@ -104,6 +118,7 @@ impl SortManifest {
             runs_formed,
             pass,
             draws,
+            generation: 0,
             redundancy,
             runs,
         }
@@ -206,6 +221,9 @@ impl SortManifest {
         s.push_str(&format!("runs-formed {}\n", self.runs_formed));
         s.push_str(&format!("pass {}\n", self.pass));
         s.push_str(&format!("draws {}\n", self.draws));
+        if self.generation > 0 {
+            s.push_str(&format!("generation {}\n", self.generation));
+        }
         if let Some(red) = &self.redundancy {
             s.push_str(&format!("parity {}\n", red.stripe_disks));
             if !red.dead.is_empty() {
@@ -277,6 +295,14 @@ impl SortManifest {
             .map_err(|_| bad("runs-formed"))?;
         let pass: u64 = take_field(&mut lines, "pass")?.parse().map_err(|_| bad("pass"))?;
         let draws: u64 = take_field(&mut lines, "draws")?.parse().map_err(|_| bad("draws"))?;
+        // Optional generation line; manifests from before journaled saves
+        // carry none and read as generation 0.
+        let mut generation = 0u64;
+        if lines.peek().is_some_and(|l| l.starts_with("generation ")) {
+            generation = take_field(&mut lines, "generation")?
+                .parse()
+                .map_err(|_| bad("generation"))?;
+        }
         // Optional redundancy lines, present only for snapshots taken under
         // parity.  `dead` without `parity` is malformed.
         let mut redundancy = None;
@@ -326,19 +352,35 @@ impl SortManifest {
             runs_formed,
             pass,
             draws,
+            generation,
             redundancy,
             runs,
         })
     }
 
-    /// Write atomically: serialize to `<path>.tmp`, fsync, rename over
-    /// `path`.  A crash at any point leaves either the old manifest or a
-    /// complete new one.
-    pub fn save(&self, path: &Path) -> Result<()> {
+    /// Write journaled and atomic.  The previous valid manifest at
+    /// `path` is first rotated to `<path>.prev`; the new manifest is
+    /// then serialized to `<path>.tmp`, fsynced, and renamed over
+    /// `path`, stamped with a generation one past the newest valid
+    /// generation already on disk.  A crash at any point leaves at
+    /// least one valid manifest for [`Self::load_latest`] to pick up.
+    pub fn save(&mut self, path: &Path) -> Result<()> {
         let ckpt = |e: std::io::Error| {
             SrmError::Checkpoint(format!("cannot write manifest {}: {e}", path.display()))
         };
-        let tmp = path.with_extension("tmp");
+        let prev = manifest_sibling(path, "prev");
+        let newest = [path, prev.as_path()]
+            .into_iter()
+            .filter_map(|p| Self::load(p).ok())
+            .map(|m| m.generation)
+            .max();
+        self.generation = newest.map_or(1, |g| g + 1);
+        // Rotate only a *valid* current manifest: renaming a torn one
+        // over `.prev` would clobber the good fallback copy.
+        if path.exists() && Self::load(path).is_ok() {
+            std::fs::rename(path, &prev).map_err(ckpt)?;
+        }
+        let tmp = manifest_sibling(path, "tmp");
         let mut f = std::fs::File::create(&tmp).map_err(ckpt)?;
         f.write_all(self.encode().as_bytes()).map_err(ckpt)?;
         f.sync_all().map_err(ckpt)?;
@@ -355,18 +397,80 @@ impl SortManifest {
         Self::parse(&text)
     }
 
-    /// Delete a completed sort's manifest; a missing file is fine (the
-    /// sort may never have checkpointed).
-    pub fn remove(path: &Path) -> Result<()> {
-        match std::fs::remove_file(path) {
-            Ok(()) => Ok(()),
-            Err(e) if e.kind() == std::io::ErrorKind::NotFound => Ok(()),
-            Err(e) => Err(SrmError::Checkpoint(format!(
-                "cannot remove manifest {}: {e}",
+    /// Recovery rule: the newest *valid* manifest among `path` and its
+    /// `.prev` journal sibling.
+    ///
+    /// * No candidate file exists → `Ok(None)` (nothing to resume).
+    /// * At least one candidate parses and passes its checksum → the one
+    ///   with the largest generation.
+    /// * Candidates exist but every one is torn or corrupt → an error;
+    ///   resuming blind would re-sort from scratch and clobber state
+    ///   the operator may want to inspect.
+    pub fn load_latest(path: &Path) -> Result<Option<Self>> {
+        let prev = manifest_sibling(path, "prev");
+        let candidates = [path, prev.as_path()];
+        let mut best: Option<Self> = None;
+        let mut existed = 0u32;
+        let mut last_err = None;
+        for p in candidates {
+            if !p.exists() {
+                continue;
+            }
+            existed += 1;
+            match Self::load(p) {
+                Ok(m) if best.as_ref().is_none_or(|b| m.generation > b.generation) => {
+                    best = Some(m);
+                }
+                Ok(_) => {}
+                Err(e) => last_err = Some(e),
+            }
+        }
+        match (best, existed, last_err) {
+            (Some(m), _, _) => Ok(Some(m)),
+            (None, 0, _) => Ok(None),
+            (None, _, Some(e)) => Err(SrmError::Checkpoint(format!(
+                "every manifest candidate for {} is corrupt (last error: {e})",
+                path.display()
+            ))),
+            (None, _, None) => Err(SrmError::Checkpoint(format!(
+                "every manifest candidate for {} is unreadable",
                 path.display()
             ))),
         }
     }
+
+    /// Delete a completed sort's manifest, including its `.prev` journal
+    /// sibling and any orphaned `.tmp`; missing files are fine (the sort
+    /// may never have checkpointed).
+    pub fn remove(path: &Path) -> Result<()> {
+        for p in [
+            path.to_path_buf(),
+            manifest_sibling(path, "prev"),
+            manifest_sibling(path, "tmp"),
+        ] {
+            match std::fs::remove_file(&p) {
+                Ok(()) => {}
+                Err(e) if e.kind() == std::io::ErrorKind::NotFound => {}
+                Err(e) => {
+                    return Err(SrmError::Checkpoint(format!(
+                        "cannot remove manifest {}: {e}",
+                        p.display()
+                    )))
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+/// `<path>.<suffix>` with the suffix *appended* (not replacing an
+/// existing extension), so `sort.manifest` journals beside itself as
+/// `sort.manifest.prev` / `sort.manifest.tmp`.
+pub(crate) fn manifest_sibling(path: &Path, suffix: &str) -> std::path::PathBuf {
+    let mut os = path.as_os_str().to_owned();
+    os.push(".");
+    os.push(suffix);
+    std::path::PathBuf::from(os)
 }
 
 /// Consume the next manifest line, which must be `<name> <value>`, and
@@ -460,12 +564,92 @@ mod tests {
         let dir = std::env::temp_dir().join(format!("srm-manifest-{}", std::process::id()));
         std::fs::create_dir_all(&dir).unwrap();
         let path = dir.join("sort.manifest");
-        let m = sample();
+        let mut m = sample();
         m.save(&path).unwrap();
+        assert_eq!(m.generation, 1, "first save starts the generation chain");
         assert_eq!(SortManifest::load(&path).unwrap(), m);
         SortManifest::remove(&path).unwrap();
         SortManifest::remove(&path).unwrap(); // second remove: no error
         assert!(SortManifest::load(&path).is_err());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn saves_journal_the_previous_generation() {
+        let dir = std::env::temp_dir().join(format!("srm-manifest-gen-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("sort.manifest");
+        let mut m = sample();
+        m.save(&path).unwrap(); // pass 2, generation 1
+        m.pass = 3;
+        m.save(&path).unwrap();
+        assert_eq!(m.generation, 2);
+        // Both generations live on disk: the newest at `path`, its
+        // predecessor journaled beside it.
+        let latest = SortManifest::load_latest(&path).unwrap().unwrap();
+        assert_eq!(latest, m);
+        let prev = SortManifest::load(&manifest_sibling(&path, "prev")).unwrap();
+        assert_eq!(prev.generation, 1);
+        assert_eq!(prev.pass, 2, "journal holds the pre-update snapshot");
+        // Remove clears the whole journal.
+        SortManifest::remove(&path).unwrap();
+        assert!(SortManifest::load_latest(&path).unwrap().is_none());
+        assert!(!manifest_sibling(&path, "prev").exists());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn load_latest_falls_back_to_the_previous_valid_generation() {
+        let dir = std::env::temp_dir().join(format!("srm-manifest-fb-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("sort.manifest");
+        let mut m = sample();
+        m.save(&path).unwrap(); // pass 2, generation 1
+        m.pass = 3;
+        m.save(&path).unwrap();
+        // Tear the newest manifest mid-byte: recovery must pick gen 1.
+        let mut bytes = std::fs::read(&path).unwrap();
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0x01;
+        std::fs::write(&path, &bytes).unwrap();
+        let recovered = SortManifest::load_latest(&path).unwrap().unwrap();
+        assert_eq!(recovered.generation, 1);
+        assert_eq!(recovered.pass, 2);
+        // With *every* candidate corrupt, recovery refuses loudly.
+        let prev = manifest_sibling(&path, "prev");
+        let mut pbytes = std::fs::read(&prev).unwrap();
+        let mid = pbytes.len() / 2;
+        pbytes[mid] ^= 0x01;
+        std::fs::write(&prev, &pbytes).unwrap();
+        let err = SortManifest::load_latest(&path).unwrap_err();
+        assert!(err.to_string().contains("corrupt"), "{err}");
+        // And with no candidates at all, there is nothing to resume.
+        SortManifest::remove(&path).unwrap();
+        assert!(SortManifest::load_latest(&path).unwrap().is_none());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn a_torn_current_manifest_is_not_rotated_over_the_journal() {
+        let dir = std::env::temp_dir().join(format!("srm-manifest-rot-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("sort.manifest");
+        let mut m = sample();
+        m.save(&path).unwrap(); // gen 1
+        m.save(&path).unwrap(); // gen 2; gen 1 journaled to .prev
+        std::fs::write(&path, b"torn garbage").unwrap();
+        // The next save must not shove the garbage over the valid gen 1.
+        m.save(&path).unwrap();
+        assert_eq!(m.generation, 2, "torn gen 2 does not advance the chain");
+        let prev = SortManifest::load(&manifest_sibling(&path, "prev")).unwrap();
+        assert_eq!(prev.generation, 1, "journaled gen 1 survived the torn save");
+        assert_eq!(
+            SortManifest::load_latest(&path).unwrap().unwrap().generation,
+            2
+        );
         let _ = std::fs::remove_dir_all(&dir);
     }
 

@@ -49,6 +49,7 @@ pub mod output;
 pub mod par_sort;
 pub mod run_formation;
 pub mod scheduler;
+pub mod scrub;
 pub mod simulator;
 pub mod sort;
 
@@ -60,5 +61,6 @@ pub use naive::{naive_merge_count, NaiveMergeStats};
 pub use output::{read_run, RunWriter};
 pub use run_formation::{form_runs, form_runs_pipelined, RunFormation};
 pub use scheduler::{ScheduleStats, Scheduler};
+pub use scrub::{scrub_runs, ScrubReport};
 pub use simulator::{MergeSim, SimInput, SimStats, TraceEvent};
 pub use sort::{Placement, SortReport, SrmConfig, SrmSorter};

@@ -645,6 +645,44 @@ impl<R: Record> Merger<'_, R> {
         mut self,
         array: &mut A,
     ) -> Result<MergeOutcome> {
+        if let Err(e) = self.pipelined_loop(array) {
+            // Quiesce before unwinding: abandon split-phase tickets
+            // without touching the (possibly crashed) array.  The ops
+            // were already charged and traced at submit; an abandoned
+            // write's durability gap (`Write` with no `WriteDurable`)
+            // is exactly what the recovery invariant checks, and resume
+            // rewrites those frames from the last durable checkpoint.
+            self.quiesce();
+            return Err(e);
+        }
+        // Every submitted read's targets are blocks the merge still
+        // needs, so their runs cannot all be exhausted while one is in
+        // flight.
+        debug_assert!(self.in_flight.is_none(), "read in flight at merge end");
+        if self.in_flight.is_some() {
+            return Err(SrmError::Internal(
+                "read still in flight at merge end".into(),
+            ));
+        }
+        self.finish_merge(array)
+    }
+
+    /// Drop any in-flight split-phase tickets without completing them.
+    ///
+    /// Called only on error paths: completion would have to go through
+    /// the failed (or crash-poisoned) array, so the tickets are
+    /// abandoned instead.  File-backed workers still drain their queues
+    /// in order, so a later [`pdisk::DiskArray::sync`] — or reopen-time
+    /// torn-frame detection — settles what actually landed.
+    fn quiesce(&mut self) {
+        self.in_flight = None;
+        self.writer.abandon_ticket();
+    }
+
+    /// Body of the pipelined main loop; returns once every run is
+    /// exhausted.  Split from [`Self::run_to_completion_pipelined`] so
+    /// the caller can quiesce in-flight tickets when this errors.
+    fn pipelined_loop<A: DiskArray<R>>(&mut self, array: &mut A) -> Result<()> {
         let cap = self.runs.len() + self.geom.d;
         loop {
             self.sched.drain();
@@ -663,7 +701,7 @@ impl<R: Record> Merger<'_, R> {
                 continue;
             }
             if self.tree.all_exhausted() {
-                break;
+                return Ok(());
             }
             let (run, key) = self.tree.peek();
             if self.runs[run].awaiting {
@@ -675,16 +713,6 @@ impl<R: Record> Merger<'_, R> {
             }
             self.emit_winner(array, run, key)?;
         }
-        // Every submitted read's targets are blocks the merge still
-        // needs, so their runs cannot all be exhausted while one is in
-        // flight.
-        debug_assert!(self.in_flight.is_none(), "read in flight at merge end");
-        if self.in_flight.is_some() {
-            return Err(SrmError::Internal(
-                "read still in flight at merge end".into(),
-            ));
-        }
-        self.finish_merge(array)
     }
 
     fn finish_merge<A: DiskArray<R>>(self, array: &mut A) -> Result<MergeOutcome> {

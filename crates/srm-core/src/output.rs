@@ -200,6 +200,19 @@ impl<R: Record> RunWriter<R> {
         Ok(())
     }
 
+    /// Abandon the write-behind ticket without completing it; returns
+    /// whether one was in flight.
+    ///
+    /// Error-path only (see `Merger::quiesce`): the submitted stripe
+    /// may or may not have landed — in a real crash that is exactly a
+    /// torn write.  Its trace shows `Write` with no `WriteDurable`, so
+    /// the modelcheck durability invariant rejects any replay that
+    /// reads it, and resume rewrites the frames from the last durable
+    /// checkpoint.
+    pub(crate) fn abandon_ticket(&mut self) -> bool {
+        self.ticket.take().is_some()
+    }
+
     /// Records pushed so far.
     pub fn records(&self) -> u64 {
         self.records

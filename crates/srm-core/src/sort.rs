@@ -16,7 +16,7 @@ use crate::error::{Result, SrmError};
 use crate::merge::{merge_runs, merge_runs_pipelined, MergeStats};
 use crate::run_formation::{form_runs, form_runs_pipelined, RunFormation};
 use crate::scheduler::ScheduleStats;
-use pdisk::{Block, DiskArray, DiskId, Forecast, IoStats, Record, RedundancyInfo, StripedRun};
+use pdisk::{Block, CrashClock, DiskArray, DiskId, Forecast, IoStats, Record, StripedRun};
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 use std::path::Path;
@@ -156,6 +156,10 @@ pub struct SrmSorter {
     /// or the output — checkpoint manifests stay compatible, and a sort
     /// may even be resumed under the other engine.
     pipeline: bool,
+    /// Crash clock shared with a [`pdisk::CrashingDiskArray`] wrapping
+    /// the array, so manifest writes get their own numbered crash
+    /// boundaries alongside the I/O ones.
+    crash: Option<CrashClock>,
 }
 
 /// Pass-boundary callback threaded through `sort_inner`; see
@@ -168,6 +172,7 @@ impl SrmSorter {
         SrmSorter {
             config,
             pipeline: false,
+            crash: None,
         }
     }
 
@@ -185,6 +190,16 @@ impl SrmSorter {
     /// Whether merges run on the pipelined engine.
     pub fn pipeline(&self) -> bool {
         self.pipeline
+    }
+
+    /// Share `clock` with the [`pdisk::CrashingDiskArray`] wrapping the
+    /// array this sorter runs on: every checkpoint-manifest write then
+    /// gets its own numbered crash boundaries (`manifest-write` /
+    /// `manifest-written`), so a crash-matrix sweep covers the windows
+    /// just before and just after the manifest becomes durable.
+    pub fn with_crash_clock(mut self, clock: CrashClock) -> Self {
+        self.crash = Some(clock);
+        self
     }
 
     /// The configuration in use.
@@ -269,9 +284,11 @@ impl SrmSorter {
         let io_before = array.stats();
         let mut placer = Placer::new(self.config.placement, self.config.seed, geom.d as u32);
 
+        // Recovery rule: newest valid manifest generation wins; a torn
+        // current manifest falls back to its journaled predecessor.
         let resume = match manifest {
-            Some(path) if path.exists() => Some(SortManifest::load(path)?),
-            _ => None,
+            Some(path) => SortManifest::load_latest(path)?,
+            None => None,
         };
         let (mut queue, mut pass, runs_formed) = match resume {
             Some(m) => {
@@ -297,7 +314,7 @@ impl SrmSorter {
                     obs(0, array)?;
                 }
                 if let Some(path) = manifest {
-                    self.snapshot(path, geom, input, runs_formed, 0, &placer, array.redundancy(), &queue)?;
+                    self.snapshot(path, input, runs_formed, 0, &placer, array, &queue)?;
                 }
                 (queue, 0, runs_formed)
             }
@@ -337,16 +354,7 @@ impl SrmSorter {
             }
             if let Some(path) = manifest {
                 if queue.len() > 1 {
-                    self.snapshot(
-                        path,
-                        geom,
-                        input,
-                        runs_formed,
-                        pass,
-                        &placer,
-                        array.redundancy(),
-                        &queue,
-                    )?;
+                    self.snapshot(path, input, runs_formed, pass, &placer, array, &queue)?;
                 }
             }
         }
@@ -363,28 +371,39 @@ impl SrmSorter {
     }
 
     #[allow(clippy::too_many_arguments)]
-    fn snapshot(
+    fn snapshot<R: Record, A: DiskArray<R>>(
         &self,
         path: &Path,
-        geom: pdisk::Geometry,
         input: &StripedRun,
         runs_formed: usize,
         pass: u64,
         placer: &Placer,
-        redundancy: Option<RedundancyInfo>,
+        array: &mut A,
         queue: &[StripedRun],
     ) -> Result<()> {
+        // Durability barrier: every block the manifest is about to
+        // reference must be on stable storage before the manifest
+        // claims the pass completed — otherwise a crash could leave a
+        // manifest pointing at frames that never landed.
+        array.sync()?;
+        if let Some(c) = &self.crash {
+            c.tick("manifest-write")?;
+        }
         SortManifest::new(
             &self.config,
-            geom,
+            array.geometry(),
             input.records,
             runs_formed as u64,
             pass,
             placer.draws,
-            redundancy,
+            array.redundancy(),
             queue.to_vec(),
         )
-        .save(path)
+        .save(path)?;
+        if let Some(c) = &self.crash {
+            c.tick("manifest-written")?;
+        }
+        Ok(())
     }
 }
 

@@ -1,0 +1,351 @@
+//! Deterministic crash-matrix harness: prove that a checkpointed SRM
+//! sort recovers from a simulated process crash at **every** I/O
+//! boundary.
+//!
+//! The harness is built on three pieces from the workspace:
+//!
+//! * [`pdisk::CrashClock`] / [`pdisk::CrashingDiskArray`] number every
+//!   I/O boundary deterministically and can kill the stack at any one of
+//!   them (including torn multi-disk writes where only a prefix of the
+//!   stripe lands);
+//! * `srm_core`'s journaled checkpoint manifests plus the `sync`
+//!   durability barrier, which recovery resumes from;
+//! * `modelcheck`, which replays the recovery's trace and rejects any
+//!   read that falls inside a durability gap.
+//!
+//! One sweep ([`run_matrix`]) is: a dry run with a counting clock to
+//! learn `N` (the boundary count) and the uninterrupted baseline output,
+//! then for every `K` in `0..N` a fresh world is built, crashed at
+//! boundary `K`, "rebooted" (the backend survives; every wrapper and all
+//! volatile state is discarded), and recovered.  The sweep fails unless
+//! every recovery reproduces the baseline record sequence exactly.
+//!
+//! Used by the `srm crash-matrix` CLI subcommand and the
+//! `tests/crash_matrix.rs` integration suite.
+
+use pdisk::trace::TracingDiskArray;
+use pdisk::{
+    CrashClock, CrashingDiskArray, DiskArray, FileDiskArray, Geometry, MemDiskArray,
+    ParityDiskArray, PdiskError, StripedRun, U64Record,
+};
+use srm_core::sort::write_unsorted_input;
+use srm_core::{read_run, Placement, RunFormation, SrmConfig, SrmError, SrmSorter};
+use std::path::{Path, PathBuf};
+
+/// Which substrate plays the disks that survive the crash.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Backend {
+    /// In-memory arrays: the same instance survives the reboot, exactly
+    /// as platters survive a power cut.
+    Mem,
+    /// Real files: the crashed array is dropped (its workers drain) and
+    /// the directory is reopened, exercising torn-frame detection.
+    File,
+}
+
+/// One sweep's parameters.
+#[derive(Debug, Clone)]
+pub struct MatrixConfig {
+    /// Disk-array geometry of every run in the sweep.
+    pub geom: Geometry,
+    /// Sorter seed (placement RNG); fixed so the baseline and every
+    /// recovery make identical placement draws.
+    pub seed: u64,
+    /// Drive the merges through the pipelined (split-phase) engine.
+    pub pipeline: bool,
+    /// Put rotating parity under the sort; the parity sidecar store
+    /// persists across the crash like the disks do.
+    pub parity: bool,
+    /// Disk substrate.
+    pub backend: Backend,
+    /// Replay every recovery's trace through the model checker
+    /// (including the read-inside-durability-gap invariant).
+    pub check_recovery: bool,
+    /// Scratch directory for manifests, parity stores, and disk files.
+    pub scratch: PathBuf,
+}
+
+/// Outcome of a full sweep.
+#[derive(Debug, Clone, Default)]
+pub struct MatrixReport {
+    /// Boundaries numbered by the dry run (`N`); the sweep explored all
+    /// of `0..N`.
+    pub points: u64,
+    /// Crash points whose recovery found a checkpoint manifest to resume
+    /// from.
+    pub resumed_from_checkpoint: u64,
+    /// Crash points that struck before the first durable checkpoint;
+    /// recovery re-sorted from the (still staged) input.
+    pub fresh_restarts: u64,
+}
+
+fn sorter(cfg: &MatrixConfig) -> SrmSorter {
+    SrmSorter::new(SrmConfig {
+        placement: Placement::Random,
+        run_formation: RunFormation::default(),
+        seed: cfg.seed,
+    })
+    .with_pipeline(cfg.pipeline)
+}
+
+/// `Ok(None)` when the sort died at the armed boundary; `Err` for any
+/// real failure.
+fn crash_or<T>(r: srm_core::Result<T>, k: u64) -> Result<Option<T>, String> {
+    match r {
+        Ok(v) => Ok(Some(v)),
+        Err(SrmError::Disk(PdiskError::Crashed { .. })) => Ok(None),
+        Err(e) => Err(format!("crash point {k}: unexpected failure: {e}")),
+    }
+}
+
+fn read_keys<A: DiskArray<U64Record>>(array: &mut A, run: &StripedRun) -> Result<Vec<u64>, String> {
+    Ok(read_run(array, run)
+        .map_err(|e| format!("cannot read sorted output: {e}"))?
+        .iter()
+        .map(|r| r.0)
+        .collect())
+}
+
+/// Complete an interrupted sort on the rebooted world and hand back the
+/// output keys, optionally model-checking the recovery's own trace.
+fn recover<A: DiskArray<U64Record>>(
+    mut array: A,
+    cfg: &MatrixConfig,
+    input: &StripedRun,
+    manifest: &Path,
+    k: u64,
+) -> Result<Vec<u64>, String> {
+    let s = sorter(cfg);
+    if cfg.check_recovery {
+        let mut traced = TracingDiskArray::new(array);
+        let (run, _) = s
+            .sort_checkpointed(&mut traced, input, manifest)
+            .map_err(|e| format!("crash point {k}: recovery failed: {e}"))?;
+        let keys = read_keys(&mut traced, &run)?;
+        let trace = traced.take_trace();
+        modelcheck::check_trace(traced.geometry(), &trace)
+            .map_err(|v| format!("crash point {k}: recovery trace violates the model: {v}"))?;
+        Ok(keys)
+    } else {
+        let (run, _) = s
+            .sort_checkpointed(&mut array, input, manifest)
+            .map_err(|e| format!("crash point {k}: recovery failed: {e}"))?;
+        read_keys(&mut array, &run)
+    }
+}
+
+/// Drive one world to the crash (or to completion, for the dry run).
+/// Returns `Ok(Some(run))` when the sort finished, `Ok(None)` when the
+/// armed boundary fired.  The caller reads the output *after* unwrapping
+/// the crash layer, so the boundary count `N` covers exactly the sort.
+fn drive<A: DiskArray<U64Record>>(
+    array: &mut A,
+    cfg: &MatrixConfig,
+    clock: &CrashClock,
+    input: &StripedRun,
+    manifest: &Path,
+    k: u64,
+) -> Result<Option<StripedRun>, String> {
+    let s = sorter(cfg).with_crash_clock(clock.clone());
+    match crash_or(s.sort_checkpointed(array, input, manifest), k)? {
+        Some((run, _)) => Ok(Some(run)),
+        None => Ok(None),
+    }
+}
+
+/// One crash-and-recover cycle (or, with a counting clock, the dry run).
+///
+/// Returns `(output_keys, resumed_from_checkpoint)`.  Volatile state —
+/// every wrapper, the parity layer's in-memory masks, the crashed
+/// process's tickets — is rebuilt from scratch at the reboot; only the
+/// backend (and the parity sidecar / manifest files) survives.
+fn run_point(
+    cfg: &MatrixConfig,
+    data: &[U64Record],
+    clock: CrashClock,
+    k: u64,
+) -> Result<(Vec<u64>, bool), String> {
+    let manifest = cfg.scratch.join(format!("point-{k}.manifest"));
+    srm_core::SortManifest::remove(&manifest).map_err(|e| e.to_string())?;
+    let pstore = cfg.scratch.join(format!("point-{k}.parity"));
+    let _ = std::fs::remove_file(&pstore);
+    let ddir = cfg.scratch.join(format!("point-{k}-disks"));
+    let _ = std::fs::remove_dir_all(&ddir);
+
+    fn stage<A: DiskArray<U64Record>>(a: &mut A, data: &[U64Record]) -> Result<StripedRun, String> {
+        write_unsorted_input(a, data).map_err(|e| format!("staging failed: {e}"))
+    }
+    let err = |e: PdiskError| e.to_string();
+
+    // The four worlds differ only in how the stack is built and rebuilt;
+    // the crash/recover protocol is identical.
+    let (keys, resumed) = match (cfg.backend, cfg.parity) {
+        (Backend::Mem, false) => {
+            let mut mem: MemDiskArray<U64Record> = MemDiskArray::new(cfg.geom);
+            let input = stage(&mut mem, data)?;
+            let mut arr = CrashingDiskArray::new(mem, clock.clone());
+            match drive(&mut arr, cfg, &clock, &input, &manifest, k)? {
+                Some(run) => {
+                    let mut mem = arr.into_inner();
+                    (read_keys(&mut mem, &run)?, false)
+                }
+                None => {
+                    let mem = arr.into_inner();
+                    let resumed = manifest_present(&manifest)?;
+                    (recover(mem, cfg, &input, &manifest, k)?, resumed)
+                }
+            }
+        }
+        (Backend::Mem, true) => {
+            let mem: MemDiskArray<U64Record> = MemDiskArray::new(cfg.geom);
+            let mut pa = ParityDiskArray::new(mem)
+                .map_err(err)?
+                .with_store(&pstore)
+                .map_err(err)?;
+            let input = stage(&mut pa, data)?;
+            pa.set_crash_clock(clock.clone());
+            let mut arr = CrashingDiskArray::new(pa, clock.clone());
+            match drive(&mut arr, cfg, &clock, &input, &manifest, k)? {
+                Some(run) => {
+                    // Re-wrap without the crash clock to read the output.
+                    let mem = arr.into_inner().into_inner();
+                    let mut pa = ParityDiskArray::new(mem)
+                        .map_err(err)?
+                        .with_store(&pstore)
+                        .map_err(err)?;
+                    (read_keys(&mut pa, &run)?, false)
+                }
+                None => {
+                    // Reboot: the parity layer's in-memory state dies with
+                    // the process; masks and watermarks come back from the
+                    // sidecar.
+                    let mem = arr.into_inner().into_inner();
+                    let pa = ParityDiskArray::new(mem)
+                        .map_err(err)?
+                        .with_store(&pstore)
+                        .map_err(err)?;
+                    let resumed = manifest_present(&manifest)?;
+                    (recover(pa, cfg, &input, &manifest, k)?, resumed)
+                }
+            }
+        }
+        (Backend::File, false) => {
+            let mut fa: FileDiskArray<U64Record> =
+                FileDiskArray::create(cfg.geom, &ddir).map_err(err)?;
+            let input = stage(&mut fa, data)?;
+            let mut arr = CrashingDiskArray::new(fa, clock.clone());
+            match drive(&mut arr, cfg, &clock, &input, &manifest, k)? {
+                Some(run) => {
+                    let mut fa = arr.into_inner();
+                    (read_keys(&mut fa, &run)?, false)
+                }
+                None => {
+                    // Reboot: drop the crashed array (its workers drain),
+                    // then reopen the directory — torn-frame detection
+                    // runs here.
+                    drop(arr);
+                    let fa: FileDiskArray<U64Record> =
+                        FileDiskArray::open(cfg.geom, &ddir).map_err(err)?;
+                    let resumed = manifest_present(&manifest)?;
+                    (recover(fa, cfg, &input, &manifest, k)?, resumed)
+                }
+            }
+        }
+        (Backend::File, true) => {
+            let fa: FileDiskArray<U64Record> =
+                FileDiskArray::create(cfg.geom, &ddir).map_err(err)?;
+            let mut pa = ParityDiskArray::new(fa)
+                .map_err(err)?
+                .with_store(&pstore)
+                .map_err(err)?;
+            let input = stage(&mut pa, data)?;
+            pa.set_crash_clock(clock.clone());
+            let mut arr = CrashingDiskArray::new(pa, clock.clone());
+            match drive(&mut arr, cfg, &clock, &input, &manifest, k)? {
+                Some(run) => {
+                    let fa = arr.into_inner().into_inner();
+                    let mut pa = ParityDiskArray::new(fa)
+                        .map_err(err)?
+                        .with_store(&pstore)
+                        .map_err(err)?;
+                    (read_keys(&mut pa, &run)?, false)
+                }
+                None => {
+                    drop(arr);
+                    let fa: FileDiskArray<U64Record> =
+                        FileDiskArray::open(cfg.geom, &ddir).map_err(err)?;
+                    let pa = ParityDiskArray::new(fa)
+                        .map_err(err)?
+                        .with_store(&pstore)
+                        .map_err(err)?;
+                    let resumed = manifest_present(&manifest)?;
+                    (recover(pa, cfg, &input, &manifest, k)?, resumed)
+                }
+            }
+        }
+    };
+    let _ = std::fs::remove_dir_all(&ddir);
+    let _ = std::fs::remove_file(&pstore);
+    srm_core::SortManifest::remove(&manifest).map_err(|e| e.to_string())?;
+    Ok((keys, resumed))
+}
+
+/// Whether a valid checkpoint generation survived the crash.
+fn manifest_present(path: &Path) -> Result<bool, String> {
+    srm_core::SortManifest::load_latest(path)
+        .map(|m| m.is_some())
+        .map_err(|e| format!("manifest unreadable after crash: {e}"))
+}
+
+/// Dry run: number every boundary with a counting clock and capture the
+/// uninterrupted baseline output.  Returns `(N, baseline_keys)`.
+pub fn dry_run(cfg: &MatrixConfig, data: &[U64Record]) -> Result<(u64, Vec<u64>), String> {
+    let clock = CrashClock::counting();
+    let (keys, _) = run_point(cfg, data, clock.clone(), u64::MAX)?;
+    Ok((clock.points(), keys))
+}
+
+/// Explore one crash point: crash at boundary `k`, reboot, recover.
+/// Returns the recovered output keys and whether a checkpoint was found.
+pub fn explore_point(
+    cfg: &MatrixConfig,
+    data: &[U64Record],
+    k: u64,
+) -> Result<(Vec<u64>, bool), String> {
+    run_point(cfg, data, CrashClock::crash_at(k), k)
+}
+
+/// The exhaustive sweep: dry-run, then crash at every boundary `0..N`
+/// and require byte-identical recovery.  `progress(k, n)` is called
+/// before each point.
+pub fn run_matrix(
+    cfg: &MatrixConfig,
+    data: &[U64Record],
+    mut progress: impl FnMut(u64, u64),
+) -> Result<MatrixReport, String> {
+    std::fs::create_dir_all(&cfg.scratch)
+        .map_err(|e| format!("cannot create scratch dir {}: {e}", cfg.scratch.display()))?;
+    let (points, baseline) = dry_run(cfg, data)?;
+    let mut report = MatrixReport {
+        points,
+        ..MatrixReport::default()
+    };
+    for k in 0..points {
+        progress(k, points);
+        let (keys, resumed) = explore_point(cfg, data, k)?;
+        if keys != baseline {
+            return Err(format!(
+                "crash point {k}: recovered output diverges from the baseline \
+                 ({} records recovered, {} expected)",
+                keys.len(),
+                baseline.len()
+            ));
+        }
+        if resumed {
+            report.resumed_from_checkpoint += 1;
+        } else {
+            report.fresh_restarts += 1;
+        }
+    }
+    Ok(report)
+}

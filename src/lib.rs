@@ -8,6 +8,13 @@
 //! * [`srm`] — the paper's contribution: forecast-and-flush mergesort;
 //! * [`dsm`] — the disk-striped mergesort baseline;
 //! * [`analysis`] — closed-form I/O counts and the paper's tables.
+//!
+//! The facade also hosts [`crashmat`], the deterministic crash-matrix
+//! harness, because it exercises the whole stack (pdisk crash clocks,
+//! srm-core checkpoints, modelcheck replay) and is shared between the
+//! CLI's `crash-matrix` subcommand and the integration suite.
+
+pub mod crashmat;
 
 pub use analysis;
 pub use dsm;

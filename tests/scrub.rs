@@ -1,0 +1,155 @@
+//! Scrubber integration tests: the parity-backed scrub pass must heal
+//! injected latent corruption with *exact* repair accounting, even while
+//! the array is already degraded (one disk permanently dead).
+
+use pdisk::{
+    DiskArray, Geometry, MemDiskArray, ParityDiskArray, ScrubOutcome, StripedRun, U64Record,
+};
+use srm_core::{scrub_runs, RunWriter};
+
+const D: usize = 4;
+const B: usize = 4;
+
+fn stack() -> (ParityDiskArray<U64Record, MemDiskArray<U64Record>>, Geometry) {
+    let geom = Geometry::new(D, B, 8 * D * B).unwrap();
+    let inner = MemDiskArray::new(geom);
+    (ParityDiskArray::new(inner).unwrap(), geom)
+}
+
+fn write_run(
+    array: &mut ParityDiskArray<U64Record, MemDiskArray<U64Record>>,
+    geom: Geometry,
+    keys: std::ops::Range<u64>,
+) -> StripedRun {
+    let mut w = RunWriter::new(geom, pdisk::DiskId(0));
+    for k in keys {
+        w.push(array, U64Record(k)).unwrap();
+    }
+    w.finish(array).unwrap()
+}
+
+/// The ISSUE scenario: one dead disk *and* one corrupt block on a
+/// survivor, with exact repair accounting.  Rotating parity can only
+/// repair a survivor's block if its stripe does not also depend on the
+/// dead disk (classic RAID-5: one failure per stripe).  A run whose
+/// block count is not a multiple of `D` ends in a partial stripe the
+/// trailing disks never wrote — corrupt the block there, kill a disk
+/// outside that stripe, and the scrub must heal it exactly once while
+/// the dead disk's own blocks verify clean via reconstructability.
+#[test]
+fn scrub_repairs_injected_corruption_in_degraded_mode() {
+    let (mut a, geom) = stack();
+    // 13 blocks = 3 full stripe rows + a partial row holding one block.
+    let run = write_run(&mut a, geom, 0..52);
+    assert_eq!(run.len_blocks, 13);
+
+    // The last block sits alone in its stripe (plus parity).
+    let victim = run.addr_of(12);
+    let vphys = a.physical_addr(victim);
+    let parity_home = pdisk::DiskId((vphys.offset % D as u64) as u32);
+
+    // Kill a disk that holds neither the victim nor its stripe's parity:
+    // the victim's stripe then has no dependence on the dead disk.
+    let dead = (0..D as u32)
+        .map(pdisk::DiskId)
+        .find(|&dd| dd != victim.disk && dd != parity_home)
+        .unwrap();
+    a.fail_disk(dead).unwrap();
+    a.inner_mut().corrupt_block(vphys).unwrap();
+
+    let report = scrub_runs(&mut a, std::slice::from_ref(&run)).unwrap();
+    assert_eq!(report.blocks_checked, 13, "{report}");
+    assert_eq!(report.repaired, 1, "exactly the injected corruption: {report}");
+    assert_eq!(report.unrepairable, 0, "{report:?}");
+    assert_eq!(report.clean, 12, "{report}");
+    assert!(report.is_healthy());
+
+    // The heal is durable: a second scrub finds nothing to do, and the
+    // run still reads back as written despite the dead disk.
+    let again = scrub_runs(&mut a, std::slice::from_ref(&run)).unwrap();
+    assert_eq!(again.clean, 13, "{again}");
+    let keys: Vec<u64> = srm_core::read_run(&mut a, &run)
+        .unwrap()
+        .iter()
+        .map(|r| r.0)
+        .collect();
+    assert_eq!(keys, (0..52).collect::<Vec<u64>>());
+}
+
+/// The flip side of degraded mode: corruption on a survivor whose stripe
+/// *does* span the dead disk is a double failure — the scrub must report
+/// it unrepairable (with a located failure line), not abort, and not
+/// "heal" it with garbage.
+#[test]
+fn degraded_scrub_reports_a_double_failure_as_unrepairable() {
+    let (mut a, geom) = stack();
+    let run = write_run(&mut a, geom, 0..64); // 16 blocks: every stripe full
+    a.fail_disk(pdisk::DiskId(2)).unwrap();
+
+    // Any survivor block's stripe includes the dead disk's data here.
+    let victim = (0..run.len_blocks)
+        .map(|i| run.addr_of(i))
+        .find(|addr| addr.disk != pdisk::DiskId(2))
+        .unwrap();
+    let vphys = a.physical_addr(victim);
+    a.inner_mut().corrupt_block(vphys).unwrap();
+
+    let report = scrub_runs(&mut a, &[run]).unwrap();
+    assert_eq!(report.blocks_checked, 16, "{report}");
+    assert_eq!(report.repaired, 0, "{report}");
+    // The corrupt survivor is lost, and the dead disk's block in that
+    // same stripe can no longer be reconstructed either.
+    assert!(report.unrepairable >= 1, "{report}");
+    assert_eq!(
+        report.failures.len() as u64,
+        report.unrepairable,
+        "{report:?}"
+    );
+    assert!(!report.is_healthy());
+}
+
+/// Two corrupt frames in the *same* parity stripe exceed what rotating
+/// parity can reconstruct even with every disk alive: scrub must report
+/// both unrepairable rather than cascade garbage.
+#[test]
+fn scrub_reports_unrepairable_stripe_with_exact_counts() {
+    let (mut a, geom) = stack();
+    let run = write_run(&mut a, geom, 0..64);
+
+    // Stripe 0's parity lives on disk 0 under the rotating layout, so
+    // logical offset 0 of disks 1 and 2 are physical stripe-mates.
+    let (m1, m2) = (a.physical_addr(run.addr_of(1)), a.physical_addr(run.addr_of(2)));
+    assert_eq!(m1.offset, m2.offset, "test needs two frames in one stripe");
+    a.inner_mut().corrupt_block(m1).unwrap();
+    a.inner_mut().corrupt_block(m2).unwrap();
+
+    let report = scrub_runs(&mut a, &[run]).unwrap();
+    assert_eq!(report.blocks_checked, 16, "{report}");
+    assert_eq!(report.unrepairable, 2, "{report:?}");
+    assert_eq!(report.repaired, 0, "{report}");
+    assert_eq!(report.failures.len(), 2, "{report:?}");
+    assert!(!report.is_healthy());
+}
+
+/// Without a parity layer the scrubber is detection-only: corruption is
+/// reported unrepairable, never silently "fixed".
+#[test]
+fn scrub_on_a_plain_array_detects_but_cannot_heal() {
+    let geom = Geometry::new(D, B, 8 * D * B).unwrap();
+    let mut a: MemDiskArray<U64Record> = MemDiskArray::new(geom);
+    let mut w = RunWriter::new(geom, pdisk::DiskId(0));
+    for k in 0..64u64 {
+        w.push(&mut a, U64Record(k)).unwrap();
+    }
+    let run = w.finish(&mut a).unwrap();
+    a.corrupt_block(run.addr_of(5)).unwrap();
+
+    assert!(matches!(
+        a.scrub_block(run.addr_of(5)).unwrap(),
+        ScrubOutcome::Unrepairable(_)
+    ));
+    let report = scrub_runs(&mut a, &[run]).unwrap();
+    assert_eq!(report.unrepairable, 1, "{report}");
+    assert_eq!(report.clean, 15, "{report}");
+    assert!(!report.is_healthy());
+}
