@@ -5,7 +5,7 @@ use crate::logical::{
     alloc_stripe, complete_stripe_read, read_stripe, submit_stripe_read, submit_stripe_write,
     write_stripe, LogicalRun,
 };
-use pdisk::{DiskArray, IoStats, PdiskError, ReadTicket, Record, WriteTicket};
+use pdisk::{DiskArray, InterruptFlag, IoStats, PdiskError, ReadTicket, Record, WriteTicket};
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
 use std::path::Path;
@@ -67,6 +67,9 @@ pub struct DsmSorter {
     /// identical, so this lives outside [`DsmConfig`] and checkpoint
     /// manifests — a sort may even be resumed under the other engine.
     pipeline: bool,
+    /// Cooperative stop request; polled at pass boundaries.  See
+    /// [`DsmSorter::with_interrupt`].
+    interrupt: Option<InterruptFlag>,
 }
 
 /// Pass-boundary callback threaded through `sort_inner`; see
@@ -83,6 +86,11 @@ pub enum DsmError {
     Config(String),
     /// A checkpoint manifest could not be read, written, or trusted.
     Checkpoint(String),
+    /// The sort stopped at a pass boundary because its
+    /// [`InterruptFlag`] was triggered.  If a manifest path was given,
+    /// the boundary's checkpoint was journaled first, so a rerun
+    /// resumes byte-identically.
+    Interrupted,
 }
 
 impl std::fmt::Display for DsmError {
@@ -91,6 +99,9 @@ impl std::fmt::Display for DsmError {
             DsmError::Disk(e) => write!(f, "disk error: {e}"),
             DsmError::Config(m) => write!(f, "configuration error: {m}"),
             DsmError::Checkpoint(m) => write!(f, "checkpoint error: {m}"),
+            DsmError::Interrupted => {
+                write!(f, "sort interrupted at a pass boundary (checkpoint journaled)")
+            }
         }
     }
 }
@@ -113,7 +124,31 @@ impl From<PdiskError> for DsmError {
 impl DsmSorter {
     /// Sorter with the given configuration.
     pub fn new(config: DsmConfig) -> Self {
-        DsmSorter { config, pipeline: false }
+        DsmSorter {
+            config,
+            pipeline: false,
+            interrupt: None,
+        }
+    }
+
+    /// Install a cooperative stop request (the *drain hook*), mirroring
+    /// srm-core's `SrmSorter::with_interrupt`: when
+    /// `flag` is triggered the sort stops at the next pass boundary,
+    /// after that boundary's checkpoint (if a manifest path is in use)
+    /// is durable, returning [`DsmError::Interrupted`].  With one run
+    /// left there is no boundary, so the sort completes.
+    pub fn with_interrupt(mut self, flag: InterruptFlag) -> Self {
+        self.interrupt = Some(flag);
+        self
+    }
+
+    /// `Err(Interrupted)` if a stop has been requested and merging work
+    /// remains; called only after the boundary's snapshot is durable.
+    fn check_interrupt(&self, runs_left: usize) -> Result<(), DsmError> {
+        match &self.interrupt {
+            Some(flag) if flag.is_set() && runs_left > 1 => Err(DsmError::Interrupted),
+            _ => Ok(()),
+        }
     }
 
     /// Toggle the pipelined (read-ahead / write-behind) engine.
@@ -256,6 +291,9 @@ impl DsmSorter {
                 (queue, 0, runs_formed)
             }
         };
+        // Drain hook, boundary 0: the formation snapshot above (or the
+        // resumed manifest already on disk) is durable.
+        self.check_interrupt(queue.len())?;
 
         // Merge passes.
         while queue.len() > 1 {
@@ -280,6 +318,9 @@ impl DsmSorter {
                     snapshot(path, input, runs_formed, pass, array, &queue)?;
                 }
             }
+            // Drain hook: the boundary's snapshot is durable, so a rerun
+            // resumes from exactly this pass.
+            self.check_interrupt(queue.len())?;
         }
         let sorted = queue
             .pop()
@@ -532,6 +573,43 @@ mod tests {
 
     fn random_keys(rng: &mut SmallRng, n: usize) -> Vec<u64> {
         (0..n).map(|_| rng.random_range(0..1_000_000)).collect()
+    }
+
+    #[test]
+    fn interrupt_checkpoints_then_resume_completes_identically() {
+        let dir = std::env::temp_dir().join(format!("dsm-interrupt-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let manifest = dir.join("manifest");
+        let _ = std::fs::remove_file(&manifest);
+
+        let mut rng = SmallRng::seed_from_u64(77);
+        let geom = Geometry::new(2, 4, 96).unwrap();
+        let keys = random_keys(&mut rng, 3000);
+        let recs: Vec<U64Record> = keys.iter().map(|&k| U64Record(k)).collect();
+        let mut a: MemDiskArray<U64Record> = MemDiskArray::new(geom);
+        let input = write_unsorted_stripes(&mut a, &recs).unwrap();
+
+        let flag = pdisk::InterruptFlag::new();
+        flag.trigger();
+        let interrupted = DsmSorter::default()
+            .with_interrupt(flag)
+            .sort_checkpointed(&mut a, &input, &manifest);
+        assert!(matches!(interrupted, Err(DsmError::Interrupted)));
+        assert!(manifest.exists(), "checkpoint must be durable before Interrupted");
+
+        let (sorted, _) = DsmSorter::default()
+            .sort_checkpointed(&mut a, &input, &manifest)
+            .unwrap();
+        let got: Vec<u64> = read_logical_run(&mut a, &sorted)
+            .unwrap()
+            .iter()
+            .map(|r| r.0)
+            .collect();
+        let mut expected = keys.clone();
+        expected.sort_unstable();
+        assert_eq!(got, expected);
+        assert!(!manifest.exists());
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

@@ -54,6 +54,7 @@ pub mod error;
 pub mod faulty;
 pub mod file;
 pub mod geometry;
+pub mod interrupt;
 pub mod mem;
 pub mod parity;
 pub mod pool;
@@ -73,11 +74,12 @@ pub use error::{FaultKind, FaultOp, PdiskError, Result};
 pub use faulty::{FaultModel, FaultPlan, FaultyDiskArray, ScriptedFault};
 pub use file::FileDiskArray;
 pub use geometry::Geometry;
+pub use interrupt::InterruptFlag;
 pub use mem::MemDiskArray;
 pub use parity::ParityDiskArray;
 pub use pool::{BufferPool, PoolStats};
 pub use record::{KeyPayloadRecord, Record, U64Record};
-pub use retry::{RetryCounters, RetryPolicy, RetryingDiskArray};
+pub use retry::{Jitter, RetryCounters, RetryPolicy, RetryingDiskArray};
 pub use stats::IoStats;
 pub use striping::StripedRun;
 pub use timing::{ArrayTiming, DiskModel};

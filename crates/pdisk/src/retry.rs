@@ -31,6 +31,32 @@ use crate::timing::DiskModel;
 use crate::trace::{TraceEvent, TraceSink};
 use std::time::Duration;
 
+/// Jitter applied to the simulated backoff schedule.
+///
+/// `Full` implements "full jitter": each wait is drawn uniformly from
+/// `[0, capped_backoff]`.  The draw is a pure hash of `(seed, issue
+/// counter)`, so a fixed operation sequence always accrues the same
+/// backoff — the policy stays `Copy` and experiments stay replayable,
+/// while concurrent tenants with different seeds desynchronise their
+/// retry storms.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Jitter {
+    /// Deterministic schedule: wait exactly the capped exponential value.
+    #[default]
+    None,
+    /// Full jitter: wait `uniform(0, capped_backoff)`, derived from `seed`.
+    Full {
+        /// Seed for the deterministic jitter hash.
+        seed: u64,
+    },
+}
+
+/// Default ceiling on a single simulated backoff wait: high enough that
+/// the historical 4-attempt/1 ms default schedule is unaffected, low
+/// enough that misconfigured long schedules cannot accrue unbounded
+/// virtual waits.
+pub const DEFAULT_BACKOFF_CAP: Duration = Duration::from_secs(10);
+
 /// How many times to try, and how long to (virtually) wait in between.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct RetryPolicy {
@@ -41,17 +67,38 @@ pub struct RetryPolicy {
     /// Factor applied to the wait after each failed retry (exponential
     /// backoff when `> 1`).
     pub multiplier: u32,
+    /// Ceiling on any single wait: the exponential schedule saturates
+    /// here instead of growing without bound.
+    pub max_backoff: Duration,
+    /// Randomisation of the per-wait duration (deterministic given the
+    /// seed; see [`Jitter`]).
+    pub jitter: Jitter,
 }
 
 impl RetryPolicy {
-    /// Up to `max_attempts` tries with exponential backoff from `base`.
+    /// Up to `max_attempts` tries with exponential backoff from `base`,
+    /// capped at [`DEFAULT_BACKOFF_CAP`], no jitter.
     pub fn new(max_attempts: u32, base: Duration) -> Self {
         assert!(max_attempts >= 1, "at least one attempt is required");
         RetryPolicy {
             max_attempts,
             base_backoff: base,
             multiplier: 2,
+            max_backoff: DEFAULT_BACKOFF_CAP,
+            jitter: Jitter::None,
         }
+    }
+
+    /// Same schedule with the per-wait ceiling replaced by `cap`.
+    pub fn with_backoff_cap(mut self, cap: Duration) -> Self {
+        self.max_backoff = cap;
+        self
+    }
+
+    /// Same schedule with full jitter drawn deterministically from `seed`.
+    pub fn with_full_jitter(mut self, seed: u64) -> Self {
+        self.jitter = Jitter::Full { seed };
+        self
     }
 
     /// A policy priced from a [`DiskModel`]: the first retry waits one
@@ -65,18 +112,49 @@ impl RetryPolicy {
         Self::new(1, Duration::ZERO)
     }
 
-    /// Simulated wait before retry number `retry` (1-based).
+    /// Simulated wait before retry number `retry` (1-based), before
+    /// jitter: the exponential value saturated at `max_backoff`.
     pub fn backoff_for(&self, retry: u32) -> Duration {
         debug_assert!(retry >= 1);
-        self.base_backoff * self.multiplier.pow(retry - 1)
+        let exp = self
+            .multiplier
+            .checked_pow(retry - 1)
+            .map(|f| self.base_backoff.saturating_mul(f))
+            .unwrap_or(Duration::MAX);
+        exp.min(self.max_backoff)
+    }
+
+    /// The wait actually charged for retry number `retry` when it is
+    /// issue number `nonce` of its counter — [`Self::backoff_for`] with
+    /// this policy's [`Jitter`] applied.  Pure in `(self, retry, nonce)`.
+    pub fn jittered_backoff(&self, retry: u32, nonce: u64) -> Duration {
+        let capped = self.backoff_for(retry);
+        match self.jitter {
+            Jitter::None => capped,
+            Jitter::Full { seed } => {
+                let span = capped.as_nanos().min(u64::MAX as u128) as u64;
+                if span == 0 {
+                    return Duration::ZERO;
+                }
+                // FNV-1a over (seed, nonce): cheap, stable, and good
+                // enough to decorrelate per-tenant retry schedules.
+                let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+                for b in seed.to_le_bytes().iter().chain(nonce.to_le_bytes().iter()) {
+                    h ^= u64::from(*b);
+                    h = h.wrapping_mul(0x0000_0100_0000_01b3);
+                }
+                Duration::from_nanos(h % (span + 1))
+            }
+        }
     }
 
     /// Run `op` to completion under this policy, charging `counters`.
     ///
     /// This is the *single* implementation of the retry/backoff schedule:
     /// every call site (reads, writes, allocations) goes through here, so
-    /// the schedule is deterministic and jitterless by construction and
-    /// cannot drift between operation kinds.  Non-retryable errors pass
+    /// the schedule is deterministic by construction (jitter, when
+    /// enabled, is a pure hash of the issue counter) and cannot drift
+    /// between operation kinds.  Non-retryable errors pass
     /// through on the first attempt; exhaustion returns
     /// [`PdiskError::RetriesExhausted`] and bumps `counters.exhausted`.
     pub fn run<T>(
@@ -116,7 +194,7 @@ impl RetryPolicy {
                 }
                 Err(_) => {
                     counters.attempted += 1;
-                    counters.backoff += self.backoff_for(attempt);
+                    counters.backoff += self.jittered_backoff(attempt, counters.attempted);
                     attempt += 1;
                 }
             }
@@ -351,7 +429,7 @@ mod tests {
     use super::*;
     use crate::block::Forecast;
     use crate::error::{FaultKind, FaultOp};
-    use crate::faulty::{FaultModel, FaultPlan, FaultyDiskArray};
+    use crate::faulty::{FaultModel, FaultPlan, FaultyDiskArray, ScriptedFault};
     use crate::mem::MemDiskArray;
     use crate::record::U64Record;
 
@@ -486,6 +564,75 @@ mod tests {
         assert_eq!(p.backoff_for(1), Duration::from_millis(2));
         assert_eq!(p.backoff_for(2), Duration::from_millis(4));
         assert_eq!(p.backoff_for(3), Duration::from_millis(8));
+    }
+
+    #[test]
+    fn backoff_saturates_at_the_cap() {
+        let p = RetryPolicy::new(10, Duration::from_millis(3))
+            .with_backoff_cap(Duration::from_millis(10));
+        assert_eq!(p.backoff_for(1), Duration::from_millis(3));
+        assert_eq!(p.backoff_for(2), Duration::from_millis(6));
+        assert_eq!(p.backoff_for(3), Duration::from_millis(10), "12 ms capped to 10");
+        assert_eq!(p.backoff_for(9), Duration::from_millis(10));
+        // Absurd retry numbers must not overflow the exponent.
+        assert_eq!(p.backoff_for(64), Duration::from_millis(10));
+    }
+
+    #[test]
+    fn full_jitter_is_bounded_deterministic_and_seed_sensitive() {
+        let p = RetryPolicy::new(8, Duration::from_millis(4))
+            .with_backoff_cap(Duration::from_millis(20))
+            .with_full_jitter(42);
+        for retry in 1..8 {
+            for nonce in 0..32 {
+                let w = p.jittered_backoff(retry, nonce);
+                assert!(w <= p.backoff_for(retry), "jitter must stay within the cap");
+                assert_eq!(w, p.jittered_backoff(retry, nonce), "pure in (retry, nonce)");
+            }
+        }
+        let other = p.with_full_jitter(43);
+        let differs = (0..16).any(|n| p.jittered_backoff(3, n) != other.jittered_backoff(3, n));
+        assert!(differs, "different seeds should desynchronise schedules");
+        // Zero-width span degenerates cleanly.
+        let zero = RetryPolicy::new(2, Duration::ZERO).with_full_jitter(7);
+        assert_eq!(zero.jittered_backoff(1, 1), Duration::ZERO);
+    }
+
+    #[test]
+    fn jittered_runs_keep_counters_exact_and_replayable() {
+        // Same wrapper config + same fault script => identical counters,
+        // including the accrued (jittered) backoff; retry counts are
+        // unaffected by jitter.
+        let policy = RetryPolicy::new(4, Duration::from_millis(2)).with_full_jitter(99);
+        let run_once = || {
+            // Fault read ops 0 and 2: each logical read's first attempt
+            // fails once, its retry (the next read op) succeeds.
+            let model = FaultModel::none()
+                .with_scripted(ScriptedFault {
+                    op: FaultOp::Read,
+                    ordinal: 0,
+                    kind: FaultKind::Transient,
+                })
+                .with_scripted(ScriptedFault {
+                    op: FaultOp::Read,
+                    ordinal: 2,
+                    kind: FaultKind::Transient,
+                });
+            let mut a = RetryingDiskArray::new(faulty(model), policy);
+            a.read(&[BlockAddr::new(DiskId(0), 0)]).unwrap();
+            a.read(&[BlockAddr::new(DiskId(0), 1)]).unwrap();
+            let (r, _, _) = a.counters();
+            r
+        };
+        let c1 = run_once();
+        let c2 = run_once();
+        assert_eq!(c1, c2, "jittered schedule must be replayable");
+        assert_eq!(c1.attempted, 2);
+        assert_eq!(c1.exhausted, 0);
+        // The two waits use distinct nonces (issue counter 1 and 2), so
+        // the accrual is the sum of two different draws.
+        let expect = policy.jittered_backoff(1, 1) + policy.jittered_backoff(1, 2);
+        assert_eq!(c1.backoff, expect);
     }
 
     #[test]

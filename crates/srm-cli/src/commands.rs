@@ -5,15 +5,40 @@ use dsm::{read_logical_run, write_unsorted_stripes, DsmSorter};
 use pdisk::trace::TracingDiskArray;
 use pdisk::{
     ArrayTiming, CrashClock, CrashingDiskArray, DiskArray, DiskId, DiskModel, FaultModel,
-    FaultyDiskArray, FileDiskArray, Geometry, MemDiskArray, ParityDiskArray, Record, RetryPolicy,
-    RetryingDiskArray, U64Record,
+    FaultyDiskArray, FileDiskArray, Geometry, InterruptFlag, MemDiskArray, ParityDiskArray, Record,
+    RetryPolicy, RetryingDiskArray, U64Record,
 };
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 use srm_core::simulator::{estimate_overhead_v, SimPlacement};
 use srm_core::sort::write_unsorted_input;
-use srm_core::{read_run, Placement, RunFormation, SrmConfig, SrmSorter};
+use srm_core::{read_run, Placement, RunFormation, SrmSorter};
+use srm_server::{EngineKind, JobServer, JobSpec, ServerConfig};
 use std::path::Path;
+
+/// CLI-level error: either a message for stderr (exit 2) or a graceful
+/// interruption (exit 130 = 128 + SIGINT, the shell convention), which
+/// is *not* a failure — the checkpoint is journaled and a rerun with the
+/// same flags resumes byte-identically.
+enum CliError {
+    Msg(String),
+    Interrupted(Option<std::path::PathBuf>),
+}
+
+impl From<String> for CliError {
+    fn from(m: String) -> Self {
+        CliError::Msg(m)
+    }
+}
+
+impl From<&str> for CliError {
+    fn from(m: &str) -> Self {
+        CliError::Msg(m.into())
+    }
+}
+
+/// Exit code for a graceful interrupt (`128 + SIGINT`).
+pub const EXIT_INTERRUPTED: i32 = 130;
 
 /// Top-level usage text.
 pub const USAGE: &str = "\
@@ -81,6 +106,13 @@ USAGE:
       §8).  Any violation aborts with a typed, located error naming the
       pass, disk, and block involved.
 
+      Ctrl-C (SIGINT) or SIGTERM interrupts the sort gracefully: with
+      --resume MANIFEST the current pass finishes, the checkpoint is
+      journaled, and the process exits with code 130; rerunning with the
+      same flags resumes byte-identically from that boundary.  (The
+      hidden --interrupt-after-pass K flag trips the same path from
+      tests without a signal.)
+
   srm occupancy --k K --d D [--trials N] [--seed S]
       Estimate Table 1's overhead v(k, D) = C(kD, D)/k by ball-throwing.
 
@@ -107,6 +139,31 @@ USAGE:
       Each recovery's own I/O trace is replayed through the model
       checker unless --no-check is given.
 
+  srm serve --dir PATH [--port P] [--capacity M] [--workers N]
+           [--queue-depth Q] [--io-delay-us U] [--check-model]
+      Sort-as-a-service: a job server on a loopback TCP line protocol.
+      Jobs are priced by their Definition-3 memory partition and admitted
+      only while the sum of running budgets fits --capacity (records of
+      server memory M); the wait queue is bounded by --queue-depth and
+      SUBMIT is refused explicitly beyond either limit.  Every job lives
+      in a durable directory under --dir, checkpointing after each merge
+      pass.  SIGINT/SIGTERM (or the DRAIN verb) drain gracefully: stop
+      admitting, checkpoint every running job at its next pass boundary,
+      exit; a restarted server on the same --dir resumes every
+      unfinished job byte-identically.  --port 0 (default) picks an
+      ephemeral port, announced as `listening on ADDR`.
+
+      Protocol verbs, one request per line:
+        SUBMIT key=value ...   (records=N d=D b=B m=M engine=srm|dsm
+                                seed=S deadline-ms=T fault-rate=R ...)
+        STATUS ID | WATCH ID | CANCEL ID | LIST | STATS | DRAIN |
+        PING | QUIT
+
+  srm client --port P --send \"REQUEST\"
+      One-shot client for `srm serve`: sends REQUEST, prints the
+      response lines (WATCH streams until the job settles), exits 1 if
+      the server answered with an error.
+
   srm help
       This text.
 ";
@@ -122,7 +179,7 @@ pub fn sort(argv: &[String]) -> i32 {
         Ok(f) => f,
         Err(e) => return fail(e),
     };
-    let inner = || -> Result<(), String> {
+    let inner = || -> Result<(), CliError> {
         let records: u64 = flags.get_or("records", 1_000_000)?;
         let d: usize = flags.get_or("d", 4)?;
         let b: usize = flags.get_or("b", 64)?;
@@ -139,7 +196,7 @@ pub fn sort(argv: &[String]) -> i32 {
         let placement = match flags.get_str("placement").unwrap_or("random") {
             "random" => Placement::Random,
             "staggered" => Placement::Staggered,
-            other => return Err(format!("unknown placement `{other}`")),
+            other => return Err(format!("unknown placement `{other}`").into()),
         };
         // `--threads N` alone opts into parallel run formation.
         let threads: Option<usize> = flags.get("threads")?;
@@ -153,12 +210,12 @@ pub fn sort(argv: &[String]) -> i32 {
                 }),
             },
             "rs" => RunFormation::ReplacementSelection,
-            other => return Err(format!("unknown formation `{other}`")),
+            other => return Err(format!("unknown formation `{other}`").into()),
         };
         let pipeline = flags.has("pipeline");
         let fault_rate: f64 = flags.get_or("fault-rate", 0.0)?;
         if !(0.0..1.0).contains(&fault_rate) {
-            return Err(format!("--fault-rate {fault_rate} outside [0, 1)"));
+            return Err(format!("--fault-rate {fault_rate} outside [0, 1)").into());
         }
         let fault_seed: u64 = flags.get_or("fault-seed", 0xFA_017)?;
         let resume = flags.get_str("resume").map(std::path::PathBuf::from);
@@ -190,11 +247,11 @@ pub fn sort(argv: &[String]) -> i32 {
             return Err("--parity needs at least 2 disks".into());
         }
         if hedge_after <= 0.0 {
-            return Err(format!("--hedge-after {hedge_after} must be positive"));
+            return Err(format!("--hedge-after {hedge_after} must be positive").into());
         }
         for disk in kill.iter().map(|&(d, _)| d).chain(slow.iter().map(|&(d, _)| d)) {
             if disk as usize >= geom.d {
-                return Err(format!("disk {disk} out of range for D={}", geom.d));
+                return Err(format!("disk {disk} out of range for D={}", geom.d).into());
             }
         }
         let popts = parity.then_some(ParityOpts {
@@ -222,16 +279,40 @@ pub fn sort(argv: &[String]) -> i32 {
             println!("SRM memory partition (Definition 3): {}", budget.render());
         }
         println!("input: {records} random u64 records (seed {seed:#x})\n");
-        let mut rng = SmallRng::seed_from_u64(seed);
-        let data: Vec<U64Record> = (0..records).map(|_| U64Record(rng.random())).collect();
+        // One construction path everywhere: the CLI builds the same
+        // JobSpec the job server and the crash-matrix harness use, so
+        // `srm sort`, `srm serve`, and `srm crash-matrix` can never
+        // drift in how they wire a sorter or generate input.
+        let spec = JobSpec {
+            engine: EngineKind::Srm,
+            records,
+            seed,
+            d: geom.d,
+            b: geom.b,
+            m: geom.m,
+            placement,
+            formation,
+            pipeline,
+            fault_rate,
+            fault_seed,
+            ..JobSpec::default()
+        };
+        let data = spec.input_records();
+
+        // Graceful interruption: SIGINT/SIGTERM (or the test hook
+        // --interrupt-after-pass K) trip this flag; the sorter stops at
+        // the next pass boundary *after* journaling its checkpoint, and
+        // the process exits with code 130.  Without --resume there is no
+        // manifest to journal, so the sort simply stops early.
+        let interrupt = InterruptFlag::new();
+        srm_repro::signals::install();
+        srm_repro::signals::watch(interrupt.clone(), || false);
+        let trip: Option<(InterruptFlag, u64)> = flags
+            .get::<u64>("interrupt-after-pass")?
+            .map(|k| (interrupt.clone(), k));
 
         if algo == "srm" || algo == "both" {
-            let sorter = SrmSorter::new(SrmConfig {
-                placement,
-                run_formation: formation,
-                seed,
-            })
-            .with_pipeline(pipeline);
+            let sorter = spec.srm_sorter().with_interrupt(interrupt.clone());
             if pipeline {
                 println!("engine: pipelined (split-phase reads + write-behind)");
             }
@@ -250,6 +331,7 @@ pub fn sort(argv: &[String]) -> i32 {
                         None,
                         check_model,
                         crash.clone(),
+                        trip.clone(),
                     )?;
                 }
                 "file" => {
@@ -300,6 +382,7 @@ pub fn sort(argv: &[String]) -> i32 {
                         store.as_deref(),
                         check_model,
                         crash.clone(),
+                        trip.clone(),
                     )?;
                     if !flags.has("keep") {
                         let _ = std::fs::remove_dir_all(&dir);
@@ -307,7 +390,7 @@ pub fn sort(argv: &[String]) -> i32 {
                         println!("disk files kept at {}", dir.display());
                     }
                 }
-                other => return Err(format!("unknown backend `{other}`")),
+                other => return Err(format!("unknown backend `{other}`").into()),
             }
             if crash_points {
                 if let Some(c) = &crash {
@@ -324,22 +407,34 @@ pub fn sort(argv: &[String]) -> i32 {
             dsm_with_faults(
                 array,
                 &data,
+                spec.dsm_sorter().with_interrupt(interrupt.clone()),
                 geom,
                 fault_rate,
                 fault_seed,
                 popts.as_ref(),
                 check_model,
-                pipeline,
             )?;
         }
         if algo != "srm" && algo != "dsm" && algo != "both" {
-            return Err(format!("unknown algo `{algo}`"));
+            return Err(format!("unknown algo `{algo}`").into());
         }
         Ok(())
     };
     match inner() {
         Ok(()) => 0,
-        Err(e) => fail(e),
+        Err(CliError::Interrupted(manifest)) => {
+            match manifest {
+                Some(m) => eprintln!(
+                    "interrupted: checkpoint journaled; rerun with the same flags to resume from {}",
+                    m.display()
+                ),
+                None => eprintln!(
+                    "interrupted: no --resume manifest, so nothing was checkpointed; rerun to start over"
+                ),
+            }
+            EXIT_INTERRUPTED
+        }
+        Err(CliError::Msg(e)) => fail(e),
     }
 }
 
@@ -475,7 +570,8 @@ fn srm_with_faults<A: DiskArray<U64Record>>(
     store: Option<&Path>,
     check_model: bool,
     crash: Option<CrashClock>,
-) -> Result<(), String> {
+    trip: Option<(InterruptFlag, u64)>,
+) -> Result<(), CliError> {
     let policy = RetryPolicy::default();
     if fault_rate > 0.0 {
         println!(
@@ -511,7 +607,7 @@ fn srm_with_faults<A: DiskArray<U64Record>>(
                 // Crash drills exclude --kill-disk (validated at parse
                 // time), so no observer is needed on this path.
                 let arr = CrashingDiskArray::new(wrapped, c);
-                return run_srm(arr, data, sorter, geom, resume, check_model, None);
+                return run_srm(arr, data, sorter, geom, resume, check_model, None, trip);
             }
             let kill = p.kill;
             let observer: SrmObserver<'_, ProtectedStack<A>> = Some(Box::new(move |pass, a| {
@@ -523,7 +619,7 @@ fn srm_with_faults<A: DiskArray<U64Record>>(
                 }
                 Ok(())
             }));
-            run_srm(wrapped, data, sorter.clone(), geom, resume, check_model, observer)
+            run_srm(wrapped, data, sorter.clone(), geom, resume, check_model, observer, trip)
         }
         None if fault_rate > 0.0 => {
             let faulty =
@@ -532,17 +628,19 @@ fn srm_with_faults<A: DiskArray<U64Record>>(
             match crash {
                 Some(c) => {
                     let arr = CrashingDiskArray::new(wrapped, c);
-                    run_srm(arr, data, sorter, geom, resume, check_model, None)
+                    run_srm(arr, data, sorter, geom, resume, check_model, None, trip)
                 }
-                None => run_srm(wrapped, data, sorter.clone(), geom, resume, check_model, None),
+                None => {
+                    run_srm(wrapped, data, sorter.clone(), geom, resume, check_model, None, trip)
+                }
             }
         }
         None => match crash {
             Some(c) => {
                 let arr = CrashingDiskArray::new(array, c);
-                run_srm(arr, data, sorter, geom, resume, check_model, None)
+                run_srm(arr, data, sorter, geom, resume, check_model, None, trip)
             }
-            None => run_srm(array, data, sorter, geom, resume, check_model, None),
+            None => run_srm(array, data, sorter, geom, resume, check_model, None, trip),
         },
     }
 }
@@ -573,6 +671,7 @@ fn report_model_check<A: DiskArray<U64Record>>(
 
 /// Dispatch a sort to [`run_srm_on`], optionally under the tracing
 /// wrapper + invariant checker (`--check-model`).
+#[allow(clippy::too_many_arguments)]
 fn run_srm<A: DiskArray<U64Record>>(
     array: A,
     data: &[U64Record],
@@ -581,7 +680,8 @@ fn run_srm<A: DiskArray<U64Record>>(
     resume: Option<&Path>,
     check_model: bool,
     observer: SrmObserver<'_, A>,
-) -> Result<(), String> {
+    trip: Option<(InterruptFlag, u64)>,
+) -> Result<(), CliError> {
     if check_model {
         let mut traced = TracingDiskArray::new(array);
         let mut obs = observer;
@@ -590,11 +690,11 @@ fn run_srm<A: DiskArray<U64Record>>(
                 Some(f) => f(pass, t.inner_mut()),
                 None => Ok(()),
             }));
-        run_srm_on(&mut traced, data, sorter, geom, resume, adapted)?;
-        report_model_check(geom, &traced)
+        run_srm_on(&mut traced, data, sorter, geom, resume, adapted, trip)?;
+        Ok(report_model_check(geom, &traced)?)
     } else {
         let mut array = array;
-        run_srm_on(&mut array, data, sorter, geom, resume, observer)
+        run_srm_on(&mut array, data, sorter, geom, resume, observer, trip)
     }
 }
 
@@ -605,26 +705,43 @@ fn run_srm_on<A: DiskArray<U64Record>>(
     geom: Geometry,
     resume: Option<&Path>,
     observer: SrmObserver<'_, A>,
-) -> Result<(), String> {
+    trip: Option<(InterruptFlag, u64)>,
+) -> Result<(), CliError> {
     let input = write_unsorted_input(array, data).map_err(|e| e.to_string())?;
     let staged = array.stats();
     let start = std::time::Instant::now();
     let mut obs = observer;
     let result = sorter
-        .sort_observed(array, &input, resume, |pass, a| match obs.as_deref_mut() {
-            Some(f) => f(pass, a),
-            None => Ok(()),
+        .sort_observed(array, &input, resume, |pass, a| {
+            // The --interrupt-after-pass test hook stands in for a human
+            // Ctrl-C: the observer runs at the boundary *before* the
+            // snapshot and the interrupt check, so tripping here drains
+            // at this very pass.
+            if let Some((flag, after)) = &trip {
+                if pass >= *after {
+                    flag.trigger();
+                }
+            }
+            match obs.as_deref_mut() {
+                Some(f) => f(pass, a),
+                None => Ok(()),
+            }
         })
         .map_err(|e| match (&e, resume) {
+            (srm_core::SrmError::Interrupted, m) => {
+                CliError::Interrupted(m.map(Path::to_path_buf))
+            }
             // A bad manifest will fail the same way on every rerun — the
             // only way out is to discard it.
-            (srm_core::SrmError::Checkpoint(_), Some(m)) => {
-                format!("{e}; delete {} to start a fresh sort", m.display())
-            }
-            (_, Some(m)) => {
-                format!("{e}; rerun with the same flags to resume from {}", m.display())
-            }
-            _ => e.to_string(),
+            (srm_core::SrmError::Checkpoint(_), Some(m)) => CliError::Msg(format!(
+                "{e}; delete {} to start a fresh sort",
+                m.display()
+            )),
+            (_, Some(m)) => CliError::Msg(format!(
+                "{e}; rerun with the same flags to resume from {}",
+                m.display()
+            )),
+            _ => CliError::Msg(e.to_string()),
         });
     let (sorted, report) = result?;
     let elapsed = start.elapsed();
@@ -660,13 +777,13 @@ fn run_srm_on<A: DiskArray<U64Record>>(
 fn dsm_with_faults<A: DiskArray<U64Record>>(
     array: A,
     data: &[U64Record],
+    sorter: DsmSorter,
     geom: Geometry,
     fault_rate: f64,
     fault_seed: u64,
     parity: Option<&ParityOpts>,
     check_model: bool,
-    pipeline: bool,
-) -> Result<(), String> {
+) -> Result<(), CliError> {
     let policy = RetryPolicy::default();
     if fault_rate > 0.0 {
         println!(
@@ -688,15 +805,15 @@ fn dsm_with_faults<A: DiskArray<U64Record>>(
                 }
                 Ok(())
             }));
-            run_dsm(wrapped, data, geom, check_model, pipeline, observer)
+            run_dsm(wrapped, data, sorter, geom, check_model, observer)
         }
         None if fault_rate > 0.0 => {
             let faulty =
                 FaultyDiskArray::new(array, FaultModel::random(fault_seed).with_rate(fault_rate));
             let wrapped = RetryingDiskArray::new(faulty, policy);
-            run_dsm(wrapped, data, geom, check_model, pipeline, None)
+            run_dsm(wrapped, data, sorter, geom, check_model, None)
         }
-        None => run_dsm(array, data, geom, check_model, pipeline, None),
+        None => run_dsm(array, data, sorter, geom, check_model, None),
     }
 }
 
@@ -705,11 +822,11 @@ fn dsm_with_faults<A: DiskArray<U64Record>>(
 fn run_dsm<A: DiskArray<U64Record>>(
     array: A,
     data: &[U64Record],
+    sorter: DsmSorter,
     geom: Geometry,
     check_model: bool,
-    pipeline: bool,
     observer: DsmObserver<'_, A>,
-) -> Result<(), String> {
+) -> Result<(), CliError> {
     if check_model {
         let mut traced = TracingDiskArray::new(array);
         let mut obs = observer;
@@ -718,32 +835,36 @@ fn run_dsm<A: DiskArray<U64Record>>(
                 Some(f) => f(pass, t.inner_mut()),
                 None => Ok(()),
             }));
-        run_dsm_on(&mut traced, data, geom, pipeline, adapted)?;
-        report_model_check(geom, &traced)
+        run_dsm_on(&mut traced, data, sorter, geom, adapted)?;
+        Ok(report_model_check(geom, &traced)?)
     } else {
         let mut array = array;
-        run_dsm_on(&mut array, data, geom, pipeline, observer)
+        run_dsm_on(&mut array, data, sorter, geom, observer)
     }
 }
 
 fn run_dsm_on<A: DiskArray<U64Record>>(
     array: &mut A,
     data: &[U64Record],
+    sorter: DsmSorter,
     geom: Geometry,
-    pipeline: bool,
     observer: DsmObserver<'_, A>,
-) -> Result<(), String> {
+) -> Result<(), CliError> {
     let input = write_unsorted_stripes(array, data).map_err(|e| e.to_string())?;
     let staged = array.stats();
     let start = std::time::Instant::now();
     let mut obs = observer;
-    let (sorted, report) = DsmSorter::default()
-        .with_pipeline(pipeline)
+    let (sorted, report) = sorter
         .sort_observed(array, &input, None, |pass, a| match obs.as_deref_mut() {
             Some(f) => f(pass, a),
             None => Ok(()),
         })
-        .map_err(|e| e.to_string())?;
+        .map_err(|e| match &e {
+            // DSM has no CLI checkpoint path: an interrupt just stops the
+            // sort early (nothing to resume), but it is still exit 130.
+            dsm::DsmError::Interrupted => CliError::Interrupted(None),
+            _ => CliError::Msg(e.to_string()),
+        })?;
     let elapsed = start.elapsed();
     verify_sorted(
         &read_logical_run(array, &sorted).map_err(|e| e.to_string())?,
@@ -983,6 +1104,108 @@ pub fn simulate(argv: &[String]) -> i32 {
     };
     match inner() {
         Ok(()) => 0,
+        Err(e) => fail(e),
+    }
+}
+
+/// `srm serve`
+pub fn serve(argv: &[String]) -> i32 {
+    use std::io::Write as _;
+    let flags = match Flags::parse(argv) {
+        Ok(f) => f,
+        Err(e) => return fail(e),
+    };
+    let inner = || -> Result<(), String> {
+        let dir = flags
+            .get_str("dir")
+            .map(std::path::PathBuf::from)
+            .ok_or("`srm serve` requires --dir (the durable job store)")?;
+        let port: u16 = flags.get_or("port", 0)?;
+        let mut cfg = ServerConfig::new(&dir);
+        cfg.capacity = flags.get_or("capacity", cfg.capacity)?;
+        cfg.workers = flags.get_or("workers", cfg.workers)?;
+        cfg.queue_depth = flags.get_or("queue-depth", cfg.queue_depth)?;
+        cfg.io_delay =
+            std::time::Duration::from_micros(flags.get_or::<u64>("io-delay-us", 0)?);
+        cfg.check_model = flags.has("check-model");
+
+        let server =
+            std::sync::Arc::new(JobServer::open(cfg).map_err(|e| e.to_string())?);
+        let listener = std::net::TcpListener::bind(("127.0.0.1", port))
+            .map_err(|e| format!("bind 127.0.0.1:{port}: {e}"))?;
+        let addr = listener.local_addr().map_err(|e| e.to_string())?;
+
+        // SIGINT/SIGTERM trigger the same drain as the DRAIN verb:
+        // stop admitting, checkpoint every running job at its next pass
+        // boundary, exit.  A restarted server resumes them all.
+        let shutdown = server.shutdown_flag();
+        srm_repro::signals::install();
+        srm_repro::signals::watch(shutdown.interrupt_flag(), || false);
+
+        let stats = server.stats();
+        println!(
+            "serving jobs from {} (capacity {} records, {} workers, queue depth {})",
+            dir.display(),
+            stats.capacity,
+            server.config().workers,
+            server.config().queue_depth
+        );
+        if stats.queued > 0 || stats.suspended > 0 {
+            println!(
+                "restart recovery: {} queued and {} suspended job(s) picked up from disk",
+                stats.queued, stats.suspended
+            );
+        }
+        // Tests and scripts parse this line for the ephemeral port.
+        println!("listening on {addr}");
+        let _ = std::io::stdout().flush();
+
+        let report = srm_server::serve(server, listener).map_err(|e| e.to_string())?;
+        println!("{report}");
+        Ok(())
+    };
+    match inner() {
+        Ok(()) => 0,
+        Err(e) => fail(e),
+    }
+}
+
+/// `srm client`
+pub fn client(argv: &[String]) -> i32 {
+    use std::io::{BufRead as _, Write as _};
+    let flags = match Flags::parse(argv) {
+        Ok(f) => f,
+        Err(e) => return fail(e),
+    };
+    let inner = || -> Result<bool, String> {
+        let port: u16 = flags
+            .get("port")?
+            .ok_or("`srm client` requires --port")?;
+        let request = flags
+            .get_str("send")
+            .ok_or("`srm client` requires --send \"REQUEST\"")?;
+        let stream = std::net::TcpStream::connect(("127.0.0.1", port))
+            .map_err(|e| format!("connect 127.0.0.1:{port}: {e}"))?;
+        let mut writer = stream.try_clone().map_err(|e| e.to_string())?;
+        // The server handles one request per line in order, so writing
+        // the request followed by QUIT streams the full response (all
+        // WATCH events included) and then closes the connection.
+        writer
+            .write_all(format!("{request}\nQUIT\n").as_bytes())
+            .map_err(|e| e.to_string())?;
+        let mut ok = true;
+        for line in std::io::BufReader::new(stream).lines() {
+            let line = line.map_err(|e| e.to_string())?;
+            if line.starts_with("ERR ") {
+                ok = false;
+            }
+            println!("{line}");
+        }
+        Ok(ok)
+    };
+    match inner() {
+        Ok(true) => 0,
+        Ok(false) => 1,
         Err(e) => fail(e),
     }
 }

@@ -12,7 +12,11 @@
 //! * `srm scrub` — walk a checkpointed sort's live runs, verify block
 //!   checksums, and heal latent corruption via parity reconstruction;
 //! * `srm crash-matrix` — exhaustively crash a small checkpointed sort at
-//!   every I/O boundary and prove byte-identical recovery.
+//!   every I/O boundary and prove byte-identical recovery;
+//! * `srm serve` — the sort-as-a-service job server: concurrent jobs over
+//!   a loopback line protocol, Definition-3 admission control, graceful
+//!   drain on SIGINT/SIGTERM, crash-resumable restarts;
+//! * `srm client` — one-shot line-protocol client for `srm serve`.
 //!
 //! Run `srm help` for flags.
 
@@ -29,6 +33,8 @@ fn main() {
         Some("simulate") => commands::simulate(&argv[1..]),
         Some("scrub") => commands::scrub(&argv[1..]),
         Some("crash-matrix") => commands::crash_matrix(&argv[1..]),
+        Some("serve") => commands::serve(&argv[1..]),
+        Some("client") => commands::client(&argv[1..]),
         Some("help") | Some("--help") | Some("-h") | None => {
             print!("{}", commands::USAGE);
             0

@@ -18,6 +18,11 @@ pub enum SrmError {
     /// An internal invariant failed — by Lemma 1 the schedule can never
     /// deadlock, so seeing this is a bug, never an input problem.
     Internal(String),
+    /// The sort stopped at a pass boundary because its
+    /// [`InterruptFlag`](pdisk::InterruptFlag) was triggered.  If a
+    /// manifest path was given, the boundary's checkpoint was journaled
+    /// *before* this was returned, so a rerun resumes byte-identically.
+    Interrupted,
 }
 
 impl std::fmt::Display for SrmError {
@@ -27,6 +32,9 @@ impl std::fmt::Display for SrmError {
             SrmError::Config(msg) => write!(f, "configuration error: {msg}"),
             SrmError::Checkpoint(msg) => write!(f, "checkpoint error: {msg}"),
             SrmError::Internal(msg) => write!(f, "internal invariant violated: {msg}"),
+            SrmError::Interrupted => {
+                write!(f, "sort interrupted at a pass boundary (checkpoint journaled)")
+            }
         }
     }
 }

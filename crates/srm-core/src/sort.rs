@@ -16,7 +16,9 @@ use crate::error::{Result, SrmError};
 use crate::merge::{merge_runs, merge_runs_pipelined, MergeStats};
 use crate::run_formation::{form_runs, form_runs_pipelined, RunFormation};
 use crate::scheduler::ScheduleStats;
-use pdisk::{Block, CrashClock, DiskArray, DiskId, Forecast, IoStats, Record, StripedRun};
+use pdisk::{
+    Block, CrashClock, DiskArray, DiskId, Forecast, InterruptFlag, IoStats, Record, StripedRun,
+};
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 use std::path::Path;
@@ -160,6 +162,9 @@ pub struct SrmSorter {
     /// the array, so manifest writes get their own numbered crash
     /// boundaries alongside the I/O ones.
     crash: Option<CrashClock>,
+    /// Cooperative stop request; polled at pass boundaries.  See
+    /// [`SrmSorter::with_interrupt`].
+    interrupt: Option<InterruptFlag>,
 }
 
 /// Pass-boundary callback threaded through `sort_inner`; see
@@ -173,6 +178,7 @@ impl SrmSorter {
             config,
             pipeline: false,
             crash: None,
+            interrupt: None,
         }
     }
 
@@ -202,9 +208,33 @@ impl SrmSorter {
         self
     }
 
+    /// Install a cooperative stop request (the *drain hook*): when
+    /// `flag` is triggered, the sort stops at the next pass boundary —
+    /// *after* that boundary's checkpoint manifest has been journaled,
+    /// when a manifest path is in use — and returns
+    /// [`SrmError::Interrupted`] instead of starting another pass.  A
+    /// rerun with the same manifest resumes byte-identically.  This is
+    /// the one mechanism behind Ctrl-C in the CLI and drain, deadline,
+    /// and cancel in the job server.  With only one run left there is no
+    /// further pass boundary, so the sort simply completes.
+    pub fn with_interrupt(mut self, flag: InterruptFlag) -> Self {
+        self.interrupt = Some(flag);
+        self
+    }
+
     /// The configuration in use.
     pub fn config(&self) -> &SrmConfig {
         &self.config
+    }
+
+    /// `Err(Interrupted)` if a stop has been requested and `runs_left`
+    /// merging work remains; called only after the boundary's snapshot
+    /// (if any) is durable.
+    fn check_interrupt(&self, runs_left: usize) -> Result<()> {
+        match &self.interrupt {
+            Some(flag) if flag.is_set() && runs_left > 1 => Err(SrmError::Interrupted),
+            _ => Ok(()),
+        }
     }
 
     /// Sort `input` (an unsorted striped file) and return the sorted run
@@ -319,6 +349,10 @@ impl SrmSorter {
                 (queue, 0, runs_formed)
             }
         };
+        // Drain hook, boundary 0: the formation snapshot above (or the
+        // resumed manifest already on disk) is durable, so stopping here
+        // loses nothing.
+        self.check_interrupt(queue.len())?;
         let mut report = SortReport {
             records: input.records,
             merge_order: r_max,
@@ -357,6 +391,9 @@ impl SrmSorter {
                     self.snapshot(path, input, runs_formed, pass, &placer, array, &queue)?;
                 }
             }
+            // Drain hook: the boundary's snapshot is durable, so a rerun
+            // resumes from exactly this pass.
+            self.check_interrupt(queue.len())?;
         }
         report.merge_passes = pass;
         let sorted = queue
@@ -628,6 +665,81 @@ mod tests {
             "write ops {} vs ideal {ideal}",
             report.io.write_ops
         );
+    }
+
+    #[test]
+    fn interrupt_stops_at_boundary_and_resume_is_byte_identical() {
+        let dir = std::env::temp_dir().join(format!("srm-interrupt-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let manifest = dir.join("manifest");
+        let _ = std::fs::remove_file(&manifest);
+
+        let mut rng = SmallRng::seed_from_u64(31);
+        let geom = Geometry::new(2, 4, 96).unwrap();
+        let keys = random_keys(&mut rng, 3000);
+        let recs: Vec<U64Record> = keys.iter().map(|&k| U64Record(k)).collect();
+
+        // Reference: uninterrupted sort on an identical array.
+        let mut reference: MemDiskArray<U64Record> = MemDiskArray::new(geom);
+        let input_ref = write_unsorted_input(&mut reference, &recs).unwrap();
+        let (sorted_ref, report_ref) = SrmSorter::default().sort(&mut reference, &input_ref).unwrap();
+        let expect = read_run(&mut reference, &sorted_ref).unwrap();
+        assert!(report_ref.merge_passes >= 2, "need a multi-pass workload");
+
+        // Interrupted run: flag set before the sort starts, so it stops
+        // at boundary 0 with the formation checkpoint journaled.
+        let mut a: MemDiskArray<U64Record> = MemDiskArray::new(geom);
+        let input = write_unsorted_input(&mut a, &recs).unwrap();
+        let flag = pdisk::InterruptFlag::new();
+        flag.trigger();
+        let interrupted = SrmSorter::default()
+            .with_interrupt(flag.clone())
+            .sort_checkpointed(&mut a, &input, &manifest);
+        assert!(matches!(interrupted, Err(SrmError::Interrupted)));
+        assert!(manifest.exists(), "checkpoint must be durable before Interrupted");
+
+        // Interrupt again at the first merge-pass boundary.
+        flag.clear();
+        let drain_at_pass_1 = SrmSorter::default()
+            .with_interrupt(flag.clone())
+            .sort_observed(&mut a, &input, Some(&manifest), |pass, _a: &mut _| {
+                if pass >= 1 {
+                    flag.trigger();
+                }
+                Ok(())
+            });
+        assert!(matches!(drain_at_pass_1, Err(SrmError::Interrupted)));
+
+        // Final rerun with no interrupt completes and matches the
+        // uninterrupted output byte for byte.
+        let (sorted, report) = SrmSorter::default()
+            .sort_checkpointed(&mut a, &input, &manifest)
+            .unwrap();
+        assert_eq!(report.merge_passes, report_ref.merge_passes);
+        assert_eq!(read_run(&mut a, &sorted).unwrap(), expect);
+        assert!(!manifest.exists(), "manifest removed after completion");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn interrupt_with_single_run_left_completes_anyway() {
+        // One memory-load => one run => no pass boundary with work left:
+        // a triggered flag must not prevent completion.
+        let geom = Geometry::new(2, 4, 128).unwrap();
+        let mut a: MemDiskArray<U64Record> = MemDiskArray::new(geom);
+        let recs: Vec<U64Record> = (0..60u64).rev().map(U64Record).collect();
+        let input = write_unsorted_input(&mut a, &recs).unwrap();
+        let flag = pdisk::InterruptFlag::new();
+        flag.trigger();
+        let sorter = SrmSorter::new(SrmConfig {
+            run_formation: RunFormation::MemoryLoad { fraction: 1.0 },
+            ..SrmConfig::default()
+        })
+        .with_interrupt(flag);
+        let (sorted, report) = sorter.sort(&mut a, &input).unwrap();
+        assert_eq!(report.runs_formed, 1);
+        let got: Vec<u64> = read_run(&mut a, &sorted).unwrap().iter().map(|r| r.0).collect();
+        assert!(got.windows(2).all(|w| w[0] <= w[1]));
     }
 
     #[test]

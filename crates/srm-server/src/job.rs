@@ -1,0 +1,825 @@
+//! The job-oriented engine API: one entry point over both sorters.
+//!
+//! Historically every driver built its engine by hand — the CLI
+//! assembled an `SrmSorter` from parsed flags, the crash-matrix harness
+//! assembled another from its `MatrixConfig`, and they staged input,
+//! ran, and read output through engine-specific free functions.  The
+//! job server needs a *third* driver, so this module extracts the
+//! shared shape once:
+//!
+//! * [`JobSpec`] — a plain-data description of one sort job (engine,
+//!   geometry, seed, formation, deadline, fault injection) with a
+//!   key=value encoding shared by the wire protocol and the server's
+//!   durable spec files.  `JobSpec` is the **single construction
+//!   point** for engines: CLI, crashmat, and server all call
+//!   [`JobSpec::srm_sorter`] / [`JobSpec::dsm_sorter`] / [`JobSpec::build`];
+//! * [`Sorter`] — the uniform stage / run / output lifecycle over any
+//!   [`DiskArray`], with checkpoint-manifest resume and a pass-boundary
+//!   observer (the hook deadlines and kill drills ride on);
+//! * [`JobRun`] — an engine-agnostic handle to a staged input or sorted
+//!   output run, encodable for the server's durable job state.
+//!
+//! Admission control prices a job with [`JobSpec::budget_records`]: for
+//! SRM that is the Definition-3 partition `M/B = 2R + 4D + RD/B`
+//! rendered in records; for DSM it is the full memory load the striped
+//! merge uses.
+
+use analysis::MemoryBudget;
+use dsm::{read_logical_run, write_unsorted_stripes, DsmConfig, DsmError, DsmSorter};
+use pdisk::{DiskArray, Geometry, InterruptFlag, PdiskError, Record, StripedRun, U64Record};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use srm_core::checkpoint::SortManifest;
+use srm_core::sort::write_unsorted_input;
+use srm_core::{read_run, Placement, RunFormation, SrmConfig, SrmError, SrmSorter};
+use std::path::Path;
+
+/// Errors surfaced by the job layer and the server built on it.
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum JobError {
+    /// Underlying disk-model failure.
+    Disk(PdiskError),
+    /// Invalid job description or configuration.
+    Config(String),
+    /// Checkpoint manifest could not be read, written, or trusted.
+    Checkpoint(String),
+    /// The sort stopped at a pass boundary because its interrupt flag
+    /// was triggered (drain, cancel, or deadline); the boundary's
+    /// checkpoint was journaled first.
+    Interrupted,
+    /// Engine-internal invariant failure (a bug, not an input problem).
+    Engine(String),
+    /// Host I/O failure outside the disk model (spec files, markers).
+    Io(String),
+    /// A model-check replay of the job's I/O trace found a violation.
+    Model(String),
+}
+
+impl std::fmt::Display for JobError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            JobError::Disk(e) => write!(f, "disk error: {e}"),
+            JobError::Config(m) => write!(f, "job configuration error: {m}"),
+            JobError::Checkpoint(m) => write!(f, "checkpoint error: {m}"),
+            JobError::Interrupted => {
+                write!(f, "job interrupted at a pass boundary (checkpoint journaled)")
+            }
+            JobError::Engine(m) => write!(f, "engine invariant violated: {m}"),
+            JobError::Io(m) => write!(f, "i/o error: {m}"),
+            JobError::Model(m) => write!(f, "model-rule violation: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for JobError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            JobError::Disk(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<PdiskError> for JobError {
+    fn from(e: PdiskError) -> Self {
+        JobError::Disk(e)
+    }
+}
+
+impl From<SrmError> for JobError {
+    fn from(e: SrmError) -> Self {
+        match e {
+            SrmError::Interrupted => JobError::Interrupted,
+            SrmError::Disk(d) => JobError::Disk(d),
+            SrmError::Config(m) => JobError::Config(m),
+            SrmError::Checkpoint(m) => JobError::Checkpoint(m),
+            SrmError::Internal(m) => JobError::Engine(m),
+            other => JobError::Engine(other.to_string()),
+        }
+    }
+}
+
+impl From<DsmError> for JobError {
+    fn from(e: DsmError) -> Self {
+        match e {
+            DsmError::Interrupted => JobError::Interrupted,
+            DsmError::Disk(d) => JobError::Disk(d),
+            DsmError::Config(m) => JobError::Config(m),
+            DsmError::Checkpoint(m) => JobError::Checkpoint(m),
+            other => JobError::Engine(other.to_string()),
+        }
+    }
+}
+
+/// Which engine a job runs on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum EngineKind {
+    /// Simple randomized mergesort (the paper's contribution).
+    #[default]
+    Srm,
+    /// Disk-striped mergesort, the baseline.
+    Dsm,
+}
+
+impl EngineKind {
+    fn as_str(&self) -> &'static str {
+        match self {
+            EngineKind::Srm => "srm",
+            EngineKind::Dsm => "dsm",
+        }
+    }
+}
+
+/// An engine-agnostic handle to a run on the array: SRM sorts
+/// physically striped runs, DSM logically striped ones.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum JobRun {
+    /// SRM layout ([`StripedRun`]).
+    Striped(StripedRun),
+    /// DSM layout ([`dsm::LogicalRun`]).
+    Logical(dsm::LogicalRun),
+}
+
+impl JobRun {
+    /// Records in the run.
+    pub fn records(&self) -> u64 {
+        match self {
+            JobRun::Striped(r) => r.records,
+            JobRun::Logical(r) => r.records,
+        }
+    }
+
+    /// One-line encoding for durable job state.
+    pub fn encode(&self) -> String {
+        match self {
+            JobRun::Striped(r) => {
+                let offs: Vec<String> = r.base_offsets.iter().map(|o| o.to_string()).collect();
+                format!(
+                    "striped {} {} {} {}",
+                    r.start_disk.0,
+                    r.len_blocks,
+                    r.records,
+                    offs.join(",")
+                )
+            }
+            JobRun::Logical(r) => {
+                format!("logical {} {} {}", r.start_stripe, r.len_stripes, r.records)
+            }
+        }
+    }
+
+    /// Parse [`JobRun::encode`] output.
+    pub fn decode(s: &str) -> Result<Self, JobError> {
+        let bad = || JobError::Io(format!("unparsable run descriptor `{s}`"));
+        let mut parts = s.split_whitespace();
+        match parts.next() {
+            Some("striped") => {
+                let start: u32 = parts.next().and_then(|v| v.parse().ok()).ok_or_else(bad)?;
+                let len_blocks: u64 = parts.next().and_then(|v| v.parse().ok()).ok_or_else(bad)?;
+                let records: u64 = parts.next().and_then(|v| v.parse().ok()).ok_or_else(bad)?;
+                let offs = parts.next().ok_or_else(bad)?;
+                let base_offsets: Vec<u64> = offs
+                    .split(',')
+                    .map(|o| o.parse().map_err(|_| bad()))
+                    .collect::<Result<_, _>>()?;
+                Ok(JobRun::Striped(StripedRun {
+                    start_disk: pdisk::DiskId(start),
+                    len_blocks,
+                    records,
+                    base_offsets,
+                }))
+            }
+            Some("logical") => {
+                let start_stripe: u64 = parts.next().and_then(|v| v.parse().ok()).ok_or_else(bad)?;
+                let len_stripes: u64 = parts.next().and_then(|v| v.parse().ok()).ok_or_else(bad)?;
+                let records: u64 = parts.next().and_then(|v| v.parse().ok()).ok_or_else(bad)?;
+                Ok(JobRun::Logical(dsm::LogicalRun {
+                    start_stripe,
+                    len_stripes,
+                    records,
+                }))
+            }
+            _ => Err(bad()),
+        }
+    }
+}
+
+/// Unified result of one sort run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct JobOutcome {
+    /// The sorted output run.
+    pub run: JobRun,
+    /// Records sorted.
+    pub records: u64,
+    /// Runs produced by formation (whole logical sort, across resumes).
+    pub runs_formed: u64,
+    /// Merge passes (whole logical sort, across resumes).
+    pub merge_passes: u64,
+    /// Merge order the engine used.
+    pub merge_order: usize,
+}
+
+/// The uniform job lifecycle over one engine.
+///
+/// `stage` lays unsorted records out in the engine's input format;
+/// `run` sorts (or resumes from `manifest`), calling `observer` at each
+/// pass boundary this call completes (pass 0 = formation); `output`
+/// reads the sorted records back.  `run` returns
+/// [`JobError::Interrupted`] when the engine's interrupt flag stopped
+/// it at a boundary — the manifest is journaled first, so calling `run`
+/// again continues byte-identically.
+pub trait Sorter<R: Record> {
+    /// Stage `data` as this engine's unsorted input layout.
+    fn stage<A: DiskArray<R>>(&self, array: &mut A, data: &[R]) -> Result<JobRun, JobError>;
+
+    /// Sort (or resume) the staged input.
+    fn run<A: DiskArray<R>>(
+        &self,
+        array: &mut A,
+        input: &JobRun,
+        manifest: Option<&Path>,
+        observer: &mut dyn FnMut(u64),
+    ) -> Result<JobOutcome, JobError>;
+
+    /// Read a run's records back in order.
+    fn output<A: DiskArray<R>>(&self, array: &mut A, run: &JobRun) -> Result<Vec<R>, JobError>;
+
+    /// Whether a valid checkpoint generation exists at `manifest`.
+    fn checkpoint_present(&self, manifest: &Path) -> Result<bool, JobError>;
+}
+
+fn want_striped(run: &JobRun) -> Result<&StripedRun, JobError> {
+    match run {
+        JobRun::Striped(r) => Ok(r),
+        JobRun::Logical(_) => Err(JobError::Config(
+            "SRM job handed a DSM (logical) run".into(),
+        )),
+    }
+}
+
+fn want_logical(run: &JobRun) -> Result<&dsm::LogicalRun, JobError> {
+    match run {
+        JobRun::Logical(r) => Ok(r),
+        JobRun::Striped(_) => Err(JobError::Config(
+            "DSM job handed an SRM (striped) run".into(),
+        )),
+    }
+}
+
+/// An SRM job: a configured [`SrmSorter`] behind the [`Sorter`] trait.
+#[derive(Debug, Clone)]
+pub struct SrmJob {
+    sorter: SrmSorter,
+}
+
+impl SrmJob {
+    /// Wrap an already-configured engine (e.g. one carrying a crash
+    /// clock from the crash-matrix harness).
+    pub fn new(sorter: SrmSorter) -> Self {
+        SrmJob { sorter }
+    }
+
+    /// The engine, e.g. to inspect its configuration.
+    pub fn sorter(&self) -> &SrmSorter {
+        &self.sorter
+    }
+}
+
+impl<R: Record> Sorter<R> for SrmJob {
+    fn stage<A: DiskArray<R>>(&self, array: &mut A, data: &[R]) -> Result<JobRun, JobError> {
+        Ok(JobRun::Striped(write_unsorted_input(array, data)?))
+    }
+
+    fn run<A: DiskArray<R>>(
+        &self,
+        array: &mut A,
+        input: &JobRun,
+        manifest: Option<&Path>,
+        observer: &mut dyn FnMut(u64),
+    ) -> Result<JobOutcome, JobError> {
+        let input = want_striped(input)?;
+        let (run, report) = self.sorter.sort_observed(array, input, manifest, |pass, _a| {
+            observer(pass);
+            Ok(())
+        })?;
+        Ok(JobOutcome {
+            run: JobRun::Striped(run),
+            records: report.records,
+            runs_formed: report.runs_formed as u64,
+            merge_passes: report.merge_passes,
+            merge_order: report.merge_order,
+        })
+    }
+
+    fn output<A: DiskArray<R>>(&self, array: &mut A, run: &JobRun) -> Result<Vec<R>, JobError> {
+        Ok(read_run(array, want_striped(run)?)?)
+    }
+
+    fn checkpoint_present(&self, manifest: &Path) -> Result<bool, JobError> {
+        Ok(SortManifest::load_latest(manifest)?.is_some())
+    }
+}
+
+/// A DSM job: a configured [`DsmSorter`] behind the [`Sorter`] trait.
+#[derive(Debug, Clone)]
+pub struct DsmJob {
+    sorter: DsmSorter,
+}
+
+impl DsmJob {
+    /// Wrap an already-configured engine.
+    pub fn new(sorter: DsmSorter) -> Self {
+        DsmJob { sorter }
+    }
+}
+
+impl<R: Record> Sorter<R> for DsmJob {
+    fn stage<A: DiskArray<R>>(&self, array: &mut A, data: &[R]) -> Result<JobRun, JobError> {
+        Ok(JobRun::Logical(write_unsorted_stripes(array, data)?))
+    }
+
+    fn run<A: DiskArray<R>>(
+        &self,
+        array: &mut A,
+        input: &JobRun,
+        manifest: Option<&Path>,
+        observer: &mut dyn FnMut(u64),
+    ) -> Result<JobOutcome, JobError> {
+        let input = want_logical(input)?;
+        let (run, report) = self.sorter.sort_observed(array, input, manifest, |pass, _a| {
+            observer(pass);
+            Ok(())
+        })?;
+        Ok(JobOutcome {
+            run: JobRun::Logical(run),
+            records: report.records,
+            runs_formed: report.runs_formed as u64,
+            merge_passes: report.merge_passes,
+            merge_order: report.merge_order,
+        })
+    }
+
+    fn output<A: DiskArray<R>>(&self, array: &mut A, run: &JobRun) -> Result<Vec<R>, JobError> {
+        Ok(read_logical_run(array, want_logical(run)?)?)
+    }
+
+    fn checkpoint_present(&self, manifest: &Path) -> Result<bool, JobError> {
+        Ok(dsm::checkpoint::DsmManifest::load_latest(manifest)?.is_some())
+    }
+}
+
+/// Either engine behind one type, so drivers can hold a job without
+/// generics.
+#[derive(Debug, Clone)]
+pub enum AnyJob {
+    /// An SRM job.
+    Srm(SrmJob),
+    /// A DSM job.
+    Dsm(DsmJob),
+}
+
+impl<R: Record> Sorter<R> for AnyJob {
+    fn stage<A: DiskArray<R>>(&self, array: &mut A, data: &[R]) -> Result<JobRun, JobError> {
+        match self {
+            AnyJob::Srm(j) => Sorter::<R>::stage(j, array, data),
+            AnyJob::Dsm(j) => Sorter::<R>::stage(j, array, data),
+        }
+    }
+
+    fn run<A: DiskArray<R>>(
+        &self,
+        array: &mut A,
+        input: &JobRun,
+        manifest: Option<&Path>,
+        observer: &mut dyn FnMut(u64),
+    ) -> Result<JobOutcome, JobError> {
+        match self {
+            AnyJob::Srm(j) => Sorter::<R>::run(j, array, input, manifest, observer),
+            AnyJob::Dsm(j) => Sorter::<R>::run(j, array, input, manifest, observer),
+        }
+    }
+
+    fn output<A: DiskArray<R>>(&self, array: &mut A, run: &JobRun) -> Result<Vec<R>, JobError> {
+        match self {
+            AnyJob::Srm(j) => Sorter::<R>::output(j, array, run),
+            AnyJob::Dsm(j) => Sorter::<R>::output(j, array, run),
+        }
+    }
+
+    fn checkpoint_present(&self, manifest: &Path) -> Result<bool, JobError> {
+        match self {
+            AnyJob::Srm(j) => Sorter::<U64Record>::checkpoint_present(j, manifest),
+            AnyJob::Dsm(j) => Sorter::<U64Record>::checkpoint_present(j, manifest),
+        }
+    }
+}
+
+/// Plain-data description of one sort job — the single construction
+/// point for engines across the CLI, crash-matrix harness, and server.
+#[derive(Debug, Clone, PartialEq)]
+pub struct JobSpec {
+    /// Engine to run.
+    pub engine: EngineKind,
+    /// Records to generate and sort.
+    pub records: u64,
+    /// Seed for both input generation and the engine's placement RNG.
+    pub seed: u64,
+    /// Disks.
+    pub d: usize,
+    /// Records per block.
+    pub b: usize,
+    /// Memory, in records.
+    pub m: usize,
+    /// SRM start-disk policy (ignored by DSM).
+    pub placement: Placement,
+    /// Run-formation strategy (SRM; DSM always uses memory loads).
+    pub formation: RunFormation,
+    /// Use the pipelined (split-phase) merge engine.
+    pub pipeline: bool,
+    /// Per-job execution deadline in milliseconds, checked at pass
+    /// boundaries: overruns checkpoint, then abort.
+    pub deadline_ms: Option<u64>,
+    /// Transient-fault injection rate per disk (absorbed by the
+    /// server's retry layer).
+    pub fault_rate: f64,
+    /// Seed for the fault model.
+    pub fault_seed: u64,
+}
+
+impl Default for JobSpec {
+    fn default() -> Self {
+        JobSpec {
+            engine: EngineKind::Srm,
+            records: 20_000,
+            seed: 0xC11_5EED,
+            d: 2,
+            b: 8,
+            m: 512,
+            placement: Placement::Random,
+            formation: RunFormation::MemoryLoad { fraction: 0.5 },
+            pipeline: false,
+            deadline_ms: None,
+            fault_rate: 0.0,
+            fault_seed: 0xFA_017,
+        }
+    }
+}
+
+impl JobSpec {
+    /// The job's array geometry.
+    pub fn geometry(&self) -> Result<Geometry, JobError> {
+        Geometry::new(self.d, self.b, self.m).map_err(JobError::Disk)
+    }
+
+    /// Validate everything a server must reject up front.
+    pub fn validate(&self) -> Result<(), JobError> {
+        if self.records == 0 {
+            return Err(JobError::Config("records must be positive".into()));
+        }
+        if !(0.0..1.0).contains(&self.fault_rate) {
+            return Err(JobError::Config(format!(
+                "fault-rate {} outside [0, 1)",
+                self.fault_rate
+            )));
+        }
+        let geom = self.geometry()?;
+        match self.engine {
+            EngineKind::Srm => geom.srm_merge_order().map(|_| ()).map_err(JobError::Disk),
+            EngineKind::Dsm => geom.dsm_merge_order().map(|_| ()).map_err(JobError::Disk),
+        }
+    }
+
+    /// The job's memory price in records — the quantity admission
+    /// control sums against the server's `M`.  For SRM this is the
+    /// Definition-3 buffer partition (`M/B = 2R + 4D + RD/B` blocks,
+    /// rendered in records); for DSM, the full memory load its striped
+    /// merge and formation passes use.
+    pub fn budget_records(&self) -> Result<u64, JobError> {
+        let geom = self.geometry()?;
+        match self.engine {
+            EngineKind::Srm => {
+                let budget = MemoryBudget::for_geometry(geom).map_err(JobError::Disk)?;
+                Ok((budget.total() * geom.b) as u64)
+            }
+            EngineKind::Dsm => Ok(geom.m as u64),
+        }
+    }
+
+    /// The SRM engine configuration this spec describes.
+    pub fn srm_config(&self) -> SrmConfig {
+        SrmConfig {
+            placement: self.placement,
+            run_formation: self.formation,
+            seed: self.seed,
+        }
+    }
+
+    /// Build the SRM engine — THE one way drivers construct it.
+    pub fn srm_sorter(&self) -> SrmSorter {
+        SrmSorter::new(self.srm_config()).with_pipeline(self.pipeline)
+    }
+
+    /// Build the DSM engine.
+    pub fn dsm_sorter(&self) -> DsmSorter {
+        DsmSorter::new(DsmConfig::default()).with_pipeline(self.pipeline)
+    }
+
+    /// Build the job, optionally wiring an interrupt flag (the drain /
+    /// cancel / deadline hook) into the engine.
+    pub fn build(&self, interrupt: Option<InterruptFlag>) -> AnyJob {
+        match self.engine {
+            EngineKind::Srm => {
+                let mut s = self.srm_sorter();
+                if let Some(f) = interrupt {
+                    s = s.with_interrupt(f);
+                }
+                AnyJob::Srm(SrmJob::new(s))
+            }
+            EngineKind::Dsm => {
+                let mut s = self.dsm_sorter();
+                if let Some(f) = interrupt {
+                    s = s.with_interrupt(f);
+                }
+                AnyJob::Dsm(DsmJob::new(s))
+            }
+        }
+    }
+
+    /// Deterministically regenerate this job's input records.
+    pub fn input_records(&self) -> Vec<U64Record> {
+        generate_records(self.records, self.seed)
+    }
+
+    /// Key=value pairs, the shared wire/file encoding.
+    pub fn to_pairs(&self) -> Vec<(&'static str, String)> {
+        let formation = match self.formation {
+            RunFormation::MemoryLoad { .. } => "load".to_string(),
+            RunFormation::ParallelMemoryLoad { threads, .. } => format!("parload:{threads}"),
+            RunFormation::ReplacementSelection => "rs".to_string(),
+        };
+        let mut pairs = vec![
+            ("engine", self.engine.as_str().to_string()),
+            ("records", self.records.to_string()),
+            ("seed", self.seed.to_string()),
+            ("d", self.d.to_string()),
+            ("b", self.b.to_string()),
+            ("m", self.m.to_string()),
+            (
+                "placement",
+                match self.placement {
+                    Placement::Random => "random".to_string(),
+                    Placement::Staggered => "staggered".to_string(),
+                },
+            ),
+            ("formation", formation),
+            ("pipeline", u8::from(self.pipeline).to_string()),
+            ("fault-rate", self.fault_rate.to_string()),
+            ("fault-seed", self.fault_seed.to_string()),
+        ];
+        if let Some(ms) = self.deadline_ms {
+            pairs.push(("deadline-ms", ms.to_string()));
+        }
+        pairs
+    }
+
+    /// Parse `key=value` pairs (unknown keys are rejected; missing keys
+    /// fall back to [`JobSpec::default`]).
+    pub fn from_pairs<'a>(
+        pairs: impl IntoIterator<Item = (&'a str, &'a str)>,
+    ) -> Result<Self, JobError> {
+        let mut spec = JobSpec::default();
+        let bad = |k: &str, v: &str| JobError::Config(format!("bad value `{v}` for `{k}`"));
+        for (k, v) in pairs {
+            match k {
+                "engine" | "algo" => {
+                    spec.engine = match v {
+                        "srm" => EngineKind::Srm,
+                        "dsm" => EngineKind::Dsm,
+                        _ => return Err(bad(k, v)),
+                    }
+                }
+                "records" => spec.records = v.parse().map_err(|_| bad(k, v))?,
+                "seed" => spec.seed = v.parse().map_err(|_| bad(k, v))?,
+                "d" => spec.d = v.parse().map_err(|_| bad(k, v))?,
+                "b" => spec.b = v.parse().map_err(|_| bad(k, v))?,
+                "m" => spec.m = v.parse().map_err(|_| bad(k, v))?,
+                "placement" => {
+                    spec.placement = match v {
+                        "random" => Placement::Random,
+                        "staggered" => Placement::Staggered,
+                        _ => return Err(bad(k, v)),
+                    }
+                }
+                "formation" => {
+                    spec.formation = match v.split_once(':') {
+                        None if v == "load" => RunFormation::MemoryLoad { fraction: 0.5 },
+                        None if v == "rs" => RunFormation::ReplacementSelection,
+                        Some(("parload", t)) => RunFormation::ParallelMemoryLoad {
+                            fraction: 0.5,
+                            threads: t.parse().map_err(|_| bad(k, v))?,
+                        },
+                        _ => return Err(bad(k, v)),
+                    }
+                }
+                "pipeline" => {
+                    spec.pipeline = match v {
+                        "1" | "true" => true,
+                        "0" | "false" => false,
+                        _ => return Err(bad(k, v)),
+                    }
+                }
+                "deadline-ms" => spec.deadline_ms = Some(v.parse().map_err(|_| bad(k, v))?),
+                "fault-rate" => spec.fault_rate = v.parse().map_err(|_| bad(k, v))?,
+                "fault-seed" => spec.fault_seed = v.parse().map_err(|_| bad(k, v))?,
+                other => return Err(JobError::Config(format!("unknown job key `{other}`"))),
+            }
+        }
+        Ok(spec)
+    }
+
+    /// Multi-line `key=value` rendering for the durable spec file.
+    pub fn encode(&self) -> String {
+        let mut out = String::new();
+        for (k, v) in self.to_pairs() {
+            out.push_str(k);
+            out.push('=');
+            out.push_str(&v);
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Parse [`JobSpec::encode`] output.
+    pub fn decode(text: &str) -> Result<Self, JobError> {
+        let pairs: Vec<(&str, &str)> = text
+            .lines()
+            .map(str::trim)
+            .filter(|l| !l.is_empty())
+            .map(|l| {
+                l.split_once('=')
+                    .ok_or_else(|| JobError::Io(format!("bad spec line `{l}`")))
+            })
+            .collect::<Result<_, _>>()?;
+        Self::from_pairs(pairs)
+    }
+}
+
+/// The standard job input: `records` pseudo-random u64 keys from
+/// `seed`, matching the CLI's generator — so a job is fully described
+/// by its spec and any two runs of it sort identical data.
+pub fn generate_records(records: u64, seed: u64) -> Vec<U64Record> {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    (0..records).map(|_| U64Record(rng.random())).collect()
+}
+
+/// FNV-1a over the little-endian key bytes in sequence order: the
+/// byte-identity fingerprint used to compare a resumed job's output
+/// against an uninterrupted run's.
+pub fn digest_keys(keys: impl IntoIterator<Item = u64>) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for k in keys {
+        for b in k.to_le_bytes() {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+    }
+    h
+}
+
+/// The expected output digest of a job: generate its input, sort in
+/// host memory, digest.  What the disks must agree with.
+pub fn expected_digest(spec: &JobSpec) -> u64 {
+    let mut keys: Vec<u64> = spec.input_records().iter().map(|r| r.0).collect();
+    keys.sort_unstable();
+    digest_keys(keys)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pdisk::MemDiskArray;
+
+    #[test]
+    fn spec_roundtrips_through_encoding() {
+        let spec = JobSpec {
+            engine: EngineKind::Dsm,
+            records: 1234,
+            seed: 99,
+            d: 3,
+            b: 4,
+            m: 240,
+            placement: Placement::Staggered,
+            formation: RunFormation::ParallelMemoryLoad {
+                fraction: 0.5,
+                threads: 2,
+            },
+            pipeline: true,
+            deadline_ms: Some(5000),
+            fault_rate: 0.01,
+            fault_seed: 7,
+        };
+        let decoded = JobSpec::decode(&spec.encode()).unwrap();
+        assert_eq!(decoded, spec);
+        // Protocol-style pairs parse the same way.
+        let encoded = spec.encode();
+        let pairs: Vec<(&str, &str)> = encoded
+            .lines()
+            .filter_map(|l| l.split_once('='))
+            .collect();
+        assert_eq!(JobSpec::from_pairs(pairs).unwrap(), spec);
+    }
+
+    #[test]
+    fn bad_spec_values_are_rejected() {
+        assert!(JobSpec::from_pairs([("engine", "quantum")]).is_err());
+        assert!(JobSpec::from_pairs([("records", "many")]).is_err());
+        assert!(JobSpec::from_pairs([("no-such-key", "1")]).is_err());
+        let zero = JobSpec {
+            records: 0,
+            ..JobSpec::default()
+        };
+        assert!(zero.validate().is_err());
+    }
+
+    #[test]
+    fn run_descriptors_roundtrip() {
+        let striped = JobRun::Striped(StripedRun {
+            start_disk: pdisk::DiskId(1),
+            len_blocks: 9,
+            records: 33,
+            base_offsets: vec![4, 0, 7],
+        });
+        assert_eq!(JobRun::decode(&striped.encode()).unwrap(), striped);
+        let logical = JobRun::Logical(dsm::LogicalRun {
+            start_stripe: 2,
+            len_stripes: 5,
+            records: 40,
+        });
+        assert_eq!(JobRun::decode(&logical.encode()).unwrap(), logical);
+        assert!(JobRun::decode("conical 1 2 3").is_err());
+    }
+
+    #[test]
+    fn srm_budget_is_the_definition_3_partition() {
+        let spec = JobSpec::default();
+        let geom = spec.geometry().unwrap();
+        let budget = MemoryBudget::for_geometry(geom).unwrap();
+        assert_eq!(
+            spec.budget_records().unwrap(),
+            (budget.total() * geom.b) as u64
+        );
+        let dsm = JobSpec {
+            engine: EngineKind::Dsm,
+            ..JobSpec::default()
+        };
+        assert_eq!(dsm.budget_records().unwrap(), geom.m as u64);
+    }
+
+    #[test]
+    fn both_engines_sort_through_the_trait() {
+        for engine in [EngineKind::Srm, EngineKind::Dsm] {
+            let spec = JobSpec {
+                engine,
+                records: 3000,
+                d: 2,
+                b: 4,
+                m: 96,
+                ..JobSpec::default()
+            };
+            let geom = spec.geometry().unwrap();
+            let mut array: MemDiskArray<U64Record> = MemDiskArray::new(geom);
+            let data = spec.input_records();
+            let job = spec.build(None);
+            let input = job.stage(&mut array, &data).unwrap();
+            let mut passes = Vec::new();
+            let outcome = job
+                .run(&mut array, &input, None, &mut |p| passes.push(p))
+                .unwrap();
+            assert_eq!(outcome.records, 3000);
+            assert!(passes.contains(&0), "formation boundary must be observed");
+            let out = Sorter::<U64Record>::output(&job, &mut array, &outcome.run).unwrap();
+            let got = digest_keys(out.iter().map(|r| r.0));
+            assert_eq!(got, expected_digest(&spec), "engine {engine:?}");
+        }
+    }
+
+    #[test]
+    fn interrupt_via_build_flows_through_the_trait() {
+        let spec = JobSpec {
+            records: 3000,
+            d: 2,
+            b: 4,
+            m: 96,
+            ..JobSpec::default()
+        };
+        let mut array: MemDiskArray<U64Record> = MemDiskArray::new(spec.geometry().unwrap());
+        let data = spec.input_records();
+        let flag = InterruptFlag::new();
+        flag.trigger();
+        let job = spec.build(Some(flag));
+        let input = job.stage(&mut array, &data).unwrap();
+        let r = job.run(&mut array, &input, None, &mut |_| {});
+        assert!(matches!(r, Err(JobError::Interrupted)));
+    }
+}

@@ -1,0 +1,160 @@
+//! The loopback TCP front end: accept connections, speak the line
+//! protocol, and turn `DRAIN` (or an external [`ShutdownFlag`] trigger,
+//! e.g. from a SIGTERM handler) into a graceful server drain.
+//!
+//! Everything here polls — the accept loop runs the listener
+//! non-blocking and connection reads use short timeouts — so a shutdown
+//! request is observed within tens of milliseconds without any
+//! condition-variable machinery.
+
+use crate::drain::DrainReport;
+use crate::protocol::{parse_request, status_fields, stats_fields, submit_error_line, Request};
+use crate::server::JobServer;
+use std::io::{ErrorKind, Read, Write};
+use std::net::{TcpListener, TcpStream};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Accept-loop poll interval.
+const ACCEPT_POLL: Duration = Duration::from_millis(25);
+/// Per-connection read timeout (how fast a connection notices drain).
+const READ_POLL: Duration = Duration::from_millis(50);
+/// WATCH streaming interval.
+const WATCH_POLL: Duration = Duration::from_millis(20);
+
+/// Serve the line protocol on `listener` until the server's shutdown
+/// flag is triggered (by `DRAIN`, or externally by a signal handler),
+/// then drain gracefully and report.  Every running job reaches its
+/// next checkpoint boundary before this returns.
+pub fn serve(server: Arc<JobServer>, listener: TcpListener) -> std::io::Result<DrainReport> {
+    listener.set_nonblocking(true)?;
+    let shutdown = server.shutdown_flag();
+    let mut conns: Vec<std::thread::JoinHandle<()>> = Vec::new();
+    while !shutdown.is_set() {
+        match listener.accept() {
+            Ok((stream, _addr)) => {
+                let server = Arc::clone(&server);
+                conns.push(std::thread::spawn(move || {
+                    let _ = handle_conn(&server, stream);
+                }));
+            }
+            Err(e) if e.kind() == ErrorKind::WouldBlock => std::thread::sleep(ACCEPT_POLL),
+            Err(e) => return Err(e),
+        }
+        conns.retain(|h| !h.is_finished());
+    }
+    // The flag is set: drain jobs first (connections keep answering
+    // STATUS/WATCH while jobs checkpoint), then close connections.
+    let report = server.shutdown();
+    for h in conns {
+        let _ = h.join();
+    }
+    Ok(report)
+}
+
+/// Read complete lines from a non-blocking-ish stream, dispatching each
+/// through the protocol.  Returns when the peer closes, sends `QUIT`,
+/// or the server shuts down.
+fn handle_conn(server: &Arc<JobServer>, mut stream: TcpStream) -> std::io::Result<()> {
+    stream.set_read_timeout(Some(READ_POLL))?;
+    let shutdown = server.shutdown_flag();
+    let mut pending = Vec::new();
+    let mut chunk = [0u8; 1024];
+    loop {
+        // Drain any complete lines already buffered.
+        while let Some(nl) = pending.iter().position(|b| *b == b'\n') {
+            let line: Vec<u8> = pending.drain(..=nl).collect();
+            let line = String::from_utf8_lossy(&line).into_owned();
+            if !dispatch(server, &mut stream, line.trim())? {
+                return Ok(());
+            }
+        }
+        if shutdown.is_set() {
+            // Jobs are checkpointing; tell the client and hang up.
+            let _ = writeln!(stream, "BYE draining");
+            return Ok(());
+        }
+        match stream.read(&mut chunk) {
+            Ok(0) => return Ok(()),
+            Ok(n) => pending.extend_from_slice(&chunk[..n]),
+            Err(e) if e.kind() == ErrorKind::WouldBlock || e.kind() == ErrorKind::TimedOut => {}
+            Err(e) if e.kind() == ErrorKind::Interrupted => {}
+            Err(e) => return Err(e),
+        }
+    }
+}
+
+/// Handle one request line; `Ok(false)` closes the connection.
+fn dispatch(
+    server: &Arc<JobServer>,
+    stream: &mut TcpStream,
+    line: &str,
+) -> std::io::Result<bool> {
+    let request = match parse_request(line) {
+        Ok(r) => r,
+        Err(err_line) => {
+            writeln!(stream, "{err_line}")?;
+            return Ok(true);
+        }
+    };
+    match request {
+        Request::Ping => writeln!(stream, "OK pong")?,
+        Request::Quit => return Ok(false),
+        Request::Submit(spec) => match server.submit(spec) {
+            Ok(id) => {
+                let cost = server
+                    .status(id)
+                    .map(|s| s.cost)
+                    .unwrap_or_default();
+                writeln!(stream, "OK id={id} cost={cost}")?;
+            }
+            Err(e) => writeln!(stream, "{}", submit_error_line(&e))?,
+        },
+        Request::Status(id) => match server.status(id) {
+            Some(s) => writeln!(stream, "OK {}", status_fields(&s))?,
+            None => writeln!(stream, "ERR code=not-found job {id}")?,
+        },
+        Request::Watch(id) => {
+            let shutdown = server.shutdown_flag();
+            loop {
+                let Some(s) = server.status(id) else {
+                    writeln!(stream, "ERR code=not-found job {id}")?;
+                    break;
+                };
+                let settled = s.state.is_terminal() || s.state == crate::server::JobState::Suspended;
+                if settled {
+                    writeln!(stream, "OK {}", status_fields(&s))?;
+                    break;
+                }
+                writeln!(stream, "EVENT {}", status_fields(&s))?;
+                if shutdown.is_set() {
+                    // The drain will settle it; one final status follows
+                    // on the next WATCH. Don't hold the connection.
+                    writeln!(stream, "BYE draining")?;
+                    break;
+                }
+                std::thread::sleep(WATCH_POLL);
+            }
+        }
+        Request::Cancel(id) => {
+            if server.cancel(id) {
+                writeln!(stream, "OK cancelling id={id}")?;
+            } else {
+                writeln!(stream, "ERR code=not-found job {id} (or already settled)")?;
+            }
+        }
+        Request::List => {
+            let jobs = server.list();
+            for s in &jobs {
+                writeln!(stream, "JOB {}", status_fields(s))?;
+            }
+            writeln!(stream, "OK count={}", jobs.len())?;
+        }
+        Request::Stats => writeln!(stream, "OK {}", stats_fields(&server.stats()))?,
+        Request::Drain => {
+            writeln!(stream, "OK draining")?;
+            server.shutdown_flag().trigger();
+        }
+    }
+    Ok(true)
+}

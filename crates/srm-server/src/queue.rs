@@ -1,0 +1,111 @@
+//! Admission control: a memory ledger in records.
+//!
+//! Every job declares its memory price up front
+//! ([`JobSpec::budget_records`](crate::job::JobSpec::budget_records) —
+//! for SRM, the Definition-3 partition `M/B ≥ 2R + 4D + RD/B` rendered
+//! in records).  The server configures a capacity `M` and admits a job
+//! only while the sum of admitted prices stays within it; everything
+//! else waits in a bounded FIFO queue.  [`Admission`] is that ledger —
+//! plain arithmetic, no locking of its own (the server holds it inside
+//! its state mutex), which keeps the invariant trivially auditable:
+//! `admitted ≤ capacity` after every transition.
+
+/// The admission ledger.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Admission {
+    capacity: u64,
+    admitted: u64,
+    peak: u64,
+}
+
+impl Admission {
+    /// A ledger with `capacity` records of server memory.
+    pub fn new(capacity: u64) -> Self {
+        Admission {
+            capacity,
+            admitted: 0,
+            peak: 0,
+        }
+    }
+
+    /// Total server memory, in records.
+    pub fn capacity(&self) -> u64 {
+        self.capacity
+    }
+
+    /// Memory currently admitted, in records.
+    pub fn admitted(&self) -> u64 {
+        self.admitted
+    }
+
+    /// High-water mark of [`Admission::admitted`] since construction.
+    pub fn peak(&self) -> u64 {
+        self.peak
+    }
+
+    /// Whether a job of price `cost` could EVER be admitted.  Jobs that
+    /// fail this are rejected outright rather than queued.
+    pub fn ever_fits(&self, cost: u64) -> bool {
+        cost <= self.capacity
+    }
+
+    /// Try to admit a job of price `cost`; on success the ledger is
+    /// charged and `true` is returned.  Never overshoots capacity.
+    pub fn try_admit(&mut self, cost: u64) -> bool {
+        match self.admitted.checked_add(cost) {
+            Some(next) if next <= self.capacity => {
+                self.admitted = next;
+                self.peak = self.peak.max(next);
+                true
+            }
+            _ => false,
+        }
+    }
+
+    /// Return a finished or failed job's price to the ledger.
+    pub fn release(&mut self, cost: u64) {
+        self.admitted = self.admitted.saturating_sub(cost);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ledger_never_exceeds_capacity() {
+        let mut a = Admission::new(100);
+        assert!(a.try_admit(60));
+        assert!(!a.try_admit(50), "60 + 50 > 100 must be refused");
+        assert!(a.try_admit(40));
+        assert_eq!(a.admitted(), 100);
+        assert_eq!(a.peak(), 100);
+        a.release(60);
+        assert_eq!(a.admitted(), 40);
+        assert!(a.try_admit(50));
+        assert_eq!(a.peak(), 100, "peak is a high-water mark");
+    }
+
+    #[test]
+    fn oversized_jobs_never_fit() {
+        let mut a = Admission::new(10);
+        assert!(!a.ever_fits(11));
+        assert!(!a.try_admit(11));
+        assert!(a.ever_fits(10));
+        assert!(a.try_admit(10));
+    }
+
+    #[test]
+    fn release_saturates() {
+        let mut a = Admission::new(10);
+        a.release(5);
+        assert_eq!(a.admitted(), 0);
+    }
+
+    #[test]
+    fn admit_overflow_is_refused_not_wrapped() {
+        let mut a = Admission::new(u64::MAX);
+        assert!(a.try_admit(u64::MAX));
+        assert!(!a.try_admit(1));
+    }
+}

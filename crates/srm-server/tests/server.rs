@@ -1,0 +1,307 @@
+//! End-to-end drills for the job server, mirroring the ISSUE-6
+//! acceptance criteria:
+//!
+//! * the admission invariant — at **every** sampled instant the summed
+//!   Definition-3 budgets of running jobs fit the configured `M`;
+//! * the drain-and-restart drill — three concurrent jobs, a drain that
+//!   suspends them at checkpoint boundaries, and a restarted server
+//!   that resumes each one byte-identically with the model checker
+//!   replaying every resumed trace;
+//! * cancellation and deadlines — both abort at a checkpoint boundary,
+//!   leaving a journaled manifest behind.
+
+use srm_server::{
+    expected_digest, EngineKind, JobServer, JobSpec, JobState, ServerConfig, SubmitError,
+};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+fn scratch(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("srm-server-e2e-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+/// 1500 records over d=2, b=4, m=96: ~32 formation runs and two merge
+/// passes — enough checkpoint boundaries for drains and cancels to hit
+/// mid-sort, small enough to run in CI.
+fn spec(seed: u64) -> JobSpec {
+    JobSpec {
+        engine: EngineKind::Srm,
+        records: 1500,
+        seed,
+        d: 2,
+        b: 4,
+        m: 96,
+        ..JobSpec::default()
+    }
+}
+
+fn wait_all_terminal(server: &JobServer, budget: Duration) {
+    let deadline = Instant::now() + budget;
+    loop {
+        let jobs = server.list();
+        if jobs.iter().all(|j| j.state.is_terminal()) {
+            return;
+        }
+        assert!(
+            Instant::now() < deadline,
+            "jobs never settled: {:?}",
+            jobs.iter().map(|j| (j.id, j.state)).collect::<Vec<_>>()
+        );
+        std::thread::sleep(Duration::from_millis(15));
+    }
+}
+
+#[test]
+fn admission_never_exceeds_capacity_while_jobs_overlap() {
+    let dir = scratch("admission");
+    let cost = spec(1).budget_records().unwrap();
+    let mut cfg = ServerConfig::new(&dir);
+    cfg.workers = 4;
+    cfg.queue_depth = 8;
+    // Room for exactly two jobs at once; four are submitted.
+    cfg.capacity = 2 * cost + cost / 2;
+    cfg.io_delay = Duration::from_micros(300);
+    let server = Arc::new(JobServer::open(cfg).unwrap());
+
+    // A sampler hammers the invariant from outside while jobs run: the
+    // summed costs of Running jobs, and the ledger itself, must fit M
+    // at every instant.
+    let violated = Arc::new(AtomicBool::new(false));
+    let saw_overlap = Arc::new(AtomicBool::new(false));
+    let stop = Arc::new(AtomicBool::new(false));
+    let sampler = {
+        let server = Arc::clone(&server);
+        let violated = Arc::clone(&violated);
+        let saw_overlap = Arc::clone(&saw_overlap);
+        let stop = Arc::clone(&stop);
+        std::thread::spawn(move || {
+            while !stop.load(Ordering::Relaxed) {
+                let stats = server.stats();
+                let running_cost: u64 = server
+                    .list()
+                    .iter()
+                    .filter(|j| j.state == JobState::Running)
+                    .map(|j| j.cost)
+                    .sum();
+                if running_cost > stats.capacity || stats.admitted > stats.capacity {
+                    violated.store(true, Ordering::Relaxed);
+                }
+                if stats.running == 2 {
+                    saw_overlap.store(true, Ordering::Relaxed);
+                }
+                std::thread::sleep(Duration::from_millis(1));
+            }
+        })
+    };
+
+    let ids: Vec<u64> = (0..4).map(|i| server.submit(spec(10 + i)).unwrap()).collect();
+    wait_all_terminal(&server, Duration::from_secs(120));
+    stop.store(true, Ordering::Relaxed);
+    sampler.join().unwrap();
+
+    assert!(!violated.load(Ordering::Relaxed), "admission invariant broken");
+    assert!(
+        saw_overlap.load(Ordering::Relaxed),
+        "two jobs never overlapped; the drill proved nothing"
+    );
+    let stats = server.stats();
+    assert!(
+        stats.peak_admitted >= 2 * cost,
+        "peak {} never reached two admitted jobs ({})",
+        stats.peak_admitted,
+        2 * cost
+    );
+    assert!(stats.peak_admitted <= stats.capacity);
+    for (i, id) in ids.iter().enumerate() {
+        let s = server.status(*id).unwrap();
+        assert_eq!(s.state, JobState::Done, "job {id}: {}", s.detail);
+        assert_eq!(s.digest, Some(expected_digest(&spec(10 + i as u64))));
+    }
+    server.shutdown();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn oversized_job_is_rejected_outright() {
+    let dir = scratch("oversized");
+    let mut cfg = ServerConfig::new(&dir);
+    cfg.capacity = spec(1).budget_records().unwrap() - 1;
+    let server = JobServer::open(cfg).unwrap();
+    match server.submit(spec(1)) {
+        Err(SubmitError::TooLarge { cost, capacity }) => assert!(cost > capacity),
+        other => panic!("expected TooLarge, got {other:?}"),
+    }
+    server.shutdown();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// The tentpole drill: three jobs mid-sort, a graceful drain, then a
+/// restarted server over the same jobs dir.  Every job must finish with
+/// the digest an uninterrupted run produces, and every resumed trace
+/// must replay cleanly through the model checker.
+#[test]
+fn drain_suspends_and_restart_resumes_byte_identically() {
+    let dir = scratch("drain");
+    let cost = spec(1).budget_records().unwrap();
+    let mut cfg = ServerConfig::new(&dir);
+    cfg.workers = 3;
+    cfg.capacity = 3 * cost;
+    cfg.io_delay = Duration::from_millis(1); // slow enough to drain mid-sort
+    cfg.check_model = true;
+    let server = JobServer::open(cfg.clone()).unwrap();
+    let ids: Vec<u64> = (0..3).map(|i| server.submit(spec(70 + i)).unwrap()).collect();
+
+    // Let all three get into their sorts, then drain while they are
+    // still several checkpoint boundaries from the finish line.
+    let deadline = Instant::now() + Duration::from_secs(60);
+    loop {
+        let jobs = server.list();
+        if jobs.iter().filter(|j| j.state == JobState::Running).count() == 3 {
+            break;
+        }
+        assert!(
+            Instant::now() < deadline,
+            "jobs never all started: {:?}",
+            jobs.iter().map(|j| (j.state, j.passes)).collect::<Vec<_>>()
+        );
+        std::thread::sleep(Duration::from_millis(5));
+    }
+    std::thread::sleep(Duration::from_millis(100)); // into formation, not past it
+
+    let report = server.shutdown();
+    assert_eq!(report.suspended, 3, "all three jobs must suspend: {report}");
+    for id in &ids {
+        let s = server.status(*id).unwrap();
+        assert_eq!(s.state, JobState::Suspended);
+        assert!(
+            dir.join(format!("job-{id:06}/manifest")).exists(),
+            "suspended job {id} must leave a journaled checkpoint"
+        );
+    }
+
+    // "Reboot": a fresh server over the same jobs dir (fast, no delay)
+    // re-queues the suspended jobs and resumes them from their
+    // manifests, model-checking every resumed trace.
+    let mut cfg2 = cfg;
+    cfg2.io_delay = Duration::ZERO;
+    let server2 = JobServer::open(cfg2).unwrap();
+    wait_all_terminal(&server2, Duration::from_secs(120));
+    for (i, id) in ids.iter().enumerate() {
+        let s = server2.status(*id).unwrap();
+        assert_eq!(s.state, JobState::Done, "job {id}: {}", s.detail);
+        assert_eq!(
+            s.digest,
+            Some(expected_digest(&spec(70 + i as u64))),
+            "job {id} did not resume byte-identically"
+        );
+        assert!(
+            !dir.join(format!("job-{id:06}/manifest")).exists(),
+            "completed job {id} must retire its manifest"
+        );
+    }
+    server2.shutdown();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn cancel_interrupts_a_running_job_at_a_checkpoint() {
+    let dir = scratch("cancel");
+    let mut cfg = ServerConfig::new(&dir);
+    cfg.workers = 1;
+    cfg.io_delay = Duration::from_millis(1);
+    let server = JobServer::open(cfg).unwrap();
+    let id = server.submit(spec(5)).unwrap();
+    let deadline = Instant::now() + Duration::from_secs(60);
+    while server.status(id).unwrap().state != JobState::Running {
+        assert!(Instant::now() < deadline, "job never started");
+        std::thread::sleep(Duration::from_millis(5));
+    }
+    assert!(server.cancel(id));
+    let deadline = Instant::now() + Duration::from_secs(60);
+    loop {
+        let s = server.status(id).unwrap();
+        if s.state.is_terminal() {
+            assert_eq!(s.state, JobState::Cancelled, "{}", s.detail);
+            break;
+        }
+        assert!(Instant::now() < deadline, "cancel never settled");
+        std::thread::sleep(Duration::from_millis(10));
+    }
+    // The abort happened at a boundary: the checkpoint journal remains.
+    assert!(dir.join(format!("job-{id:06}/manifest")).exists());
+    // Terminal means terminal: a second cancel is refused.
+    assert!(!server.cancel(id));
+    server.shutdown();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn deadline_overrun_checkpoints_then_aborts() {
+    let dir = scratch("deadline");
+    let mut cfg = ServerConfig::new(&dir);
+    cfg.workers = 1;
+    cfg.io_delay = Duration::from_millis(1);
+    let server = JobServer::open(cfg).unwrap();
+    let mut overdue = spec(6);
+    overdue.deadline_ms = Some(0); // overruns at the first boundary
+    let id = server.submit(overdue).unwrap();
+    let deadline = Instant::now() + Duration::from_secs(60);
+    loop {
+        let s = server.status(id).unwrap();
+        if s.state.is_terminal() {
+            assert_eq!(s.state, JobState::DeadlineExceeded, "{}", s.detail);
+            break;
+        }
+        assert!(Instant::now() < deadline, "deadline never fired");
+        std::thread::sleep(Duration::from_millis(10));
+    }
+    assert!(dir.join(format!("job-{id:06}/manifest")).exists());
+
+    // A sane deadline leaves the same spec to finish normally.
+    let fine = spec(6);
+    let id2 = server.submit(fine.clone()).unwrap();
+    let deadline = Instant::now() + Duration::from_secs(120);
+    loop {
+        let s = server.status(id2).unwrap();
+        if s.state.is_terminal() {
+            assert_eq!(s.state, JobState::Done, "{}", s.detail);
+            assert_eq!(s.digest, Some(expected_digest(&fine)));
+            break;
+        }
+        assert!(Instant::now() < deadline, "job stuck");
+        std::thread::sleep(Duration::from_millis(10));
+    }
+    server.shutdown();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// Faulty jobs ride the server's retry layer: a nonzero transient-fault
+/// rate must not change the output.
+#[test]
+fn transient_faults_are_absorbed_by_the_retry_layer() {
+    let dir = scratch("faults");
+    let mut cfg = ServerConfig::new(&dir);
+    cfg.workers = 1;
+    let server = JobServer::open(cfg).unwrap();
+    let mut faulty = spec(8);
+    faulty.fault_rate = 0.02;
+    faulty.fault_seed = 99;
+    let id = server.submit(faulty.clone()).unwrap();
+    let deadline = Instant::now() + Duration::from_secs(120);
+    loop {
+        let s = server.status(id).unwrap();
+        if s.state.is_terminal() {
+            assert_eq!(s.state, JobState::Done, "{}", s.detail);
+            assert_eq!(s.digest, Some(expected_digest(&faulty)));
+            break;
+        }
+        assert!(Instant::now() < deadline, "faulty job stuck");
+        std::thread::sleep(Duration::from_millis(10));
+    }
+    server.shutdown();
+    let _ = std::fs::remove_dir_all(&dir);
+}

@@ -41,7 +41,15 @@ use std::process::ExitCode;
 /// Crates whose non-test code must be panic-free (rule `no-panic`).
 /// Binaries (`srm-cli`, `xtask`) and the benchmark harness may abort on
 /// their own errors; libraries must propagate typed ones.
-const PANIC_FREE_CRATES: &[&str] = &["pdisk", "srm-core", "dsm", "occupancy", "analysis", "modelcheck"];
+const PANIC_FREE_CRATES: &[&str] = &[
+    "pdisk",
+    "srm-core",
+    "dsm",
+    "occupancy",
+    "analysis",
+    "modelcheck",
+    "srm-server",
+];
 
 /// Crates that must not name a concrete storage backend (rule `backend`).
 const TRAIT_ONLY_CRATES: &[&str] = &["srm-core", "dsm"];

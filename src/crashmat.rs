@@ -29,7 +29,8 @@ use pdisk::{
     ParityDiskArray, PdiskError, StripedRun, U64Record,
 };
 use srm_core::sort::write_unsorted_input;
-use srm_core::{read_run, Placement, RunFormation, SrmConfig, SrmError, SrmSorter};
+use srm_core::{read_run, SrmError, SrmSorter};
+use srm_server::{EngineKind, JobSpec};
 use std::path::{Path, PathBuf};
 
 /// Which substrate plays the disks that survive the crash.
@@ -79,13 +80,23 @@ pub struct MatrixReport {
     pub fresh_restarts: u64,
 }
 
-fn sorter(cfg: &MatrixConfig) -> SrmSorter {
-    SrmSorter::new(SrmConfig {
-        placement: Placement::Random,
-        run_formation: RunFormation::default(),
+/// The matrix's engine parameters as a server job spec — engine
+/// construction goes through the same single entry point
+/// ([`JobSpec::srm_sorter`]) as the CLI and the job server.
+fn job_spec(cfg: &MatrixConfig) -> JobSpec {
+    JobSpec {
+        engine: EngineKind::Srm,
         seed: cfg.seed,
-    })
-    .with_pipeline(cfg.pipeline)
+        d: cfg.geom.d,
+        b: cfg.geom.b,
+        m: cfg.geom.m,
+        pipeline: cfg.pipeline,
+        ..JobSpec::default()
+    }
+}
+
+fn sorter(cfg: &MatrixConfig) -> SrmSorter {
+    job_spec(cfg).srm_sorter()
 }
 
 /// `Ok(None)` when the sort died at the armed boundary; `Err` for any
