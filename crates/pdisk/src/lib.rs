@@ -56,6 +56,7 @@ pub mod file;
 pub mod geometry;
 pub mod interrupt;
 pub mod mem;
+pub mod netfault;
 pub mod parity;
 pub mod pool;
 pub mod record;
@@ -76,6 +77,7 @@ pub use file::FileDiskArray;
 pub use geometry::Geometry;
 pub use interrupt::InterruptFlag;
 pub use mem::MemDiskArray;
+pub use netfault::{Delivery, NetFault, NetFaultModel, PartitionWindow, ScriptedNetFault};
 pub use parity::ParityDiskArray;
 pub use pool::{BufferPool, PoolStats};
 pub use record::{KeyPayloadRecord, Record, U64Record};

@@ -159,10 +159,41 @@ USAGE:
         STATUS ID | WATCH ID | CANCEL ID | LIST | STATS | DRAIN |
         PING | QUIT
 
-  srm client --port P --send \"REQUEST\"
+  srm client --port P --send \"REQUEST\" [--connect-retries N]
       One-shot client for `srm serve`: sends REQUEST, prints the
       response lines (WATCH streams until the job settles), exits 1 if
-      the server answered with an error.
+      the server answered with an error.  Connection refused/reset is
+      retried up to N times (default 8) with capped exponential
+      backoff, so a client racing a still-booting server wins.
+
+  srm distsort [--shards P] [--records N] [--d D] [--b B] [--m M]
+           [--seed S] [--pipeline] [--placement random|staggered]
+           [--parity] [--dir PATH] [--keep] [--procs]
+           [--heartbeat-ms H] [--timeout-ms T] [--io-delay-us U]
+           [--kill-node S@PASS | --kill-node S@merge:K]
+           [--corrupt-disk D] [--net-seed S] [--net-drop R]
+           [--net-dup R] [--net-delay R] [--net-max-delay K]
+           [--partition NODE:FROM:UNTIL]
+      Distributed sort that survives node death: a coordinator samples
+      P-1 splitters, routes records to P shard nodes over a
+      fault-injectable message channel, each shard runs a checkpointed
+      SRM sort over its own disk cluster (traces model-checked), and a
+      striped cross-shard merge produces the global output.  Shards are
+      threads by default; --procs spawns real `srm` child processes so
+      the node-death drill is a genuine SIGKILL.  A heartbeat failure
+      detector (--heartbeat-ms / --timeout-ms) declares silent nodes
+      dead, fences the old epoch (its in-flight I/O fails, its stale
+      messages are discarded), and boots a replacement that resumes
+      from the shard's last checkpoint manifest.  --kill-node S@PASS is
+      the drill: kill shard S at pass boundary PASS (or S@merge:K after
+      K merge blocks served); with --parity, --corrupt-disk D also
+      trashes disk D of the victim's cluster so the replacement must
+      rebuild from parity before resuming.  The merge degrades
+      gracefully: it stalls on a dead shard and resumes when the
+      replacement serves again.  --net-* and --partition inject seeded
+      channel faults (drop/duplicate/delay/partition windows).  The
+      final digest is checked against a centrally sorted oracle; any
+      mismatch exits nonzero.
 
   srm help
       This text.
@@ -1170,6 +1201,42 @@ pub fn serve(argv: &[String]) -> i32 {
     }
 }
 
+/// Connect to the local job server, absorbing a refused or reset
+/// connection with capped exponential backoff — the server may still be
+/// binding its listener (restart races are routine when a supervisor
+/// respawns `srm serve` and clients reconnect immediately).
+fn connect_with_retry(
+    port: u16,
+    attempts: u32,
+    base: std::time::Duration,
+) -> Result<std::net::TcpStream, String> {
+    let cap = std::time::Duration::from_millis(500);
+    let mut wait = base;
+    let mut last = None;
+    for attempt in 1..=attempts {
+        match std::net::TcpStream::connect(("127.0.0.1", port)) {
+            Ok(stream) => return Ok(stream),
+            Err(e)
+                if matches!(
+                    e.kind(),
+                    std::io::ErrorKind::ConnectionRefused | std::io::ErrorKind::ConnectionReset
+                ) =>
+            {
+                last = Some(e);
+                if attempt < attempts {
+                    std::thread::sleep(wait);
+                    wait = (wait * 2).min(cap);
+                }
+            }
+            Err(e) => return Err(format!("connect 127.0.0.1:{port}: {e}")),
+        }
+    }
+    Err(format!(
+        "connect 127.0.0.1:{port}: {} (after {attempts} attempts)",
+        last.map_or_else(|| "no attempt made".into(), |e| e.to_string())
+    ))
+}
+
 /// `srm client`
 pub fn client(argv: &[String]) -> i32 {
     use std::io::{BufRead as _, Write as _};
@@ -1184,8 +1251,9 @@ pub fn client(argv: &[String]) -> i32 {
         let request = flags
             .get_str("send")
             .ok_or("`srm client` requires --send \"REQUEST\"")?;
-        let stream = std::net::TcpStream::connect(("127.0.0.1", port))
-            .map_err(|e| format!("connect 127.0.0.1:{port}: {e}"))?;
+        let attempts: u32 = flags.get_or("connect-retries", 8)?;
+        let stream =
+            connect_with_retry(port, attempts.max(1), std::time::Duration::from_millis(10))?;
         let mut writer = stream.try_clone().map_err(|e| e.to_string())?;
         // The server handles one request per line in order, so writing
         // the request followed by QUIT streams the full response (all
@@ -1207,5 +1275,183 @@ pub fn client(argv: &[String]) -> i32 {
         Ok(true) => 0,
         Ok(false) => 1,
         Err(e) => fail(e),
+    }
+}
+
+/// `srm distsort`
+pub fn distsort(argv: &[String]) -> i32 {
+    let flags = match Flags::parse(argv) {
+        Ok(f) => f,
+        Err(e) => return fail(e),
+    };
+    let inner = || -> Result<(), String> {
+        let mut spec = JobSpec {
+            records: flags.get_or("records", 100_000)?,
+            seed: flags.get_or("seed", 0xC11_5EED)?,
+            d: flags.get_or("d", 4)?,
+            b: flags.get_or("b", 64)?,
+            pipeline: flags.has("pipeline"),
+            ..JobSpec::default()
+        };
+        spec.m = match flags.get::<usize>("m")? {
+            Some(m) => m,
+            // No explicit memory: size M for a k-way SRM merge on this
+            // D and B, exactly as `srm sort` does.
+            None => {
+                let k: usize = flags.get_or("k", 4)?;
+                Geometry::for_table(k, spec.d, spec.b)
+                    .map_err(|e| e.to_string())?
+                    .m
+            }
+        };
+        spec.placement = match flags.get_str("placement").unwrap_or("random") {
+            "random" => Placement::Random,
+            "staggered" => Placement::Staggered,
+            other => return Err(format!("unknown placement `{other}`")),
+        };
+
+        let shards: u32 = flags.get_or("shards", 4)?;
+        let mut cfg = srm_dist::DistConfig::new(shards);
+        cfg.parity = flags.has("parity");
+        cfg.heartbeat =
+            std::time::Duration::from_millis(flags.get_or("heartbeat-ms", 15)?);
+        cfg.timeout = std::time::Duration::from_millis(flags.get_or("timeout-ms", 250)?);
+        cfg.io_delay =
+            std::time::Duration::from_micros(flags.get_or::<u64>("io-delay-us", 0)?);
+        cfg.kill = flags
+            .get_str("kill-node")
+            .map(srm_dist::parse_kill_node)
+            .transpose()
+            .map_err(|e| e.to_string())?;
+        cfg.corrupt_disk = flags.get("corrupt-disk")?;
+
+        let net_seed: u64 = flags.get_or("net-seed", 0x0DD_5EED)?;
+        let drop: f64 = flags.get_or("net-drop", 0.0)?;
+        let dup: f64 = flags.get_or("net-dup", 0.0)?;
+        let delay: f64 = flags.get_or("net-delay", 0.0)?;
+        if drop > 0.0 || dup > 0.0 || delay > 0.0 || flags.get_str("partition").is_some() {
+            let mut model = pdisk::NetFaultModel::seeded(net_seed)
+                .with_drop_rate(drop)
+                .with_dup_rate(dup)
+                .with_delay_rate(delay)
+                .with_max_delay(flags.get_or("net-max-delay", 8)?);
+            if let Some(s) = flags.get_str("partition") {
+                let parts: Vec<&str> = s.split(':').collect();
+                let bad =
+                    || format!("bad --partition `{s}` (want NODE:FROM:UNTIL in global sends)");
+                let [node, from, until] = parts[..] else { return Err(bad()) };
+                model = model.partition(
+                    node.parse().map_err(|_| bad())?,
+                    from.parse().map_err(|_| bad())?,
+                    until.parse().map_err(|_| bad())?,
+                );
+            }
+            cfg.net = model;
+        }
+
+        let dir = flags
+            .get_str("dir")
+            .map(std::path::PathBuf::from)
+            .unwrap_or_else(|| {
+                std::env::temp_dir().join(format!("srm-distsort-{}", std::process::id()))
+            });
+        let keep = flags.has("keep") || flags.get_str("dir").is_some();
+
+        let report = if flags.has("procs") {
+            let bin = std::env::current_exe()
+                .map_err(|e| format!("current_exe: {e}"))?;
+            srm_dist::run_procs(&spec, &cfg, &dir, &bin)
+        } else {
+            srm_dist::distsort(&spec, &cfg, &dir)
+        }
+        .map_err(|e| e.to_string())?;
+        if !keep {
+            let _ = std::fs::remove_dir_all(&dir);
+        }
+
+        println!(
+            "distsort: {} records over {} shards in {} ms ({} mode)",
+            report.records,
+            report.shards,
+            report.elapsed_ms,
+            if flags.has("procs") { "process" } else { "thread" }
+        );
+        println!(
+            "  splitters: {:?}",
+            report.splitters.iter().map(|k| format!("{k:#x}")).collect::<Vec<_>>()
+        );
+        for (s, shard) in report.per_shard.iter().enumerate() {
+            println!(
+                "  shard {s}: {} records, {} blocks, {} passes, trace {} ({} events), {} recoveries, {} repaired",
+                shard.records,
+                shard.blocks,
+                shard.passes,
+                if shard.trace_clean { "clean" } else { "DIRTY" },
+                shard.trace_events,
+                shard.recoveries,
+                shard.repaired
+            );
+        }
+        println!(
+            "  recoveries: {} total, merge stalls: {}, recovery wall-clock: {:?} ms",
+            report.recoveries, report.merge_stalls, report.recovery_ms
+        );
+        println!(
+            "  net: {} sent, {} delivered, {} dropped, {} duplicated, {} delayed",
+            report.net.sent,
+            report.net.delivered,
+            report.net.dropped,
+            report.net.duplicated,
+            report.net.delayed
+        );
+        println!(
+            "  global digest {:#018x}: {}",
+            report.digest,
+            if report.oracle_ok {
+                "matches the central oracle"
+            } else {
+                "MISMATCH against the central oracle"
+            }
+        );
+        if !report.oracle_ok {
+            return Err("global output digest mismatch".into());
+        }
+        Ok(())
+    };
+    match inner() {
+        Ok(()) => 0,
+        Err(e) => fail(e),
+    }
+}
+
+/// The hidden `srm shard-run` subcommand: one shard child of a
+/// `--procs` distributed sort (see `srm_dist::procs`).  Not advertised —
+/// it is an implementation detail of `srm distsort --procs`, spawned
+/// with plan files already on disk.
+pub fn shard_run(argv: &[String]) -> i32 {
+    let flags = match Flags::parse(argv) {
+        Ok(f) => f,
+        Err(e) => return fail(e),
+    };
+    let inner = || -> Result<(), String> {
+        let root = flags
+            .get_str("root")
+            .map(std::path::PathBuf::from)
+            .ok_or("`srm shard-run` requires --root")?;
+        let shard: u32 = flags
+            .get("shard")?
+            .ok_or("`srm shard-run` requires --shard")?;
+        let arm_kill: Option<u64> = flags.get("arm-kill")?;
+        srm_dist::shard_run_standalone(&root, shard, arm_kill).map_err(|e| e.to_string())
+    };
+    match inner() {
+        Ok(()) => 0,
+        Err(e) => {
+            // The parent parses stdout; report the failure there too so a
+            // child that dies before its monitor sees ERR is still
+            // diagnosable.
+            println!("ERR {e}");
+            fail(e)
+        }
     }
 }

@@ -16,7 +16,9 @@
 //! * `srm serve` — the sort-as-a-service job server: concurrent jobs over
 //!   a loopback line protocol, Definition-3 admission control, graceful
 //!   drain on SIGINT/SIGTERM, crash-resumable restarts;
-//! * `srm client` — one-shot line-protocol client for `srm serve`.
+//! * `srm client` — one-shot line-protocol client for `srm serve`;
+//! * `srm distsort` — sharded SRM across simulated nodes with failure
+//!   detection, node-death drills, and a degraded cross-shard merge.
 //!
 //! Run `srm help` for flags.
 
@@ -35,6 +37,8 @@ fn main() {
         Some("crash-matrix") => commands::crash_matrix(&argv[1..]),
         Some("serve") => commands::serve(&argv[1..]),
         Some("client") => commands::client(&argv[1..]),
+        Some("distsort") => commands::distsort(&argv[1..]),
+        Some("shard-run") => commands::shard_run(&argv[1..]),
         Some("help") | Some("--help") | Some("-h") | None => {
             print!("{}", commands::USAGE);
             0

@@ -760,3 +760,58 @@ mod tests {
         assert!(m.validate_redundancy(Some(&narrower)).is_err());
     }
 }
+
+/// What a replacement node can do with a shard's sort state — the
+/// **shard-resume entry point** used by `srm-dist` recovery.
+///
+/// A coordinator replacing a dead shard inspects the shard's manifest
+/// *before* spawning the new sorter, so it can log the recovery path it
+/// is about to take (fresh restage vs checkpoint resume vs
+/// rebuild-then-resume) and refuse early if the checkpoint belongs to a
+/// different configuration.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum ResumePoint {
+    /// No (valid) manifest: the sort starts from the staged input.
+    Fresh,
+    /// A valid checkpoint exists; the sort will fast-forward to here.
+    Checkpointed {
+        /// Completed merge passes (0 = formation done, no merges yet).
+        pass: u64,
+        /// Runs still to be merged from this point.
+        runs_left: u64,
+        /// Generation of the newest valid manifest on disk.
+        generation: u64,
+        /// Redundancy geometry at snapshot time: `Some` when the sort ran
+        /// under parity (with the disks already dead then) — the signal
+        /// that a `--parity` recovery may rebuild before resuming.
+        redundancy: Option<RedundancyInfo>,
+    },
+}
+
+/// Inspect `manifest` and report where a sort with this `config`,
+/// `geometry`, and `records` count would resume.
+///
+/// Returns [`ResumePoint::Fresh`] when no valid manifest exists (never
+/// started, or already completed and retired), and an error when a valid
+/// manifest exists but belongs to a *different* sort — resuming it would
+/// misread every block address, so a replacement node must not try.
+pub fn resume_point(
+    config: &SrmConfig,
+    geometry: Geometry,
+    records: u64,
+    manifest: &Path,
+) -> Result<ResumePoint> {
+    match SortManifest::load_latest(manifest)? {
+        None => Ok(ResumePoint::Fresh),
+        Some(m) => {
+            m.validate(config, geometry, records)?;
+            Ok(ResumePoint::Checkpointed {
+                pass: m.pass,
+                runs_left: m.runs.len() as u64,
+                generation: m.generation,
+                redundancy: m.redundancy.clone(),
+            })
+        }
+    }
+}

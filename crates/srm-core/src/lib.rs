@@ -53,7 +53,7 @@ pub mod scrub;
 pub mod simulator;
 pub mod sort;
 
-pub use checkpoint::SortManifest;
+pub use checkpoint::{resume_point, ResumePoint, SortManifest};
 pub use error::{Result, SrmError};
 pub use key::{BlockKey, RunId};
 pub use merge::{merge_runs, merge_runs_pipelined, MergeOutcome, MergeStats};

@@ -1,0 +1,96 @@
+//! Sample-based range partitioning (Rahn/Sanders/Singler): the
+//! coordinator samples the input, sorts the sample, and picks `P − 1`
+//! splitters at the sample quantiles; shard `i` owns the key range
+//! `[splitter[i-1], splitter[i])` (half-open, first and last unbounded).
+//!
+//! Splitters are a pure function of `(input, shards, seed)`, so a
+//! recovered run — which regenerates the input from the spec — routes
+//! every record to the same shard the failure-free run did.
+
+use pdisk::U64Record;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// Samples drawn per shard (capped by the input size).
+const SAMPLE_PER_SHARD: usize = 64;
+
+/// Pick `shards − 1` splitter keys from a deterministic sample.
+pub fn sample_splitters(records: &[U64Record], shards: u32, seed: u64) -> Vec<u64> {
+    let shards = shards as usize;
+    if shards <= 1 || records.is_empty() {
+        return Vec::new();
+    }
+    let want = (SAMPLE_PER_SHARD * shards).min(records.len());
+    let mut rng = SmallRng::seed_from_u64(seed ^ 0x5911_77E5_D157_5027);
+    let mut sample: Vec<u64> = (0..want)
+        .map(|_| records[rng.random_range(0..records.len())].0)
+        .collect();
+    sample.sort_unstable();
+    (1..shards)
+        .map(|i| sample[i * sample.len() / shards])
+        .collect()
+}
+
+/// Which shard owns `key` under `splitters` (monotone in `key`).
+pub fn shard_of(splitters: &[u64], key: u64) -> usize {
+    splitters.partition_point(|s| *s <= key)
+}
+
+/// Route every record to its shard's bucket (buckets may be empty).
+pub fn route(records: &[U64Record], splitters: &[u64], shards: u32) -> Vec<Vec<u64>> {
+    let mut buckets: Vec<Vec<u64>> = vec![Vec::new(); shards as usize];
+    for r in records {
+        let s = shard_of(splitters, r.0).min(shards as usize - 1);
+        buckets[s].push(r.0);
+    }
+    buckets
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use srm_server::generate_records;
+
+    #[test]
+    fn single_shard_needs_no_splitters() {
+        let recs = generate_records(100, 1);
+        assert!(sample_splitters(&recs, 1, 7).is_empty());
+        let buckets = route(&recs, &[], 1);
+        assert_eq!(buckets[0].len(), 100);
+    }
+
+    #[test]
+    fn splitters_are_deterministic_and_sorted() {
+        let recs = generate_records(5000, 0xC11_5EED);
+        let a = sample_splitters(&recs, 4, 9);
+        let b = sample_splitters(&recs, 4, 9);
+        assert_eq!(a, b);
+        assert_eq!(a.len(), 3);
+        assert!(a.windows(2).all(|w| w[0] <= w[1]));
+        assert_ne!(a, sample_splitters(&recs, 4, 10), "seed must matter");
+    }
+
+    #[test]
+    fn routing_is_total_and_range_disjoint() {
+        let recs = generate_records(8000, 3);
+        let splitters = sample_splitters(&recs, 4, 3);
+        let buckets = route(&recs, &splitters, 4);
+        assert_eq!(buckets.iter().map(Vec::len).sum::<usize>(), 8000);
+        // Every key in bucket i is < every splitter above it and >= the
+        // one below: concatenating per-bucket maxima/minima is ordered.
+        for (i, b) in buckets.iter().enumerate() {
+            for &k in b {
+                if i > 0 {
+                    assert!(k >= splitters[i - 1]);
+                }
+                if i < splitters.len() {
+                    assert!(k < splitters[i]);
+                }
+            }
+        }
+        // Sampled quantiles of a uniform input balance reasonably.
+        for b in &buckets {
+            assert!(b.len() > 800, "degenerate bucket: {}", b.len());
+        }
+    }
+}

@@ -1,0 +1,254 @@
+//! End-to-end drills for the distributed sort: the node-death matrix,
+//! channel-fault runs, false suspicions, and parity rebuilds.
+//!
+//! The headline assertion, everywhere: the global output digest is
+//! **byte-identical** to the failure-free run's (which itself matches
+//! the centrally computed oracle), and every shard's finishing trace is
+//! checker-clean.
+
+use pdisk::{NetFault, NetFaultModel};
+use srm_dist::{distsort, DistConfig, DistReport, KillPlan, KillPoint};
+use srm_server::JobSpec;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+fn scratch(tag: &str) -> PathBuf {
+    static N: AtomicU64 = AtomicU64::new(0);
+    let n = N.fetch_add(1, Ordering::SeqCst);
+    let dir = std::env::temp_dir().join(format!(
+        "srm-dist-{tag}-{}-{n}",
+        std::process::id()
+    ));
+    if dir.exists() {
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+    dir
+}
+
+fn spec() -> JobSpec {
+    JobSpec {
+        records: 6_000,
+        seed: 0xD15_7A11,
+        d: 3,
+        b: 16,
+        m: 512,
+        ..JobSpec::default()
+    }
+}
+
+fn run(tag: &str, cfg: &DistConfig) -> DistReport {
+    let dir = scratch(tag);
+    let report = distsort(&spec(), cfg, &dir).expect("distsort failed");
+    let _ = std::fs::remove_dir_all(&dir);
+    report
+}
+
+fn assert_clean(report: &DistReport, baseline_digest: u64) {
+    assert_eq!(
+        report.digest, baseline_digest,
+        "global output must be byte-identical to the failure-free run"
+    );
+    assert!(report.oracle_ok, "digest must match the central oracle");
+    assert_eq!(report.records, spec().records);
+    for (s, shard) in report.per_shard.iter().enumerate() {
+        assert!(shard.trace_clean, "shard {s} trace must be checker-clean");
+    }
+    assert_eq!(
+        report.per_shard.iter().map(|s| s.records).sum::<u64>(),
+        spec().records,
+        "shard partitions must cover the input exactly"
+    );
+}
+
+/// The failure-free digest for a given shard count (computed once per
+/// P, reused by every drill in the matrix).
+fn baseline(p: u32) -> u64 {
+    let report = run("baseline", &DistConfig::new(p));
+    assert!(report.oracle_ok, "baseline must match the oracle");
+    assert_eq!(report.recoveries, 0, "baseline must not need recovery");
+    report.digest
+}
+
+#[test]
+fn failure_free_matches_oracle_across_shard_counts() {
+    for p in [1, 2, 3, 5] {
+        let report = run("ff", &DistConfig::new(p));
+        assert!(report.oracle_ok, "P={p} digest mismatch");
+        assert_eq!(report.records, spec().records);
+        assert_eq!(report.shards, p);
+        assert_eq!(report.splitters.len() as u32, p - 1);
+        for shard in &report.per_shard {
+            assert!(shard.trace_clean);
+            assert_eq!(shard.recoveries, 0);
+        }
+    }
+}
+
+/// The node-death matrix: for P ∈ {2, 4}, kill each shard at each pass
+/// boundary; the output must be byte-identical to the failure-free run
+/// and the dead shard must have recovered exactly once.
+#[test]
+fn node_death_matrix_is_byte_identical() {
+    for p in [2u32, 4] {
+        let want = baseline(p);
+        // This workload forms runs (pass 0) and needs at least one merge
+        // pass (pass 1) on every shard; strike both boundaries.
+        for pass in [0u64, 1] {
+            for victim in 0..p {
+                let mut cfg = DistConfig::new(p);
+                cfg.kill = Some(KillPlan {
+                    shard: victim,
+                    point: KillPoint::Pass(pass),
+                });
+                let report = run("kill", &cfg);
+                assert_clean(&report, want);
+                assert!(
+                    report.recoveries >= 1,
+                    "P={p} kill {victim}@{pass}: the drill must cause a recovery"
+                );
+                assert!(
+                    report.per_shard[victim as usize].recoveries >= 1,
+                    "P={p} kill {victim}@{pass}: the victim must be the one recovered"
+                );
+                assert!(
+                    !report.recovery_ms.is_empty(),
+                    "recovery wall-clock must be measured"
+                );
+            }
+        }
+    }
+}
+
+/// Kill a shard while it serves the cross-shard merge: the merge must
+/// stall, the replacement must come back serving, and the output must
+/// still be byte-identical.
+#[test]
+fn merge_survives_a_serving_node_death() {
+    let p = 2;
+    let want = baseline(p);
+    let mut cfg = DistConfig::new(p);
+    cfg.kill = Some(KillPlan {
+        shard: 1,
+        point: KillPoint::Merge(2),
+    });
+    let report = run("mergekill", &cfg);
+    assert_clean(&report, want);
+    assert!(report.merge_stalls >= 1, "the merge must have stalled");
+    assert!(report.per_shard[1].recoveries >= 1);
+}
+
+/// Kill a shard during a channel partition that also separates the
+/// coordinator from another shard — recovery under compound failure.
+#[test]
+fn node_death_mid_partition_is_byte_identical() {
+    let p = 2;
+    let want = baseline(p);
+    let mut cfg = DistConfig::new(p);
+    // Partition node 0 off for a window of global sends mid-protocol,
+    // and kill shard 1 at its first merge-pass boundary.
+    cfg.net = NetFaultModel::seeded(0xBAD1).partition(0, 40, 120);
+    cfg.kill = Some(KillPlan {
+        shard: 1,
+        point: KillPoint::Pass(1),
+    });
+    let report = run("partkill", &cfg);
+    assert_clean(&report, want);
+    assert!(report.recoveries >= 1);
+}
+
+/// A lossy, delaying, duplicating channel — no kills — must still
+/// produce the byte-identical output (false suspicions are allowed and
+/// must be harmless thanks to fencing + epochs).
+#[test]
+fn channel_faults_never_corrupt_output() {
+    let p = 3;
+    let want = baseline(p);
+    let mut cfg = DistConfig::new(p);
+    cfg.net = NetFaultModel::seeded(0x5EED_CAFE)
+        .with_drop_rate(0.05)
+        .with_dup_rate(0.05)
+        .with_delay_rate(0.10)
+        .with_max_delay(6);
+    let report = run("lossy", &cfg);
+    assert_clean(&report, want);
+    assert!(
+        report.net.dropped + report.net.duplicated + report.net.delayed > 0,
+        "the fault model must actually have fired"
+    );
+}
+
+/// A scripted drop of a staging batch exercises the stop-and-wait
+/// retransmission path deterministically.
+#[test]
+fn scripted_staging_drop_is_retransmitted() {
+    let p = 2;
+    let want = baseline(p);
+    let mut cfg = DistConfig::new(p);
+    // Drop the first two coordinator→shard-0 messages (Hello's reply
+    // traffic/staging batches), forcing retransmission.
+    cfg.net = NetFaultModel::seeded(9)
+        .script(2, 0, 0, NetFault::Drop)
+        .script(2, 0, 1, NetFault::Drop);
+    let report = run("script", &cfg);
+    assert_clean(&report, want);
+    assert!(report.net.dropped >= 2);
+}
+
+/// With `--parity`, corrupt one of the dead shard's disk files between
+/// the kill and the recovery: the replacement must rebuild the lost
+/// blocks from parity before resuming, and the output must still be
+/// byte-identical.
+#[test]
+fn parity_rebuilds_a_corrupted_replacement_disk() {
+    let p = 2;
+    let mut base_cfg = DistConfig::new(p);
+    base_cfg.parity = true;
+    let want = {
+        let r = run("parity-base", &base_cfg);
+        assert!(r.oracle_ok);
+        r.digest
+    };
+
+    let mut cfg = base_cfg.clone();
+    cfg.kill = Some(KillPlan {
+        shard: 0,
+        point: KillPoint::Pass(1),
+    });
+    // The death also trashes the leading slots of disk 1 in the victim's
+    // cluster before the replacement boots.
+    cfg.corrupt_disk = Some(1);
+    let report = run("parity-kill", &cfg);
+    assert_clean(&report, want);
+    assert!(report.per_shard[0].recoveries >= 1);
+    assert!(
+        report.per_shard[0].repaired >= 1,
+        "the pre-resume scrub must have healed the trashed blocks, got {:?}",
+        report.per_shard[0]
+    );
+}
+
+#[test]
+fn empty_shard_partitions_are_tolerated() {
+    // A tiny input across many shards guarantees some empty buckets.
+    let mut spec = spec();
+    spec.records = 40;
+    spec.m = 512;
+    let dir = scratch("tiny");
+    let report = distsort(&spec, &DistConfig::new(6), &dir).expect("distsort failed");
+    let _ = std::fs::remove_dir_all(&dir);
+    assert!(report.oracle_ok);
+    assert_eq!(report.records, 40);
+}
+
+#[test]
+fn kill_spec_validation() {
+    let mut cfg = DistConfig::new(2);
+    cfg.kill = Some(KillPlan {
+        shard: 7,
+        point: KillPoint::Pass(0),
+    });
+    let dir = scratch("badkill");
+    let err = distsort(&spec(), &cfg, &dir).unwrap_err();
+    let _ = std::fs::remove_dir_all(&dir);
+    assert!(err.to_string().contains("out of range"), "{err}");
+}

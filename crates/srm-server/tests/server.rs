@@ -305,3 +305,91 @@ fn transient_faults_are_absorbed_by_the_retry_layer() {
     server.shutdown();
     let _ = std::fs::remove_dir_all(&dir);
 }
+
+/// A job priced at EXACTLY the server's capacity is the boundary case
+/// of the admission invariant `admitted <= capacity`: `<=` means it
+/// must be admitted and run, not starve in the queue.
+#[test]
+fn job_priced_exactly_at_capacity_is_admitted() {
+    let dir = scratch("exact-fit");
+    let exact = spec(31);
+    let cost = exact.budget_records().unwrap();
+    let mut cfg = ServerConfig::new(&dir);
+    cfg.capacity = cost;
+    cfg.workers = 1;
+    let server = JobServer::open(cfg).unwrap();
+    let id = server.submit(exact.clone()).unwrap();
+    wait_all_terminal(&server, Duration::from_secs(120));
+    let s = server.status(id).unwrap();
+    assert_eq!(s.state, JobState::Done, "{}", s.detail);
+    assert_eq!(s.digest, Some(expected_digest(&exact)));
+    let stats = server.stats();
+    assert_eq!(
+        stats.peak_admitted, cost,
+        "the exact-fit job must have filled the ledger to the brim"
+    );
+    server.shutdown();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// One record short of the job's price, the same submission must be
+/// refused outright as TooLarge — it could never run here.
+#[test]
+fn job_one_record_over_capacity_is_refused() {
+    let dir = scratch("over-by-one");
+    let exact = spec(32);
+    let cost = exact.budget_records().unwrap();
+    let mut cfg = ServerConfig::new(&dir);
+    cfg.capacity = cost - 1;
+    let server = JobServer::open(cfg).unwrap();
+    match server.submit(exact) {
+        Err(SubmitError::TooLarge {
+            cost: c,
+            capacity,
+        }) => {
+            assert_eq!(c, cost);
+            assert_eq!(capacity, cost - 1);
+        }
+        other => panic!("expected TooLarge, got {other:?}"),
+    }
+    server.shutdown();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// A zero-record spec must be refused at validation, before pricing or
+/// persistence — never enqueued.
+#[test]
+fn zero_record_job_is_rejected_as_invalid() {
+    let dir = scratch("zero-records");
+    let server = JobServer::open(ServerConfig::new(&dir)).unwrap();
+    let mut empty = spec(33);
+    empty.records = 0;
+    match server.submit(empty) {
+        Err(SubmitError::Invalid(msg)) => {
+            assert!(msg.contains("records"), "message should blame records: {msg}");
+        }
+        other => panic!("expected Invalid, got {other:?}"),
+    }
+    assert!(server.list().is_empty(), "nothing may be enqueued");
+    server.shutdown();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// The degenerate-but-legal single-record job must sort and settle
+/// with the digest of its one record.
+#[test]
+fn one_record_job_completes() {
+    let dir = scratch("one-record");
+    let mut cfg = ServerConfig::new(&dir);
+    cfg.workers = 1;
+    let server = JobServer::open(cfg).unwrap();
+    let mut tiny = spec(34);
+    tiny.records = 1;
+    let id = server.submit(tiny.clone()).unwrap();
+    wait_all_terminal(&server, Duration::from_secs(60));
+    let s = server.status(id).unwrap();
+    assert_eq!(s.state, JobState::Done, "{}", s.detail);
+    assert_eq!(s.digest, Some(expected_digest(&tiny)));
+    server.shutdown();
+    let _ = std::fs::remove_dir_all(&dir);
+}

@@ -49,6 +49,7 @@ const PANIC_FREE_CRATES: &[&str] = &[
     "analysis",
     "modelcheck",
     "srm-server",
+    "srm-dist",
 ];
 
 /// Crates that must not name a concrete storage backend (rule `backend`).

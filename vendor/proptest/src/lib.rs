@@ -110,6 +110,36 @@ pub mod strategy {
         }
     }
 
+    /// Uniform choice between heterogeneous strategies yielding the
+    /// same value type — the engine behind `prop_oneof!`.
+    pub struct Union<T> {
+        arms: Vec<Box<dyn Strategy<Value = T>>>,
+    }
+
+    impl<T> Union<T> {
+        pub fn new(arms: Vec<Box<dyn Strategy<Value = T>>>) -> Self {
+            assert!(!arms.is_empty(), "prop_oneof! needs at least one arm");
+            Union { arms }
+        }
+    }
+
+    impl<T> Strategy for Union<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut TestRng) -> T {
+            let i = rng.below(self.arms.len() as u64) as usize;
+            self.arms[i].generate(rng)
+        }
+    }
+
+    /// Box a strategy for [`Union`] (a fn, not a cast, so the macro
+    /// needs no type annotations at the call site).
+    pub fn union_arm<S>(s: S) -> Box<dyn Strategy<Value = S::Value>>
+    where
+        S: Strategy + 'static,
+    {
+        Box::new(s)
+    }
+
     macro_rules! impl_range_strategy {
         ($($t:ty),*) => {$(
             impl Strategy for Range<$t> {
@@ -254,11 +284,39 @@ pub mod collection {
     }
 }
 
+pub mod option {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+
+    pub struct OptionStrategy<S> {
+        inner: S,
+    }
+
+    impl<S: Strategy> Strategy for OptionStrategy<S> {
+        type Value = Option<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Option<S::Value> {
+            // Match upstream's default: Some three times out of four.
+            if rng.below(4) == 0 {
+                None
+            } else {
+                Some(self.inner.generate(rng))
+            }
+        }
+    }
+
+    /// `Option<T>` values from a `T` strategy.
+    pub fn of<S: Strategy>(inner: S) -> OptionStrategy<S> {
+        OptionStrategy { inner }
+    }
+}
+
 pub mod prelude {
     pub use crate::arbitrary::any;
     pub use crate::strategy::{Just, Strategy};
     pub use crate::test_runner::ProptestConfig;
-    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest};
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest,
+    };
 }
 
 /// Expand each property into a `#[test]` running `cases` random draws.
@@ -300,6 +358,17 @@ macro_rules! __proptest_impl {
                 }
             }
         )*
+    };
+}
+
+/// Uniform choice among strategies: `prop_oneof![s1, s2, s3]`.
+/// (Upstream's `weight => strategy` arms are not supported.)
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $($crate::strategy::union_arm($strat)),+
+        ])
     };
 }
 
@@ -359,6 +428,24 @@ mod tests {
         fn assume_skips_cases(x in 0u32..10) {
             prop_assume!(x % 2 == 0);
             prop_assert!(x % 2 == 0);
+        }
+
+        #[test]
+        fn oneof_picks_only_listed_arms(
+            v in prop_oneof![Just(1u32), Just(7), 100u32..110],
+        ) {
+            prop_assert!(v == 1 || v == 7 || (100..110).contains(&v));
+        }
+
+        #[test]
+        fn option_of_yields_both_variants(
+            opts in crate::collection::vec(crate::option::of(1u32..5), 32),
+        ) {
+            prop_assert!(opts.iter().all(|o| o.is_none_or(|v| (1..5).contains(&v))));
+            // 32 draws at 3:1 odds make an all-Some or all-None batch
+            // vanishingly unlikely — and the RNG here is deterministic.
+            prop_assert!(opts.iter().any(Option::is_some));
+            prop_assert!(opts.iter().any(Option::is_none));
         }
     }
 }
