@@ -143,7 +143,9 @@ impl DsmSorter {
     }
 
     /// `Err(Interrupted)` if a stop has been requested and merging work
-    /// remains; called only after the boundary's snapshot is durable.
+    /// remains; called only after the boundary's snapshot is durable —
+    /// which srmlint's interrupt pass enforces.
+    #[srmlint::interrupt_observer]
     fn check_interrupt(&self, runs_left: usize) -> Result<(), DsmError> {
         match &self.interrupt {
             Some(flag) if flag.is_set() && runs_left > 1 => Err(DsmError::Interrupted),
@@ -342,6 +344,7 @@ impl DsmSorter {
     }
 }
 
+#[srmlint::checkpoint]
 fn snapshot<R: Record, A: DiskArray<R>>(
     path: &Path,
     input: &LogicalRun,

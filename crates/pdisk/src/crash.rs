@@ -64,7 +64,7 @@ struct ClockState {
 /// (the [`CrashingDiskArray`] wrapper, the parity layer, the sorter's
 /// checkpoint writer) and still produce a single global numbering.
 #[derive(Clone)]
-pub struct CrashClock(Arc<Mutex<ClockState>>);
+pub struct CrashClock(Arc<Mutex<ClockState>>); // srmlint::leaf — never acquire under it
 
 impl CrashClock {
     /// A clock that never fires: boundaries are numbered and counted but
@@ -86,13 +86,13 @@ impl CrashClock {
         })))
     }
 
-    fn lock(&self) -> std::sync::MutexGuard<'_, ClockState> {
+    fn lock(&self) -> crate::lockwitness::Witnessed<std::sync::MutexGuard<'_, ClockState>> {
         // A panic while holding the lock poisons it; the counter itself
         // is still consistent, so recover the guard.
-        match self.0.lock() {
-            Ok(g) => g,
-            Err(poisoned) => poisoned.into_inner(),
-        }
+        crate::lockwitness::guard(
+            "pdisk::crash::CrashClock.0",
+            self.0.lock().unwrap_or_else(|poisoned| poisoned.into_inner()),
+        )
     }
 
     /// Pass one I/O boundary.  Fails with [`PdiskError::Crashed`] when the

@@ -103,11 +103,12 @@ struct DirLock {
 }
 
 impl DirLock {
-    fn registry() -> std::sync::MutexGuard<'static, BTreeSet<PathBuf>> {
-        match open_dirs().lock() {
-            Ok(g) => g,
-            Err(poisoned) => poisoned.into_inner(),
-        }
+    fn registry() -> crate::lockwitness::Witnessed<std::sync::MutexGuard<'static, BTreeSet<PathBuf>>>
+    {
+        crate::lockwitness::guard(
+            "pdisk::file::open_dirs",
+            open_dirs().lock().unwrap_or_else(|poisoned| poisoned.into_inner()),
+        )
     }
 
     fn acquire(dir: &Path) -> Result<Self> {
@@ -340,6 +341,12 @@ impl<R: Record> FileDiskArray<R> {
         })
     }
 
+    // The disk worker thread: ALL of its blocking I/O (positioned
+    // reads/writes, fsync, channel recv) lives in this one blessed fn;
+    // srmlint's blocking pass rejects any other blocking call that
+    // becomes reachable from it.
+    #[srmlint::worker_entry]
+    #[srmlint::blessed_seam]
     fn spawn_worker(idx: usize, file: File, delay_us: Arc<AtomicU64>) -> Result<Worker> {
         let (tx, rx) = unbounded::<Job>();
         let handle = std::thread::Builder::new()

@@ -55,6 +55,7 @@ pub mod faulty;
 pub mod file;
 pub mod geometry;
 pub mod interrupt;
+pub mod lockwitness;
 pub mod mem;
 pub mod netfault;
 pub mod parity;

@@ -97,13 +97,13 @@ impl<R> BufferPool<R> {
         }
     }
 
-    fn lock(&self) -> MutexGuard<'_, PoolInner<R>> {
+    fn lock(&self) -> crate::lockwitness::Witnessed<MutexGuard<'_, PoolInner<R>>> {
         // A panic while holding the lock poisons it; pooled buffers are
         // plain vectors, always consistent, so recover the guard.
-        match self.inner.lock() {
-            Ok(g) => g,
-            Err(poisoned) => poisoned.into_inner(),
-        }
+        crate::lockwitness::guard(
+            "pdisk::pool::BufferPool.inner",
+            self.inner.lock().unwrap_or_else(|poisoned| poisoned.into_inner()),
+        )
     }
 
     /// An empty record buffer with capacity at least `cap`.

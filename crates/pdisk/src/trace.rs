@@ -325,7 +325,7 @@ struct TraceBuf {
 /// Shared, append-only event log.  Cloning shares the log.
 #[derive(Debug, Clone, Default)]
 pub struct TraceSink {
-    buf: Arc<Mutex<TraceBuf>>,
+    buf: Arc<Mutex<TraceBuf>>, // srmlint::leaf — innermost lock; never acquire under it
 }
 
 impl TraceSink {
@@ -334,13 +334,13 @@ impl TraceSink {
         Self::default()
     }
 
-    fn lock(&self) -> MutexGuard<'_, TraceBuf> {
+    fn lock(&self) -> crate::lockwitness::Witnessed<MutexGuard<'_, TraceBuf>> {
         // A panic while holding the lock poisons it; the log itself is
         // still consistent (appends are atomic), so recover the guard.
-        match self.buf.lock() {
-            Ok(g) => g,
-            Err(poisoned) => poisoned.into_inner(),
-        }
+        crate::lockwitness::guard(
+            "pdisk::trace::TraceSink.buf",
+            self.buf.lock().unwrap_or_else(|poisoned| poisoned.into_inner()),
+        )
     }
 
     /// Append one event, stamping sequence number and pass.

@@ -229,7 +229,8 @@ impl SrmSorter {
 
     /// `Err(Interrupted)` if a stop has been requested and `runs_left`
     /// merging work remains; called only after the boundary's snapshot
-    /// (if any) is durable.
+    /// (if any) is durable — which srmlint's interrupt pass enforces.
+    #[srmlint::interrupt_observer]
     fn check_interrupt(&self, runs_left: usize) -> Result<()> {
         match &self.interrupt {
             Some(flag) if flag.is_set() && runs_left > 1 => Err(SrmError::Interrupted),
@@ -408,6 +409,7 @@ impl SrmSorter {
     }
 
     #[allow(clippy::too_many_arguments)]
+    #[srmlint::checkpoint]
     fn snapshot<R: Record, A: DiskArray<R>>(
         &self,
         path: &Path,

@@ -518,7 +518,11 @@ impl Coordinator<'_> {
             }
             // Heartbeat already bumped last_seen; Pass is progress-only;
             // BlockData outside an RPC wait is a late duplicate.
-            _ => {}
+            Msg::Heartbeat | Msg::Pass { .. } | Msg::BlockData { .. } => {}
+            // Shard-bound kinds cannot arrive on the coordinator's
+            // mailbox; named rather than wildcarded so the protocol
+            // pass proves no shard message is ever silently swallowed.
+            Msg::Stage { .. } | Msg::ReadBlock { .. } | Msg::Shutdown => {}
         }
         Ok(())
     }

@@ -11,6 +11,7 @@
 /// One message.  Keys travel as raw `u64`s ([`pdisk::U64Record`] is its
 /// key), which keeps the vocabulary independent of record layout.
 #[derive(Debug, Clone, PartialEq, Eq)]
+#[srmlint::protocol]
 pub enum Msg {
     // ── coordinator → shard ──────────────────────────────────────────
     /// One batch of the shard's input partition.  Stop-and-wait: the

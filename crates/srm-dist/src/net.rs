@@ -54,7 +54,7 @@ struct NetState {
 #[derive(Clone)]
 pub struct NetSender {
     node: u32,
-    state: Arc<Mutex<NetState>>,
+    state: Arc<Mutex<NetState>>, // srmlint::lock(srm_dist::net::NetState)
 }
 
 impl NetSender {
@@ -71,7 +71,10 @@ impl NetSender {
             epoch,
             msg,
         };
-        let mut st = self.state.lock().unwrap_or_else(|p| p.into_inner());
+        let mut st = pdisk::lockwitness::guard(
+            "srm_dist::net::NetState",
+            self.state.lock().unwrap_or_else(|p| p.into_inner()),
+        );
         let global = st.global;
         st.global += 1;
         let edge = st.edges.entry((self.node, dst)).or_insert(0);
@@ -156,7 +159,7 @@ impl Endpoint {
 
 /// The shared network: build once, hand one [`Endpoint`] to each node.
 pub struct Network {
-    state: Arc<Mutex<NetState>>,
+    state: Arc<Mutex<NetState>>, // srmlint::lock(srm_dist::net::NetState)
 }
 
 impl Network {
@@ -199,7 +202,10 @@ impl Network {
     /// rejected by the epoch stamp).
     pub fn reconnect(&self, node: u32) -> Endpoint {
         let (tx, rx) = mpsc::channel();
-        let mut st = self.state.lock().unwrap_or_else(|p| p.into_inner());
+        let mut st = pdisk::lockwitness::guard(
+            "srm_dist::net::NetState",
+            self.state.lock().unwrap_or_else(|p| p.into_inner()),
+        );
         if let Some(slot) = st.mailboxes.get_mut(node as usize) {
             *slot = tx;
         }
@@ -214,7 +220,11 @@ impl Network {
 
     /// Lifetime counters so far.
     pub fn stats(&self) -> NetStats {
-        self.state.lock().unwrap_or_else(|p| p.into_inner()).stats
+        pdisk::lockwitness::guard(
+            "srm_dist::net::NetState",
+            self.state.lock().unwrap_or_else(|p| p.into_inner()),
+        )
+        .stats
     }
 }
 

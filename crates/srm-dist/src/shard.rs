@@ -487,6 +487,9 @@ fn sort_instance<A: DiskArray<U64Record>>(
 
 /// Spawn the heartbeat thread: beacons every interval until `alive`
 /// clears.  Runs beside the sort so a compute-bound shard still beacons.
+/// Must never block on I/O or a channel — a stuck beacon looks like a
+/// dead shard — which srmlint's blocking pass enforces.
+#[srmlint::worker_entry]
 fn spawn_heartbeat(
     tx: NetSender,
     coord: u32,
@@ -694,7 +697,20 @@ fn stage_loop(
                 // coordinator will retry the one we actually need.
             }
             Msg::Shutdown => return Ok(None),
-            _ => {}
+            // ReadBlock cannot arrive before staging finishes (the
+            // coordinator is still batching), and the shard-to-
+            // coordinator kinds never land on a shard mailbox; named
+            // rather than wildcarded so the protocol pass proves no
+            // message kind is ever silently swallowed.
+            Msg::ReadBlock { .. }
+            | Msg::Hello { .. }
+            | Msg::StageAck { .. }
+            | Msg::Staged { .. }
+            | Msg::Heartbeat
+            | Msg::Pass { .. }
+            | Msg::SortDone { .. }
+            | Msg::BlockData { .. }
+            | Msg::Fatal { .. } => {}
         }
     }
 }
@@ -780,7 +796,19 @@ fn serve_loop<A: DiskArray<U64Record>>(
                 }
             }
             Msg::Shutdown => return Ok(Exit::Completed),
-            _ => {}
+            // A serving shard's input is already durable, so Stage is a
+            // stale retransmit; the shard-to-coordinator kinds never
+            // land on a shard mailbox.  Named rather than wildcarded so
+            // the protocol pass proves no message kind is swallowed.
+            Msg::Stage { .. }
+            | Msg::Hello { .. }
+            | Msg::StageAck { .. }
+            | Msg::Staged { .. }
+            | Msg::Heartbeat
+            | Msg::Pass { .. }
+            | Msg::SortDone { .. }
+            | Msg::BlockData { .. }
+            | Msg::Fatal { .. } => {}
         }
     }
 }

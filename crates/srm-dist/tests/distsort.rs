@@ -252,3 +252,91 @@ fn kill_spec_validation() {
     let _ = std::fs::remove_dir_all(&dir);
     assert!(err.to_string().contains("out of range"), "{err}");
 }
+
+/// Drop a staging batch *and its retransmissions*: stop-and-wait must
+/// keep re-offering the same batch until one copy lands, and the
+/// output must be byte-identical.
+#[test]
+fn repeated_retransmission_loss_still_converges() {
+    let p = 2;
+    let want = baseline(p);
+    let mut cfg = DistConfig::new(p);
+    // Coordinator→shard-0 sends 0, 1, and 2 all vanish: the original
+    // batch and its first two retransmissions.  The third retry lands.
+    cfg.net = NetFaultModel::seeded(0x7E7A)
+        .script(2, 0, 0, NetFault::Drop)
+        .script(2, 0, 1, NetFault::Drop)
+        .script(2, 0, 2, NetFault::Drop);
+    let report = run("redrop", &cfg);
+    assert_clean(&report, want);
+    assert!(
+        report.net.dropped >= 3,
+        "all three scripted drops must fire, got {:?}",
+        report.net
+    );
+}
+
+/// Drop a StageAck for a batch the shard already applied: the
+/// coordinator retransmits the batch, and the shard must take the
+/// duplicate-of-applied-batch path and re-ack rather than re-apply.
+#[test]
+fn dropped_ack_forces_reack_not_reapply() {
+    let p = 2;
+    let want = baseline(p);
+    let mut cfg = DistConfig::new(p);
+    // Shard 0's send 0 to the coordinator is its Hello; send 1 is the
+    // first StageAck.  Losing the ack (not the batch) means the batch
+    // was applied — a re-delivery must not double-apply the keys.
+    cfg.net = NetFaultModel::seeded(0xACC) .script(0, 2, 1, NetFault::Drop);
+    let report = run("ackdrop", &cfg);
+    assert_clean(&report, want);
+    assert!(report.net.dropped >= 1, "{:?}", report.net);
+}
+
+/// Duplicate and delay copies of the same logical staging batch: with
+/// the delayed original overtaken by its own retransmission (which is
+/// itself duplicated), the same `seq` arrives three ways; dedup by
+/// sequence number must keep exactly one application.
+#[test]
+fn duplicated_and_delayed_copies_of_one_batch_apply_once() {
+    let p = 2;
+    let want = baseline(p);
+    let mut cfg = DistConfig::new(p);
+    // Edge coordinator→shard-0: send 1 (a staging batch) is delayed
+    // past the retransmission timeout, so send 2 is the same batch
+    // again — and that retransmission is delivered twice.
+    cfg.net = NetFaultModel::seeded(0xD0D0)
+        .script(2, 0, 1, NetFault::Delay(6))
+        .script(2, 0, 2, NetFault::Duplicate);
+    let report = run("dupdelay", &cfg);
+    assert_clean(&report, want);
+    assert!(report.net.delayed >= 1, "{:?}", report.net);
+    assert!(report.net.duplicated >= 1, "{:?}", report.net);
+}
+
+/// Partition the *coordinator* mid-heartbeat: beacons and acks die in
+/// both directions for a window of sends, false suspicions may spawn
+/// replacements, and after the window heals the sort must still finish
+/// byte-identical (epoch fencing makes the suspicions harmless).
+#[test]
+fn coordinator_partition_heals_mid_heartbeat() {
+    let p = 3;
+    let want = baseline(p);
+    let mut cfg = DistConfig::new(p);
+    // The coordinator is node P by convention; cut it off for a window
+    // of global sends while shards are staging/heartbeating.  This
+    // drill is about the partition *healing* (false-suspicion recovery
+    // has its own drills above), so give the failure detector enough
+    // patience that a loaded host can't turn the window into a
+    // recovery storm before shard heartbeats close it.
+    cfg.net = NetFaultModel::seeded(0x9A97).partition(p, 40, 110);
+    cfg.timeout = std::time::Duration::from_millis(1500);
+    cfg.max_recoveries = 64;
+    let report = run("coordpart", &cfg);
+    assert_clean(&report, want);
+    assert!(
+        report.net.dropped >= 1,
+        "the partition window must have cut live traffic, got {:?}",
+        report.net
+    );
+}

@@ -25,6 +25,7 @@ use crate::server::{JobStatus, ServerStats, SubmitError};
 
 /// A parsed request line.
 #[derive(Debug, Clone, PartialEq)]
+#[srmlint::protocol]
 pub enum Request {
     /// Queue a job.
     Submit(JobSpec),

@@ -262,10 +262,13 @@ struct Inner {
 }
 
 impl Inner {
-    fn state(&self) -> MutexGuard<'_, State> {
+    fn state(&self) -> pdisk::lockwitness::Witnessed<MutexGuard<'_, State>> {
         // A worker panicking mid-update cannot leave partial state: every
         // critical section is a handful of field writes.  Recover the guard.
-        self.state.lock().unwrap_or_else(|p| p.into_inner())
+        pdisk::lockwitness::guard(
+            "srm_server::server::Inner.state",
+            self.state.lock().unwrap_or_else(|p| p.into_inner()),
+        )
     }
 
     fn job_dir(&self, id: u64) -> PathBuf {
@@ -563,7 +566,10 @@ impl JobServer {
         let report = self.drain();
         self.inner.shutdown.trigger();
         let handles: Vec<_> = {
-            let mut w = self.workers.lock().unwrap_or_else(|p| p.into_inner());
+            let mut w = pdisk::lockwitness::guard(
+                "srm_server::server::JobServer.workers",
+                self.workers.lock().unwrap_or_else(|p| p.into_inner()),
+            );
             w.drain(..).collect()
         };
         for h in handles {

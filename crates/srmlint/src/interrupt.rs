@@ -1,0 +1,119 @@
+//! Interrupt-safety pass.
+//!
+//! PR 5's contract: an interrupted sort must be resumable, which means
+//! any code path that *observes* `InterruptFlag` and bails with an
+//! `Interrupted` error must have journaled a checkpoint first —
+//! otherwise the "graceful" interruption loses work a crash would have
+//! kept.  The vocabulary:
+//!
+//! - `#[srmlint::interrupt_observer]` — a fn that reads the flag and
+//!   returns `Interrupted` (e.g. `check_interrupt`).
+//! - `#[srmlint::checkpoint]` — a fn that durably journals progress
+//!   (e.g. the pass-boundary `snapshot` helpers).
+//!
+//! Rules:
+//!
+//! 1. Every call to an observer must be lexically preceded, in the same
+//!    fn body, by a call to a checkpoint fn (callers that are
+//!    themselves observers or checkpoints are exempt — they are links
+//!    in the chain, not ends of it).
+//! 2. Any fn that both calls `.is_set()` and names `Interrupted` is
+//!    observing the flag, and must therefore carry one of the two
+//!    annotations (or `// srmlint::allow(interrupt)` on its `fn` line)
+//!    so rule 1 can see through it.
+
+use crate::calls::{call_sites, FnId, Index};
+use crate::lexer::TokKind;
+use crate::model::ItemKind;
+use crate::Finding;
+use std::collections::BTreeSet;
+
+pub fn run(idx: &Index<'_>, findings: &mut Vec<Finding>) {
+    let observers: BTreeSet<FnId> = idx
+        .all_fns()
+        .filter(|&id| idx.item(id).has_attr("srmlint::interrupt_observer"))
+        .collect();
+    let checkpoints: BTreeSet<FnId> = idx
+        .all_fns()
+        .filter(|&id| idx.item(id).has_attr("srmlint::checkpoint"))
+        .collect();
+
+    for id in idx.all_fns() {
+        let (f, it) = (idx.file(id), idx.item(id));
+        if it.is_test {
+            continue;
+        }
+        let ItemKind::Fn { body: Some(b), .. } = it.kind else {
+            continue;
+        };
+        let annotated = observers.contains(&id) || checkpoints.contains(&id);
+
+        // Rule 2: undeclared observers.
+        if !annotated && !f.has_directive(it.line, "srmlint::allow(interrupt)") {
+            let mut calls_is_set = false;
+            let mut names_interrupted = false;
+            for i in b.0..b.1.min(f.toks.len()) {
+                if let TokKind::Ident(n) = &f.toks[i].kind {
+                    if n == "is_set"
+                        && matches!(
+                            f.toks.get(i + 1).map(|t| &t.kind),
+                            Some(TokKind::Punct('('))
+                        )
+                    {
+                        calls_is_set = true;
+                    }
+                    if n == "Interrupted" {
+                        names_interrupted = true;
+                    }
+                }
+            }
+            if calls_is_set && names_interrupted {
+                findings.push(Finding {
+                    path: f.path.clone(),
+                    line: it.line,
+                    rule: "interrupt",
+                    message: format!(
+                        "`{}` observes InterruptFlag and returns Interrupted but is \
+                         not annotated #[srmlint::interrupt_observer] (or \
+                         #[srmlint::checkpoint]); the interrupt-safety pass cannot \
+                         track it",
+                        it.name
+                    ),
+                });
+            }
+        }
+
+        // Rule 1: observer calls need a preceding checkpoint call.
+        if annotated {
+            continue; // links in the chain are checked at their callers
+        }
+        let mut checkpointed = false;
+        for site in call_sites(f, b) {
+            let targets = idx.resolve(&site.callee, it.impl_of.as_deref());
+            if targets.iter().any(|t| checkpoints.contains(t)) {
+                checkpointed = true;
+                continue;
+            }
+            if targets.iter().any(|t| observers.contains(t)) {
+                if f.has_directive(site.line, "srmlint::allow(interrupt)") {
+                    continue;
+                }
+                if !checkpointed {
+                    findings.push(Finding {
+                        path: f.path.clone(),
+                        line: site.line,
+                        rule: "interrupt",
+                        message: format!(
+                            "`{}` observes InterruptFlag here without a preceding \
+                             checkpoint in `{}`; returning Interrupted now would \
+                             lose resumable progress (call a #[srmlint::checkpoint] \
+                             fn first)",
+                            site.callee.name(),
+                            it.name
+                        ),
+                    });
+                }
+            }
+        }
+    }
+}

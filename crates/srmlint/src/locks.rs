@@ -1,0 +1,646 @@
+//! Lock-order pass: build the inter-procedural may-hold graph and
+//! reject cycles, leaf violations, and unwitnessed acquisition sites.
+//!
+//! ## Model
+//!
+//! A **lock node** is a `Mutex`/`RwLock` the workspace can acquire:
+//! either a struct field whose declared type contains `Mutex<`/`RwLock<`
+//! (node id `module::Struct.field`, overridable with a
+//! `// srmlint::lock(<id>)` comment directive on the field — two fields
+//! sharing one directive id are one node), or a free function returning
+//! a reference to one (node id `module::fn_name`, e.g.
+//! `pdisk::file::open_dirs`).
+//!
+//! An **acquisition site** is a `.lock()`/`.read()`/`.write()` call
+//! whose receiver resolves to a node, or a call to a **guard helper** —
+//! a fn whose return type contains `MutexGuard`/`RwLock*Guard`/
+//! `Witnessed` and which acquires exactly one node directly (e.g.
+//! `BufferPool::lock`).
+//!
+//! Guard lifetime is approximated lexically: a `let`-bound guard lives
+//! to the end of its enclosing block, an un-bound (temporary) guard to
+//! the end of its statement, and `drop(name)` releases a named guard
+//! early.  A **may-hold edge** `A → B` is recorded when B is acquired
+//! (directly, or anywhere inside a callee, via a fixpoint over lock
+//! footprints) while A is held.  Cycles in the edge set and any edge
+//! out of a `#[srmlint::leaf]` node are reported.
+//!
+//! ## Witness
+//!
+//! Every direct acquisition in the concurrent crates must wrap its
+//! guard in `pdisk::lockwitness::guard("<node-id>", …)` with the label
+//! string equal to the node id the analyzer computes (rule `witness`),
+//! so the runtime witness and the static graph speak the same names.
+//! [`verify_witness`] then cross-checks a recorded witness log: every
+//! observed label must be a known node and every observed acquisition
+//! order must be a static edge — each side must explain the other.
+
+use crate::calls::{call_sites, CallSite, Callee, FnId, Index};
+use crate::lexer::TokKind;
+use crate::model::{ItemKind, SourceFile};
+use crate::Finding;
+use std::collections::{BTreeMap, BTreeSet};
+use std::path::PathBuf;
+
+/// Crates (package names, dashes as written) whose lock discipline the
+/// pass enforces on a workspace run; fixtures analyses pass `None` to
+/// cover every crate found.
+pub const LOCK_CRATES: &[&str] = &["pdisk", "srm-server", "srm-dist"];
+
+/// The static lock-order graph, exposed for `--verify-witness`.
+#[derive(Debug, Default, Clone)]
+pub struct LockGraph {
+    /// Node id → is it a leaf lock?
+    pub nodes: BTreeMap<String, bool>,
+    /// (held, acquired) → one representative site.
+    pub edges: BTreeMap<(String, String), (PathBuf, u32)>,
+}
+
+#[derive(Debug)]
+enum Event {
+    Acquire {
+        node: String,
+        tok: usize,
+        line: u32,
+        held: Vec<String>,
+        /// Direct field/static acquisition (needs witness wrapping), as
+        /// opposed to a guard-helper call.
+        direct: bool,
+    },
+    Call {
+        site: CallSite,
+        held: Vec<String>,
+    },
+}
+
+/// Run the lock pass.  `crate_filter: None` analyzes all crates.
+pub fn run(
+    files: &[SourceFile],
+    idx: &Index<'_>,
+    crate_filter: Option<&[&str]>,
+    findings: &mut Vec<Finding>,
+) -> LockGraph {
+    let in_scope = |f: &SourceFile| {
+        crate_filter.is_none_or(|cs| cs.contains(&f.crate_name.as_str()))
+    };
+
+    // ── node discovery ──────────────────────────────────────────────
+    // (struct name, field name) → node; accessor fn name → node.
+    let mut field_nodes: BTreeMap<(String, String), String> = BTreeMap::new();
+    let mut accessor_nodes: BTreeMap<String, String> = BTreeMap::new();
+    let mut graph = LockGraph::default();
+    for f in files.iter().filter(|f| in_scope(f)) {
+        for it in &f.items {
+            match &it.kind {
+                ItemKind::Struct { fields } => {
+                    for fld in fields {
+                        if !(fld.ty.contains("Mutex<") || fld.ty.contains("RwLock<")) {
+                            continue;
+                        }
+                        let id = f
+                            .directive_arg(fld.line, "srmlint::lock")
+                            .unwrap_or_else(|| {
+                                format!("{}::{}.{}", it.module, it.name, fld.name)
+                            });
+                        let leaf = f.has_directive(fld.line, "srmlint::leaf");
+                        field_nodes
+                            .insert((it.name.clone(), fld.name.clone()), id.clone());
+                        *graph.nodes.entry(id).or_insert(false) |= leaf;
+                    }
+                }
+                ItemKind::Fn { ret, .. }
+                    if it.impl_of.is_none()
+                        && (ret.contains("Mutex<") || ret.contains("RwLock<")) =>
+                {
+                    let id = format!("{}::{}", it.module, it.name);
+                    let leaf = it.has_attr("srmlint::leaf");
+                    accessor_nodes.insert(it.name.clone(), id.clone());
+                    *graph.nodes.entry(id).or_insert(false) |= leaf;
+                }
+                _ => {}
+            }
+        }
+    }
+
+    // ── per-fn events ───────────────────────────────────────────────
+    // Two scan phases: phase A sees only direct acquisitions, which is
+    // enough to identify guard helpers (a fn returning a guard that
+    // directly acquires exactly one node); phase B re-scans with the
+    // helper map so a call like `let g = self.lock();` enters the
+    // caller's held-set for the guard's let-bound lifetime.
+    let fn_ids: Vec<FnId> = idx
+        .all_fns()
+        .filter(|&id| {
+            let (f, it) = (idx.file(id), idx.item(id));
+            in_scope(f) && !it.is_test && matches!(it.kind, ItemKind::Fn { body: Some(_), .. })
+        })
+        .collect();
+    let scan_all = |helpers: &BTreeMap<FnId, String>| -> BTreeMap<FnId, Vec<Event>> {
+        let mut out = BTreeMap::new();
+        for &id in &fn_ids {
+            let (f, it) = (idx.file(id), idx.item(id));
+            let ItemKind::Fn { body: Some(b), .. } = it.kind else {
+                continue;
+            };
+            out.insert(
+                id,
+                scan_body(
+                    f, b, it.impl_of.as_deref(), &field_nodes, &accessor_nodes, idx, helpers,
+                ),
+            );
+        }
+        out
+    };
+    let events_a = scan_all(&BTreeMap::new());
+
+    // Guard helpers: ret type mentions a guard, exactly one direct node.
+    let mut helper_node: BTreeMap<FnId, String> = BTreeMap::new();
+    for &id in &fn_ids {
+        let it = idx.item(id);
+        let ItemKind::Fn { ret, .. } = &it.kind else {
+            continue;
+        };
+        if !(ret.contains("Guard") || ret.contains("Witnessed")) {
+            continue;
+        }
+        let direct: BTreeSet<&String> = events_a[&id]
+            .iter()
+            .filter_map(|e| match e {
+                Event::Acquire { node, .. } => Some(node),
+                _ => None,
+            })
+            .collect();
+        if direct.len() == 1 {
+            let node = (*direct.iter().next().unwrap_or(&&String::new())).clone();
+            let leaf = it.has_attr("srmlint::leaf");
+            if leaf {
+                if let Some(flag) = graph.nodes.get_mut(&node) {
+                    *flag = true;
+                }
+            }
+            helper_node.insert(id, node);
+        }
+    }
+    let events = scan_all(&helper_node);
+
+    // ── footprints to fixpoint ──────────────────────────────────────
+    // footprint(fn) = nodes it may acquire, directly or transitively.
+    let helper_node = &helper_node;
+    let resolve_lock = |callee: &Callee, ctx: Option<&str>, footprints: &BTreeMap<FnId, BTreeSet<String>>| -> Vec<FnId> {
+        let strict = idx.resolve(callee, ctx);
+        if !strict.is_empty() {
+            return strict;
+        }
+        // May-analysis fallback: an unresolvable method receiver binds
+        // to every workspace method of that name that can acquire a
+        // lock — over-approximate, never miss.
+        if let Callee::Method(n) = callee {
+            return idx
+                .fns_named(n)
+                .iter()
+                .copied()
+                .filter(|id| {
+                    footprints.get(id).is_some_and(|s| !s.is_empty())
+                        || helper_node.contains_key(id)
+                })
+                .collect();
+        }
+        Vec::new()
+    };
+
+    let mut footprints: BTreeMap<FnId, BTreeSet<String>> = BTreeMap::new();
+    for &id in &fn_ids {
+        let direct: BTreeSet<String> = events[&id]
+            .iter()
+            .filter_map(|e| match e {
+                Event::Acquire { node, .. } => Some(node.clone()),
+                _ => None,
+            })
+            .collect();
+        footprints.insert(id, direct);
+    }
+    loop {
+        let mut changed = false;
+        for &id in &fn_ids {
+            let ctx = idx.item(id).impl_of.clone();
+            let mut add = BTreeSet::new();
+            for ev in &events[&id] {
+                if let Event::Call { site, .. } = ev {
+                    for callee in resolve_lock(&site.callee, ctx.as_deref(), &footprints) {
+                        if let Some(hn) = helper_node.get(&callee) {
+                            add.insert(hn.clone());
+                        }
+                        if let Some(fp) = footprints.get(&callee) {
+                            add.extend(fp.iter().cloned());
+                        }
+                    }
+                }
+            }
+            if let Some(fp) = footprints.get_mut(&id) {
+                let before = fp.len();
+                fp.extend(add);
+                changed |= fp.len() != before;
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+
+    // ── edges ───────────────────────────────────────────────────────
+    for &id in &fn_ids {
+        let f = idx.file(id);
+        let ctx = idx.item(id).impl_of.clone();
+        for ev in &events[&id] {
+            match ev {
+                Event::Acquire { node, line, held, .. } => {
+                    for h in held {
+                        graph
+                            .edges
+                            .entry((h.clone(), node.clone()))
+                            .or_insert_with(|| (f.path.clone(), *line));
+                    }
+                }
+                Event::Call { site, held } => {
+                    if held.is_empty() {
+                        continue;
+                    }
+                    for callee in resolve_lock(&site.callee, ctx.as_deref(), &footprints) {
+                        let mut acq: BTreeSet<String> = footprints
+                            .get(&callee)
+                            .cloned()
+                            .unwrap_or_default();
+                        if let Some(hn) = helper_node.get(&callee) {
+                            acq.insert(hn.clone());
+                        }
+                        for h in held {
+                            for b in &acq {
+                                if b != h {
+                                    graph
+                                        .edges
+                                        .entry((h.clone(), b.clone()))
+                                        .or_insert_with(|| (f.path.clone(), site.line));
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    // ── leaf violations ─────────────────────────────────────────────
+    for ((a, b), (path, line)) in &graph.edges {
+        if graph.nodes.get(a).copied().unwrap_or(false) {
+            findings.push(Finding {
+                path: path.clone(),
+                line: *line,
+                rule: "lock-order",
+                message: format!(
+                    "lock `{b}` acquired while holding leaf lock `{a}` \
+                     (#[srmlint::leaf] forbids nesting under it)"
+                ),
+            });
+        }
+    }
+
+    // ── cycles ──────────────────────────────────────────────────────
+    for cycle in find_cycles(&graph) {
+        let desc: Vec<String> = cycle
+            .iter()
+            .map(|(a, b)| {
+                let (p, l) = &graph.edges[&(a.clone(), b.clone())];
+                format!("`{a}` → `{b}` at {}:{l}", p.display())
+            })
+            .collect();
+        let (p0, l0) = &graph.edges[&cycle[0]];
+        findings.push(Finding {
+            path: p0.clone(),
+            line: *l0,
+            rule: "lock-order",
+            message: format!("lock-order cycle: {}", desc.join("; ")),
+        });
+    }
+
+    // ── witness wrapping ────────────────────────────────────────────
+    // Only meaningful for the real workspace crates that link pdisk's
+    // witness; fixture analyses (filter = None) skip it.
+    if crate_filter.is_some() {
+        for &id in &fn_ids {
+            let f = idx.file(id);
+            for ev in &events[&id] {
+                let Event::Acquire { node, tok, line, direct: true, .. } = ev else {
+                    continue;
+                };
+                if f.has_directive(*line, "srmlint::allow(witness)") {
+                    continue;
+                }
+                if !stmt_has_literal(f, *tok, node) {
+                    findings.push(Finding {
+                        path: f.path.clone(),
+                        line: *line,
+                        rule: "witness",
+                        message: format!(
+                            "acquisition of `{node}` is not wrapped in \
+                             lockwitness::guard(\"{node}\", …); the runtime witness \
+                             cannot see it (or use // srmlint::allow(witness))"
+                        ),
+                    });
+                }
+            }
+        }
+    }
+
+    graph
+}
+
+/// Does the statement containing token `tok` contain a string literal
+/// exactly equal to `want`?  The statement span is bounded by the
+/// nearest `;`/`{`/`}` on each side.
+fn stmt_has_literal(f: &SourceFile, tok: usize, want: &str) -> bool {
+    let is_boundary =
+        |k: &TokKind| matches!(k, TokKind::Punct(';') | TokKind::Punct('{') | TokKind::Punct('}'));
+    let mut lo = tok;
+    while lo > 0 && !is_boundary(&f.toks[lo - 1].kind) {
+        lo -= 1;
+    }
+    let mut hi = tok;
+    while hi < f.toks.len() && !is_boundary(&f.toks[hi].kind) {
+        hi += 1;
+    }
+    f.toks[lo..hi]
+        .iter()
+        .any(|t| matches!(&t.kind, TokKind::Literal(s) if s == want))
+}
+
+/// Scan one fn body into ordered acquire/call events with held-sets.
+#[allow(clippy::too_many_arguments)]
+fn scan_body(
+    f: &SourceFile,
+    body: (usize, usize),
+    ctx_impl: Option<&str>,
+    field_nodes: &BTreeMap<(String, String), String>,
+    accessor_nodes: &BTreeMap<String, String>,
+    idx: &Index<'_>,
+    helpers: &BTreeMap<FnId, String>,
+) -> Vec<Event> {
+    struct Held {
+        node: String,
+        /// `Some(d)`: a let-bound guard alive until depth drops below d;
+        /// `None`: a temporary alive until the end of the statement.
+        block_depth: Option<i32>,
+        binding: Option<String>,
+    }
+
+    let calls: BTreeMap<usize, CallSite> = call_sites(f, body)
+        .into_iter()
+        .map(|c| (c.tok, c))
+        .collect();
+
+    let (start, end) = body;
+    let mut events = Vec::new();
+    let mut held: Vec<Held> = Vec::new();
+    let mut depth = 0i32;
+    let mut stmt_let: Option<String> = None; // binding name of current `let`
+    let mut i = start;
+    while i < end.min(f.toks.len()) {
+        match &f.toks[i].kind {
+            TokKind::Punct('{') => depth += 1,
+            TokKind::Punct('}') => {
+                depth -= 1;
+                held.retain(|h| h.block_depth.is_none_or(|d| d <= depth));
+                // A block edge also ends any pending statement.
+                held.retain(|h| h.block_depth.is_some());
+                stmt_let = None;
+            }
+            TokKind::Punct(';') => {
+                held.retain(|h| h.block_depth.is_some());
+                stmt_let = None;
+            }
+            TokKind::Ident(kw) if kw == "let" => {
+                stmt_let = match f.toks.get(i + 1).map(|t| &t.kind) {
+                    Some(TokKind::Ident(n)) if n != "mut" => Some(n.clone()),
+                    Some(TokKind::Ident(_)) => match f.toks.get(i + 2).map(|t| &t.kind) {
+                        Some(TokKind::Ident(n)) => Some(n.clone()),
+                        _ => Some(String::new()),
+                    },
+                    _ => Some(String::new()),
+                };
+            }
+            TokKind::Ident(_) => {
+                if let Some(site) = calls.get(&i) {
+                    // Early release: drop(name).
+                    if site.callee == Callee::Free("drop".into()) {
+                        if let Some(TokKind::Ident(arg)) = f.toks.get(i + 2).map(|t| &t.kind) {
+                            if matches!(f.toks.get(i + 3).map(|t| &t.kind), Some(TokKind::Punct(')')))
+                            {
+                                if let Some(pos) = held
+                                    .iter()
+                                    .rposition(|h| h.binding.as_deref() == Some(arg))
+                                {
+                                    held.remove(pos);
+                                }
+                            }
+                        }
+                    }
+                    let snapshot: Vec<String> = held.iter().map(|h| h.node.clone()).collect();
+                    let direct =
+                        acquisition_node(site, ctx_impl, field_nodes, accessor_nodes);
+                    // A precisely-resolved call to a guard helper is an
+                    // acquisition of the helper's node at this site.
+                    let via_helper = if direct.is_none() && !helpers.is_empty() {
+                        let targets = idx.resolve(&site.callee, ctx_impl);
+                        match targets.as_slice() {
+                            [one] => helpers.get(one).cloned(),
+                            _ => None,
+                        }
+                    } else {
+                        None
+                    };
+                    if let Some(node) = direct.clone().or(via_helper) {
+                        events.push(Event::Acquire {
+                            node: node.clone(),
+                            tok: i,
+                            line: site.line,
+                            held: snapshot,
+                            direct: direct.is_some(),
+                        });
+                        held.push(Held {
+                            node,
+                            block_depth: stmt_let.is_some().then_some(depth),
+                            binding: stmt_let.clone().filter(|s| !s.is_empty()),
+                        });
+                    } else {
+                        events.push(Event::Call {
+                            site: site.clone(),
+                            held: snapshot,
+                        });
+                    }
+                }
+            }
+            _ => {}
+        }
+        i += 1;
+    }
+    events
+}
+
+/// Direct acquisition: `.lock()`/`.read()`/`.write()` on a known lock
+/// field or accessor result.
+fn acquisition_node(
+    site: &CallSite,
+    ctx_impl: Option<&str>,
+    field_nodes: &BTreeMap<(String, String), String>,
+    accessor_nodes: &BTreeMap<String, String>,
+) -> Option<String> {
+    let name = site.callee.name();
+    if !matches!(name, "lock" | "read" | "write") {
+        return None;
+    }
+    match &site.callee {
+        Callee::FieldMethod { field, .. } => {
+            field_nodes.get(&(ctx_impl?.to_string(), field.clone())).cloned()
+        }
+        Callee::CallResultMethod { helper, .. } => accessor_nodes.get(helper).cloned(),
+        _ => None,
+    }
+}
+
+/// Every elementary cycle's edge list — found via DFS from each node;
+/// deduplicated by edge set.  Graphs here are tiny (a handful of lock
+/// nodes), so simplicity beats asymptotics.
+fn find_cycles(graph: &LockGraph) -> Vec<Vec<(String, String)>> {
+    let mut adj: BTreeMap<&String, Vec<&String>> = BTreeMap::new();
+    for (a, b) in graph.edges.keys() {
+        adj.entry(a).or_default().push(b);
+    }
+    let mut seen_cycles: BTreeSet<Vec<(String, String)>> = BTreeSet::new();
+    for start in adj.keys().copied() {
+        // DFS bounded by node count; find a path start → … → start.
+        let mut stack: Vec<(&String, Vec<(String, String)>)> = vec![(start, Vec::new())];
+        while let Some((at, path)) = stack.pop() {
+            if path.len() > graph.nodes.len() + 1 {
+                continue;
+            }
+            for &next in adj.get(at).map(Vec::as_slice).unwrap_or(&[]) {
+                let mut p = path.clone();
+                p.push((at.clone(), next.clone()));
+                if next == start {
+                    // Normalize rotation so each cycle is reported once.
+                    let mut norm = p.clone();
+                    if let Some(min_at) = norm
+                        .iter()
+                        .enumerate()
+                        .min_by_key(|(_, e)| e.0.clone())
+                        .map(|(i, _)| i)
+                    {
+                        norm.rotate_left(min_at);
+                    }
+                    if seen_cycles.insert(norm.clone()) {
+                        // keep
+                    }
+                } else if !path.iter().any(|(a, _)| a == next) {
+                    stack.push((next, p));
+                }
+            }
+        }
+    }
+    seen_cycles.into_iter().collect()
+}
+
+// ─── witness verification ────────────────────────────────────────────────
+
+/// Outcome of cross-checking a runtime witness log against the graph.
+#[derive(Debug, Default)]
+pub struct WitnessReport {
+    pub labels_observed: usize,
+    pub orders_observed: usize,
+    pub nodes_static: usize,
+    pub edges_static: usize,
+    pub unobserved_nodes: Vec<String>,
+    pub unobserved_edges: Vec<(String, String)>,
+}
+
+/// Check `log` (lines `lock\t<label>` / `order\t<held>\t<acquired>`)
+/// against the static graph.  Violations — an unknown label, or an
+/// observed order with no static edge — become findings; static
+/// nodes/edges no test exercised are reported informationally in the
+/// returned [`WitnessReport`].
+pub fn verify_witness(
+    graph: &LockGraph,
+    log_path: &std::path::Path,
+    log: &str,
+    findings: &mut Vec<Finding>,
+) -> WitnessReport {
+    let mut labels: BTreeSet<&str> = BTreeSet::new();
+    let mut orders: BTreeSet<(&str, &str)> = BTreeSet::new();
+    for (lineno, line) in log.lines().enumerate() {
+        let line = line.trim();
+        if line.is_empty() {
+            continue;
+        }
+        let mut parts = line.split('\t');
+        match (parts.next(), parts.next(), parts.next()) {
+            (Some("lock"), Some(label), None) => {
+                labels.insert(label);
+            }
+            (Some("order"), Some(a), Some(b)) => {
+                labels.insert(a);
+                labels.insert(b);
+                orders.insert((a, b));
+            }
+            _ => {
+                findings.push(Finding {
+                    path: log_path.to_path_buf(),
+                    line: (lineno + 1) as u32,
+                    rule: "witness",
+                    message: format!("malformed witness record: {line:?}"),
+                });
+            }
+        }
+    }
+    for label in &labels {
+        if !graph.nodes.contains_key(*label) {
+            findings.push(Finding {
+                path: log_path.to_path_buf(),
+                line: 0,
+                rule: "witness",
+                message: format!(
+                    "runtime witnessed lock `{label}` that the static analysis \
+                     does not know; the analyzer failed to explain the run"
+                ),
+            });
+        }
+    }
+    for (a, b) in &orders {
+        if !graph.edges.contains_key(&(a.to_string(), b.to_string())) {
+            findings.push(Finding {
+                path: log_path.to_path_buf(),
+                line: 0,
+                rule: "witness",
+                message: format!(
+                    "runtime witnessed order `{a}` then `{b}` has no static \
+                     may-hold edge; the analyzer failed to explain the run"
+                ),
+            });
+        }
+    }
+    WitnessReport {
+        labels_observed: labels.len(),
+        orders_observed: orders.len(),
+        nodes_static: graph.nodes.len(),
+        edges_static: graph.edges.len(),
+        unobserved_nodes: graph
+            .nodes
+            .keys()
+            .filter(|n| !labels.contains(n.as_str()))
+            .cloned()
+            .collect(),
+        unobserved_edges: graph
+            .edges
+            .keys()
+            .filter(|(a, b)| !orders.contains(&(a.as_str(), b.as_str())))
+            .cloned()
+            .collect(),
+    }
+}

@@ -1,0 +1,103 @@
+//! `srmlint` CLI: run the workspace analysis directly, optionally
+//! cross-checking a runtime lock-order witness log.
+//!
+//! ```text
+//! srmlint [--root DIR] [--verify-witness LOG]
+//! ```
+//!
+//! `cargo xtask lint` wraps the same library for day-to-day use; this
+//! binary exists for CI's witness step and for running the analyzer
+//! against an arbitrary checkout.
+
+#![forbid(unsafe_code)]
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let mut root: Option<PathBuf> = None;
+    let mut witness: Option<PathBuf> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--root" => root = args.next().map(PathBuf::from),
+            "--verify-witness" => witness = args.next().map(PathBuf::from),
+            "--help" | "-h" => {
+                println!("usage: srmlint [--root DIR] [--verify-witness LOG]");
+                return ExitCode::SUCCESS;
+            }
+            other => {
+                eprintln!("unknown argument `{other}`; see --help");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    let root = root.unwrap_or_else(default_root);
+
+    let mut analysis = srmlint::analyze_workspace(&root);
+
+    if let Some(log_path) = &witness {
+        match std::fs::read_to_string(log_path) {
+            Ok(log) => {
+                let report = srmlint::locks::verify_witness(
+                    &analysis.graph,
+                    log_path,
+                    &log,
+                    &mut analysis.findings,
+                );
+                println!(
+                    "srmlint: witness: {} label(s), {} order(s) observed; static \
+                     graph has {} node(s), {} edge(s); {} node(s) and {} edge(s) \
+                     unobserved by tests",
+                    report.labels_observed,
+                    report.orders_observed,
+                    report.nodes_static,
+                    report.edges_static,
+                    report.unobserved_nodes.len(),
+                    report.unobserved_edges.len(),
+                );
+                for n in &report.unobserved_nodes {
+                    println!("srmlint: witness: note: static lock `{n}` never observed at runtime");
+                }
+                for (a, b) in &report.unobserved_edges {
+                    println!(
+                        "srmlint: witness: note: static may-hold edge `{a}` → `{b}` \
+                         never observed at runtime"
+                    );
+                }
+            }
+            Err(e) => {
+                eprintln!("cannot read witness log {}: {e}", log_path.display());
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+
+    srmlint::relativize(&mut analysis.findings, &root);
+    for f in &analysis.findings {
+        println!("{f}");
+    }
+    if analysis.findings.is_empty() {
+        println!("srmlint: {} files clean", analysis.files);
+        ExitCode::SUCCESS
+    } else {
+        println!(
+            "srmlint: {} finding(s) in {} files",
+            analysis.findings.len(),
+            analysis.files
+        );
+        ExitCode::FAILURE
+    }
+}
+
+/// `CARGO_MANIFEST_DIR` is `crates/srmlint`, two levels below the
+/// workspace root; fall back to the current directory.
+fn default_root() -> PathBuf {
+    match std::env::var_os("CARGO_MANIFEST_DIR") {
+        Some(dir) => {
+            let p = PathBuf::from(dir);
+            p.ancestors().nth(2).map(|a| a.to_path_buf()).unwrap_or(p)
+        }
+        None => PathBuf::from("."),
+    }
+}

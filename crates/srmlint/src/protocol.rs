@@ -1,0 +1,244 @@
+//! Protocol-exhaustiveness pass.
+//!
+//! Enums annotated `#[srmlint::protocol]` are message vocabularies
+//! (`srm-dist`'s `Msg`, the server line protocol's `Request`).  Any
+//! non-test `match` whose arms name a variant of a protocol enum is a
+//! dispatch point, and a dispatch point must be *literally* exhaustive:
+//! every variant named, no `_ =>` and no bare-binding arm to swallow a
+//! message kind.  `rustc` cannot enforce this — a wildcard arm is
+//! perfectly well-typed, which is exactly how an unhandled message
+//! silently becomes a dropped message.  Matches that are genuinely not
+//! dispatch (e.g. `if let`, or a `match` on something else entirely)
+//! are untouched; a deliberate partial match can opt out with
+//! `// srmlint::allow(protocol)` on the `match` line.
+
+use crate::calls::Index;
+use crate::lexer::TokKind;
+use crate::model::{ItemKind, SourceFile};
+use crate::Finding;
+use std::collections::{BTreeMap, BTreeSet};
+
+pub fn run(files: &[SourceFile], idx: &Index<'_>, findings: &mut Vec<Finding>) {
+    // Protocol vocabularies: enum name → variant set.
+    let mut protocols: BTreeMap<String, BTreeSet<String>> = BTreeMap::new();
+    for f in files {
+        for it in &f.items {
+            if let ItemKind::Enum { variants } = &it.kind {
+                if it.has_attr("srmlint::protocol") {
+                    protocols.insert(it.name.clone(), variants.iter().cloned().collect());
+                }
+            }
+        }
+    }
+    if protocols.is_empty() {
+        return;
+    }
+
+    for id in idx.all_fns() {
+        let (f, it) = (idx.file(id), idx.item(id));
+        if it.is_test {
+            continue;
+        }
+        let ItemKind::Fn { body: Some(body), .. } = it.kind else {
+            continue;
+        };
+        let mut i = body.0;
+        while i < body.1.min(f.toks.len()) {
+            if matches!(&f.toks[i].kind, TokKind::Ident(k) if k == "match") {
+                check_match(f, i, body.1, &protocols, findings);
+            }
+            i += 1;
+        }
+    }
+}
+
+/// Analyze the `match` whose keyword is at token `kw`; returns nothing
+/// but records findings.  Nested matches are found by the caller's
+/// linear scan — arm-body tokens are skipped here when collecting
+/// patterns, so a nested match's variants never leak into the outer
+/// match's coverage.
+fn check_match(
+    f: &SourceFile,
+    kw: usize,
+    end: usize,
+    protocols: &BTreeMap<String, BTreeSet<String>>,
+    findings: &mut Vec<Finding>,
+) {
+    let toks = &f.toks;
+    let match_line = toks[kw].line;
+    // Scrutinee runs to the first `{` at bracket depth 0 (struct
+    // literals are not legal in scrutinee position without parens).
+    let mut i = kw + 1;
+    let mut depth = 0i32;
+    while i < end {
+        match &toks[i].kind {
+            TokKind::Punct('(') | TokKind::Punct('[') => depth += 1,
+            TokKind::Punct(')') | TokKind::Punct(']') => depth -= 1,
+            TokKind::Punct('{') if depth == 0 => break,
+            _ => {}
+        }
+        i += 1;
+    }
+    if i >= end {
+        return;
+    }
+    let body_open = i;
+
+    // Walk the arms: pattern tokens up to `=>` at depth 0, then skip
+    // the arm body.
+    let mut covered: BTreeMap<String, BTreeSet<String>> = BTreeMap::new();
+    let mut wildcard: Option<u32> = None;
+    i = body_open + 1;
+    'arms: while i < end {
+        // End of match?
+        if let TokKind::Punct('}') = &toks[i].kind {
+            break;
+        }
+        // Pattern: scan to `=>` at local depth 0.
+        let pat_start = i;
+        let mut depth = 0i32;
+        let mut guard_at: Option<usize> = None;
+        while i < end {
+            match &toks[i].kind {
+                TokKind::Punct('(') | TokKind::Punct('[') | TokKind::Punct('{') => depth += 1,
+                TokKind::Punct(')') | TokKind::Punct(']') | TokKind::Punct('}') => {
+                    if depth == 0 {
+                        break 'arms; // closing `}` of the match
+                    }
+                    depth -= 1;
+                }
+                TokKind::Ident(g) if g == "if" && depth == 0 && guard_at.is_none() => {
+                    guard_at = Some(i);
+                }
+                TokKind::Punct('=')
+                    if depth == 0
+                        && matches!(toks.get(i + 1).map(|t| &t.kind), Some(TokKind::Punct('>'))) =>
+                {
+                    break;
+                }
+                _ => {}
+            }
+            i += 1;
+        }
+        if i >= end {
+            break;
+        }
+        let pat_end = guard_at.unwrap_or(i);
+        let pat = &toks[pat_start..pat_end];
+        // Qualified variant references `Enum::Variant` in the pattern.
+        for w in 0..pat.len().saturating_sub(3) {
+            if let (TokKind::Ident(e), TokKind::Punct(':'), TokKind::Punct(':'), TokKind::Ident(v)) =
+                (&pat[w].kind, &pat[w + 1].kind, &pat[w + 2].kind, &pat[w + 3].kind)
+            {
+                if let Some(vars) = protocols.get(e) {
+                    if vars.contains(v) {
+                        covered.entry(e.clone()).or_default().insert(v.clone());
+                    }
+                }
+            }
+        }
+        // Wildcard / bare-binding arm: the pattern is a single `_` or a
+        // single lowercase identifier (no `::`, no literal).
+        let word_toks: Vec<&TokKind> = pat
+            .iter()
+            .map(|t| &t.kind)
+            .filter(|k| !matches!(k, TokKind::Punct('|')))
+            .collect();
+        if let [TokKind::Ident(one)] = word_toks.as_slice() {
+            let is_variant_like = one
+                .chars()
+                .next()
+                .is_some_and(|c| c.is_ascii_uppercase());
+            if !is_variant_like {
+                wildcard = Some(toks[pat_start].line);
+            }
+        }
+
+        // Skip `=>` and the arm body.
+        i += 2;
+        if i < end && matches!(toks[i].kind, TokKind::Punct('{')) {
+            let mut d = 0i32;
+            while i < end {
+                match &toks[i].kind {
+                    TokKind::Punct('{') => d += 1,
+                    TokKind::Punct('}') => {
+                        d -= 1;
+                        if d == 0 {
+                            i += 1;
+                            break;
+                        }
+                    }
+                    _ => {}
+                }
+                i += 1;
+            }
+        } else {
+            let mut d = 0i32;
+            while i < end {
+                match &toks[i].kind {
+                    TokKind::Punct('(') | TokKind::Punct('[') | TokKind::Punct('{') => d += 1,
+                    TokKind::Punct(')') | TokKind::Punct(']') => d -= 1,
+                    TokKind::Punct('}') => {
+                        if d == 0 {
+                            break; // match closes without trailing comma
+                        }
+                        d -= 1;
+                    }
+                    TokKind::Punct(',') if d == 0 => break,
+                    _ => {}
+                }
+                i += 1;
+            }
+        }
+        if i < end && matches!(toks[i].kind, TokKind::Punct(',')) {
+            i += 1;
+        }
+    }
+
+    if covered.is_empty() {
+        return; // not a protocol dispatch
+    }
+    if f.has_directive(match_line, "srmlint::allow(protocol)") {
+        return;
+    }
+    for (enum_name, seen) in covered {
+        let all = &protocols[&enum_name];
+        let missing: Vec<&String> = all.iter().filter(|v| !seen.contains(*v)).collect();
+        if let Some(wl) = wildcard {
+            findings.push(Finding {
+                path: f.path.clone(),
+                line: wl,
+                rule: "protocol",
+                message: format!(
+                    "dispatch on protocol enum `{enum_name}` has a catch-all arm; \
+                     name every variant so a new message kind cannot be silently \
+                     swallowed (missing: {})",
+                    if missing.is_empty() {
+                        "none — delete the arm".to_string()
+                    } else {
+                        missing
+                            .iter()
+                            .map(|s| s.as_str())
+                            .collect::<Vec<_>>()
+                            .join(", ")
+                    }
+                ),
+            });
+        } else if !missing.is_empty() {
+            findings.push(Finding {
+                path: f.path.clone(),
+                line: match_line,
+                rule: "protocol",
+                message: format!(
+                    "dispatch on protocol enum `{enum_name}` does not handle \
+                     variant(s): {}",
+                    missing
+                        .iter()
+                        .map(|s| s.as_str())
+                        .collect::<Vec<_>>()
+                        .join(", ")
+                ),
+            });
+        }
+    }
+}

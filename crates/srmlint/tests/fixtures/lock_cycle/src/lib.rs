@@ -1,0 +1,34 @@
+//! Intentional lock-order cycle: `sum` acquires `a` then `b`, while
+//! `diff` acquires `b` then `a`.  Two threads running them against one
+//! `Pair` can deadlock — srmlint's lock pass must reject this crate
+//! with a `lock-order` cycle finding naming both edges.
+
+#![forbid(unsafe_code)]
+
+use std::sync::Mutex;
+
+pub struct Pair {
+    a: Mutex<u64>,
+    b: Mutex<u64>,
+}
+
+impl Pair {
+    pub fn new(a: u64, b: u64) -> Self {
+        Pair {
+            a: Mutex::new(a),
+            b: Mutex::new(b),
+        }
+    }
+
+    pub fn sum(&self) -> u64 {
+        let ga = self.a.lock().unwrap_or_else(|p| p.into_inner());
+        let gb = self.b.lock().unwrap_or_else(|p| p.into_inner()); // edge a -> b
+        *ga + *gb
+    }
+
+    pub fn diff(&self) -> u64 {
+        let gb = self.b.lock().unwrap_or_else(|p| p.into_inner());
+        let ga = self.a.lock().unwrap_or_else(|p| p.into_inner()); // edge b -> a
+        ga.wrapping_sub(*gb)
+    }
+}

@@ -1,0 +1,21 @@
+//! Intentional protocol violation: `dispatch` matches a
+//! `#[srmlint::protocol]` enum with a `_ =>` catch-all, silently
+//! swallowing `WireMsg::Bye`.  srmlint's protocol pass must reject it.
+
+#![forbid(unsafe_code)]
+
+/// A toy wire vocabulary.
+#[srmlint::protocol]
+pub enum WireMsg {
+    Put(u64),
+    Get(u64),
+    Bye,
+}
+
+pub fn dispatch(m: WireMsg) -> u64 {
+    match m {
+        WireMsg::Put(x) => x,
+        WireMsg::Get(x) => x + 1,
+        _ => 0, // swallows Bye — the lint must name it
+    }
+}

@@ -1,534 +1,118 @@
 //! Repo automation tasks, invoked as `cargo xtask <task>` (the alias
 //! lives in `.cargo/config.toml`).
 //!
-//! The one task today is `lint`: a dependency-free source lint that
-//! mechanically enforces the workspace's model-discipline rules — the
-//! conventions that keep the paper-facing I/O accounting trustworthy
-//! but that `rustc`/`clippy` cannot express:
+//! The one task today is `lint`: the workspace's model-discipline
+//! rules.  The analysis itself lives in the `srmlint` crate (a real
+//! lexer + item model + cross-crate passes — see its docs); this
+//! binary is the familiar entry point.
 //!
-//! 1. **`no-panic`** — library crates' non-test code must not call
-//!    `.unwrap()` / `.expect(...)` or invoke `panic!` / `unreachable!` /
-//!    `todo!` / `unimplemented!`.  Fallible paths return the crate's
-//!    typed error instead, so a mid-sort fault surfaces as a value the
-//!    checkpoint/retry layers can act on, never as a process abort.
-//! 2. **`cast`** — `DiskId` must not be constructed through an `as`
-//!    narrowing outside the two blessed constructors in
-//!    `pdisk::addr` (`DiskId::from_index` / `DiskId::from_mod`), which
-//!    carry the range proofs.  A truncated disk id silently aliases
-//!    another disk and breaks the ≤ 1-block-per-disk model rule.
-//! 3. **`non-exhaustive`** — every public error enum is
-//!    `#[non_exhaustive]`, so adding a failure mode is not a breaking
-//!    change and downstream matches stay honest about unknown errors.
-//! 4. **`unsafe`** — every crate root carries `#![forbid(unsafe_code)]`.
-//! 5. **`backend`** — the algorithm crates (`srm-core`, `dsm`) must
-//!    stay generic over the `DiskArray` trait in non-test code: naming
-//!    a concrete backend (`MemDiskArray`, `FileDiskArray`) is how code
-//!    reaches stats-bypassing accessors like `peek`, which would let
-//!    I/O escape the `IoStats` ledger the paper comparisons rest on.
+//! Rules:
 //!
-//! False positives are silenced in place with a trailing marker
-//! comment: `// lint:allow(panic)`, `// lint:allow(cast)` or
-//! `// lint:allow(backend)`, which doubles as the written
-//! justification.  Test modules (`#[cfg(test)] mod …`), doc comments,
-//! and ordinary comments are never linted.
+//! 1. `no-panic` — panic-free crates' non-test code must not call
+//!    `.unwrap()`/`.expect()`/`panic!`/`unreachable!`/`todo!`/
+//!    `unimplemented!`; fallible paths return typed errors the
+//!    checkpoint/retry layers can act on.
+//! 2. `cast` — no `as` narrowing inside a `DiskId(...)` construction;
+//!    use the range-proved `DiskId::from_index`/`DiskId::from_mod`.
+//! 3. `non-exhaustive` — public `*Error` enums carry `#[non_exhaustive]`.
+//! 4. `backend` — algorithm crates stay generic over `DiskArray` so no
+//!    I/O bypasses `IoStats`.
+//! 5. `unsafe` — every crate root carries `#![forbid(unsafe_code)]`.
+//! 6. `lock-order`/`witness` — the inter-procedural may-hold graph is
+//!    acyclic, leaf locks stay leaves, and every acquisition site is
+//!    wrapped for the runtime lock witness.
+//! 7. `protocol` — dispatch matches over `#[srmlint::protocol]` enums
+//!    name every variant; no `_ =>` can swallow a message kind.
+//! 8. `blocking` — no blocking calls reachable from
+//!    `#[srmlint::worker_entry]` threads outside blessed seams.
+//! 9. `interrupt` — every observer of `InterruptFlag` checkpoints
+//!    before returning `Interrupted`.
+//!
+//! `cargo xtask lint --verify-witness <log>` additionally cross-checks
+//! a runtime lock-order witness log (recorded by test runs with
+//! `--features lock-witness` and `SRM_LOCK_WITNESS=<log>`) against the
+//! static graph.
 
 #![forbid(unsafe_code)]
 
-use std::fmt;
-use std::path::{Path, PathBuf};
+use std::path::PathBuf;
 use std::process::ExitCode;
-
-/// Crates whose non-test code must be panic-free (rule `no-panic`).
-/// Binaries (`srm-cli`, `xtask`) and the benchmark harness may abort on
-/// their own errors; libraries must propagate typed ones.
-const PANIC_FREE_CRATES: &[&str] = &[
-    "pdisk",
-    "srm-core",
-    "dsm",
-    "occupancy",
-    "analysis",
-    "modelcheck",
-    "srm-server",
-    "srm-dist",
-];
-
-/// Crates that must not name a concrete storage backend (rule `backend`).
-const TRAIT_ONLY_CRATES: &[&str] = &["srm-core", "dsm"];
-
-#[derive(Debug)]
-struct Finding {
-    path: PathBuf,
-    line: usize,
-    rule: &'static str,
-    message: String,
-}
-
-impl fmt::Display for Finding {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(
-            f,
-            "{}:{}: [{}] {}",
-            self.path.display(),
-            self.line,
-            self.rule,
-            self.message
-        )
-    }
-}
 
 fn main() -> ExitCode {
     let mut args = std::env::args().skip(1);
     match args.next().as_deref() {
-        Some("lint") => lint(),
-        Some(other) => {
-            eprintln!("unknown task `{other}`; available tasks: lint");
-            ExitCode::FAILURE
+        Some("lint") => {
+            let mut witness: Option<PathBuf> = None;
+            while let Some(a) = args.next() {
+                match a.as_str() {
+                    "--verify-witness" => witness = args.next().map(PathBuf::from),
+                    other => {
+                        eprintln!("unknown lint argument `{other}`");
+                        return ExitCode::FAILURE;
+                    }
+                }
+            }
+            lint(witness.as_deref())
         }
-        None => {
-            eprintln!("usage: cargo xtask lint");
+        _ => {
+            eprintln!("usage: cargo xtask lint [--verify-witness LOG]");
             ExitCode::FAILURE
         }
     }
 }
 
-fn lint() -> ExitCode {
+fn lint(witness: Option<&std::path::Path>) -> ExitCode {
     let root = workspace_root();
-    let crates_dir = root.join("crates");
-    let mut findings = Vec::new();
-    let mut files = 0usize;
-    let mut crate_dirs: Vec<PathBuf> = match std::fs::read_dir(&crates_dir) {
-        Ok(rd) => rd
-            .filter_map(|e| e.ok().map(|e| e.path()))
-            .filter(|p| p.is_dir())
-            .collect(),
-        Err(e) => {
-            eprintln!("cannot read {}: {e}", crates_dir.display());
-            return ExitCode::FAILURE;
-        }
-    };
-    crate_dirs.sort();
-    for crate_dir in &crate_dirs {
-        let crate_name = crate_dir
-            .file_name()
-            .map(|n| n.to_string_lossy().into_owned())
-            .unwrap_or_default();
-        lint_crate_root(crate_dir, &mut findings);
-        let mut sources = Vec::new();
-        collect_rs_files(&crate_dir.join("src"), &mut sources);
-        sources.sort();
-        for path in sources {
-            let Ok(text) = std::fs::read_to_string(&path) else {
-                findings.push(Finding {
-                    path: path.clone(),
-                    line: 0,
-                    rule: "io",
-                    message: "source file is unreadable".into(),
-                });
-                continue;
-            };
-            files += 1;
-            lint_file(&path, &crate_name, &text, &mut findings);
-        }
-    }
-    for f in &findings {
-        // Paths print relative to the workspace root so the output is
-        // stable across checkouts.
-        let rel = f
-            .path
-            .strip_prefix(&root)
-            .unwrap_or(&f.path)
-            .to_path_buf();
-        println!(
-            "{}",
-            Finding {
-                path: rel,
-                line: f.line,
-                rule: f.rule,
-                message: f.message.clone()
+    let mut analysis = srmlint::analyze_workspace(&root);
+
+    if let Some(log_path) = witness {
+        match std::fs::read_to_string(log_path) {
+            Ok(log) => {
+                let report = srmlint::locks::verify_witness(
+                    &analysis.graph,
+                    log_path,
+                    &log,
+                    &mut analysis.findings,
+                );
+                println!(
+                    "xtask lint: witness: {} label(s), {} order(s) observed against \
+                     {} static node(s), {} edge(s)",
+                    report.labels_observed,
+                    report.orders_observed,
+                    report.nodes_static,
+                    report.edges_static,
+                );
             }
-        );
+            Err(e) => {
+                eprintln!("cannot read witness log {}: {e}", log_path.display());
+                return ExitCode::FAILURE;
+            }
+        }
     }
-    if findings.is_empty() {
-        println!("xtask lint: {files} files clean");
+
+    srmlint::relativize(&mut analysis.findings, &root);
+    for f in &analysis.findings {
+        println!("{f}");
+    }
+    if analysis.findings.is_empty() {
+        println!("xtask lint: {} files clean", analysis.files);
         ExitCode::SUCCESS
     } else {
-        println!("xtask lint: {} finding(s) in {files} files", findings.len());
+        println!(
+            "xtask lint: {} finding(s) in {} files",
+            analysis.findings.len(),
+            analysis.files
+        );
         ExitCode::FAILURE
     }
 }
 
-/// The workspace root: `CARGO_MANIFEST_DIR` is `crates/xtask`, two
-/// levels below it.  Falls back to the current directory so the binary
-/// also works when invoked directly from a checkout.
+/// `CARGO_MANIFEST_DIR` is `crates/xtask`, two levels below the root.
 fn workspace_root() -> PathBuf {
-    match std::env::var_os("CARGO_MANIFEST_DIR") {
-        Some(dir) => {
-            let p = PathBuf::from(dir);
-            p.ancestors().nth(2).map(Path::to_path_buf).unwrap_or(p)
-        }
-        None => PathBuf::from("."),
-    }
-}
-
-fn collect_rs_files(dir: &Path, out: &mut Vec<PathBuf>) {
-    let Ok(rd) = std::fs::read_dir(dir) else {
-        return;
-    };
-    for entry in rd.filter_map(|e| e.ok()) {
-        let path = entry.path();
-        if path.is_dir() {
-            collect_rs_files(&path, out);
-        } else if path.extension().is_some_and(|e| e == "rs") {
-            out.push(path);
-        }
-    }
-}
-
-/// Rule `unsafe`: the crate root (lib.rs, else main.rs) must carry
-/// `#![forbid(unsafe_code)]`.
-fn lint_crate_root(crate_dir: &Path, findings: &mut Vec<Finding>) {
-    let root = ["lib.rs", "main.rs"]
-        .iter()
-        .map(|f| crate_dir.join("src").join(f))
-        .find(|p| p.is_file());
-    let Some(root) = root else {
-        findings.push(Finding {
-            path: crate_dir.to_path_buf(),
-            line: 0,
-            rule: "unsafe",
-            message: "crate has no src/lib.rs or src/main.rs".into(),
-        });
-        return;
-    };
-    let text = std::fs::read_to_string(&root).unwrap_or_default();
-    if !text.contains("#![forbid(unsafe_code)]") {
-        findings.push(Finding {
-            path: root,
-            line: 1,
-            rule: "unsafe",
-            message: "crate root is missing #![forbid(unsafe_code)]".into(),
-        });
-    }
-}
-
-/// Per-line lint state: which lines are test-only code.
-///
-/// A `#[cfg(test)]` attribute marks the next item; when that item is a
-/// block (`mod tests { … }`), everything to its matching closing brace
-/// is test code.  Brace counting runs on comment-stripped text, so a
-/// `{` in a doc example cannot desynchronize it.  (String literals
-/// containing braces inside test modules could in principle — the repo
-/// convention is to keep such strings out of module-level position.)
-fn test_line_mask(lines: &[&str]) -> Vec<bool> {
-    let mut mask = vec![false; lines.len()];
-    let mut pending_cfg = false;
-    let mut depth: i64 = 0;
-    let mut in_test = false;
-    for (i, raw) in lines.iter().enumerate() {
-        let code = strip_comment(raw);
-        let trimmed = code.trim();
-        if !in_test && (trimmed.starts_with("#[cfg(test)]") || trimmed.starts_with("#[cfg(all(test")) {
-            pending_cfg = true;
-            mask[i] = true;
-            continue;
-        }
-        if in_test {
-            mask[i] = true;
-        } else if pending_cfg {
-            mask[i] = true;
-            // Attributes and doc lines may sit between the cfg and the
-            // item; the item line (first brace or `;`) resolves it.
-            if trimmed.contains('{') {
-                in_test = true;
-                pending_cfg = false;
-                depth = 0;
-            } else if trimmed.ends_with(';') {
-                // e.g. `#[cfg(test)] use …;` — single-item scope.
-                pending_cfg = false;
-            }
-        }
-        if in_test {
-            depth += braces(&code);
-            if depth <= 0 {
-                in_test = false;
-            }
-        }
-    }
-    mask
-}
-
-/// Net brace depth change of one comment-stripped line, ignoring braces
-/// inside string and char literals.
-fn braces(code: &str) -> i64 {
-    let mut depth = 0i64;
-    let mut chars = code.chars().peekable();
-    let mut in_str = false;
-    while let Some(c) = chars.next() {
-        match c {
-            '\\' if in_str => {
-                let _ = chars.next();
-            }
-            '"' => in_str = !in_str,
-            '\'' if !in_str => {
-                // `'}'` or `'\u{7d}'`-style char literals; a lifetime
-                // (`'a`) has no closing quote and is left alone.
-                let mut look = chars.clone();
-                let mut consumed = 0usize;
-                if look.peek() == Some(&'\\') {
-                    // Escapes are short; scan a few chars for the close.
-                    for _ in 0..8 {
-                        consumed += 1;
-                        if look.next() == Some('\'') {
-                            break;
-                        }
-                    }
-                    if consumed < 8 {
-                        for _ in 0..consumed {
-                            let _ = chars.next();
-                        }
-                    }
-                } else {
-                    let mut l2 = chars.clone();
-                    let _ = l2.next();
-                    if l2.next() == Some('\'') {
-                        let _ = chars.next();
-                        let _ = chars.next();
-                    }
-                }
-            }
-            '{' if !in_str => depth += 1,
-            '}' if !in_str => depth -= 1,
-            _ => {}
-        }
-    }
-    depth
-}
-
-/// Drop a trailing `//` comment (keeping string literals intact) and
-/// return the code part.  Lines that are entirely comments become
-/// empty.
-fn strip_comment(line: &str) -> String {
-    let mut out = String::with_capacity(line.len());
-    let mut chars = line.chars().peekable();
-    let mut in_str = false;
-    while let Some(c) = chars.next() {
-        if c == '\\' && in_str {
-            out.push(c);
-            if let Some(n) = chars.next() {
-                out.push(n);
-            }
-            continue;
-        }
-        if c == '"' {
-            in_str = !in_str;
-        }
-        if c == '/' && !in_str && chars.peek() == Some(&'/') {
-            break;
-        }
-        out.push(c);
-    }
-    out
-}
-
-fn lint_file(path: &Path, crate_name: &str, text: &str, findings: &mut Vec<Finding>) {
-    let lines: Vec<&str> = text.lines().collect();
-    let mask = test_line_mask(&lines);
-    let panic_free = PANIC_FREE_CRATES.contains(&crate_name);
-    let trait_only = TRAIT_ONLY_CRATES.contains(&crate_name);
-    let mut enum_context: Vec<String> = Vec::new();
-    for (i, raw) in lines.iter().enumerate() {
-        let lineno = i + 1;
-        let code = strip_comment(raw);
-        let trimmed = code.trim();
-
-        // Rule `non-exhaustive` applies to test and non-test code alike
-        // (a test-only public error enum is still public API of its
-        // cfg).  The attribute stack above the enum is accumulated from
-        // attribute lines.
-        if trimmed.starts_with('#') {
-            enum_context.push(trimmed.to_string());
-        } else if !trimmed.is_empty() {
-            if let Some(rest) = trimmed.strip_prefix("pub enum ") {
-                let name: String = rest
-                    .chars()
-                    .take_while(|c| c.is_alphanumeric() || *c == '_')
-                    .collect();
-                if name.ends_with("Error")
-                    && !enum_context.iter().any(|a| a.contains("non_exhaustive"))
-                {
-                    findings.push(Finding {
-                        path: path.to_path_buf(),
-                        line: lineno,
-                        rule: "non-exhaustive",
-                        message: format!("public error enum `{name}` is not #[non_exhaustive]"),
-                    });
-                }
-            }
-            enum_context.clear();
-        }
-
-        if mask[i] || trimmed.is_empty() {
-            continue;
-        }
-
-        if panic_free && !raw.contains("lint:allow(panic)") {
-            for needle in [
-                ".unwrap()",
-                ".expect(",
-                "panic!",
-                "unreachable!",
-                "todo!(",
-                "unimplemented!(",
-            ] {
-                if code.contains(needle) {
-                    findings.push(Finding {
-                        path: path.to_path_buf(),
-                        line: lineno,
-                        rule: "no-panic",
-                        message: format!(
-                            "`{needle}` in library non-test code; return the crate's \
-                             typed error (or justify with `// lint:allow(panic)`)"
-                        ),
-                    });
-                }
-            }
-        }
-
-        if !raw.contains("lint:allow(cast)") {
-            if let Some(at) = code.find("DiskId(") {
-                let args = &code[at + "DiskId(".len()..];
-                let inner: String = take_balanced(args);
-                if inner.contains(" as ") {
-                    findings.push(Finding {
-                        path: path.to_path_buf(),
-                        line: lineno,
-                        rule: "cast",
-                        message: "`as` narrowing inside DiskId construction; use \
-                                  DiskId::from_index / DiskId::from_mod"
-                            .into(),
-                    });
-                }
-            }
-        }
-
-        if trait_only && !raw.contains("lint:allow(backend)") {
-            for backend in ["MemDiskArray", "FileDiskArray"] {
-                if code.contains(backend) {
-                    findings.push(Finding {
-                        path: path.to_path_buf(),
-                        line: lineno,
-                        rule: "backend",
-                        message: format!(
-                            "algorithm crate names concrete backend `{backend}`; stay \
-                             generic over DiskArray so no I/O bypasses IoStats"
-                        ),
-                    });
-                }
-            }
-        }
-    }
-}
-
-/// The argument text up to the parenthesis matching an already-consumed
-/// `(` — i.e. the inside of a call whose opener the caller stripped.
-fn take_balanced(args: &str) -> String {
-    let mut depth = 1i32;
-    let mut out = String::new();
-    for c in args.chars() {
-        match c {
-            '(' => depth += 1,
-            ')' => {
-                depth -= 1;
-                if depth == 0 {
-                    break;
-                }
-            }
-            _ => {}
-        }
-        out.push(c);
-    }
-    out
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-
-    fn findings_for(crate_name: &str, text: &str) -> Vec<Finding> {
-        let mut out = Vec::new();
-        lint_file(Path::new("x.rs"), crate_name, text, &mut out);
-        out
-    }
-
-    #[test]
-    fn unwrap_in_lib_code_is_flagged_and_test_code_is_not() {
-        let src = "fn f() { g().unwrap(); }\n\
-                   #[cfg(test)]\n\
-                   mod tests {\n\
-                   fn t() { g().unwrap(); }\n\
-                   }\n";
-        let f = findings_for("pdisk", src);
-        assert_eq!(f.len(), 1, "{f:?}");
-        assert_eq!(f[0].rule, "no-panic");
-        assert_eq!(f[0].line, 1);
-    }
-
-    #[test]
-    fn unwrap_or_else_is_not_a_panic() {
-        assert!(findings_for("pdisk", "fn f() { g().unwrap_or_else(|_| 3); }\n").is_empty());
-        assert!(findings_for("pdisk", "fn f() { g().unwrap_or(3); }\n").is_empty());
-    }
-
-    #[test]
-    fn allow_marker_silences_the_panic_rule() {
-        let src = "fn f() { lock().expect(\"poisoned\"); } // lint:allow(panic) poisoning is fatal\n";
-        assert!(findings_for("pdisk", src).is_empty());
-    }
-
-    #[test]
-    fn binaries_may_panic() {
-        assert!(findings_for("srm-cli", "fn main() { run().unwrap(); }\n").is_empty());
-    }
-
-    #[test]
-    fn diskid_cast_is_flagged_outside_the_blessed_constructors() {
-        let f = findings_for("srm-core", "let d = DiskId(i as u32);\n");
-        assert_eq!(f.len(), 1, "{f:?}");
-        assert_eq!(f[0].rule, "cast");
-        let ok = "let d = DiskId(i as u32); // lint:allow(cast) bounded by D\n";
-        assert!(findings_for("srm-core", ok).is_empty());
-        assert!(findings_for("srm-core", "let d = DiskId::from_index(i);\n").is_empty());
-    }
-
-    #[test]
-    fn error_enum_without_non_exhaustive_is_flagged() {
-        let bad = "#[derive(Debug)]\npub enum FooError {\n  A,\n}\n";
-        let f = findings_for("analysis", bad);
-        assert_eq!(f.len(), 1, "{f:?}");
-        assert_eq!(f[0].rule, "non-exhaustive");
-        let good = "#[derive(Debug)]\n#[non_exhaustive]\npub enum FooError {\n  A,\n}\n";
-        assert!(findings_for("analysis", good).is_empty());
-        // Non-error enums are unconstrained.
-        assert!(findings_for("analysis", "pub enum Mode { A }\n").is_empty());
-    }
-
-    #[test]
-    fn concrete_backends_are_rejected_in_algorithm_crates_only() {
-        let src = "fn f(a: &mut MemDiskArray<U64Record>) {}\n";
-        let f = findings_for("srm-core", src);
-        assert_eq!(f.len(), 1, "{f:?}");
-        assert_eq!(f[0].rule, "backend");
-        assert!(findings_for("pdisk", src).is_empty());
-        // Doc comments mentioning a backend are fine.
-        assert!(findings_for("dsm", "/// Use a MemDiskArray here.\nfn f() {}\n").is_empty());
-    }
-
-    #[test]
-    fn comments_and_strings_do_not_confuse_the_scanner() {
-        let src = "// g().unwrap()\nfn f() { let s = \"// not a comment\"; }\n";
-        assert!(findings_for("pdisk", src).is_empty());
-        // A brace inside a string must not end the test region early.
-        let src = "#[cfg(test)]\nmod tests {\n  const S: &str = \"}\";\n  fn t() { g().unwrap(); }\n}\n";
-        assert!(findings_for("pdisk", src).is_empty());
-    }
+    let manifest = PathBuf::from(env!("CARGO_MANIFEST_DIR"));
+    manifest
+        .ancestors()
+        .nth(2)
+        .map(|p| p.to_path_buf())
+        .unwrap_or(manifest)
 }

@@ -1,0 +1,81 @@
+//! Every error variant the engines can surface must render a
+//! non-empty, stable `Display` line: the server's wire protocol, the
+//! CLI, and the test assertions all grep these strings, so a variant
+//! silently rendering empty (or drifting) breaks failure reporting in
+//! ways nothing else tests.
+
+use dsm::DsmError;
+use pdisk::PdiskError;
+use srm_core::SrmError;
+use srm_server::JobError;
+
+fn pdisk_io() -> PdiskError {
+    PdiskError::BadGeometry("D = 0".into())
+}
+
+/// Render, assert non-empty, and assert the stable marker substring.
+fn check(err: &dyn std::fmt::Display, marker: &str) {
+    let s = err.to_string();
+    assert!(!s.is_empty(), "Display must be non-empty (marker {marker:?})");
+    assert!(
+        s.contains(marker),
+        "Display {s:?} lost its stable marker {marker:?}"
+    );
+}
+
+#[test]
+fn every_srm_error_variant_renders() {
+    let cases: Vec<(SrmError, &str)> = vec![
+        (SrmError::Disk(pdisk_io()), "disk error"),
+        (SrmError::Config("r too big".into()), "configuration error"),
+        (SrmError::Checkpoint("torn manifest".into()), "checkpoint error"),
+        (SrmError::Internal("lemma 1".into()), "internal invariant violated"),
+        (SrmError::Interrupted, "interrupted at a pass boundary"),
+    ];
+    for (err, marker) in &cases {
+        check(err, marker);
+    }
+}
+
+#[test]
+fn every_dsm_error_variant_renders() {
+    let cases: Vec<(DsmError, &str)> = vec![
+        (DsmError::Disk(pdisk_io()), "disk error"),
+        (DsmError::Config("m too small".into()), "configuration error"),
+        (DsmError::Checkpoint("bad checksum".into()), "checkpoint error"),
+        (DsmError::Interrupted, "interrupted at a pass boundary"),
+    ];
+    for (err, marker) in &cases {
+        check(err, marker);
+    }
+}
+
+#[test]
+fn every_job_error_variant_renders() {
+    let cases: Vec<(JobError, &str)> = vec![
+        (JobError::Disk(pdisk_io()), "disk error"),
+        (JobError::Config("records = 0".into()), "job configuration error"),
+        (JobError::Checkpoint("stale epoch".into()), "checkpoint error"),
+        (JobError::Interrupted, "interrupted at a pass boundary"),
+        (JobError::Engine("queue underflow".into()), "engine invariant violated"),
+        (JobError::Io("spec unreadable".into()), "i/o error"),
+        (JobError::Model("two blocks on disk 3".into()), "model-rule violation"),
+    ];
+    for (err, marker) in &cases {
+        check(err, marker);
+    }
+}
+
+/// The `Interrupted` renderings must keep promising that the
+/// checkpoint landed first — resumability is the contract PR 5/6
+/// tests and operators rely on.
+#[test]
+fn interrupted_renderings_promise_a_checkpoint() {
+    for s in [
+        SrmError::Interrupted.to_string(),
+        DsmError::Interrupted.to_string(),
+        JobError::Interrupted.to_string(),
+    ] {
+        assert!(s.contains("checkpoint journaled"), "{s:?}");
+    }
+}
