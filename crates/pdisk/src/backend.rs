@@ -255,6 +255,22 @@ pub trait DiskArray<R: Record> {
         }
     }
 
+    /// Speculative read-ahead hint: the caller predicts it will read
+    /// these blocks soon (in SRM, straight from the §4 forecasting
+    /// tables).  A backend may start fetching them in the background so
+    /// a later [`DiskArray::read`] / [`DiskArray::submit_read`] of the
+    /// same address completes without waiting on the device.
+    ///
+    /// This is a *hint with no semantics*: it is not a parallel I/O
+    /// operation of the model, charges nothing to [`IoStats`], emits no
+    /// trace events, and may be ignored entirely — the default does
+    /// exactly that, so simulation backends and wrapper stacks degrade
+    /// to depth-1 pipelining unchanged.  [`crate::FileDiskArray`]
+    /// overrides it with a per-worker speculative cache.
+    fn prefetch(&mut self, addrs: &[BlockAddr]) {
+        let _ = addrs;
+    }
+
     /// Durability barrier: flush everything written so far to stable
     /// storage before returning.  Simulation backends are trivially
     /// durable, so the default is a no-op; [`crate::FileDiskArray`]

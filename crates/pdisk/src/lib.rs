@@ -74,7 +74,7 @@ pub use cluster::ClusteredDiskArray;
 pub use crash::{CrashClock, CrashingDiskArray};
 pub use error::{FaultKind, FaultOp, PdiskError, Result};
 pub use faulty::{FaultModel, FaultPlan, FaultyDiskArray, ScriptedFault};
-pub use file::FileDiskArray;
+pub use file::{FileDiskArray, PrefetchStats, WRITE_BEHIND_LIMIT};
 pub use geometry::Geometry;
 pub use interrupt::InterruptFlag;
 pub use mem::MemDiskArray;

@@ -44,6 +44,34 @@ pub struct PoolStats {
     pub returned_bytes: u64,
 }
 
+impl PoolStats {
+    /// Fraction of record-buffer draws served from the pool, in
+    /// `[0, 1]`; `None` before any draw happened.
+    pub fn record_hit_rate(&self) -> Option<f64> {
+        let total = self.fresh_records + self.reused_records;
+        (total > 0).then(|| self.reused_records as f64 / total as f64)
+    }
+
+    /// Fraction of byte-buffer draws served from the pool, in `[0, 1]`;
+    /// `None` before any draw happened.
+    pub fn byte_hit_rate(&self) -> Option<f64> {
+        let total = self.fresh_bytes + self.reused_bytes;
+        (total > 0).then(|| self.reused_bytes as f64 / total as f64)
+    }
+
+    /// Hit rate over both buffer kinds combined; `None` before any draw.
+    pub fn hit_rate(&self) -> Option<f64> {
+        let total = self.fresh_records + self.reused_records + self.fresh_bytes + self.reused_bytes;
+        (total > 0).then(|| (self.reused_records + self.reused_bytes) as f64 / total as f64)
+    }
+
+    /// Pool misses: draws that had to allocate because the pool was
+    /// empty (both kinds).
+    pub fn misses(&self) -> u64 {
+        self.fresh_records + self.fresh_bytes
+    }
+}
+
 #[derive(Debug)]
 struct PoolInner<R> {
     records: Vec<Vec<R>>,

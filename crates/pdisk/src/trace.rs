@@ -539,6 +539,14 @@ impl<R: Record, A: DiskArray<R>> DiskArray<R> for TracingDiskArray<R, A> {
         Ok(())
     }
 
+    fn prefetch(&mut self, addrs: &[BlockAddr]) {
+        // Deliberately untraced: a prefetch hint is not an operation of
+        // the model (nothing is charged, the op sequence is unchanged),
+        // so forwarding it silently keeps traced runs representative of
+        // the untraced ones the benchmarks time.
+        self.inner.prefetch(addrs);
+    }
+
     fn sync(&mut self) -> Result<()> {
         self.inner.sync()
     }

@@ -48,7 +48,7 @@ USAGE:
   srm sort [--records N] [--d D] [--b B] [--k K | --m M] [--algo srm|dsm|both]
            [--backend mem|file] [--dir PATH] [--seed S]
            [--placement random|staggered] [--formation load|parload|rs]
-           [--threads N] [--pipeline] [--keep]
+           [--threads N] [--pipeline] [--read-ahead K] [--keep]
            [--fault-rate R] [--fault-seed S] [--resume MANIFEST]
            [--parity] [--kill-disk D@PASS] [--slow-disk D:F[,D:F...]]
            [--hedge-after MULT] [--check-model]
@@ -64,6 +64,9 @@ USAGE:
       (DESIGN.md §9).  The operation sequence, I/O accounting, and
       output bytes are identical to the blocking engine — only the
       waiting overlaps — so --check-model and --resume work unchanged.
+      --read-ahead K additionally hints the next K forecast-predicted
+      blocks per disk to the backend as speculative reads (DESIGN.md
+      §14; SRM pipelined engine only, default 0).
       --threads N sizes parallel run formation (and implies
       --formation parload when --formation is not given).
 
@@ -130,8 +133,8 @@ USAGE:
       any block is unrepairable.
 
   srm crash-matrix [--records N] [--d D] [--b B] [--k K | --m M]
-           [--seed S] [--pipeline] [--parity] [--backend mem|file]
-           [--dir PATH] [--no-check]
+           [--seed S] [--pipeline] [--read-ahead K] [--parity]
+           [--backend mem|file] [--dir PATH] [--no-check]
       Exhaustive crash-point exploration: dry-run a small checkpointed
       sort to number its N I/O boundaries, then for every K in 0..N
       crash at boundary K, reboot (only the disks and sidecar files
@@ -244,6 +247,7 @@ pub fn sort(argv: &[String]) -> i32 {
             other => return Err(format!("unknown formation `{other}`").into()),
         };
         let pipeline = flags.has("pipeline");
+        let read_ahead: usize = flags.get_or("read-ahead", 0)?;
         let fault_rate: f64 = flags.get_or("fault-rate", 0.0)?;
         if !(0.0..1.0).contains(&fault_rate) {
             return Err(format!("--fault-rate {fault_rate} outside [0, 1)").into());
@@ -324,6 +328,7 @@ pub fn sort(argv: &[String]) -> i32 {
             placement,
             formation,
             pipeline,
+            read_ahead,
             fault_rate,
             fault_seed,
             ..JobSpec::default()
@@ -1035,6 +1040,7 @@ pub fn crash_matrix(argv: &[String]) -> i32 {
             geom,
             seed,
             pipeline: flags.has("pipeline"),
+            read_ahead: flags.get_or("read-ahead", 0)?,
             parity: flags.has("parity"),
             backend,
             check_recovery: !flags.has("no-check"),

@@ -103,6 +103,18 @@ impl ForecastTable {
         self.ordered.iter().filter_map(|s| s.first()).min().copied()
     }
 
+    /// Up to `k` predicted *future* reads on disk `i`, in participation
+    /// order, **excluding** the frontier entry (rank 1): ranks 2, 3, …
+    /// of that disk's table.  The rank-1 entry is what the next `ParRead`
+    /// fetches from the disk anyway; the deeper ranks are the blocks a
+    /// read-ahead cache should warm.  Every returned key is a real block
+    /// the merge must eventually read — forecast entries only ever move
+    /// *earlier* (flushes lower them), never away — so prefetching them
+    /// is never wasted work.
+    pub fn upcoming(&self, disk: DiskId, k: usize) -> impl Iterator<Item = BlockKey> + '_ {
+        self.ordered[disk.index()].iter().skip(1).take(k).copied()
+    }
+
     /// True when no disk has any unread block.
     pub fn is_empty(&self) -> bool {
         self.ordered.iter().all(|s| s.is_empty())

@@ -23,6 +23,8 @@
 //! * [`output`] — forecast-formatted run writing with full write
 //!   parallelism (§3, §5.1's `M_W`);
 //! * [`merge`] — the record-level merge engine (§5);
+//! * [`merge_path`] — Merge Path diagonal partitioning (Green/Odeh/Birk)
+//!   for deterministic multi-threaded in-memory merging;
 //! * [`naive`] — the demand-paged strawman merger of §3, kept for the
 //!   adversarial comparison (experiment X6);
 //! * [`run_formation`] — initial runs: memory-load sort and replacement
@@ -44,6 +46,7 @@ pub mod forecast;
 pub mod key;
 pub mod loser_tree;
 pub mod merge;
+pub mod merge_path;
 pub mod naive;
 pub mod output;
 pub mod par_sort;
@@ -56,7 +59,8 @@ pub mod sort;
 pub use checkpoint::{resume_point, ResumePoint, SortManifest};
 pub use error::{Result, SrmError};
 pub use key::{BlockKey, RunId};
-pub use merge::{merge_runs, merge_runs_pipelined, MergeOutcome, MergeStats};
+pub use merge::{merge_runs, merge_runs_pipelined, merge_runs_pipelined_deep, MergeOutcome, MergeStats};
+pub use merge_path::{diagonal_split, merge_pair_into, par_merge_sorted_chunks};
 pub use naive::{naive_merge_count, NaiveMergeStats};
 pub use output::{read_run, RunWriter};
 pub use run_formation::{form_runs, form_runs_pipelined, RunFormation};

@@ -117,7 +117,7 @@ pub fn merge_runs<R: Record, A: DiskArray<R>>(
     runs: &[StripedRun],
     out_start_disk: DiskId,
 ) -> Result<MergeOutcome> {
-    merge_impl(array, runs, out_start_disk, false)
+    merge_impl(array, runs, out_start_disk, false, 0)
 }
 
 /// Like [`merge_runs`], but overlapping disk time with merge time via the
@@ -165,7 +165,59 @@ pub fn merge_runs_pipelined<R: Record, A: DiskArray<R>>(
     runs: &[StripedRun],
     out_start_disk: DiskId,
 ) -> Result<MergeOutcome> {
-    merge_impl(array, runs, out_start_disk, true)
+    merge_impl(array, runs, out_start_disk, true, 0)
+}
+
+/// Like [`merge_runs_pipelined`], but additionally hinting the backend
+/// about the next `read_ahead` *predicted* blocks per disk via
+/// [`DiskArray::prefetch`] every time a read is submitted.
+///
+/// The candidates come straight from the forecasting table: ranks 2..
+/// of each disk's FDS column (rank 1 is the frontier the submitted read
+/// already fetches), taken round-robin by rank across disks.  Every FDS
+/// entry is a block the merge *will* read — the forecast is exact, not
+/// heuristic — so no hint is ever wasted.  The hint count is capped by
+/// the Definition-3 occupancy slack `(R + D − |F_t| − pending) + D`
+/// (the buffers admission could hand out before the next submit, plus
+/// the `M_D` demand buffers), so deep read-ahead never overshoots what
+/// the schedule could accept.
+///
+/// Hints carry **no semantics**: they are not charged to
+/// [`pdisk::IoStats`], not traced, and backends may ignore them
+/// entirely (the default implementation does).  The logical operation
+/// sequence is therefore byte-identical to [`merge_runs_pipelined`] and
+/// [`merge_runs`] at every depth — only wall-clock changes, because a
+/// file backend can overlap the *next several* parallel reads with
+/// merge work instead of just one.
+///
+/// # Examples
+///
+/// ```
+/// use pdisk::{DiskId, Geometry, MemDiskArray, U64Record};
+/// use srm_core::{merge_runs_pipelined_deep, read_run, RunWriter};
+///
+/// let geom = Geometry::new(2, 4, 1000)?;
+/// let mut disks: MemDiskArray<U64Record> = MemDiskArray::new(geom);
+/// let mut handles = Vec::new();
+/// for (start, keys) in [(0u32, [1u64, 3, 5, 7]), (1, [2, 4, 6, 8])] {
+///     let mut w = RunWriter::new(geom, DiskId(start));
+///     for k in keys { w.push(&mut disks, U64Record(k))?; }
+///     handles.push(w.finish(&mut disks)?);
+/// }
+///
+/// let out = merge_runs_pipelined_deep(&mut disks, &handles, DiskId(0), 4)?;
+/// let merged = read_run(&mut disks, &out.run)?;
+/// assert_eq!(merged.iter().map(|r| r.0).collect::<Vec<_>>(),
+///            vec![1, 2, 3, 4, 5, 6, 7, 8]);
+/// # Ok::<(), srm_core::SrmError>(())
+/// ```
+pub fn merge_runs_pipelined_deep<R: Record, A: DiskArray<R>>(
+    array: &mut A,
+    runs: &[StripedRun],
+    out_start_disk: DiskId,
+    read_ahead: usize,
+) -> Result<MergeOutcome> {
+    merge_impl(array, runs, out_start_disk, true, read_ahead)
 }
 
 fn merge_impl<R: Record, A: DiskArray<R>>(
@@ -173,6 +225,7 @@ fn merge_impl<R: Record, A: DiskArray<R>>(
     runs: &[StripedRun],
     out_start_disk: DiskId,
     pipelined: bool,
+    read_ahead: usize,
 ) -> Result<MergeOutcome> {
     let geom = array.geometry();
     if runs.is_empty() {
@@ -227,6 +280,7 @@ fn merge_impl<R: Record, A: DiskArray<R>>(
             RunWriter::new(geom, out_start_disk)
         },
         in_flight: None,
+        read_ahead,
         pool: array.buffer_pool().cloned(),
         trace,
     };
@@ -249,6 +303,9 @@ struct Merger<'a, R: Record> {
     /// The one read in flight (pipelined engine only; always `None` in
     /// the serial engine).
     in_flight: Option<InFlightRead<R>>,
+    /// Forecast-driven prefetch depth `K`: predicted blocks per disk to
+    /// hint at every submit (0 = no hints; serial engine ignores it).
+    read_ahead: usize,
     /// Recycling pool shared with the backend, if the stack has one.
     pool: Option<BufferPool<R>>,
     /// Annotation sink, cloned from the array's installed trace (if any).
@@ -468,7 +525,59 @@ impl<R: Record> Merger<'_, R> {
             flushed,
             pending,
         });
+        if self.read_ahead > 0 {
+            self.hint_read_ahead(array);
+        }
         Ok(())
+    }
+
+    /// Hint the backend about the next `read_ahead` forecast-predicted
+    /// blocks per disk (ranks 2.. of each FDS column — rank 1 is in the
+    /// flight just submitted), round-robin by rank across disks so one
+    /// deep column cannot starve the others.
+    ///
+    /// Depth is capped by Definition-3 occupancy accounting: the
+    /// backend's speculative cache holds at most `K` raw block images
+    /// per disk, and `K` is clamped to `(R + D) / D` so the cache never
+    /// exceeds the `R + D` blocks of the `M_R` budget — a second,
+    /// physical-layer copy of the fetch-set allowance, never more.
+    /// (The cache is *not* scheduler memory: admission's `|F_t| ≤ R + D`
+    /// bound still governs what the merge holds decoded, and every
+    /// hinted block is one the schedule will demand-read — the forecast
+    /// is exact — so no admission decision is ever preempted.)  Pure
+    /// hint — uncharged, untraced, semantics-free — so the op sequence
+    /// is untouched at any depth.
+    fn hint_read_ahead<A: DiskArray<R>>(&mut self, array: &mut A) {
+        let d = self.geom.d;
+        let k_cap = (self.runs.len() + d) / d;
+        let depth = self.read_ahead.min(k_cap.max(1));
+        let budget = depth * d;
+        if budget == 0 {
+            return;
+        }
+        let per_disk: Vec<Vec<BlockAddr>> = (0..d)
+            .map(|i| {
+                self.sched
+                    .fds()
+                    .upcoming(DiskId::from_index(i), depth)
+                    .map(|k| self.addr_of(&k))
+                    .collect()
+            })
+            .collect();
+        let mut addrs: Vec<BlockAddr> = Vec::with_capacity(budget);
+        'fill: for rank in 0..depth {
+            for column in &per_disk {
+                if let Some(&a) = column.get(rank) {
+                    addrs.push(a);
+                    if addrs.len() == budget {
+                        break 'fill;
+                    }
+                }
+            }
+        }
+        if !addrs.is_empty() {
+            array.prefetch(&addrs);
+        }
     }
 
     /// Pipelined step 2: wait for the in-flight read and apply its
@@ -957,6 +1066,41 @@ mod tests {
             (a.stats(), out.stats)
         };
         assert_eq!(drive(true), drive(false));
+    }
+
+    /// Deep read-ahead is a pure hint: output, scheduling counters, and
+    /// backend I/O are identical to the serial engine at every depth.
+    #[test]
+    fn deep_read_ahead_is_schedule_invisible() {
+        let mut rng = SmallRng::seed_from_u64(321);
+        for &(d, b, n_runs) in &[(2usize, 4usize, 3usize), (4, 8, 7), (3, 2, 6)] {
+            let geom = Geometry::new(d, b, 1_000_000).unwrap();
+            let runs = random_sorted_runs(&mut rng, n_runs, 1..200);
+            let starts: Vec<u32> = (0..n_runs).map(|_| rng.random_range(0..d as u32)).collect();
+            let drive = |depth: Option<usize>| {
+                let mut a: MemDiskArray<U64Record> = MemDiskArray::new(geom);
+                let handles: Vec<StripedRun> = runs
+                    .iter()
+                    .zip(&starts)
+                    .map(|(keys, &s)| put_run(&mut a, geom, s, keys))
+                    .collect();
+                a.reset_stats();
+                let out = match depth {
+                    Some(k) => {
+                        merge_runs_pipelined_deep(&mut a, &handles, DiskId(0), k).unwrap()
+                    }
+                    None => merge_runs(&mut a, &handles, DiskId(0)).unwrap(),
+                };
+                let io = a.stats();
+                let keys: Vec<u64> =
+                    read_run(&mut a, &out.run).unwrap().iter().map(|r| r.0).collect();
+                (keys, out.stats, io)
+            };
+            let serial = drive(None);
+            for depth in [1usize, 3, 8] {
+                assert_eq!(drive(Some(depth)), serial, "d={d} b={b} depth={depth}");
+            }
+        }
     }
 
     #[test]

@@ -53,11 +53,14 @@ pub struct RunWriter<R: Record> {
     last_key: Option<u64>,
     stripes_written: u64,
     finished: bool,
-    /// Write-behind mode: stripes are `submit_write`-ten and completed one
-    /// stripe later, so disk time hides behind record production.
+    /// Write-behind mode: stripes are `submit_write`-ten and completed up
+    /// to [`pdisk::WRITE_BEHIND_LIMIT`] stripes later, so disk time hides
+    /// behind record production.
     pipelined: bool,
-    /// The one stripe write in flight (pipelined mode only).
-    ticket: Option<WriteTicket>,
+    /// Stripe writes in flight, oldest first (pipelined mode only; at
+    /// most [`pdisk::WRITE_BEHIND_LIMIT`] deep — the torn-write window
+    /// [`pdisk::FileDiskArray`] recovery tolerates is sized to match).
+    tickets: VecDeque<WriteTicket>,
 }
 
 impl<R: Record> RunWriter<R> {
@@ -77,16 +80,18 @@ impl<R: Record> RunWriter<R> {
             stripes_written: 0,
             finished: false,
             pipelined: false,
-            ticket: None,
+            tickets: VecDeque::new(),
         }
     }
 
     /// Like [`RunWriter::new`], but with write-behind: each stripe is
     /// submitted (via [`DiskArray::submit_write`]) at exactly the record
     /// position [`RunWriter::new`] would write it — so the operation
-    /// sequence and [`pdisk::IoStats`] are identical — and completed just
-    /// before the *next* stripe is submitted (or in
-    /// [`RunWriter::finish`]), keeping at most one stripe in flight.
+    /// sequence and [`pdisk::IoStats`] are identical — and completed up
+    /// to [`pdisk::WRITE_BEHIND_LIMIT`] stripe submissions later (or in
+    /// [`RunWriter::finish`]), keeping a bounded window of stripes in
+    /// flight.  Completions happen oldest-first, so durability order
+    /// matches submission order.
     pub fn new_pipelined(geom: Geometry, start_disk: DiskId) -> Self {
         RunWriter {
             pipelined: true,
@@ -185,14 +190,18 @@ impl<R: Record> RunWriter<R> {
             ));
         }
         if self.pipelined {
-            // Write-behind: retire the previous stripe, then put this one
-            // in flight.  Submission (where the operation is charged and
-            // traced) happens at the same record position the serial
-            // writer's `write` would, so the I/O sequence is unchanged.
-            if let Some(ticket) = self.ticket.take() {
-                array.complete_write(ticket)?;
+            // Write-behind: retire the oldest stripes down to the window
+            // bound, then put this one in flight.  Submission (where the
+            // operation is charged and traced) happens at the same record
+            // position the serial writer's `write` would, so the I/O
+            // sequence is unchanged — only completion is deferred.
+            while self.tickets.len() >= pdisk::WRITE_BEHIND_LIMIT {
+                let Some(oldest) = self.tickets.pop_front() else {
+                    break;
+                };
+                array.complete_write(oldest)?;
             }
-            self.ticket = Some(array.submit_write(writes)?);
+            self.tickets.push_back(array.submit_write(writes)?);
         } else {
             array.write(writes)?;
         }
@@ -200,17 +209,19 @@ impl<R: Record> RunWriter<R> {
         Ok(())
     }
 
-    /// Abandon the write-behind ticket without completing it; returns
-    /// whether one was in flight.
+    /// Abandon all write-behind tickets without completing them; returns
+    /// whether any were in flight.
     ///
-    /// Error-path only (see `Merger::quiesce`): the submitted stripe
+    /// Error-path only (see `Merger::quiesce`): the submitted stripes
     /// may or may not have landed — in a real crash that is exactly a
-    /// torn write.  Its trace shows `Write` with no `WriteDurable`, so
-    /// the modelcheck durability invariant rejects any replay that
-    /// reads it, and resume rewrites the frames from the last durable
-    /// checkpoint.
+    /// torn-write window.  Their traces show `Write` with no
+    /// `WriteDurable`, so the modelcheck durability invariant rejects
+    /// any replay that reads them, and resume rewrites the frames from
+    /// the last durable checkpoint.
     pub(crate) fn abandon_ticket(&mut self) -> bool {
-        self.ticket.take().is_some()
+        let had = !self.tickets.is_empty();
+        self.tickets.clear();
+        had
     }
 
     /// Records pushed so far.
@@ -237,7 +248,7 @@ impl<R: Record> RunWriter<R> {
         while !self.pending.is_empty() {
             self.write_stripe(array, self.geom.d)?;
         }
-        if let Some(ticket) = self.ticket.take() {
+        while let Some(ticket) = self.tickets.pop_front() {
             array.complete_write(ticket)?;
         }
         let len_blocks = self.emitted_blocks;

@@ -4,15 +4,18 @@
 //! modern multi-core host that internal sort is CPU-bound while the I/O
 //! system idles.  This module provides a fork-join sort built on
 //! `std::thread::scope`: split the load into per-thread chunks,
-//! `sort_unstable` each in parallel, then merge the sorted chunks through
-//! the same tournament tree the external merge uses.
+//! `sort_unstable` each in parallel, then merge the sorted chunks
+//! pairwise with [`crate::merge_path`]'s diagonal partitioning, so the
+//! merge phase is also spread across the workers instead of running on
+//! one core (the single-threaded tournament tree it replaces was the
+//! CPU bottleneck of the sort).
 //!
 //! Determinism: for a fixed `threads` the result is deterministic.  Like
 //! `sort_unstable`, the relative order of *equal keys* is unspecified
 //! (and may differ across `threads` values); all sorters in this
 //! repository order by key only, so sorted output is unaffected.
 
-use crate::loser_tree::LoserTree;
+use crate::merge_path::par_merge_sorted_chunks;
 use pdisk::Record;
 
 /// Sort `records` by key using up to `threads` worker threads.
@@ -36,30 +39,11 @@ pub fn par_sort_by_key<R: Record>(records: &mut Vec<R>, threads: usize) {
         }
     });
 
-    // Phase 2: k-way merge of the sorted chunks.
-    let mut cursors: Vec<usize> = (0..records.len()).step_by(chunk).collect();
-    let ends: Vec<usize> = cursors
-        .iter()
-        .map(|&start| (start + chunk).min(n))
-        .collect();
-    let initial: Vec<u64> = cursors
-        .iter()
-        .map(|&c| records[c].key())
-        .collect();
-    let mut tree = LoserTree::new(initial);
-    let mut out: Vec<R> = Vec::with_capacity(n);
-    while !tree.all_exhausted() {
-        let (leaf, _) = tree.peek();
-        out.push(records[cursors[leaf]]);
-        cursors[leaf] += 1;
-        let next = if cursors[leaf] < ends[leaf] {
-            records[cursors[leaf]].key()
-        } else {
-            u64::MAX
-        };
-        tree.update(leaf, next);
-    }
-    *records = out;
+    // Phase 2: pairwise Merge Path reduction of the sorted chunks, each
+    // pair split across the same worker threads.  Output-identical to
+    // the serial tournament-tree merge this replaces (lower chunk index
+    // wins equal keys in both).
+    par_merge_sorted_chunks(records, chunk, threads);
 }
 
 #[cfg(test)]

@@ -13,7 +13,7 @@
 
 use crate::checkpoint::SortManifest;
 use crate::error::{Result, SrmError};
-use crate::merge::{merge_runs, merge_runs_pipelined, MergeStats};
+use crate::merge::{merge_runs, merge_runs_pipelined_deep, MergeStats};
 use crate::run_formation::{form_runs, form_runs_pipelined, RunFormation};
 use crate::scheduler::ScheduleStats;
 use pdisk::{
@@ -153,11 +153,17 @@ impl Placer {
 #[derive(Debug, Clone, Default)]
 pub struct SrmSorter {
     config: SrmConfig,
-    /// Use the pipelined merge engine ([`merge_runs_pipelined`]).  Not
-    /// part of [`SrmConfig`] because it does not affect the I/O schedule
-    /// or the output — checkpoint manifests stay compatible, and a sort
-    /// may even be resumed under the other engine.
+    /// Use the pipelined merge engine
+    /// ([`crate::merge::merge_runs_pipelined`]).  Not part of
+    /// [`SrmConfig`] because it does not affect the I/O schedule or the
+    /// output — checkpoint manifests stay compatible, and a sort may
+    /// even be resumed under the other engine.
     pipeline: bool,
+    /// Forecast-driven prefetch depth per disk for pipelined merges
+    /// (see [`merge_runs_pipelined_deep`]); 0 disables hints.  Like
+    /// `pipeline`, a pure wall-clock knob: the schedule, output, and
+    /// stats are identical at every depth.
+    read_ahead: usize,
     /// Crash clock shared with a [`pdisk::CrashingDiskArray`] wrapping
     /// the array, so manifest writes get their own numbered crash
     /// boundaries alongside the I/O ones.
@@ -177,17 +183,19 @@ impl SrmSorter {
         SrmSorter {
             config,
             pipeline: false,
+            read_ahead: 0,
             crash: None,
             interrupt: None,
         }
     }
 
     /// Overlap disk time with merge time: run every merge through
-    /// [`merge_runs_pipelined`] (read-ahead via split-phase reads,
-    /// write-behind on the output run).  The I/O schedule, the output,
-    /// the [`IoStats`] deltas, and the model-check trace's operation
-    /// sequence are identical to the serial engine; only wall-clock
-    /// behavior on a real backend changes.
+    /// [`crate::merge::merge_runs_pipelined`] (read-ahead via
+    /// split-phase reads, write-behind on the output run).  The I/O
+    /// schedule, the output, the [`IoStats`] deltas, and the
+    /// model-check trace's operation sequence are identical to the
+    /// serial engine; only wall-clock behavior on a real backend
+    /// changes.
     pub fn with_pipeline(mut self, on: bool) -> Self {
         self.pipeline = on;
         self
@@ -196,6 +204,21 @@ impl SrmSorter {
     /// Whether merges run on the pipelined engine.
     pub fn pipeline(&self) -> bool {
         self.pipeline
+    }
+
+    /// Set the forecast-driven prefetch depth for pipelined merges: at
+    /// every submitted read, hint the backend about the next `depth`
+    /// predicted blocks per disk (see [`merge_runs_pipelined_deep`]).
+    /// Ignored unless [`SrmSorter::with_pipeline`] is on.  Schedule,
+    /// output, and stats are unchanged at any depth.
+    pub fn with_read_ahead(mut self, depth: usize) -> Self {
+        self.read_ahead = depth;
+        self
+    }
+
+    /// The prefetch depth in use (0 = hints disabled).
+    pub fn read_ahead(&self) -> usize {
+        self.read_ahead
     }
 
     /// Share `clock` with the [`pdisk::CrashingDiskArray`] wrapping the
@@ -375,7 +398,7 @@ impl SrmSorter {
                     continue;
                 }
                 let out = if self.pipeline {
-                    merge_runs_pipelined(array, group, placer.next())?
+                    merge_runs_pipelined_deep(array, group, placer.next(), self.read_ahead)?
                 } else {
                     merge_runs(array, group, placer.next())?
                 };

@@ -437,6 +437,9 @@ pub struct JobSpec {
     pub formation: RunFormation,
     /// Use the pipelined (split-phase) merge engine.
     pub pipeline: bool,
+    /// Forecast-driven read-ahead depth for the pipelined SRM engine
+    /// (0 = demand reads only; ignored when `pipeline` is off).
+    pub read_ahead: usize,
     /// Per-job execution deadline in milliseconds, checked at pass
     /// boundaries: overruns checkpoint, then abort.
     pub deadline_ms: Option<u64>,
@@ -459,6 +462,7 @@ impl Default for JobSpec {
             placement: Placement::Random,
             formation: RunFormation::MemoryLoad { fraction: 0.5 },
             pipeline: false,
+            read_ahead: 0,
             deadline_ms: None,
             fault_rate: 0.0,
             fault_seed: 0xFA_017,
@@ -517,7 +521,9 @@ impl JobSpec {
 
     /// Build the SRM engine — THE one way drivers construct it.
     pub fn srm_sorter(&self) -> SrmSorter {
-        SrmSorter::new(self.srm_config()).with_pipeline(self.pipeline)
+        SrmSorter::new(self.srm_config())
+            .with_pipeline(self.pipeline)
+            .with_read_ahead(self.read_ahead)
     }
 
     /// Build the DSM engine.
@@ -574,6 +580,7 @@ impl JobSpec {
             ),
             ("formation", formation),
             ("pipeline", u8::from(self.pipeline).to_string()),
+            ("read-ahead", self.read_ahead.to_string()),
             ("fault-rate", self.fault_rate.to_string()),
             ("fault-seed", self.fault_seed.to_string()),
         ];
@@ -629,6 +636,7 @@ impl JobSpec {
                         _ => return Err(bad(k, v)),
                     }
                 }
+                "read-ahead" => spec.read_ahead = v.parse().map_err(|_| bad(k, v))?,
                 "deadline-ms" => spec.deadline_ms = Some(v.parse().map_err(|_| bad(k, v))?),
                 "fault-rate" => spec.fault_rate = v.parse().map_err(|_| bad(k, v))?,
                 "fault-seed" => spec.fault_seed = v.parse().map_err(|_| bad(k, v))?,
@@ -715,6 +723,7 @@ mod tests {
                 threads: 2,
             },
             pipeline: true,
+            read_ahead: 4,
             deadline_ms: Some(5000),
             fault_rate: 0.01,
             fault_seed: 7,

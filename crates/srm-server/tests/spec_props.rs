@@ -27,7 +27,7 @@ fn arb_spec() -> impl Strategy<Value = JobSpec> {
         (engine, placement, formation),
         (1u64..1_000_000_000, any::<u64>()),
         (1usize..64, 1usize..256, 1usize..100_000),
-        (any::<bool>(), proptest::option::of(1u64..1_000_000)),
+        (any::<bool>(), 0usize..16, proptest::option::of(1u64..1_000_000)),
         // Any f64 in [0, 1) round-trips through Display/parse, but a
         // strategy over raw f64 bits mostly makes denormal noise; a
         // rational grid walks the same code path legibly.
@@ -38,7 +38,7 @@ fn arb_spec() -> impl Strategy<Value = JobSpec> {
                 (engine, placement, formation),
                 (records, seed),
                 (d, b, m),
-                (pipeline, deadline_ms),
+                (pipeline, read_ahead, deadline_ms),
                 (fr, fault_seed),
             )| JobSpec {
                 engine,
@@ -50,6 +50,7 @@ fn arb_spec() -> impl Strategy<Value = JobSpec> {
                 placement,
                 formation,
                 pipeline,
+                read_ahead,
                 deadline_ms,
                 fault_rate: f64::from(fr) / 1000.0,
                 fault_seed,

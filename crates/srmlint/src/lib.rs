@@ -69,6 +69,11 @@ pub struct Analysis {
     pub files: usize,
     /// The static lock-order graph.
     pub graph: locks::LockGraph,
+    /// Every `#[srmlint::worker_entry]` function found, as
+    /// `module::name` — the roots the blocking and interrupt passes
+    /// patrol.  Tests pin this list so a new thread spawn site cannot
+    /// silently escape coverage.
+    pub worker_entries: Vec<String>,
 }
 
 /// Analyze the workspace rooted at `root` (its `crates/*/src` trees),
@@ -134,6 +139,16 @@ pub fn analyze_crate_dirs(crate_dirs: &[PathBuf], lock_crates: Option<&[&str]>) 
     protocol::run(&files_parsed, &idx, &mut findings);
     blocking::run(&idx, &mut findings);
     interrupt::run(&idx, &mut findings);
+    let mut worker_entries: Vec<String> = idx
+        .all_fns()
+        .filter(|&id| idx.item(id).has_attr("srmlint::worker_entry"))
+        .map(|id| {
+            let it = idx.item(id);
+            format!("{}::{}", it.module, it.name)
+        })
+        .collect();
+    worker_entries.sort();
+    worker_entries.dedup();
 
     findings.sort_by(|a, b| {
         (&a.path, a.line, a.rule).cmp(&(&b.path, b.line, b.rule))
@@ -142,6 +157,7 @@ pub fn analyze_crate_dirs(crate_dirs: &[PathBuf], lock_crates: Option<&[&str]>) 
         findings,
         files,
         graph,
+        worker_entries,
     }
 }
 

@@ -182,4 +182,17 @@ fn real_workspace_is_clean() {
     // The declared leaves really are leaves.
     assert!(analysis.graph.nodes["pdisk::trace::TraceSink.buf"]);
     assert!(analysis.graph.nodes["pdisk::crash::CrashClock.0"]);
+    // Every thread-spawning site is a known worker entry, so the
+    // blocking and interrupt passes patrol it: the per-disk I/O
+    // workers and the Merge Path segment workers.
+    for entry in [
+        "pdisk::file::spawn_worker",
+        "srm_core::merge_path::merge_segment",
+    ] {
+        assert!(
+            analysis.worker_entries.iter().any(|e| e == entry),
+            "expected worker entry `{entry}`: {:?}",
+            analysis.worker_entries
+        );
+    }
 }

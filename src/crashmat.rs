@@ -54,6 +54,11 @@ pub struct MatrixConfig {
     pub seed: u64,
     /// Drive the merges through the pipelined (split-phase) engine.
     pub pipeline: bool,
+    /// Forecast read-ahead depth for the pipelined engine (0 = demand
+    /// reads only) — the sweep must stay crash-clean at depth > 1,
+    /// where speculative backend reads and the deeper write-behind
+    /// window are live across every crash point.
+    pub read_ahead: usize,
     /// Put rotating parity under the sort; the parity sidecar store
     /// persists across the crash like the disks do.
     pub parity: bool,
@@ -91,6 +96,7 @@ fn job_spec(cfg: &MatrixConfig) -> JobSpec {
         b: cfg.geom.b,
         m: cfg.geom.m,
         pipeline: cfg.pipeline,
+        read_ahead: cfg.read_ahead,
         ..JobSpec::default()
     }
 }

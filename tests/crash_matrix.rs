@@ -38,6 +38,10 @@ fn config(tag: &str, pipeline: bool, parity: bool, backend: Backend) -> MatrixCo
         geom: Geometry::new(D, B, 8 * D * B).unwrap(),
         seed: 0x5EED_C4A5,
         pipeline,
+        // Pipelined sweeps run at read-ahead depth 3: every crash point
+        // must recover cleanly with speculative backend reads in flight
+        // and the full write-behind window torn.
+        read_ahead: if pipeline { 3 } else { 0 },
         parity,
         backend,
         check_recovery: true,

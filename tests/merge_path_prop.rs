@@ -1,0 +1,151 @@
+//! Property-based tests for Merge Path partitioning
+//! ([`srm_core::merge_path`]): for *arbitrary* sorted inputs — including
+//! duplicate-heavy keys, empty and singleton sides, and split boundaries
+//! that land inside long equal-key runs — the diagonal split must be the
+//! exact staircase prefix, and the parallel merges must equal the serial
+//! a-first merge (and the tournament-tree k-way merge they replaced)
+//! record for record, at every thread count.
+
+use pdisk::{Record, U64Record};
+use proptest::collection::vec;
+use proptest::prelude::*;
+use srm_core::loser_tree::LoserTree;
+use srm_core::{diagonal_split, merge_pair_into, par_merge_sorted_chunks};
+
+/// Reference a-first serial two-way merge.
+fn serial_merge(a: &[U64Record], b: &[U64Record]) -> Vec<U64Record> {
+    let mut out = Vec::with_capacity(a.len() + b.len());
+    let (mut i, mut j) = (0, 0);
+    while i < a.len() || j < b.len() {
+        if j == b.len() || (i < a.len() && a[i].key() <= b[j].key()) {
+            out.push(a[i]);
+            i += 1;
+        } else {
+            out.push(b[j]);
+            j += 1;
+        }
+    }
+    out
+}
+
+/// Reference k-way merge of `records`' chunk-sized runs through the
+/// tournament tree — the exact code path `par_sort_by_key` used before
+/// Merge Path replaced it.
+fn loser_tree_merge(records: &[U64Record], chunk: usize) -> Vec<U64Record> {
+    let n = records.len();
+    let mut cursors: Vec<usize> = (0..n).step_by(chunk).collect();
+    if cursors.is_empty() {
+        return Vec::new();
+    }
+    let ends: Vec<usize> = cursors.iter().map(|&s| (s + chunk).min(n)).collect();
+    let initial: Vec<u64> = cursors.iter().map(|&c| records[c].key()).collect();
+    let mut tree = LoserTree::new(initial);
+    let mut out = Vec::with_capacity(n);
+    while !tree.all_exhausted() {
+        let (leaf, _) = tree.peek();
+        out.push(records[cursors[leaf]]);
+        cursors[leaf] += 1;
+        let next = if cursors[leaf] < ends[leaf] {
+            records[cursors[leaf]].key()
+        } else {
+            u64::MAX
+        };
+        tree.update(leaf, next);
+    }
+    out
+}
+
+/// A sorted run with aggressively duplicated keys (span 0..8), so split
+/// diagonals routinely fall inside equal-key plateaus.
+fn dup_heavy_run(max_len: usize) -> impl Strategy<Value = Vec<U64Record>> {
+    vec(0u64..8, 0..max_len).prop_map(|mut keys| {
+        keys.sort_unstable();
+        keys.into_iter().map(U64Record).collect()
+    })
+}
+
+/// A sorted run over the full key space.
+fn wide_run(max_len: usize) -> impl Strategy<Value = Vec<U64Record>> {
+    vec(any::<u64>(), 0..max_len).prop_map(|mut keys| {
+        keys.sort_unstable();
+        keys.into_iter().map(U64Record).collect()
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// `diagonal_split(a, b, d)` returns the unique `(i, j)` on diagonal
+    /// `d` whose two prefixes merge to exactly the first `d` records of
+    /// the whole merge — for every diagonal of every input.
+    #[test]
+    fn split_is_the_exact_staircase_prefix(
+        a in dup_heavy_run(120),
+        b in dup_heavy_run(120),
+        pct in 0usize..=100,
+    ) {
+        let whole = serial_merge(&a, &b);
+        let n = a.len() + b.len();
+        let d = n * pct / 100;
+        let (i, j) = diagonal_split(&a, &b, d);
+        prop_assert_eq!(i + j, d);
+        prop_assert_eq!(serial_merge(&a[..i], &b[..j]), whole[..d].to_vec());
+        // Cross-boundary order: nothing in the suffix may precede the
+        // prefix (ties a-first, so b[j-1] < a[i] and a[i-1] <= b[j]).
+        if i > 0 && j < b.len() {
+            prop_assert!(a[i - 1].key() <= b[j].key());
+        }
+        if j > 0 && i < a.len() {
+            prop_assert!(b[j - 1].key() < a[i].key());
+        }
+    }
+
+    /// The parallel pair merge equals the serial a-first merge for every
+    /// thread count, on duplicate-heavy inputs large enough to take the
+    /// threaded path.
+    #[test]
+    fn pair_merge_equals_serial_at_every_thread_count(
+        a in dup_heavy_run(9_000),
+        b in dup_heavy_run(9_000),
+        threads in 1usize..=9,
+    ) {
+        let expected = serial_merge(&a, &b);
+        let mut out = vec![U64Record(0); a.len() + b.len()];
+        merge_pair_into(&a, &b, &mut out, threads);
+        prop_assert_eq!(out, expected);
+    }
+
+    /// Wide keyspace variant: near-duplicate-free inputs, arbitrary
+    /// (possibly empty or singleton) sides.
+    #[test]
+    fn pair_merge_handles_wide_keys_and_tiny_sides(
+        a in wide_run(64),
+        b in wide_run(9_000),
+        threads in 1usize..=9,
+    ) {
+        let expected = serial_merge(&a, &b);
+        let mut out = vec![U64Record(0); a.len() + b.len()];
+        merge_pair_into(&a, &b, &mut out, threads);
+        prop_assert_eq!(out, expected);
+    }
+
+    /// The chunked pairwise reduction reproduces the tournament-tree
+    /// k-way merge exactly, for arbitrary chunk sizes and thread counts.
+    #[test]
+    fn chunked_reduction_equals_loser_tree(
+        keys in vec(0u64..16, 1..30_000),
+        chunk_pct in 2usize..=100,
+        threads in 1usize..=8,
+    ) {
+        let n = keys.len();
+        let chunk = (n * chunk_pct / 100).max(1);
+        let mut v: Vec<U64Record> = keys.into_iter().map(U64Record).collect();
+        for start in (0..n).step_by(chunk) {
+            let end = (start + chunk).min(n);
+            v[start..end].sort_unstable_by_key(|r| r.0);
+        }
+        let expected = loser_tree_merge(&v, chunk);
+        par_merge_sorted_chunks(&mut v, chunk, threads);
+        prop_assert_eq!(v, expected);
+    }
+}

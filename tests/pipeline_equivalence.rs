@@ -181,6 +181,55 @@ fn file_backend_equivalent() {
     let _ = std::fs::remove_dir_all(&dir);
 }
 
+/// Depth-K read-ahead and multi-threaded run formation are pure
+/// wall-clock knobs: on the file backend — the one whose speculative
+/// prefetch cache actually acts on the hints — a pipelined sort at
+/// depth 8 with 4 formation threads must be byte- and op-identical to
+/// the serial engine, and its trace must replay checker-clean.
+#[test]
+fn deep_read_ahead_and_threads_equivalent() {
+    use srm_core::run_formation::RunFormation;
+    use srm_core::sort::SrmConfig;
+
+    let geom = Geometry::new(4, 8, 256).unwrap();
+    let data = random_records(8000, 0xE9);
+    let dir = unique_dir("deep");
+    let config = SrmConfig {
+        run_formation: RunFormation::ParallelMemoryLoad { fraction: 1.0, threads: 4 },
+        ..SrmConfig::default()
+    };
+
+    let drive = |pipeline: bool, depth: usize, sub: &str| -> (Vec<u8>, IoStats) {
+        let sub = dir.join(sub);
+        let mut a = TracingDiskArray::new(FileDiskArray::<U64Record>::create(geom, &sub).unwrap());
+        let input = write_unsorted_input(&mut a, &data).unwrap();
+        let (run, _) = SrmSorter::new(config)
+            .with_pipeline(pipeline)
+            .with_read_ahead(depth)
+            .sort(&mut a, &input)
+            .unwrap_or_else(|e| panic!("sort (pipeline={pipeline} depth={depth}) failed: {e}"));
+        let stats = a.stats();
+        let out = read_run(&mut a, &run).unwrap();
+        let trace = a.take_trace();
+        check_trace(geom, &trace)
+            .unwrap_or_else(|v| panic!("violation (pipeline={pipeline} depth={depth}): {v}"));
+        check_stats(&trace, &a.stats())
+            .unwrap_or_else(|v| panic!("stats drift (pipeline={pipeline} depth={depth}): {v}"));
+        (encode_all(&out), stats)
+    };
+
+    let (serial_out, serial_io) = drive(false, 0, "serial");
+    for depth in [1usize, 3, 8] {
+        let (deep_out, deep_io) = drive(true, depth, &format!("deep-{depth}"));
+        assert_eq!(deep_out, serial_out, "depth {depth}: output must be byte-identical");
+        assert_eq!(deep_io, serial_io, "depth {depth}: IoStats must be identical");
+    }
+    let mut sorted = data.clone();
+    sorted.sort();
+    assert_eq!(serial_out, encode_all(&sorted), "output must be sorted");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
 /// A sort that crashes at a pass boundary and resumes from its manifest
 /// must agree across engines *per session*: same crash point, same
 /// resumed schedule, same final bytes, same combined stats — and every
