@@ -1038,6 +1038,10 @@ pub fn check_stats(events: &[Tagged], stats: &IoStats) -> Result<(), Box<Violati
                 FaultOp::Read => retries[0] += 1,
                 FaultOp::Write => retries[1] += 1,
                 FaultOp::Alloc => retries[2] += 1,
+                // Sync faults are never retryable (fsyncgate), so a
+                // retried sync in a trace is itself a protocol bug;
+                // it would surface as a retry-count mismatch below.
+                FaultOp::Sync => {}
             },
             TraceEvent::Fault {
                 kind: FaultKind::Permanent,

@@ -15,6 +15,11 @@ pub enum FaultKind {
     Transient,
     /// The disk is gone; every future operation on it will fail.
     Permanent,
+    /// The disk is out of space (ENOSPC): writes and allocations fail
+    /// until space is freed, but the condition is *sticky*, not
+    /// per-attempt — re-issuing the same write cannot succeed, so the
+    /// fault is never retryable.  Reads still work.
+    NoSpace,
 }
 
 impl std::fmt::Display for FaultKind {
@@ -22,6 +27,7 @@ impl std::fmt::Display for FaultKind {
         match self {
             FaultKind::Transient => f.write_str("transient"),
             FaultKind::Permanent => f.write_str("permanent"),
+            FaultKind::NoSpace => f.write_str("no-space"),
         }
     }
 }
@@ -32,6 +38,12 @@ pub enum FaultOp {
     Read,
     Write,
     Alloc,
+    /// A durability barrier (`fsync`).  Sync faults are special: per
+    /// fsyncgate semantics a failed fsync may have *dropped* the dirty
+    /// pages it was asked to persist, so retrying the barrier can
+    /// report success without the data ever reaching stable storage.
+    /// Sync faults are therefore never retryable regardless of kind.
+    Sync,
 }
 
 impl std::fmt::Display for FaultOp {
@@ -40,6 +52,7 @@ impl std::fmt::Display for FaultOp {
             FaultOp::Read => f.write_str("read"),
             FaultOp::Write => f.write_str("write"),
             FaultOp::Alloc => f.write_str("alloc"),
+            FaultOp::Sync => f.write_str("sync"),
         }
     }
 }
@@ -121,11 +134,19 @@ impl PdiskError {
     /// Whether re-issuing the failed operation could plausibly succeed.
     ///
     /// Transient faults, OS-level I/O errors, and checksum mismatches
-    /// (torn reads) are retryable; permanent faults and every logic
-    /// error (bad addressing, bad geometry) are not.
+    /// (torn reads) are retryable; permanent faults, out-of-space
+    /// faults, and every logic error (bad addressing, bad geometry)
+    /// are not.  Sync (fsync) faults are never retryable even when
+    /// transient: a failed fsync may have dropped the dirty pages, so
+    /// a "successful" retry would report durability that was never
+    /// achieved (fsyncgate).  Retrying ENOSPC is just as hazardous —
+    /// under the parity layer a retried-then-dropped write leaves the
+    /// stripe's parity inconsistent with its data.
     pub fn is_retryable(&self) -> bool {
         match self {
-            PdiskError::Fault { kind, .. } => *kind == FaultKind::Transient,
+            PdiskError::Fault { kind, op, .. } => {
+                *kind == FaultKind::Transient && *op != FaultOp::Sync
+            }
             PdiskError::Io(_) | PdiskError::Corrupt(_) => true,
             _ => false,
         }
@@ -253,13 +274,44 @@ mod tests {
             op: FaultOp::Read,
             disk: None,
         };
+        let no_space = PdiskError::Fault {
+            kind: FaultKind::NoSpace,
+            op: FaultOp::Write,
+            disk: None,
+        };
+        // fsyncgate: a failed durability barrier is unretryable even
+        // when the underlying fault is transient.
+        let sync = PdiskError::Fault {
+            kind: FaultKind::Transient,
+            op: FaultOp::Sync,
+            disk: None,
+        };
         assert!(transient.is_retryable());
         assert!(!permanent.is_retryable());
+        assert!(!no_space.is_retryable());
+        assert!(!sync.is_retryable());
         assert!(PdiskError::Io(std::io::Error::other("x")).is_retryable());
         assert!(PdiskError::Corrupt("torn".into()).is_retryable());
         assert!(!PdiskError::NoSuchDisk(DiskId(0)).is_retryable());
         assert!(!PdiskError::Unrecoverable("two disks down".into()).is_retryable());
         assert!(!PdiskError::Crashed { point: 7, label: "write-torn" }.is_retryable());
+    }
+
+    #[test]
+    fn no_space_and_sync_faults_render_their_taxonomy() {
+        let e = PdiskError::Fault {
+            kind: FaultKind::NoSpace,
+            op: FaultOp::Write,
+            disk: Some(DiskId(1)),
+        };
+        let text = e.to_string();
+        assert!(text.contains("no-space") && text.contains("disk 1") && text.contains("write"));
+        let e = PdiskError::Fault {
+            kind: FaultKind::Transient,
+            op: FaultOp::Sync,
+            disk: None,
+        };
+        assert!(e.to_string().contains("sync"));
     }
 
     #[test]

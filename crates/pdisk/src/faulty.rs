@@ -128,6 +128,15 @@ pub struct FaultModel {
     /// Disks that have suffered a permanent fault; every later
     /// operation touching them fails permanently.
     dead: BTreeSet<DiskId>,
+    /// Disks that are out of space; writes and allocations touching
+    /// them fail with [`FaultKind::NoSpace`] until [`Self::free_space`]
+    /// clears the condition.  Reads are unaffected — the data already
+    /// on a full disk is still readable.
+    full: BTreeSet<DiskId>,
+    /// Read ordinals that return detected corruption, each exactly
+    /// once.  The scripted counterpart of `corrupt_rate`, used by the
+    /// chaos engine to place corruption deterministically.
+    corrupt_at: Vec<u64>,
 }
 
 impl FaultModel {
@@ -147,6 +156,8 @@ impl FaultModel {
             disk_weights: Vec::new(),
             seed,
             dead: BTreeSet::new(),
+            full: BTreeSet::new(),
+            corrupt_at: Vec::new(),
         }
     }
 
@@ -204,6 +215,37 @@ impl FaultModel {
         })
     }
 
+    /// Script an out-of-space fault on the `ordinal`-th operation of
+    /// kind `op`: the first disk that operation touches fills up and
+    /// stays full (writes and allocations keep failing) until
+    /// [`Self::free_space`] is called.
+    pub fn fill_at(self, op: FaultOp, ordinal: u64) -> Self {
+        self.with_scripted(ScriptedFault {
+            op,
+            ordinal,
+            kind: FaultKind::NoSpace,
+        })
+    }
+
+    /// Script a sync (fsync) failure on the `ordinal`-th durability
+    /// barrier.  Sync ordinals are counted separately from reads,
+    /// writes, and allocations, so scripting one does not shift any
+    /// other fault schedule.
+    pub fn fail_sync_at(self, ordinal: u64) -> Self {
+        self.with_scripted(ScriptedFault {
+            op: FaultOp::Sync,
+            ordinal,
+            kind: FaultKind::Transient,
+        })
+    }
+
+    /// Script detected corruption on the `ordinal`-th read: the read
+    /// fails its checksum exactly once; the retry gets the good copy.
+    pub fn corrupt_at(mut self, ordinal: u64) -> Self {
+        self.corrupt_at.push(ordinal);
+        self
+    }
+
     /// Disks currently marked permanently failed.
     pub fn dead_disks(&self) -> impl Iterator<Item = DiskId> + '_ {
         self.dead.iter().copied()
@@ -223,6 +265,25 @@ impl FaultModel {
         self.dead.remove(&disk)
     }
 
+    /// Disks currently out of space.
+    pub fn full_disks(&self) -> impl Iterator<Item = DiskId> + '_ {
+        self.full.iter().copied()
+    }
+
+    /// Administratively mark `disk` out of space now: writes and
+    /// allocations touching it fail with [`FaultKind::NoSpace`] until
+    /// [`Self::free_space`] is called.  Reads keep working.
+    pub fn fill_disk(&mut self, disk: DiskId) {
+        self.full.insert(disk);
+    }
+
+    /// The operator freed space on `disk` (deleted files, grew the
+    /// volume): writes work again.  Returns whether the disk was
+    /// actually full.
+    pub fn free_space(&mut self, disk: DiskId) -> bool {
+        self.full.remove(&disk)
+    }
+
     fn weight(&self, disk: DiskId) -> f64 {
         self.disk_weights.get(disk.0 as usize).copied().unwrap_or(1.0)
     }
@@ -231,7 +292,7 @@ impl FaultModel {
         match op {
             FaultOp::Read => self.read_rate,
             FaultOp::Write => self.write_rate,
-            FaultOp::Alloc => 0.0,
+            FaultOp::Alloc | FaultOp::Sync => 0.0,
         }
     }
 
@@ -244,6 +305,7 @@ impl FaultModel {
             FaultOp::Read => 1u64,
             FaultOp::Write => 2,
             FaultOp::Alloc => 3,
+            FaultOp::Sync => 4,
         };
         let mut x = self
             .seed
@@ -268,6 +330,17 @@ impl FaultModel {
                 disk: Some(disk),
             });
         }
+        // A full disk fails writes and allocations (reads still work)
+        // until the operator frees space.
+        if matches!(op, FaultOp::Write | FaultOp::Alloc) {
+            if let Some(&disk) = disks.iter().find(|d| self.full.contains(d)) {
+                return Err(PdiskError::Fault {
+                    kind: FaultKind::NoSpace,
+                    op,
+                    disk: Some(disk),
+                });
+            }
+        }
         // Scripted faults fire exactly once each.
         if let Some(pos) = self
             .scripted
@@ -276,16 +349,36 @@ impl FaultModel {
         {
             let fault = self.scripted.swap_remove(pos);
             let disk = disks.first().copied();
-            if fault.kind == FaultKind::Permanent {
-                if let Some(d) = disk {
-                    self.dead.insert(d);
+            match fault.kind {
+                // Sticky kinds latch their state so every later
+                // operation sees the condition, not just this one.
+                FaultKind::Permanent => {
+                    if let Some(d) = disk {
+                        self.dead.insert(d);
+                    }
                 }
+                FaultKind::NoSpace => {
+                    if let Some(d) = disk {
+                        self.full.insert(d);
+                    }
+                }
+                FaultKind::Transient => {}
             }
             return Err(PdiskError::Fault {
                 kind: fault.kind,
                 op,
                 disk,
             });
+        }
+        // Scripted corruption fires exactly once per listed ordinal.
+        if op == FaultOp::Read {
+            if let Some(pos) = self.corrupt_at.iter().position(|&n| n == ordinal) {
+                self.corrupt_at.swap_remove(pos);
+                let disk = disks.first().map_or(0, |d| d.0);
+                return Err(PdiskError::Corrupt(format!(
+                    "injected checksum mismatch on disk {disk}"
+                )));
+            }
         }
         // Random transient faults, one independent trial per disk.
         let rate = self.rate_for(op);
@@ -360,6 +453,7 @@ pub struct FaultyDiskArray<R: Record, A: DiskArray<R>> {
     reads_seen: u64,
     writes_seen: u64,
     allocs_seen: u64,
+    syncs_seen: u64,
     _marker: std::marker::PhantomData<R>,
 }
 
@@ -372,6 +466,7 @@ impl<R: Record, A: DiskArray<R>> FaultyDiskArray<R, A> {
             reads_seen: 0,
             writes_seen: 0,
             allocs_seen: 0,
+            syncs_seen: 0,
             _marker: std::marker::PhantomData,
         }
     }
@@ -384,6 +479,18 @@ impl<R: Record, A: DiskArray<R>> FaultyDiskArray<R, A> {
     /// Operations observed so far (reads, writes).
     pub fn observed(&self) -> (u64, u64) {
         (self.reads_seen, self.writes_seen)
+    }
+
+    /// Every per-op ordinal counter: (reads, writes, allocs, syncs).
+    /// A fault-free dry run exposes these so a schedule generator can
+    /// draw scripted ordinals that actually land inside the sort.
+    pub fn observed_ops(&self) -> (u64, u64, u64, u64) {
+        (
+            self.reads_seen,
+            self.writes_seen,
+            self.allocs_seen,
+            self.syncs_seen,
+        )
     }
 
     /// The fault model, e.g. to inspect which disks have died.
@@ -499,9 +606,19 @@ impl<R: Record, A: DiskArray<R>> DiskArray<R> for FaultyDiskArray<R, A> {
     // through `self.write` and therefore this wrapper's injection logic.
 
     fn sync(&mut self) -> Result<()> {
-        // A durability barrier is not a counted parallel op; no fault
-        // ordinal is consumed, so seeded fault sequences are unchanged
-        // by how often the sorter checkpoints.
+        // A durability barrier is not a counted parallel op; it has its
+        // own ordinal space, so seeded read/write/alloc fault sequences
+        // are unchanged by how often the sorter checkpoints.  Only
+        // *scripted* sync faults can fire here (random rates never
+        // apply to sync), modelling fsyncgate: the barrier fails, the
+        // dirty pages may be gone, and the caller must treat the data
+        // it tried to persist as suspect rather than retry the sync.
+        let ordinal = self.syncs_seen;
+        self.syncs_seen += 1;
+        if let Err(e) = self.model.check(FaultOp::Sync, ordinal, &[]) {
+            self.emit_fault(FaultOp::Sync, &e);
+            return Err(e);
+        }
         self.inner.sync()
     }
 
@@ -663,6 +780,62 @@ mod tests {
         assert!(a.model_mut().attach_spare(DiskId(0)), "disk 0 was dead");
         assert!(!a.model_mut().attach_spare(DiskId(0)), "already revived");
         assert!(a.read(&[d0]).is_ok(), "spare serves the slot again");
+    }
+
+    #[test]
+    fn no_space_is_sticky_until_freed_and_reads_still_work() {
+        let mut a = setup(FaultModel::none().fill_at(FaultOp::Write, 0));
+        let addr = BlockAddr::new(DiskId(0), 0);
+        let block = Block::new(vec![U64Record(9)], Forecast::Next(u64::MAX));
+        // The scripted fault fills disk 0; writes keep failing.
+        for _ in 0..3 {
+            assert!(matches!(
+                a.write(vec![(addr, block.clone())]),
+                Err(PdiskError::Fault {
+                    kind: FaultKind::NoSpace,
+                    op: FaultOp::Write,
+                    disk: Some(DiskId(0)),
+                })
+            ));
+        }
+        assert!(a.alloc_contiguous(DiskId(0), 1).is_err(), "allocs fail too");
+        // Reads of the full disk still succeed, as does I/O elsewhere.
+        assert!(a.read(&[addr]).is_ok());
+        assert!(a.write(vec![(BlockAddr::new(DiskId(1), 0), block.clone())]).is_ok());
+        assert_eq!(a.model().full_disks().collect::<Vec<_>>(), vec![DiskId(0)]);
+        // Freeing space repairs the condition.
+        assert!(a.model_mut().free_space(DiskId(0)), "disk 0 was full");
+        assert!(!a.model_mut().free_space(DiskId(0)), "already freed");
+        assert!(a.write(vec![(addr, block)]).is_ok());
+    }
+
+    #[test]
+    fn scripted_sync_fault_fires_once_on_its_own_ordinal_space() {
+        let mut a = setup(FaultModel::none().fail_sync_at(1));
+        let addr = BlockAddr::new(DiskId(0), 0);
+        // Reads and writes never consume sync ordinals.
+        assert!(a.read(&[addr]).is_ok());
+        assert!(a.sync().is_ok()); // sync 0
+        assert!(matches!(
+            a.sync(), // sync 1
+            Err(PdiskError::Fault {
+                kind: FaultKind::Transient,
+                op: FaultOp::Sync,
+                disk: None,
+            })
+        ));
+        assert!(a.sync().is_ok()); // sync 2: one-shot
+        // The read fault schedule was not shifted by the syncs.
+        assert!(a.read(&[addr]).is_ok());
+    }
+
+    #[test]
+    fn scripted_corruption_fires_exactly_once() {
+        let mut a = setup(FaultModel::none().corrupt_at(1));
+        let addr = BlockAddr::new(DiskId(0), 0);
+        assert!(a.read(&[addr]).is_ok()); // read 0
+        assert!(matches!(a.read(&[addr]), Err(PdiskError::Corrupt(_)))); // read 1
+        assert!(a.read(&[addr]).is_ok()); // read 2: the good copy
     }
 
     #[test]

@@ -1,0 +1,131 @@
+//! Delta-debugging schedule minimization (ddmin).
+//!
+//! Given a failing schedule and a predicate "does this subset still
+//! produce a violation with the same code?", shrink to a *1-minimal*
+//! subset: removing any single remaining event makes the failure
+//! disappear.  This is Zeller's classic ddmin over event lists; it
+//! terminates because every step either shrinks the schedule or
+//! increases granularity, and it is deterministic because trials are.
+//!
+//! Minimality is per-event, not global: a 1-minimal subset is not
+//! guaranteed to be the smallest failing subset, but in practice (and
+//! in this crate's fixtures) composed-fault reproducers shrink to the
+//! one or two events that actually interact.
+
+use crate::schedule::ChaosEvent;
+use crate::Violation;
+
+/// Shrink `events` to a 1-minimal subset for which `still_fails`
+/// holds.  `violation` is only used for logging context by callers;
+/// the predicate owns the "same failure" definition.
+pub fn ddmin(
+    events: &[ChaosEvent],
+    _violation: &Violation,
+    mut still_fails: impl FnMut(&[ChaosEvent]) -> bool,
+) -> Vec<ChaosEvent> {
+    let mut current: Vec<ChaosEvent> = events.to_vec();
+    if current.len() <= 1 {
+        return current;
+    }
+    let mut granularity = 2usize;
+    loop {
+        let chunk = current.len().div_ceil(granularity);
+        let chunks: Vec<&[ChaosEvent]> = current.chunks(chunk).collect();
+
+        // Try each chunk alone (reduce to subset)...
+        let mut reduced = None;
+        for c in &chunks {
+            if c.len() < current.len() && still_fails(c) {
+                reduced = Some((c.to_vec(), 2));
+                break;
+            }
+        }
+        // ...then each chunk's complement (reduce to complement).
+        if reduced.is_none() && chunks.len() > 2 {
+            for i in 0..chunks.len() {
+                let complement: Vec<ChaosEvent> = chunks
+                    .iter()
+                    .enumerate()
+                    .filter(|(j, _)| *j != i)
+                    .flat_map(|(_, c)| c.iter().cloned())
+                    .collect();
+                if complement.len() < current.len() && still_fails(&complement) {
+                    reduced = Some((complement, granularity.saturating_sub(1).max(2)));
+                    break;
+                }
+            }
+        }
+
+        match reduced {
+            Some((next, gran)) => {
+                current = next;
+                granularity = gran.min(current.len().max(2));
+                if current.len() <= 1 {
+                    return current;
+                }
+            }
+            None => {
+                if granularity >= current.len() {
+                    return current;
+                }
+                granularity = (granularity * 2).min(current.len());
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ev(n: u64) -> ChaosEvent {
+        ChaosEvent::CrashAt { point: n }
+    }
+
+    #[test]
+    fn shrinks_to_the_single_culprit() {
+        let events: Vec<ChaosEvent> = (0..8).map(ev).collect();
+        let min = ddmin(&events, &Violation::Wedged { attempts: 9 }, |subset| {
+            subset.contains(&ev(5))
+        });
+        assert_eq!(min, vec![ev(5)]);
+    }
+
+    #[test]
+    fn keeps_an_interacting_pair() {
+        let events: Vec<ChaosEvent> = (0..8).map(ev).collect();
+        let min = ddmin(&events, &Violation::Wedged { attempts: 9 }, |subset| {
+            subset.contains(&ev(2)) && subset.contains(&ev(6))
+        });
+        assert_eq!(min.len(), 2);
+        assert!(min.contains(&ev(2)) && min.contains(&ev(6)));
+    }
+
+    #[test]
+    fn single_event_schedules_are_already_minimal() {
+        let events = vec![ev(3)];
+        let min = ddmin(&events, &Violation::Wedged { attempts: 1 }, |_| true);
+        assert_eq!(min, events);
+    }
+
+    #[test]
+    fn result_is_one_minimal() {
+        // Failure needs at least 3 of the 4 "load" events: the result
+        // must be a 3-subset from which nothing can be dropped.
+        let events: Vec<ChaosEvent> = (0..6).map(ev).collect();
+        let min = ddmin(&events, &Violation::Wedged { attempts: 9 }, |subset| {
+            subset.iter().filter(|e| matches!(e, ChaosEvent::CrashAt { point } if *point < 4)).count() >= 3
+        });
+        assert_eq!(min.len(), 3);
+        for i in 0..min.len() {
+            let mut without: Vec<ChaosEvent> = min.clone();
+            without.remove(i);
+            let still = without
+                .iter()
+                .filter(|e| matches!(e, ChaosEvent::CrashAt { point } if *point < 4))
+                .count()
+                >= 3;
+            assert!(!still, "dropping event {i} should break the failure");
+        }
+    }
+}

@@ -144,6 +144,7 @@ USAGE:
 
   srm serve --dir PATH [--port P] [--capacity M] [--workers N]
            [--queue-depth Q] [--io-delay-us U] [--check-model]
+           [--store-nospace-after N]
       Sort-as-a-service: a job server on a loopback TCP line protocol.
       Jobs are priced by their Definition-3 memory partition and admitted
       only while the sum of running budgets fits --capacity (records of
@@ -155,6 +156,10 @@ USAGE:
       exit; a restarted server on the same --dir resumes every
       unfinished job byte-identically.  --port 0 (default) picks an
       ephemeral port, announced as `listening on ADDR`.
+      --store-nospace-after N is a chaos-drill hook: the job store's
+      disk reports ENOSPC after N record-writes, so the overflowing
+      SUBMIT is refused with the typed `no-space` admission error while
+      the server keeps serving (no wedged slot, clean drain).
 
       Protocol verbs, one request per line:
         SUBMIT key=value ...   (records=N d=D b=B m=M engine=srm|dsm
@@ -197,6 +202,38 @@ USAGE:
       channel faults (drop/duplicate/delay/partition windows).  The
       final digest is checked against a centrally sorted oracle; any
       mismatch exits nonzero.
+
+  srm chaos [--target local|distsort|server|all] [--seed S] [--trials N]
+           [--records N] [--d D] [--b B] [--m M] [--pipeline]
+           [--read-ahead K] [--shards P] [--jobs J] [--no-minimize]
+           [--plant-bug] [--dir PATH] [--keep]
+  srm chaos --replay FILE [--dir PATH] [--expect-violation CODE]
+      Chaos campaign engine: N trials, each drawing a seeded randomized
+      fault schedule that composes the workspace's injectors —
+      transient/permanent/corruption disk faults, disk-full (ENOSPC),
+      fsync failure, crash points, interrupts, network
+      drop/dup/delay/partition, node kills, server kill -9 — and
+      running it against the chosen target: `local` (the in-process
+      checkpointed sort behind the full tracing/crash/retry/parity
+      stack), `distsort` (the sharded sort with failure detection), or
+      `server` (a real `srm serve` child on a durable store, killed
+      with SIGKILL and restarted).  After every trial a standing oracle
+      checks: output identical to the failure-free run, model-checker-
+      clean traces, no panic, no unexpected error, no wedged recovery,
+      no leaked temp or journal files.  Schedules are a pure function
+      of (target, seed, trial): reruns are bit-identical.
+
+      On a violation the delta-debugging minimizer shrinks the
+      schedule to a 1-minimal failing subset and writes a
+      deterministic reproducer (chaos-repro-N.json) into --dir;
+      `srm chaos --replay FILE` re-executes it exactly, and
+      --expect-violation CODE makes the replay exit 0 only when it
+      reproduces that violation (for CI regression fixtures).
+      --plant-bug arms a deliberate retry-classification bug (ENOSPC
+      relabelled transient, so recovery spins) — the engine's own
+      end-to-end fixture: the campaign must catch it, shrink it to the
+      single disk-full event, and replay it.  Exit 0 iff the campaign
+      had zero violations.
 
   srm help
       This text.
@@ -1165,6 +1202,10 @@ pub fn serve(argv: &[String]) -> i32 {
         cfg.io_delay =
             std::time::Duration::from_micros(flags.get_or::<u64>("io-delay-us", 0)?);
         cfg.check_model = flags.has("check-model");
+        // Fault-injection hook for chaos drills: the job store starts
+        // refusing writes (typed no-space admission error) after N
+        // record-writes.  A restarted server gets a fresh "disk".
+        cfg.store_nospace_after = flags.get("store-nospace-after")?;
 
         let server =
             std::sync::Arc::new(JobServer::open(cfg).map_err(|e| e.to_string())?);
@@ -1460,4 +1501,144 @@ pub fn shard_run(argv: &[String]) -> i32 {
             fail(e)
         }
     }
+}
+
+/// `srm chaos`
+pub fn chaos(argv: &[String]) -> i32 {
+    use srm_chaos::{replay, run_campaign, CampaignConfig, ReproArtifact, Target};
+    let flags = match Flags::parse(argv) {
+        Ok(f) => f,
+        Err(e) => return fail(e),
+    };
+    let inner = || -> Result<i32, String> {
+        let scratch = match flags.get_str("dir") {
+            Some(d) => std::path::PathBuf::from(d),
+            None => std::env::temp_dir().join(format!("srm-chaos-{}", std::process::id())),
+        };
+        let keep = flags.has("keep") || flags.get_str("dir").is_some();
+
+        // --replay FILE: re-execute one reproducer artifact exactly.
+        if let Some(file) = flags.get_str("replay") {
+            let artifact = ReproArtifact::load(Path::new(file)).map_err(|e| e.to_string())?;
+            println!(
+                "replaying {} (target {}, campaign seed {:#x}, trial {}, {} event(s), recorded violation `{}`)",
+                file,
+                artifact.target.slug(),
+                artifact.seed,
+                artifact.trial,
+                artifact.events.len(),
+                artifact.violation,
+            );
+            let server_bin = server_bin_for(artifact.target.slug())?;
+            let outcome =
+                replay(&artifact, &scratch, server_bin).map_err(|e| e.to_string())?;
+            if !keep {
+                let _ = std::fs::remove_dir_all(&scratch);
+            }
+            let expect = flags.get_str("expect-violation");
+            return Ok(match (&outcome.violation, expect) {
+                (Some(v), Some(code)) if v.code() == code => {
+                    println!("reproduced: {v} ({} attempt(s))", outcome.attempts);
+                    0
+                }
+                (Some(v), Some(code)) => {
+                    eprintln!("violation mismatch: expected `{code}`, got `{}`: {v}", v.code());
+                    1
+                }
+                (Some(v), None) => {
+                    eprintln!("violation reproduced: {v} ({} attempt(s))", outcome.attempts);
+                    1
+                }
+                (None, Some(code)) => {
+                    eprintln!("replay did NOT reproduce the expected `{code}` violation");
+                    1
+                }
+                (None, None) => {
+                    println!(
+                        "clean: no violation ({} attempt(s), {} resumed)",
+                        outcome.attempts, outcome.resumed
+                    );
+                    0
+                }
+            });
+        }
+
+        let target_flag = flags.get_str("target").unwrap_or("local");
+        let targets: Vec<Target> = match target_flag {
+            "all" => vec![Target::Local, Target::Dist, Target::Server],
+            slug => vec![Target::from_slug(slug)
+                .ok_or_else(|| format!("unknown chaos target `{slug}`"))?],
+        };
+        let seed: u64 = flags.get_or("seed", 0xC405_5EED)?;
+        let trials: u32 = flags.get_or("trials", 20)?;
+
+        let mut total_violations = 0usize;
+        for target in targets {
+            let mut cfg = CampaignConfig::new(target, seed, scratch.join(target.slug()));
+            cfg.trials = trials;
+            cfg.records = flags.get_or("records", cfg.records)?;
+            cfg.d = flags.get_or("d", cfg.d)?;
+            cfg.b = flags.get_or("b", cfg.b)?;
+            cfg.m = flags.get_or("m", cfg.m)?;
+            cfg.pipeline = flags.has("pipeline");
+            cfg.read_ahead = flags.get_or("read-ahead", cfg.read_ahead)?;
+            cfg.shards = flags.get_or("shards", cfg.shards)?;
+            cfg.server_jobs = flags.get_or("jobs", cfg.server_jobs)?;
+            cfg.plant_bug = flags.has("plant-bug");
+            cfg.minimize = !flags.has("no-minimize");
+            cfg.server_bin = server_bin_for(target.slug())?;
+
+            println!(
+                "chaos campaign: target {}, seed {:#x}, {} trial(s)",
+                target.slug(),
+                seed,
+                trials
+            );
+            let report = run_campaign(&cfg, |trial, total| {
+                if trial % 10 == 0 && trial > 0 {
+                    println!("  ... trial {trial}/{total}");
+                }
+            })
+            .map_err(|e| e.to_string())?;
+            println!(
+                "  {} trial(s), {} incarnation(s) ({} resumed from checkpoints), {} violation(s)",
+                report.trials,
+                report.attempts,
+                report.resumed,
+                report.violations.len()
+            );
+            for v in &report.violations {
+                println!(
+                    "  trial {}: {} — schedule minimized {} -> {} event(s)",
+                    v.trial, v.violation, v.events_total, v.events_min
+                );
+                for ev in &v.schedule {
+                    println!("    - {ev}");
+                }
+                if let Some(p) = &v.artifact {
+                    println!("    reproducer: {} (rerun: srm chaos --replay {0})", p.display());
+                }
+            }
+            total_violations += report.violations.len();
+        }
+        // Violations leave their reproducers behind even without --keep.
+        if !keep && total_violations == 0 {
+            let _ = std::fs::remove_dir_all(&scratch);
+        }
+        Ok(i32::from(total_violations > 0))
+    };
+    match inner() {
+        Ok(code) => code,
+        Err(e) => fail(e),
+    }
+}
+
+/// The server chaos target spawns this very binary as `srm serve`.
+fn server_bin_for(target_slug: &str) -> Result<Option<std::path::PathBuf>, String> {
+    if target_slug != "server" {
+        return Ok(None);
+    }
+    std::env::current_exe()
+        .map(Some)
+        .map_err(|e| format!("cannot locate the srm binary for the server target: {e}"))
 }

@@ -18,7 +18,11 @@
 //!   drain on SIGINT/SIGTERM, crash-resumable restarts;
 //! * `srm client` — one-shot line-protocol client for `srm serve`;
 //! * `srm distsort` — sharded SRM across simulated nodes with failure
-//!   detection, node-death drills, and a degraded cross-shard merge.
+//!   detection, node-death drills, and a degraded cross-shard merge;
+//! * `srm chaos` — seeded campaigns of composed randomized fault
+//!   schedules against the local, dist, and server targets, with a
+//!   standing oracle, delta-debugging reproducer minimization, and
+//!   deterministic `--replay`.
 //!
 //! Run `srm help` for flags.
 
@@ -38,6 +42,7 @@ fn main() {
         Some("serve") => commands::serve(&argv[1..]),
         Some("client") => commands::client(&argv[1..]),
         Some("distsort") => commands::distsort(&argv[1..]),
+        Some("chaos") => commands::chaos(&argv[1..]),
         Some("shard-run") => commands::shard_run(&argv[1..]),
         Some("help") | Some("--help") | Some("-h") | None => {
             print!("{}", commands::USAGE);

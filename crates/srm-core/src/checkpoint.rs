@@ -365,6 +365,17 @@ impl SortManifest {
     /// generation already on disk.  A crash at any point leaves at
     /// least one valid manifest for [`Self::load_latest`] to pick up.
     pub fn save(&mut self, path: &Path) -> Result<()> {
+        self.save_clocked(path, None)
+    }
+
+    /// [`Self::save`] with an extra crash boundary, `manifest-sync`,
+    /// ticked between the temp file's fsync and the publishing rename.
+    /// A crash there models fsyncgate's worst case: the barrier ran
+    /// (or failed) but the new generation was never published, so
+    /// recovery must come up from the rotated `.prev` generation.  The
+    /// rotation below happens *before* the temp write precisely so
+    /// that fallback always exists.
+    pub fn save_clocked(&mut self, path: &Path, clock: Option<&pdisk::CrashClock>) -> Result<()> {
         let ckpt = |e: std::io::Error| {
             SrmError::Checkpoint(format!("cannot write manifest {}: {e}", path.display()))
         };
@@ -385,6 +396,9 @@ impl SortManifest {
         f.write_all(self.encode().as_bytes()).map_err(ckpt)?;
         f.sync_all().map_err(ckpt)?;
         drop(f);
+        if let Some(c) = clock {
+            c.tick("manifest-sync")?;
+        }
         std::fs::rename(&tmp, path).map_err(ckpt)?;
         Ok(())
     }

@@ -461,7 +461,7 @@ impl SrmSorter {
             array.redundancy(),
             queue.to_vec(),
         )
-        .save(path)?;
+        .save_clocked(path, self.crash.as_ref())?;
         if let Some(c) = &self.crash {
             c.tick("manifest-written")?;
         }

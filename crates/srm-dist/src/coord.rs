@@ -105,6 +105,12 @@ pub struct DistConfig {
     /// a crash loop into an error instead of an infinite fence/respawn
     /// cycle.
     pub max_recoveries: u32,
+    /// Disk-full drill: `(shard, write ordinal)` — the named shard's
+    /// cluster hits ENOSPC on that write.  ENOSPC is not retryable and
+    /// not survivable by respawning (the replacement would land on the
+    /// same full volume), so the shard reports it as a fatal typed
+    /// error and the whole sort fails cleanly.
+    pub fill_write: Option<(u32, u64)>,
 }
 
 impl DistConfig {
@@ -123,6 +129,7 @@ impl DistConfig {
             corrupt_disk: None,
             io_delay: Duration::ZERO,
             max_recoveries: 8,
+            fill_write: None,
         }
     }
 
@@ -148,6 +155,14 @@ impl DistConfig {
                 return Err(DistError::Config(
                     "--corrupt-disk destroys data; only --parity can rebuild it".into(),
                 ));
+            }
+        }
+        if let Some((shard, _)) = self.fill_write {
+            if shard >= self.shards {
+                return Err(DistError::Config(format!(
+                    "--fill-write shard {shard} out of range (P = {})",
+                    self.shards
+                )));
             }
         }
         Ok(())
@@ -363,6 +378,9 @@ pub(crate) fn plan_for(
         io_delay: cfg.io_delay,
         heartbeat: cfg.heartbeat,
         kill,
+        fill_write: cfg
+            .fill_write
+            .and_then(|(s, n)| (s == shard).then_some(n)),
     }
 }
 

@@ -90,6 +90,10 @@ pub struct ShardPlan {
     pub heartbeat: Duration,
     /// Armed kill drill for *this instance* (replacements boot unarmed).
     pub kill: Option<KillPoint>,
+    /// Disk-full drill: this instance's cluster hits ENOSPC on the
+    /// given write ordinal.  The resulting fault is sticky and
+    /// non-retryable, so the shard surfaces it as a fatal typed error.
+    pub fill_write: Option<u64>,
 }
 
 impl ShardPlan {
@@ -348,14 +352,23 @@ pub(crate) fn sort_shard(
     if plan.parity {
         let stack = parity_stack(plan, base)?;
         sort_instance(stack, plan, fence, input, on_staged, on_pass)
-    } else if plan.fault_rate > 0.0 {
-        let model = FaultModel::random(plan.fault_seed).with_rate(plan.fault_rate);
+    } else if plan.fault_rate > 0.0 || plan.fill_write.is_some() {
         let stack =
-            RetryingDiskArray::new(FaultyDiskArray::new(base, model), RetryPolicy::default());
+            RetryingDiskArray::new(FaultyDiskArray::new(base, fault_model(plan)), RetryPolicy::default());
         sort_instance(stack, plan, fence, input, on_staged, on_pass)
     } else {
         sort_instance(base, plan, fence, input, on_staged, on_pass)
     }
+}
+
+/// The shard's disk fault model: the plan's random transient regime,
+/// plus the armed disk-full drill if any.
+fn fault_model(plan: &ShardPlan) -> FaultModel {
+    let mut model = FaultModel::random(plan.fault_seed).with_rate(plan.fault_rate);
+    if let Some(n) = plan.fill_write {
+        model = model.fill_at(pdisk::FaultOp::Write, n);
+    }
+    model
 }
 
 /// The protective stack of a parity shard: retry over rotating parity
@@ -367,8 +380,7 @@ type ParityStack =
     RetryingDiskArray<U64Record, ParityDiskArray<U64Record, FaultyDiskArray<U64Record, FileDiskArray<U64Record>>>>;
 
 pub(crate) fn parity_stack(plan: &ShardPlan, base: FileDiskArray<U64Record>) -> Result<ParityStack> {
-    let model = FaultModel::random(plan.fault_seed).with_rate(plan.fault_rate);
-    let faulty = FaultyDiskArray::new(base, model);
+    let faulty = FaultyDiskArray::new(base, fault_model(plan));
     let pa = ParityDiskArray::new(faulty)?.with_store(plan.parity_store())?;
     Ok(RetryingDiskArray::new(pa, RetryPolicy::default()))
 }

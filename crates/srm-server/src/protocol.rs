@@ -92,6 +92,7 @@ pub fn submit_error_line(e: &SubmitError) -> String {
         SubmitError::TooLarge { .. } => "too-large",
         SubmitError::QueueFull { .. } => "queue-full",
         SubmitError::Invalid(_) => "bad-request",
+        SubmitError::NoSpace(_) => "no-space",
         SubmitError::Io(_) => "io",
     };
     format!("ERR code={code} {e}")

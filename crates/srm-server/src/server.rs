@@ -69,6 +69,12 @@ pub struct ServerConfig {
     /// Trace every job's I/O and replay it through the model checker;
     /// a violation fails the job.
     pub check_model: bool,
+    /// Fault-injection hook: after this many successful job-store spec
+    /// writes, further SUBMITs fail as if the store volume hit ENOSPC.
+    /// The refusal must be a clean typed admission error that takes no
+    /// queue slot; the server keeps serving and draining.  `None` (the
+    /// default) disables the hook.
+    pub store_nospace_after: Option<u64>,
 }
 
 impl ServerConfig {
@@ -83,6 +89,7 @@ impl ServerConfig {
             io_delay: Duration::ZERO,
             retry: RetryPolicy::default(),
             check_model: false,
+            store_nospace_after: None,
         }
     }
 }
@@ -172,9 +179,12 @@ pub struct ServerStats {
     pub failed: u64,
 }
 
-/// Why a SUBMIT was refused.
+/// Why a SUBMIT was refused.  Marked for srmlint's protocol pass: every
+/// refusal must map to a wire code in `submit_error_line`, with no
+/// catch-all to silently swallow a new variant.
 #[derive(Debug, Clone, PartialEq, Eq)]
 #[non_exhaustive]
+#[srmlint::protocol]
 pub enum SubmitError {
     /// The server is draining and admits no new work.
     Draining,
@@ -193,6 +203,10 @@ pub enum SubmitError {
     },
     /// The spec failed validation.
     Invalid(String),
+    /// The job store is out of space (ENOSPC).  Unlike [`Self::Io`]
+    /// this is not worth retrying as-is: the client must wait for the
+    /// operator to free space.  The refused job takes no queue slot.
+    NoSpace(String),
     /// The job directory could not be persisted.
     Io(String),
 }
@@ -209,6 +223,9 @@ impl std::fmt::Display for SubmitError {
                 write!(f, "queue full (depth {depth}); retry later")
             }
             SubmitError::Invalid(m) => write!(f, "invalid job: {m}"),
+            SubmitError::NoSpace(m) => {
+                write!(f, "job store out of space: {m}; free space and resubmit")
+            }
             SubmitError::Io(m) => write!(f, "cannot persist job: {m}"),
         }
     }
@@ -259,6 +276,9 @@ struct Inner {
     cfg: ServerConfig,
     state: Mutex<State>,
     shutdown: ShutdownFlag,
+    /// Successful job-store spec writes, for the
+    /// [`ServerConfig::store_nospace_after`] injection hook.
+    store_writes: std::sync::atomic::AtomicU64,
 }
 
 impl Inner {
@@ -286,15 +306,19 @@ pub struct JobServer {
 /// Write `contents` to `path` atomically (temp + fsync + rename), the
 /// same discipline as the PR-5 checkpoint journal.
 fn atomic_write(path: &Path, contents: &str) -> Result<(), JobError> {
+    atomic_write_raw(path, contents)
+        .map_err(|e| JobError::Io(format!("write {}: {e}", path.display())))
+}
+
+/// [`atomic_write`] preserving the raw [`std::io::Error`], so callers
+/// that classify by kind (ENOSPC vs. everything else) can do so.
+fn atomic_write_raw(path: &Path, contents: &str) -> std::io::Result<()> {
+    use std::io::Write as _;
     let tmp = path.with_extension("tmp");
-    let attempt = || -> std::io::Result<()> {
-        use std::io::Write as _;
-        let mut f = std::fs::File::create(&tmp)?;
-        f.write_all(contents.as_bytes())?;
-        f.sync_all()?;
-        std::fs::rename(&tmp, path)
-    };
-    attempt().map_err(|e| JobError::Io(format!("write {}: {e}", path.display())))
+    let mut f = std::fs::File::create(&tmp)?;
+    f.write_all(contents.as_bytes())?;
+    f.sync_all()?;
+    std::fs::rename(&tmp, path)
 }
 
 fn read_marker(path: &Path) -> Option<BTreeMap<String, String>> {
@@ -383,6 +407,7 @@ impl JobServer {
             }),
             shutdown: ShutdownFlag::new(),
             cfg,
+            store_writes: std::sync::atomic::AtomicU64::new(0),
         });
         let workers = (0..inner.cfg.workers)
             .map(|_| {
@@ -434,9 +459,31 @@ impl JobServer {
         }
         let id = st.next_id;
         let dir = self.inner.job_dir(id);
-        std::fs::create_dir_all(&dir).map_err(|e| SubmitError::Io(e.to_string()))?;
-        atomic_write(&dir.join("spec"), &spec.encode())
-            .map_err(|e| SubmitError::Io(e.to_string()))?;
+        // The injected ENOSPC fires *before* the directory is created:
+        // a refused submission must leave no queue slot and no partial
+        // job directory behind, so the server stays clean and drains.
+        if let Some(limit) = self.inner.cfg.store_nospace_after {
+            use std::sync::atomic::Ordering;
+            if self.inner.store_writes.fetch_add(1, Ordering::SeqCst) >= limit {
+                return Err(SubmitError::NoSpace(format!(
+                    "injected ENOSPC on job store {}",
+                    self.inner.cfg.jobs_dir.display()
+                )));
+            }
+        }
+        let persist = std::fs::create_dir_all(&dir)
+            .and_then(|()| atomic_write_raw(&dir.join("spec"), &spec.encode()));
+        if let Err(e) = persist {
+            // Best-effort cleanup: an unpersisted job directory must not
+            // confuse a future restart scan.
+            let _ = std::fs::remove_dir_all(&dir);
+            let msg = format!("persist {}: {e}", dir.display());
+            return Err(if e.kind() == std::io::ErrorKind::StorageFull {
+                SubmitError::NoSpace(msg)
+            } else {
+                SubmitError::Io(msg)
+            });
+        }
         st.next_id += 1;
         st.jobs.insert(
             id,

@@ -393,3 +393,65 @@ fn one_record_job_completes() {
     server.shutdown();
     let _ = std::fs::remove_dir_all(&dir);
 }
+
+/// ISSUE-10 satellite: the job store hits ENOSPC mid-service.  The
+/// overflowing SUBMIT must be refused with the *typed* no-space
+/// admission error — not an untyped I/O string, not a queued ghost that
+/// wedges a worker slot — and the jobs admitted before the disk filled
+/// run to completion, the server drains cleanly, and a restart on the
+/// same store (fresh "disk", space freed) admits again.
+#[test]
+fn store_enospc_is_typed_leaves_no_wedged_slot_and_drains_clean() {
+    let dir = scratch("store-enospc");
+    let mut cfg = ServerConfig::new(&dir);
+    cfg.workers = 2;
+    cfg.store_nospace_after = Some(2); // third submission overflows
+    let server = JobServer::open(cfg).unwrap();
+
+    let a = server.submit(spec(0xA)).expect("store has space");
+    let b = server.submit(spec(0xB)).expect("store has space");
+    let refused = server.submit(spec(0xC));
+    match refused {
+        Err(SubmitError::NoSpace(msg)) => {
+            assert!(msg.contains("ENOSPC"), "diagnostic names the cause: {msg}");
+        }
+        other => panic!("expected the typed no-space refusal, got {other:?}"),
+    }
+    // Every later submission is refused the same way — deterministically,
+    // not once-per-retry-attempt.
+    assert!(matches!(server.submit(spec(0xD)), Err(SubmitError::NoSpace(_))));
+
+    // The refusal left no queue slot, no ghost job, and no job directory.
+    let stats = server.stats();
+    assert_eq!(stats.queued + stats.running + stats.done, 2, "exactly the two admitted jobs exist");
+    assert_eq!(server.list().len(), 2);
+
+    // The admitted jobs are unharmed: both settle as done with the
+    // digests their specs predict.
+    wait_all_terminal(&server, Duration::from_secs(30));
+    for (id, seed) in [(a, 0xA), (b, 0xB)] {
+        let status = server
+            .list()
+            .into_iter()
+            .find(|j| j.id == id)
+            .expect("job still listed");
+        assert_eq!(status.state, JobState::Done, "job {id}: {}", status.detail);
+        assert_eq!(status.digest, Some(expected_digest(&spec(seed))));
+    }
+
+    // Clean drain: nothing suspended, nothing stuck in the queue.
+    // (`shutdown` drains and releases the store's liveness lock.)
+    let report = server.shutdown();
+    assert_eq!(report.suspended, 0, "a refused submit must not leave work to suspend");
+    drop(server);
+
+    // Restart on the same store without the injection: the operator
+    // freed space, and the server admits again with ids continuing past
+    // the refused ones (refusals must not burn or corrupt the id space).
+    let server = JobServer::open(ServerConfig::new(&dir)).unwrap();
+    let c = server.submit(spec(0xE)).expect("space was freed");
+    assert!(c > b, "id sequence survives the ENOSPC episode");
+    wait_all_terminal(&server, Duration::from_secs(30));
+    server.shutdown();
+    let _ = std::fs::remove_dir_all(&dir);
+}

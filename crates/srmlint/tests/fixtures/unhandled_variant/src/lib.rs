@@ -19,3 +19,35 @@ pub fn dispatch(m: WireMsg) -> u64 {
         _ => 0, // swallows Bye — the lint must name it
     }
 }
+
+/// The ISSUE-10 scenario: a fault taxonomy that *grew* new variants
+/// (`NoSpace`, `SyncFail` — the chaos engine's additions).  The
+/// exhaustive classifier names every variant, old and new, so the
+/// protocol pass must accept it — proving the lint flags only the
+/// genuine swallow above and not a correctly-extended vocabulary.
+#[srmlint::protocol]
+pub enum FaultCode {
+    Transient,
+    Permanent,
+    NoSpace,
+    SyncFail,
+}
+
+pub fn classify(c: FaultCode) -> bool {
+    match c {
+        FaultCode::Transient => true,
+        FaultCode::Permanent => false,
+        FaultCode::NoSpace => false,
+        FaultCode::SyncFail => false,
+    }
+}
+
+/// A deliberate partial match over the grown taxonomy opts out on the
+/// `match` line — the blessed escape hatch, which must also not count
+/// as a finding.
+pub fn is_enospc(c: FaultCode) -> bool {
+    match c { // srmlint::allow(protocol)
+        FaultCode::NoSpace => true,
+        _ => false,
+    }
+}

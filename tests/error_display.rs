@@ -79,3 +79,93 @@ fn interrupted_renderings_promise_a_checkpoint() {
         assert!(s.contains("checkpoint journaled"), "{s:?}");
     }
 }
+
+/// ISSUE-10 additions to the fault taxonomy: ENOSPC and failed
+/// durability barriers render with their stable slugs (`no-space`,
+/// `sync`) — the chaos oracle, the server protocol's `code=` field, and
+/// the retry-classification audit all grep them.
+#[test]
+fn no_space_and_sync_faults_render_with_stable_slugs() {
+    use pdisk::{DiskId, FaultKind, FaultOp};
+    let cases: Vec<(PdiskError, &[&str])> = vec![
+        (
+            PdiskError::Fault {
+                kind: FaultKind::NoSpace,
+                op: FaultOp::Write,
+                disk: Some(DiskId(2)),
+            },
+            &["no-space", "disk 2", "write"],
+        ),
+        (
+            PdiskError::Fault {
+                kind: FaultKind::NoSpace,
+                op: FaultOp::Alloc,
+                disk: None,
+            },
+            &["no-space", "alloc"],
+        ),
+        (
+            PdiskError::Fault {
+                kind: FaultKind::Transient,
+                op: FaultOp::Sync,
+                disk: Some(DiskId(0)),
+            },
+            &["sync", "disk 0"],
+        ),
+        (
+            PdiskError::RetriesExhausted {
+                attempts: 6,
+                last: Box::new(PdiskError::Fault {
+                    kind: FaultKind::Transient,
+                    op: FaultOp::Read,
+                    disk: Some(DiskId(1)),
+                }),
+            },
+            &["gave up after 6 attempts", "transient fault on disk 1"],
+        ),
+    ];
+    for (err, markers) in &cases {
+        for marker in *markers {
+            check(err, marker);
+        }
+    }
+}
+
+#[test]
+fn submit_no_space_renders_actionably() {
+    use srm_server::SubmitError;
+    let err = SubmitError::NoSpace("injected ENOSPC on job store /tmp/jobs".into());
+    check(&err, "out of space");
+    check(&err, "free space and resubmit");
+    // And the wire protocol maps it to the stable machine-readable code
+    // the chaos server target and `srm client` both match on.
+    assert!(srm_server::protocol::submit_error_line(&err).starts_with("ERR code=no-space "));
+}
+
+#[test]
+fn every_chaos_error_and_violation_renders() {
+    use srm_chaos::{ChaosError, Violation};
+    let errors: Vec<(ChaosError, &str)> = vec![
+        (ChaosError::Io("spawn failed".into()), "chaos harness I/O error"),
+        (ChaosError::Parse("bad json".into()), "cannot parse reproducer artifact"),
+        (ChaosError::BadArtifact("version 9".into()), "unusable reproducer artifact"),
+        (ChaosError::Config("no server bin".into()), "chaos config error"),
+    ];
+    for (err, marker) in &errors {
+        check(err, marker);
+    }
+    // Violations render human text, and their codes (which the minimizer
+    // and --expect-violation compare) are stable slugs.
+    let violations: Vec<(Violation, &str, &str)> = vec![
+        (Violation::DigestMismatch { got: 1, want: 2 }, "digest mismatch", "digest-mismatch"),
+        (Violation::ModelViolation("two blocks".into()), "model violation", "model-violation"),
+        (Violation::UnexpectedError("EIO".into()), "unexpected error", "unexpected-error"),
+        (Violation::Wedged { attempts: 9 }, "no progress after 9", "wedged"),
+        (Violation::LeakedFiles("sort.manifest".into()), "leaked files", "leaked-files"),
+        (Violation::Panicked("overflow".into()), "panicked", "panic"),
+    ];
+    for (v, marker, code) in &violations {
+        check(v, marker);
+        assert_eq!(v.code(), *code, "stable violation code");
+    }
+}

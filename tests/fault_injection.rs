@@ -194,3 +194,121 @@ fn failure_then_fresh_array_still_sorts() {
     let out = srm_core::read_run(&mut fresh, &run).unwrap();
     assert!(out.windows(2).all(|w| w[0].0 <= w[1].0));
 }
+
+// ---------------------------------------------------------------------------
+// Retry-classification audit: the retry wrapper must spin only on faults
+// that retrying can actually fix.  Permanent faults, ENOSPC, and failed
+// durability barriers are *not* in that set — retrying a full disk burns
+// the fault budget without progress, and retrying past a failed fsync is
+// the classic fsyncgate data-loss bug.  (The chaos campaign's planted
+// bug is exactly this audit's first assertion, inverted.)
+// ---------------------------------------------------------------------------
+
+#[test]
+fn no_space_is_never_retried() {
+    let data = records(400, 20);
+    let inner: MemDiskArray<U64Record> = MemDiskArray::new(geom());
+    // Staging writes land before the sort; place the fill inside the sort.
+    let input_writes = 400u64.div_ceil(4).div_ceil(2);
+    let faulty = FaultyDiskArray::new(
+        inner,
+        FaultModel::none().fill_at(FaultOp::Write, input_writes + 10),
+    );
+    let mut a = RetryingDiskArray::new(faulty, RetryPolicy::default());
+    let input = write_unsorted_input(&mut a, &data).unwrap();
+    let result = SrmSorter::default().sort(&mut a, &input);
+    match result {
+        Err(SrmError::Disk(e @ PdiskError::Fault { kind, .. })) => {
+            assert_eq!(kind, pdisk::FaultKind::NoSpace, "typed ENOSPC: {e}");
+            assert!(!e.is_retryable(), "ENOSPC must classify as non-retryable");
+        }
+        other => panic!("full disk must surface as the typed no-space fault, got {other:?}"),
+    }
+    assert_eq!(a.retries(), (0, 0), "a full disk must never be retried");
+    let (_, _, allocs) = a.counters();
+    assert_eq!(allocs.attempted, 0, "no allocation retries on ENOSPC either");
+}
+
+#[test]
+fn failed_sync_is_never_retried_and_surfaces_typed() {
+    let inner: MemDiskArray<U64Record> = MemDiskArray::new(geom());
+    let faulty = FaultyDiskArray::new(inner, FaultModel::none().fail_sync_at(0));
+    let mut a = RetryingDiskArray::new(faulty, RetryPolicy::default());
+    let err = a.sync().expect_err("scripted sync failure must surface");
+    match &err {
+        PdiskError::Fault { op, .. } => {
+            // The *op* alone makes it non-retryable, whatever the kind:
+            // even a "transient" barrier failure cannot be re-issued.
+            assert_eq!(*op, FaultOp::Sync);
+        }
+        other => panic!("expected a typed sync fault, got {other}"),
+    }
+    assert!(
+        !err.is_retryable(),
+        "a failed durability barrier must never be retried: the kernel's \
+         dirty state is unknown (fsyncgate)"
+    );
+    assert_eq!(a.retries(), (0, 0));
+    // The barrier is one-shot even at the injection layer: a second sync
+    // on the (simulated) reopened fd succeeds.
+    a.sync().expect("the failure does not stick to the device");
+}
+
+#[test]
+fn retry_classification_matrix() {
+    use pdisk::FaultKind::{NoSpace, Permanent, Transient};
+    use FaultOp::{Alloc, Read, Sync, Write};
+    let fault = |kind, op| PdiskError::Fault { kind, op, disk: None };
+    // Retryable: transient faults on data-path ops, plus OS-level I/O
+    // errors and checksum corruption (a reread may see good bytes).
+    for e in [
+        fault(Transient, Read),
+        fault(Transient, Write),
+        fault(Transient, Alloc),
+        PdiskError::Io(std::io::Error::other("simulated EIO")),
+    ] {
+        assert!(e.is_retryable(), "{e} should be retryable");
+    }
+    // Never retryable: permanent faults (dead disk), ENOSPC on any op,
+    // and *any* fault on the durability barrier — including a "transient"
+    // one, because a failed fsync's side effects are unobservable.
+    for e in [
+        fault(Permanent, Read),
+        fault(Permanent, Write),
+        fault(NoSpace, Write),
+        fault(NoSpace, Alloc),
+        fault(NoSpace, Sync),
+        fault(Transient, Sync),
+        fault(Permanent, Sync),
+    ] {
+        assert!(!e.is_retryable(), "{e} must not be retryable");
+    }
+}
+
+#[test]
+fn freed_space_clears_the_no_space_fault() {
+    // ENOSPC is non-retryable but *repairable*: after the operator frees
+    // space (`free_space`), the same array accepts writes again — the
+    // chaos engine's FreeSpace repair path in miniature.
+    let data = records(300, 21);
+    let inner: MemDiskArray<U64Record> = MemDiskArray::new(geom());
+    let mut a = FaultyDiskArray::new(inner, FaultModel::none().fill_at(FaultOp::Write, 0));
+    let err = write_unsorted_input(&mut a, &data).expect_err("disk is full from write 0");
+    assert!(
+        matches!(
+            err,
+            SrmError::Disk(PdiskError::Fault { kind: pdisk::FaultKind::NoSpace, .. })
+        ),
+        "typed: {err}"
+    );
+    let full: Vec<_> = a.model().full_disks().collect();
+    assert_eq!(full.len(), 1, "the filled disk is tracked");
+    for d in full {
+        a.model_mut().free_space(d);
+    }
+    assert_eq!(a.model().full_disks().count(), 0);
+    let input = write_unsorted_input(&mut a, &data).expect("freed space accepts writes");
+    let (run, _) = SrmSorter::default().sort(&mut a, &input).expect("sort completes");
+    let out = read_run(&mut a, &run).unwrap();
+    assert!(out.windows(2).all(|w| w[0].0 <= w[1].0));
+}

@@ -153,3 +153,86 @@ fn scrub_on_a_plain_array_detects_but_cannot_heal() {
     assert_eq!(report.clean, 15, "{report}");
     assert!(!report.is_healthy());
 }
+
+/// ISSUE-10 satellite — chaos × scrubber: a sort is crashed at a pass
+/// boundary (the chaos engine's CrashAt in miniature), latent corruption
+/// lands on checkpointed live runs while the array is "powered off", a
+/// scrub pass over the manifest's runs heals every corrupt block, and
+/// the resumed sort completes byte-identical to the failure-free run.
+#[test]
+fn chaos_crash_plus_latent_corruption_scrub_heals_then_resume_is_byte_identical() {
+    use srm_core::sort::write_unsorted_input;
+    use srm_core::{SortManifest, SrmError, SrmSorter};
+
+    let geom = Geometry::new(D, B, 8 * D * B).unwrap();
+    let data: Vec<U64Record> = (0..2400).map(|k| U64Record(k * 2_654_435_761 % 100_000)).collect();
+
+    // The failure-free oracle.
+    let mut clean: MemDiskArray<U64Record> = MemDiskArray::new(geom);
+    let input = write_unsorted_input(&mut clean, &data).unwrap();
+    let (oracle_run, _) = SrmSorter::default().sort(&mut clean, &input).unwrap();
+    let want: Vec<u64> = srm_core::read_run(&mut clean, &oracle_run)
+        .unwrap()
+        .iter()
+        .map(|r| r.0)
+        .collect();
+
+    // Session 1 on a parity array: crash right after pass 1's checkpoint.
+    let dir = std::env::temp_dir().join(format!("srm-chaos-scrub-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    let manifest = dir.join("sort.manifest");
+    let inner: MemDiskArray<U64Record> = MemDiskArray::new(geom);
+    let mut a = ParityDiskArray::new(inner).unwrap();
+    let input = write_unsorted_input(&mut a, &data).unwrap();
+    // The observer fires *before* each pass's checkpoint is journaled,
+    // so crashing at pass 2 leaves a manifest recording pass 1: the
+    // resume skips formation and the first merge pass.
+    let result = SrmSorter::default().sort_observed(&mut a, &input, Some(&manifest), |pass, _| {
+        if pass >= 2 {
+            return Err(SrmError::Internal("chaos crash".into()));
+        }
+        Ok(())
+    });
+    assert!(result.is_err(), "session 1 crashes by schedule");
+    let m = SortManifest::load_latest(&manifest).unwrap().expect("journaled");
+    assert!(!m.runs.is_empty(), "live runs are checkpointed");
+
+    // Bit-rot while down: corrupt one block in three distinct stripe
+    // rows of the manifest's live runs (single failures, repairable).
+    let mut corrupted_rows = std::collections::BTreeSet::new();
+    let mut corrupted = 0u64;
+    'outer: for run in &m.runs {
+        for i in 0..run.len_blocks {
+            let phys = a.physical_addr(run.addr_of(i));
+            if corrupted_rows.insert(phys.offset) {
+                a.inner_mut().corrupt_block(phys).unwrap();
+                corrupted += 1;
+                if corrupted == 3 {
+                    break 'outer;
+                }
+            }
+        }
+    }
+    assert_eq!(corrupted, 3, "enough checkpointed blocks to corrupt");
+
+    // The scrub pass (what `srm scrub --parity` runs) heals all three.
+    let report = scrub_runs(&mut a, &m.runs).unwrap();
+    assert_eq!(report.repaired, 3, "every corrupt block healed: {report}");
+    assert_eq!(report.unrepairable, 0, "{report:?}");
+    assert!(report.is_healthy());
+
+    // Session 2 resumes from the manifest on the healed array and the
+    // output is byte-identical to the failure-free oracle.
+    assert!(m.pass >= 1, "the checkpoint is mid-sort, so session 2 must resume");
+    let (run, _) = SrmSorter::default()
+        .sort_checkpointed(&mut a, &input, &manifest)
+        .expect("resume completes");
+    let got: Vec<u64> = srm_core::read_run(&mut a, &run)
+        .unwrap()
+        .iter()
+        .map(|r| r.0)
+        .collect();
+    assert_eq!(got, want, "healed + resumed output must match the oracle");
+    let _ = std::fs::remove_dir_all(&dir);
+}
